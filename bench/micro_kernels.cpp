@@ -1,0 +1,185 @@
+/**
+ * @file
+ * google-benchmark microbenches of the computational kernels (§VI-C
+ * context: software BSW throughput defines the iso-sensitive baseline —
+ * the paper measured 225K tiles/s on 36 threads with Parasail; the
+ * per-tile software cost here is our equivalent).
+ */
+#include <benchmark/benchmark.h>
+
+#include "align/banded_sw.h"
+#include "align/gactx.h"
+#include "align/needleman_wunsch.h"
+#include "align/smith_waterman.h"
+#include "align/ungapped_xdrop.h"
+#include "chain/chainer.h"
+#include "seed/seed_index.h"
+#include "seq/shuffle.h"
+#include "util/rng.h"
+
+using namespace darwin;
+
+namespace {
+
+std::vector<std::uint8_t>
+random_codes(std::size_t len, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> codes(len);
+    for (auto& c : codes)
+        c = static_cast<std::uint8_t>(rng.uniform(4));
+    return codes;
+}
+
+std::vector<std::uint8_t>
+mutated_copy(const std::vector<std::uint8_t>& src, double sub_rate,
+             double indel_rate, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        if (rng.chance(indel_rate)) {
+            if (rng.chance(0.5))
+                continue;
+            out.push_back(static_cast<std::uint8_t>(rng.uniform(4)));
+        }
+        std::uint8_t base = src[i];
+        if (rng.chance(sub_rate))
+            base = static_cast<std::uint8_t>(rng.uniform(4));
+        out.push_back(base);
+    }
+    return out;
+}
+
+void
+BM_BswFilterTile(benchmark::State& state)
+{
+    const auto scoring = align::ScoringParams::paper_defaults();
+    const auto t = random_codes(320, 1);
+    const auto q = mutated_copy(t, 0.15, 0.01, 2);
+    std::uint64_t cells = 0;
+    for (auto _ : state) {
+        const auto result = align::banded_smith_waterman(
+            {t.data(), t.size()}, {q.data(), std::min<std::size_t>(
+                                                 q.size(), 320)},
+            scoring, 32);
+        benchmark::DoNotOptimize(result.max_score);
+        cells += result.cells_computed;
+    }
+    state.counters["cells/s"] = benchmark::Counter(
+        static_cast<double>(cells), benchmark::Counter::kIsRate);
+    state.counters["tiles/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BswFilterTile);
+
+void
+BM_GactXTile(benchmark::State& state)
+{
+    align::GactXParams params;
+    params.tile_size = static_cast<std::size_t>(state.range(0));
+    const align::GactXTileAligner aligner(params);
+    const auto t = random_codes(params.tile_size, 3);
+    const auto q = mutated_copy(t, 0.15, 0.01, 4);
+    std::uint64_t cells = 0;
+    for (auto _ : state) {
+        const auto result = aligner.align_tile(
+            {t.data(), t.size()},
+            {q.data(), std::min(q.size(), params.tile_size)});
+        benchmark::DoNotOptimize(result.max_score);
+        cells += result.cells_computed;
+    }
+    state.counters["cells/s"] = benchmark::Counter(
+        static_cast<double>(cells), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GactXTile)->Arg(480)->Arg(960)->Arg(1920);
+
+void
+BM_UngappedXdrop(benchmark::State& state)
+{
+    const auto scoring = align::ScoringParams::paper_defaults();
+    const auto t = random_codes(4000, 5);
+    const auto q = mutated_copy(t, 0.12, 0.0, 6);
+    for (auto _ : state) {
+        const auto result = align::ungapped_xdrop_extend(
+            {t.data(), t.size()}, {q.data(), q.size()}, 2000, 2000, 19,
+            scoring, 910);
+        benchmark::DoNotOptimize(result.score);
+    }
+}
+BENCHMARK(BM_UngappedXdrop);
+
+void
+BM_SmithWatermanReference(benchmark::State& state)
+{
+    const auto scoring = align::ScoringParams::paper_defaults();
+    const auto t = random_codes(256, 7);
+    const auto q = mutated_copy(t, 0.2, 0.02, 8);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(align::smith_waterman_score(
+            {t.data(), t.size()}, {q.data(), q.size()}, scoring));
+    }
+}
+BENCHMARK(BM_SmithWatermanReference);
+
+void
+BM_SeedIndexLookup(benchmark::State& state)
+{
+    const seed::SeedPattern pattern = seed::SeedPattern::lastz_default();
+    const seq::Sequence target("t", random_codes(1 << 20, 9));
+    const seed::SeedIndex index(target, pattern);
+    const auto query = random_codes(1 << 16, 10);
+    std::size_t pos = 0;
+    std::uint64_t hits = 0;
+    for (auto _ : state) {
+        const auto key = pattern.key_at({query.data(), query.size()}, pos);
+        if (key)
+            hits += index.lookup(*key).size();
+        pos = (pos + 1) % (query.size() - pattern.span());
+        benchmark::DoNotOptimize(hits);
+    }
+    state.counters["lookups/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SeedIndexLookup);
+
+void
+BM_DinucleotideShuffle(benchmark::State& state)
+{
+    const seq::Sequence s("x", random_codes(1 << 16, 11));
+    Rng rng(12);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(seq::dinucleotide_shuffle(s, rng));
+    }
+}
+BENCHMARK(BM_DinucleotideShuffle);
+
+void
+BM_ChainDP(benchmark::State& state)
+{
+    Rng rng(13);
+    std::vector<align::Alignment> blocks;
+    std::uint64_t t = 0, q = 0;
+    for (int i = 0; i < 500; ++i) {
+        t += 200 + rng.uniform(2000);
+        q += 200 + rng.uniform(2000);
+        align::Alignment a;
+        a.target_start = t;
+        a.target_end = t + 150;
+        a.query_start = q;
+        a.query_end = q + 150;
+        a.score = 4000 + static_cast<align::Score>(rng.uniform(8000));
+        a.cigar.push(align::EditOp::Match, 150);
+        blocks.push_back(a);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(chain::chain_alignments(blocks));
+    }
+}
+BENCHMARK(BM_ChainDP);
+
+}  // namespace
+
+BENCHMARK_MAIN();

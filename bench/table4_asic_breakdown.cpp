@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table IV reproduction: area and power breakdown of the Darwin-WGA ASIC
+ * (TSMC 40nm, 1 GHz) — BSW logic, GACT-X logic, traceback SRAM, DRAM.
+ *
+ * Paper values: 16.6/25.6, 4.2/6.72, 15.12/7.92, -/3.10; total
+ * 35.92 mm^2 / 43.34 W. Also prints an ablation: how the breakdown
+ * scales for half/double BSW provisioning (the paper's §VI-A discussion
+ * of DRAM-bottleneck provisioning).
+ */
+#include <cstdio>
+
+#include "hw/power_model.h"
+
+using namespace darwin;
+
+namespace {
+
+void
+print_breakdown(const char* title, const hw::DeviceConfig& config)
+{
+    const hw::AsicPowerModel model;
+    std::printf("%s\n", title);
+    std::printf("  %-16s %-28s %10s %9s\n", "Component", "Configuration",
+                "Area(mm2)", "Power(W)");
+    for (const auto& row : model.breakdown(config)) {
+        std::printf("  %-16s %-28s %10.2f %9.2f\n", row.component.c_str(),
+                    row.configuration.c_str(), row.area_mm2, row.power_w);
+    }
+    std::printf("  %-16s %-28s %10.2f %9.2f\n\n", "Total", "",
+                model.total_area_mm2(config),
+                model.total_power_w(config));
+}
+
+}  // namespace
+
+int
+main()
+{
+    print_breakdown("Table IV: Darwin-WGA ASIC (TSMC 40nm @ 1.0 GHz)",
+                    hw::DeviceConfig::asic_40nm());
+    std::printf("paper: BSW 16.6/25.6, GACT-X 4.2/6.72, SRAM 15.12/7.92, "
+                "DRAM -/3.10; total 35.92 mm2 / 43.34 W\n\n");
+
+    auto half = hw::DeviceConfig::asic_40nm();
+    half.bsw_arrays /= 2;
+    print_breakdown("Ablation: half BSW provisioning (32 arrays)", half);
+
+    auto big = hw::DeviceConfig::asic_40nm();
+    big.gactx_arrays *= 2;
+    print_breakdown("Ablation: double GACT-X provisioning (24 arrays)",
+                    big);
+    return 0;
+}

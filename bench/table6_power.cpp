@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table VI reproduction: power of the three computing platforms (DRAM
+ * included) and the derived energy per workload unit.
+ *
+ * Paper values: CPU (c4.8xlarge) 215 W, FPGA (Virtex UltraScale+) 65 W,
+ * ASIC (TSMC 40nm) 43 W.
+ */
+#include <cstdio>
+
+#include "hw/bsw_array.h"
+#include "hw/config.h"
+#include "hw/power_model.h"
+
+using namespace darwin;
+
+int
+main()
+{
+    const auto cpu = hw::DeviceConfig::cpu_c4_8xlarge();
+    const auto fpga = hw::DeviceConfig::fpga_f1_2xlarge();
+    const auto asic = hw::DeviceConfig::asic_40nm();
+
+    std::printf("Table VI: platform power (DRAM included)\n\n");
+    std::printf("  %-28s %9s\n", "Platform", "Power(W)");
+    for (const auto* config : {&cpu, &fpga, &asic})
+        std::printf("  %-28s %9.1f\n", config->name.c_str(),
+                    config->power_w);
+    std::printf("\npaper: 215 / 65 / 43 W\n\n");
+
+    // Derived: energy per million filter tiles on each platform, using
+    // the modeled accelerator rates and the paper's software tile rate.
+    const double sw_rate = 225e3;  // Parasail, 36 threads (paper §VI-C)
+    const double fpga_rate =
+        fpga.clock_hz * fpga.bsw_arrays /
+        static_cast<double>(
+            hw::BswArrayModel::tile_cycles(320, 320, fpga.bsw_pe, 32));
+    const double asic_rate =
+        asic.clock_hz * asic.bsw_arrays /
+        static_cast<double>(
+            hw::BswArrayModel::tile_cycles(320, 320, asic.bsw_pe, 32));
+    std::printf("energy per 1M gapped-filter tiles:\n");
+    std::printf("  %-28s %10.1f J\n", cpu.name.c_str(),
+                cpu.power_w * 1e6 / sw_rate);
+    std::printf("  %-28s %10.3f J\n", fpga.name.c_str(),
+                fpga.power_w * 1e6 / fpga_rate);
+    std::printf("  %-28s %10.3f J\n", asic.name.c_str(),
+                asic.power_w * 1e6 / asic_rate);
+    return 0;
+}

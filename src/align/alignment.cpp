@@ -1,0 +1,32 @@
+#include "align/alignment.h"
+
+#include "util/strings.h"
+
+namespace darwin::align {
+
+double
+Alignment::identity() const
+{
+    const std::uint64_t aligned = cigar.matches() + cigar.mismatches();
+    if (aligned == 0)
+        return 0.0;
+    return static_cast<double>(cigar.matches()) /
+           static_cast<double>(aligned);
+}
+
+std::string
+Alignment::summary() const
+{
+    return strprintf(
+        "t[%llu,%llu) q[%llu,%llu)%s score=%d match=%llu id=%.1f%%",
+        static_cast<unsigned long long>(target_start),
+        static_cast<unsigned long long>(target_end),
+        static_cast<unsigned long long>(query_start),
+        static_cast<unsigned long long>(query_end),
+        query_strand == Strand::Reverse ? " (rev)" : "",
+        score,
+        static_cast<unsigned long long>(matched_bases()),
+        identity() * 100.0);
+}
+
+}  // namespace darwin::align

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Alignment records produced by the extension stage and consumed by the
+ * chainer / MAF writer. Coordinates are 0-based half-open positions in the
+ * *flattened* genome coordinate space (see seq::Genome) on the forward
+ * strand of the target; `query_strand` records the query orientation.
+ */
+#ifndef DARWIN_ALIGN_ALIGNMENT_H
+#define DARWIN_ALIGN_ALIGNMENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "align/cigar.h"
+#include "align/scoring.h"
+
+namespace darwin::align {
+
+/** Strand of the query sequence in an alignment. */
+enum class Strand : std::uint8_t { Forward, Reverse };
+
+/** A scored local alignment between target and query. */
+struct Alignment {
+    std::uint64_t target_start = 0;
+    std::uint64_t target_end = 0;  ///< exclusive
+    std::uint64_t query_start = 0;
+    std::uint64_t query_end = 0;   ///< exclusive
+    Strand query_strand = Strand::Forward;
+    Score score = 0;
+    Cigar cigar;
+
+    std::uint64_t
+    target_span() const
+    {
+        return target_end - target_start;
+    }
+
+    std::uint64_t
+    query_span() const
+    {
+        return query_end - query_start;
+    }
+
+    /** Exact-match bases (the paper's "matching base-pairs" metric). */
+    std::uint64_t matched_bases() const { return cigar.matches(); }
+
+    /** Fraction of aligned (non-gap) columns that match. */
+    double identity() const;
+
+    /** Anti-diagonal-ish ordering key used for deduplication. */
+    std::int64_t
+    diagonal() const
+    {
+        return static_cast<std::int64_t>(target_start) -
+               static_cast<std::int64_t>(query_start);
+    }
+
+    bool
+    empty() const
+    {
+        return cigar.empty();
+    }
+
+    std::string summary() const;
+};
+
+}  // namespace darwin::align
+
+#endif  // DARWIN_ALIGN_ALIGNMENT_H

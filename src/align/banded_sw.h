@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Banded Smith-Waterman — the gapped filtering kernel (paper §III-C).
+ *
+ * A tile of size Tf is cut around each seed hit with the hit at its
+ * center; Smith-Waterman with affine gaps is evaluated only within a band
+ * of +/-B cells around the tile's main diagonal. The kernel returns the
+ * maximum cell score Vmax and its position xmax; the filter stage passes
+ * the hit to extension iff Vmax >= Hf, using xmax as the anchor.
+ *
+ * This is the computational bottleneck of whole genome alignment (the
+ * filter stage dominates runtime), so the kernel is score-only (no
+ * traceback) and runs in O(B) memory per row.
+ */
+#ifndef DARWIN_ALIGN_BANDED_SW_H
+#define DARWIN_ALIGN_BANDED_SW_H
+
+#include <cstdint>
+#include <span>
+
+#include "align/scoring.h"
+
+namespace darwin::align {
+
+/** Outcome of one banded-SW tile. */
+struct BswResult {
+    Score max_score = 0;       ///< Vmax (>= 0, Smith-Waterman semantics)
+    std::size_t target_max = 0;  ///< target bases consumed at xmax
+    std::size_t query_max = 0;   ///< query bases consumed at xmax
+    std::uint64_t cells_computed = 0;
+};
+
+/**
+ * Run banded Smith-Waterman over a tile.
+ *
+ * @param target Tile slice of the target.
+ * @param query  Tile slice of the query (the band is centered on the
+ *               i == j diagonal, i.e. the caller centers the seed hit).
+ * @param scoring Substitution matrix and affine gap penalties.
+ * @param band   Half-width B of the band (cells either side of the
+ *               diagonal). Must be >= 0; 0 degenerates to an ungapped
+ *               diagonal scan with substitutions only.
+ */
+BswResult banded_smith_waterman(std::span<const std::uint8_t> target,
+                                std::span<const std::uint8_t> query,
+                                const ScoringParams& scoring,
+                                std::size_t band);
+
+}  // namespace darwin::align
+
+#endif  // DARWIN_ALIGN_BANDED_SW_H

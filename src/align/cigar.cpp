@@ -1,0 +1,203 @@
+#include "align/cigar.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace darwin::align {
+
+char
+edit_op_char(EditOp op)
+{
+    switch (op) {
+      case EditOp::Match:    return '=';
+      case EditOp::Mismatch: return 'X';
+      case EditOp::Insert:   return 'I';
+      case EditOp::Delete:   return 'D';
+    }
+    return '?';
+}
+
+void
+Cigar::push(EditOp op, std::uint32_t length)
+{
+    if (length == 0)
+        return;
+    if (!runs_.empty() && runs_.back().op == op) {
+        runs_.back().length += length;
+    } else {
+        runs_.push_back({op, length});
+    }
+}
+
+void
+Cigar::append(const Cigar& other)
+{
+    for (const auto& run : other.runs_)
+        push(run.op, run.length);
+}
+
+void
+Cigar::reverse()
+{
+    std::reverse(runs_.begin(), runs_.end());
+}
+
+std::uint64_t
+Cigar::total_ops() const
+{
+    std::uint64_t total = 0;
+    for (const auto& run : runs_)
+        total += run.length;
+    return total;
+}
+
+std::uint64_t
+Cigar::target_consumed() const
+{
+    std::uint64_t total = 0;
+    for (const auto& run : runs_) {
+        if (run.op != EditOp::Insert)
+            total += run.length;
+    }
+    return total;
+}
+
+std::uint64_t
+Cigar::query_consumed() const
+{
+    std::uint64_t total = 0;
+    for (const auto& run : runs_) {
+        if (run.op != EditOp::Delete)
+            total += run.length;
+    }
+    return total;
+}
+
+std::uint64_t
+Cigar::matches() const
+{
+    std::uint64_t total = 0;
+    for (const auto& run : runs_) {
+        if (run.op == EditOp::Match)
+            total += run.length;
+    }
+    return total;
+}
+
+std::uint64_t
+Cigar::mismatches() const
+{
+    std::uint64_t total = 0;
+    for (const auto& run : runs_) {
+        if (run.op == EditOp::Mismatch)
+            total += run.length;
+    }
+    return total;
+}
+
+std::uint64_t
+Cigar::gap_runs() const
+{
+    std::uint64_t total = 0;
+    for (const auto& run : runs_) {
+        if (run.op == EditOp::Insert || run.op == EditOp::Delete)
+            ++total;
+    }
+    return total;
+}
+
+std::uint64_t
+Cigar::gap_bases() const
+{
+    std::uint64_t total = 0;
+    for (const auto& run : runs_) {
+        if (run.op == EditOp::Insert || run.op == EditOp::Delete)
+            total += run.length;
+    }
+    return total;
+}
+
+std::string
+Cigar::to_string() const
+{
+    std::string out;
+    for (const auto& run : runs_)
+        out += strprintf("%u%c", run.length, edit_op_char(run.op));
+    return out;
+}
+
+Score
+Cigar::score(std::span<const std::uint8_t> target,
+             std::span<const std::uint8_t> query,
+             const ScoringParams& scoring) const
+{
+    Score total = 0;
+    std::size_t ti = 0;
+    std::size_t qi = 0;
+    for (const auto& run : runs_) {
+        switch (run.op) {
+          case EditOp::Match:
+          case EditOp::Mismatch:
+            for (std::uint32_t k = 0; k < run.length; ++k) {
+                require(ti < target.size() && qi < query.size(),
+                        "Cigar::score: ops overrun sequences");
+                total += scoring.substitution(target[ti++], query[qi++]);
+            }
+            break;
+          case EditOp::Insert:
+            require(qi + run.length <= query.size(),
+                    "Cigar::score: insert overruns query");
+            total -= scoring.gap_cost(run.length);
+            qi += run.length;
+            break;
+          case EditOp::Delete:
+            require(ti + run.length <= target.size(),
+                    "Cigar::score: delete overruns target");
+            total -= scoring.gap_cost(run.length);
+            ti += run.length;
+            break;
+        }
+    }
+    return total;
+}
+
+bool
+Cigar::consistent_with(std::span<const std::uint8_t> target,
+                       std::span<const std::uint8_t> query) const
+{
+    std::size_t ti = 0;
+    std::size_t qi = 0;
+    for (const auto& run : runs_) {
+        switch (run.op) {
+          case EditOp::Match:
+          case EditOp::Mismatch:
+            if (ti + run.length > target.size() ||
+                qi + run.length > query.size())
+                return false;
+            for (std::uint32_t k = 0; k < run.length; ++k) {
+                const bool equal = target[ti + k] == query[qi + k] &&
+                                   seq::is_concrete(target[ti + k]);
+                if (equal != (run.op == EditOp::Match))
+                    return false;
+            }
+            ti += run.length;
+            qi += run.length;
+            break;
+          case EditOp::Insert:
+            if (qi + run.length > query.size())
+                return false;
+            qi += run.length;
+            break;
+          case EditOp::Delete:
+            if (ti + run.length > target.size())
+                return false;
+            ti += run.length;
+            break;
+        }
+    }
+    return true;
+}
+
+}  // namespace darwin::align

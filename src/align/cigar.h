@@ -1,0 +1,105 @@
+/**
+ * @file
+ * CIGAR edit scripts.
+ *
+ * Conventions used across the library:
+ *  - the *target* (reference, `r`) advances on Match/Mismatch/Delete,
+ *  - the *query* (`q`) advances on Match/Mismatch/Insert,
+ *  - Insert = bases present in the query but not the target,
+ *  - Delete = bases present in the target but not the query.
+ */
+#ifndef DARWIN_ALIGN_CIGAR_H
+#define DARWIN_ALIGN_CIGAR_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "align/scoring.h"
+
+namespace darwin::align {
+
+/** One kind of edit operation. */
+enum class EditOp : std::uint8_t {
+    Match,     ///< '=' — target and query bases equal
+    Mismatch,  ///< 'X' — substitution
+    Insert,    ///< 'I' — gap in target (query-only bases)
+    Delete,    ///< 'D' — gap in query (target-only bases)
+};
+
+/** ASCII letter for an op. */
+char edit_op_char(EditOp op);
+
+/** A run-length encoded edit operation. */
+struct CigarRun {
+    EditOp op;
+    std::uint32_t length;
+
+    bool operator==(const CigarRun&) const = default;
+};
+
+/** Run-length-encoded edit script. */
+class Cigar {
+  public:
+    Cigar() = default;
+
+    /** Append `length` copies of `op`, merging with the trailing run. */
+    void push(EditOp op, std::uint32_t length = 1);
+
+    /** Append another cigar (runs merged at the seam). */
+    void append(const Cigar& other);
+
+    /** Reverse the order of operations in place. */
+    void reverse();
+
+    bool empty() const { return runs_.empty(); }
+    const std::vector<CigarRun>& runs() const { return runs_; }
+
+    /** Total ops, and per-sequence consumed lengths. */
+    std::uint64_t total_ops() const;
+    std::uint64_t target_consumed() const;
+    std::uint64_t query_consumed() const;
+
+    /** Count of exact-match bases. */
+    std::uint64_t matches() const;
+
+    /** Count of mismatch bases. */
+    std::uint64_t mismatches() const;
+
+    /** Number of gap *runs* (indel events). */
+    std::uint64_t gap_runs() const;
+
+    /** Number of gap bases (insert + delete lengths). */
+    std::uint64_t gap_bases() const;
+
+    /** Compact textual form, e.g. "120=1X3I45=". */
+    std::string to_string() const;
+
+    /**
+     * Recompute the affine-gap score of this edit script over the given
+     * base-code spans. Used by tests to verify that every kernel's
+     * reported score matches its reported path, and by the extension
+     * stitcher to score stitched alignments.
+     */
+    Score score(std::span<const std::uint8_t> target,
+                std::span<const std::uint8_t> query,
+                const ScoringParams& scoring) const;
+
+    /**
+     * Validate that ops are consistent with the sequences: '=' runs really
+     * match and 'X' runs really differ. Returns false on any violation or
+     * if the consumed lengths overrun the spans.
+     */
+    bool consistent_with(std::span<const std::uint8_t> target,
+                         std::span<const std::uint8_t> query) const;
+
+    bool operator==(const Cigar&) const = default;
+
+  private:
+    std::vector<CigarRun> runs_;
+};
+
+}  // namespace darwin::align
+
+#endif  // DARWIN_ALIGN_CIGAR_H

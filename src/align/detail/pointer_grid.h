@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Internal: sparse per-row traceback-pointer storage and the shared
+ * traceback walker used by the X-drop reference engine and GACT-X.
+ *
+ * Rows store only their computed column window (4-bit pointers, one byte
+ * per cell in memory for simplicity; the *accounted* traceback footprint
+ * uses the packed 4-bit size, matching the hardware BRAM budget).
+ */
+#ifndef DARWIN_ALIGN_DETAIL_POINTER_GRID_H
+#define DARWIN_ALIGN_DETAIL_POINTER_GRID_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/cigar.h"
+#include "util/logging.h"
+
+namespace darwin::align::detail {
+
+/** V-direction values of the 4-bit hardware pointer. */
+enum VDir : std::uint8_t {
+    kOrigin = 0,  ///< boundary/pruned; only legal at the tile origin
+    kDiag = 1,
+    kHGap = 2,  ///< gap consuming target (Delete)
+    kVGap = 3,  ///< gap consuming query (Insert)
+};
+
+/** One packed direction pointer. */
+struct Pointer {
+    std::uint8_t vdir : 2;
+    std::uint8_t hopen : 1;
+    std::uint8_t vopen : 1;
+};
+
+/** Computed column window and pointers of one DP row. */
+struct PointerRow {
+    std::size_t start = 0;  ///< first stored column index (j)
+    std::vector<Pointer> ptrs;
+
+    bool
+    contains(std::size_t j) const
+    {
+        return j >= start && j - start < ptrs.size();
+    }
+
+    Pointer
+    at(std::size_t j) const
+    {
+        require(contains(j), "PointerRow: traceback outside stored window");
+        return ptrs[j - start];
+    }
+};
+
+/** Rows 1..m of pointers (row 0 and column 0 are implicit boundaries). */
+class PointerGrid {
+  public:
+    void
+    add_row(PointerRow row)
+    {
+        rows_.push_back(std::move(row));
+    }
+
+    std::size_t num_rows() const { return rows_.size(); }
+
+    /** Pointer at DP cell (i, j), i >= 1, j >= 1. */
+    Pointer
+    at(std::size_t i, std::size_t j) const
+    {
+        require(i >= 1 && i <= rows_.size(),
+                "PointerGrid: traceback row out of range");
+        return rows_[i - 1].at(j);
+    }
+
+    /** Packed (4-bit) byte footprint across all stored rows. */
+    std::uint64_t
+    packed_bytes() const
+    {
+        std::uint64_t total = 0;
+        for (const auto& row : rows_)
+            total += (row.ptrs.size() + 1) / 2;
+        return total;
+    }
+
+  private:
+    std::vector<PointerRow> rows_;
+};
+
+/**
+ * Walk pointers from cell (i, j) back to the origin, emitting the edit
+ * script in forward order. Boundary rules: on reaching row 0 the
+ * remaining columns are Deletes; on reaching column 0 the remaining rows
+ * are Inserts (both correspond to the gap-initialized DP borders).
+ */
+inline Cigar
+trace_from(const PointerGrid& grid, std::span<const std::uint8_t> target,
+           std::span<const std::uint8_t> query, std::size_t i,
+           std::size_t j)
+{
+    Cigar rev;
+    enum class State { V, H, G } state = State::V;
+    while (i != 0 || j != 0) {
+        if (i == 0) {
+            rev.push(EditOp::Delete, static_cast<std::uint32_t>(j));
+            break;
+        }
+        if (j == 0) {
+            rev.push(EditOp::Insert, static_cast<std::uint32_t>(i));
+            break;
+        }
+        const Pointer p = grid.at(i, j);
+        if (state == State::V) {
+            switch (p.vdir) {
+              case kDiag: {
+                const bool eq = target[j - 1] == query[i - 1] &&
+                                seq::is_concrete(target[j - 1]);
+                rev.push(eq ? EditOp::Match : EditOp::Mismatch);
+                --i;
+                --j;
+                break;
+              }
+              case kHGap:
+                state = State::H;
+                break;
+              case kVGap:
+                state = State::G;
+                break;
+              default:
+                panic("trace_from: pointer into pruned cell");
+            }
+        } else if (state == State::H) {
+            rev.push(EditOp::Delete);
+            --j;
+            if (p.hopen)
+                state = State::V;
+        } else {
+            rev.push(EditOp::Insert);
+            --i;
+            if (p.vopen)
+                state = State::V;
+        }
+    }
+    rev.reverse();
+    return rev;
+}
+
+}  // namespace darwin::align::detail
+
+#endif  // DARWIN_ALIGN_DETAIL_POINTER_GRID_H

@@ -1,0 +1,196 @@
+#include "align/extension.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace darwin::align {
+
+namespace {
+
+/**
+ * Split a tile path at the overlap boundary. Returns the kept prefix and
+ * the target/query bases it consumes.
+ *
+ * If the path's endpoint lies inside the overlap region (either axis at or
+ * beyond `boundary`), the path is cut at the first step that touches the
+ * boundary, and the cut point seeds the next tile. Otherwise the whole
+ * path is kept.
+ */
+struct KeptPath {
+    Cigar cigar;
+    std::size_t target_consumed = 0;
+    std::size_t query_consumed = 0;
+};
+
+KeptPath
+clip_at_overlap(const TileResult& tile, std::size_t boundary)
+{
+    KeptPath kept;
+    if (tile.target_max < boundary && tile.query_max < boundary) {
+        kept.cigar = tile.cigar;
+        kept.target_consumed = tile.target_max;
+        kept.query_consumed = tile.query_max;
+        return kept;
+    }
+    std::size_t ti = 0;
+    std::size_t qi = 0;
+    for (const auto& run : tile.cigar.runs()) {
+        for (std::uint32_t k = 0; k < run.length; ++k) {
+            if (ti >= boundary || qi >= boundary)
+                return kept;
+            switch (run.op) {
+              case EditOp::Match:
+              case EditOp::Mismatch:
+                ++ti;
+                ++qi;
+                break;
+              case EditOp::Insert:
+                ++qi;
+                break;
+              case EditOp::Delete:
+                ++ti;
+                break;
+            }
+            kept.cigar.push(run.op);
+            kept.target_consumed = ti;
+            kept.query_consumed = qi;
+        }
+    }
+    return kept;
+}
+
+/** One-directional tiled extension over forward-oriented spans. */
+struct DirectionalResult {
+    Cigar cigar;  ///< in the orientation of the provided spans
+    std::size_t target_consumed = 0;
+    std::size_t query_consumed = 0;
+};
+
+/**
+ * Extend right over (target, query) starting at their origins, feeding
+ * `slice(pos, len)` tiles to the aligner. The `fetch` callbacks produce
+ * tile buffers so the same code serves the left extension (which fetches
+ * reversed slices).
+ */
+template <typename FetchTarget, typename FetchQuery>
+DirectionalResult
+extend_direction(std::size_t target_remaining, std::size_t query_remaining,
+                 FetchTarget&& fetch_target, FetchQuery&& fetch_query,
+                 const TileAligner& aligner, ExtensionStats* stats)
+{
+    DirectionalResult out;
+    const std::size_t tile_size = aligner.tile_size();
+    const std::size_t overlap = aligner.tile_overlap();
+    require(tile_size > overlap, "extend_direction: tile <= overlap");
+    const std::size_t boundary = tile_size - overlap;
+
+    std::size_t pos_t = 0;
+    std::size_t pos_q = 0;
+    while (pos_t < target_remaining && pos_q < query_remaining) {
+        const std::size_t rlen =
+            std::min(tile_size, target_remaining - pos_t);
+        const std::size_t qlen =
+            std::min(tile_size, query_remaining - pos_q);
+        auto target_tile = fetch_target(pos_t, rlen);
+        auto query_tile = fetch_query(pos_q, qlen);
+        const TileResult tile = aligner.align_tile(
+            {target_tile.data(), target_tile.size()},
+            {query_tile.data(), query_tile.size()});
+        if (stats)
+            stats->absorb(tile);
+        if (tile.max_score <= 0)
+            break;
+
+        // When the tile does not fill the nominal size (sequence end), the
+        // overlap clipping still applies against the nominal boundary; a
+        // short tile's path simply ends before it.
+        const KeptPath kept = clip_at_overlap(tile, boundary);
+        if (kept.target_consumed == 0 && kept.query_consumed == 0)
+            break;  // no forward progress: stop rather than loop
+        out.cigar.append(kept.cigar);
+        pos_t += kept.target_consumed;
+        pos_q += kept.query_consumed;
+
+        // If the whole path was kept (it ended before the overlap region),
+        // the alignment genuinely ended inside this tile.
+        if (tile.target_max < boundary && tile.query_max < boundary)
+            break;
+    }
+    out.target_consumed = pos_t;
+    out.query_consumed = pos_q;
+    return out;
+}
+
+}  // namespace
+
+Alignment
+extend_anchor(std::span<const std::uint8_t> target,
+              std::span<const std::uint8_t> query, std::size_t anchor_t,
+              std::size_t anchor_q, const TileAligner& aligner,
+              const ScoringParams& scoring, ExtensionStats* stats)
+{
+    require(anchor_t <= target.size() && anchor_q <= query.size(),
+            "extend_anchor: anchor outside spans");
+
+    // Right: forward slices starting at the anchor.
+    DirectionalResult right = extend_direction(
+        target.size() - anchor_t, query.size() - anchor_q,
+        [&](std::size_t pos, std::size_t len) {
+            return std::vector<std::uint8_t>(
+                target.begin() +
+                    static_cast<std::ptrdiff_t>(anchor_t + pos),
+                target.begin() +
+                    static_cast<std::ptrdiff_t>(anchor_t + pos + len));
+        },
+        [&](std::size_t pos, std::size_t len) {
+            return std::vector<std::uint8_t>(
+                query.begin() +
+                    static_cast<std::ptrdiff_t>(anchor_q + pos),
+                query.begin() +
+                    static_cast<std::ptrdiff_t>(anchor_q + pos + len));
+        },
+        aligner, stats);
+
+    // Left: reversed slices ending at the anchor.
+    DirectionalResult left = extend_direction(
+        anchor_t, anchor_q,
+        [&](std::size_t pos, std::size_t len) {
+            // Slice [anchor - pos - len, anchor - pos), reversed.
+            std::vector<std::uint8_t> buf(len);
+            for (std::size_t k = 0; k < len; ++k)
+                buf[k] = target[anchor_t - pos - 1 - k];
+            return buf;
+        },
+        [&](std::size_t pos, std::size_t len) {
+            std::vector<std::uint8_t> buf(len);
+            for (std::size_t k = 0; k < len; ++k)
+                buf[k] = query[anchor_q - pos - 1 - k];
+            return buf;
+        },
+        aligner, stats);
+
+    Alignment out;
+    out.target_start = anchor_t - left.target_consumed;
+    out.target_end = anchor_t + right.target_consumed;
+    out.query_start = anchor_q - left.query_consumed;
+    out.query_end = anchor_q + right.query_consumed;
+
+    // The left path was computed on reversed sequences: flip the run
+    // order to express it forward, then join with the right path.
+    Cigar left_forward = left.cigar;
+    left_forward.reverse();
+    out.cigar = std::move(left_forward);
+    out.cigar.append(right.cigar);
+
+    if (out.cigar.empty())
+        return out;
+    out.score = out.cigar.score(
+        target.subspan(out.target_start, out.target_end - out.target_start),
+        query.subspan(out.query_start, out.query_end - out.query_start),
+        scoring);
+    return out;
+}
+
+}  // namespace darwin::align

@@ -1,0 +1,42 @@
+#include "align/gact.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace darwin::align {
+
+std::size_t
+gact_tile_size_for_memory(std::uint64_t bytes)
+{
+    // A T x T tile stores (T+1) rows of up to (T+1) 4-bit pointers.
+    // Solve (T+1)^2 / 2 <= bytes.
+    const double edge = std::sqrt(2.0 * static_cast<double>(bytes));
+    const std::size_t tile =
+        edge > 1.0 ? static_cast<std::size_t>(edge) - 1 : 0;
+    return tile;
+}
+
+GactTileAligner::GactTileAligner(GactParams params)
+    : params_(params),
+      tile_size_(gact_tile_size_for_memory(params.traceback_bytes))
+{
+    require(tile_size_ > params_.overlap,
+            "GactTileAligner: traceback memory too small for the overlap");
+}
+
+TileResult
+GactTileAligner::align_tile(std::span<const std::uint8_t> target,
+                            std::span<const std::uint8_t> query) const
+{
+    // GACT computes the full tile: the X-drop engine with an unbounded Y
+    // is exactly full Needleman-Wunsch-from-origin with max-cell
+    // traceback, stored row-by-row.
+    XDropConfig config;
+    config.scoring = params_.scoring;
+    config.ydrop = INT32_MAX / 8;
+    config.traceback_limit_bytes = params_.traceback_bytes;
+    return xdrop_extend(target, query, config);
+}
+
+}  // namespace darwin::align

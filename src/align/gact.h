@@ -1,0 +1,54 @@
+/**
+ * @file
+ * GACT — the original Darwin tile extension algorithm (baseline).
+ *
+ * A GACT tile computes the *full* T x T Needleman-Wunsch matrix from the
+ * tile origin and traces back from the maximum cell, so its traceback
+ * memory requirement is T^2/2 bytes (4-bit pointers): the available
+ * traceback memory dictates the tile size. GACT-X (align/gactx.h) replaces
+ * the full matrix with an X-drop band, affording much larger tiles in the
+ * same memory — the comparison reproduced in the paper's Fig. 10.
+ */
+#ifndef DARWIN_ALIGN_GACT_H
+#define DARWIN_ALIGN_GACT_H
+
+#include "align/tile.h"
+#include "align/xdrop_reference.h"
+
+namespace darwin::align {
+
+/** Configuration of the GACT tile engine. */
+struct GactParams {
+    ScoringParams scoring = ScoringParams::paper_defaults();
+
+    /** Traceback pointer memory budget in bytes (sets the tile size). */
+    std::uint64_t traceback_bytes = 1ULL << 20;
+
+    /** Overlap between successive tiles (bp). */
+    std::size_t overlap = 128;
+};
+
+/** Largest tile edge whose full pointer matrix fits in `bytes`. */
+std::size_t gact_tile_size_for_memory(std::uint64_t bytes);
+
+/** The GACT tile aligner: full-tile NW from the origin, max-cell traceback. */
+class GactTileAligner : public TileAligner {
+  public:
+    explicit GactTileAligner(GactParams params);
+
+    TileResult align_tile(std::span<const std::uint8_t> target,
+                          std::span<const std::uint8_t> query) const override;
+
+    std::size_t tile_size() const override { return tile_size_; }
+    std::size_t tile_overlap() const override { return params_.overlap; }
+
+    const GactParams& params() const { return params_; }
+
+  private:
+    GactParams params_;
+    std::size_t tile_size_;
+};
+
+}  // namespace darwin::align
+
+#endif  // DARWIN_ALIGN_GACT_H

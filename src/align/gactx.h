@@ -1,0 +1,68 @@
+/**
+ * @file
+ * GACT-X — the paper's novel tile extension algorithm (§III-D, §IV).
+ *
+ * Like GACT, a tile is aligned from its origin with Needleman-Wunsch
+ * affine-gap scoring and traced back from the maximum-scoring cell. Unlike
+ * GACT, computation is bounded by an X-drop test: processing proceeds in
+ * *stripes* of Npe rows (one row per systolic processing element); a
+ * stripe starts at the first column whose score in the previous stripe's
+ * last row exceeded (Vmax - Y), and a stripe ends at the first column
+ * whose cells all fall below (Vmax - Y). Only the computed windows store
+ * traceback pointers, so the same traceback memory affords far larger
+ * tiles than GACT — the key to aligning through the long gaps of
+ * cross-species WGA.
+ *
+ * This implementation is stripe-faithful: the hardware model
+ * (hw/gactx_array.h) derives cycle counts directly from the
+ * stripe_columns this engine reports, and the test suite checks it
+ * against the row-granular reference (align/xdrop_reference.h) and the
+ * full-matrix reference (align/needleman_wunsch.h).
+ */
+#ifndef DARWIN_ALIGN_GACTX_H
+#define DARWIN_ALIGN_GACTX_H
+
+#include "align/tile.h"
+
+namespace darwin::align {
+
+/** Configuration of the GACT-X tile engine (paper Table II defaults). */
+struct GactXParams {
+    ScoringParams scoring = ScoringParams::paper_defaults();
+
+    /** Tile size Te. */
+    std::size_t tile_size = 1920;
+
+    /** Overlap O between successive tiles. */
+    std::size_t overlap = 128;
+
+    /** X-drop bound Y. */
+    Score ydrop = 9430;
+
+    /** Stripe height = processing elements per systolic array. */
+    std::size_t num_pe = 32;
+
+    /** Traceback pointer memory (bytes, 4 bits/cell). 1 MB default. */
+    std::uint64_t traceback_bytes = 1ULL << 20;
+};
+
+/** The GACT-X tile aligner. */
+class GactXTileAligner : public TileAligner {
+  public:
+    explicit GactXTileAligner(GactXParams params);
+
+    TileResult align_tile(std::span<const std::uint8_t> target,
+                          std::span<const std::uint8_t> query) const override;
+
+    std::size_t tile_size() const override { return params_.tile_size; }
+    std::size_t tile_overlap() const override { return params_.overlap; }
+
+    const GactXParams& params() const { return params_; }
+
+  private:
+    GactXParams params_;
+};
+
+}  // namespace darwin::align
+
+#endif  // DARWIN_ALIGN_GACTX_H

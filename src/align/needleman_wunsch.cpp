@@ -1,0 +1,179 @@
+#include "align/needleman_wunsch.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace darwin::align {
+
+namespace {
+
+enum VDir : std::uint8_t { kOrigin = 0, kDiag = 1, kHGap = 2, kVGap = 3 };
+
+struct Pointer {
+    std::uint8_t vdir : 2;
+    std::uint8_t hopen : 1;
+    std::uint8_t vopen : 1;
+};
+
+/** Shared full-matrix NW-from-origin DP; returns matrices via out-params. */
+struct NwMatrices {
+    std::size_t stride = 0;
+    std::vector<Score> v;
+    std::vector<Pointer> ptr;
+};
+
+NwMatrices
+run_nw(std::span<const std::uint8_t> target,
+       std::span<const std::uint8_t> query, const ScoringParams& scoring)
+{
+    const std::size_t n = target.size();
+    const std::size_t m = query.size();
+    NwMatrices out;
+    out.stride = n + 1;
+    out.v.assign((m + 1) * out.stride, kScoreNegInf);
+    out.ptr.assign((m + 1) * out.stride, Pointer{kOrigin, 0, 0});
+    std::vector<Score> h((m + 1) * out.stride, kScoreNegInf);
+    std::vector<Score> g((m + 1) * out.stride, kScoreNegInf);
+
+    out.v[0] = 0;
+    for (std::size_t j = 1; j <= n; ++j) {
+        out.v[j] = -scoring.gap_cost(j);
+        h[j] = out.v[j];
+        out.ptr[j] = Pointer{kHGap, j == 1, 0};
+    }
+    for (std::size_t i = 1; i <= m; ++i) {
+        const std::size_t idx = i * out.stride;
+        out.v[idx] = -scoring.gap_cost(i);
+        g[idx] = out.v[idx];
+        out.ptr[idx] = Pointer{kVGap, 0, i == 1};
+    }
+
+    for (std::size_t i = 1; i <= m; ++i) {
+        for (std::size_t j = 1; j <= n; ++j) {
+            const std::size_t idx = i * out.stride + j;
+            const std::size_t up = idx - out.stride;
+            const std::size_t left = idx - 1;
+            const std::size_t diag = up - 1;
+
+            Pointer p{kOrigin, 0, 0};
+            const Score h_open = out.v[left] - scoring.gap_open;
+            const Score h_ext = h[left] - scoring.gap_extend;
+            h[idx] = std::max(h_open, h_ext);
+            p.hopen = h_open >= h_ext;
+
+            const Score g_open = out.v[up] - scoring.gap_open;
+            const Score g_ext = g[up] - scoring.gap_extend;
+            g[idx] = std::max(g_open, g_ext);
+            p.vopen = g_open >= g_ext;
+
+            const Score diag_score =
+                out.v[diag] +
+                scoring.substitution(target[j - 1], query[i - 1]);
+
+            Score val = diag_score;
+            p.vdir = kDiag;
+            if (h[idx] > val) {
+                val = h[idx];
+                p.vdir = kHGap;
+            }
+            if (g[idx] > val) {
+                val = g[idx];
+                p.vdir = kVGap;
+            }
+            out.v[idx] = val;
+            out.ptr[idx] = p;
+        }
+    }
+    return out;
+}
+
+/** Trace back from (i, j) to the origin using the pointer matrix. */
+Cigar
+traceback(const NwMatrices& mats, std::span<const std::uint8_t> target,
+          std::span<const std::uint8_t> query, std::size_t i, std::size_t j)
+{
+    Cigar rev;
+    enum class State { V, H, G } state = State::V;
+    while (i != 0 || j != 0) {
+        const std::size_t idx = i * mats.stride + j;
+        const Pointer p = mats.ptr[idx];
+        if (state == State::V) {
+            if (p.vdir == kDiag) {
+                const bool eq = target[j - 1] == query[i - 1] &&
+                                seq::is_concrete(target[j - 1]);
+                rev.push(eq ? EditOp::Match : EditOp::Mismatch);
+                --i;
+                --j;
+            } else if (p.vdir == kHGap) {
+                state = State::H;
+            } else if (p.vdir == kVGap) {
+                state = State::G;
+            } else {
+                panic("needleman_wunsch: origin pointer off-origin");
+            }
+        } else if (state == State::H) {
+            rev.push(EditOp::Delete);
+            --j;
+            if (p.hopen)
+                state = State::V;
+        } else {
+            rev.push(EditOp::Insert);
+            --i;
+            if (p.vopen)
+                state = State::V;
+        }
+    }
+    rev.reverse();
+    return rev;
+}
+
+}  // namespace
+
+GlobalAlignment
+needleman_wunsch(std::span<const std::uint8_t> target,
+                 std::span<const std::uint8_t> query,
+                 const ScoringParams& scoring)
+{
+    NwMatrices mats = run_nw(target, query, scoring);
+    GlobalAlignment out;
+    out.score = mats.v[query.size() * mats.stride + target.size()];
+    out.cigar = traceback(mats, target, query, query.size(), target.size());
+    return out;
+}
+
+TileResult
+nw_extend_reference(std::span<const std::uint8_t> target,
+                    std::span<const std::uint8_t> query,
+                    const ScoringParams& scoring)
+{
+    NwMatrices mats = run_nw(target, query, scoring);
+    const std::size_t n = target.size();
+    const std::size_t m = query.size();
+
+    // Maximum cell anywhere in the matrix (origin included: score 0).
+    Score best = 0;
+    std::size_t best_i = 0;
+    std::size_t best_j = 0;
+    for (std::size_t i = 0; i <= m; ++i) {
+        for (std::size_t j = 0; j <= n; ++j) {
+            const Score val = mats.v[i * mats.stride + j];
+            if (val > best) {
+                best = val;
+                best_i = i;
+                best_j = j;
+            }
+        }
+    }
+
+    TileResult out;
+    out.max_score = best;
+    out.target_max = best_j;
+    out.query_max = best_i;
+    out.cigar = traceback(mats, target, query, best_i, best_j);
+    out.cells_computed = static_cast<std::uint64_t>(n) * m;
+    out.traceback_bytes = ((n + 1) * (m + 1) + 1) / 2;
+    return out;
+}
+
+}  // namespace darwin::align

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Full Needleman-Wunsch references: global alignment, and the
+ * "extension-from-origin" variant that defines the semantics GACT and
+ * GACT-X approximate inside a tile (align from (0,0), take the maximum
+ * cell anywhere in the matrix, trace back to the origin).
+ */
+#ifndef DARWIN_ALIGN_NEEDLEMAN_WUNSCH_H
+#define DARWIN_ALIGN_NEEDLEMAN_WUNSCH_H
+
+#include <span>
+
+#include "align/scoring.h"
+#include "align/tile.h"
+
+namespace darwin::align {
+
+/** Result of a global alignment. */
+struct GlobalAlignment {
+    Score score = 0;
+    Cigar cigar;  ///< consumes the whole of both spans
+};
+
+/**
+ * Optimal global alignment (both spans fully consumed), affine gaps,
+ * O(n*m) memory. Reference/test use only.
+ */
+GlobalAlignment needleman_wunsch(std::span<const std::uint8_t> target,
+                                 std::span<const std::uint8_t> query,
+                                 const ScoringParams& scoring);
+
+/**
+ * Extension reference: Needleman-Wunsch from the origin with the full
+ * matrix computed, returning the maximum cell anywhere and the path back
+ * to the origin. This is exactly a GACT-X tile with an infinite X-drop
+ * bound and unlimited traceback memory, so it upper-bounds every tile
+ * heuristic's score.
+ */
+TileResult nw_extend_reference(std::span<const std::uint8_t> target,
+                               std::span<const std::uint8_t> query,
+                               const ScoringParams& scoring);
+
+}  // namespace darwin::align
+
+#endif  // DARWIN_ALIGN_NEEDLEMAN_WUNSCH_H

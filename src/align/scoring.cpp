@@ -1,0 +1,50 @@
+#include "align/scoring.h"
+
+namespace darwin::align {
+
+ScoringParams
+ScoringParams::paper_defaults()
+{
+    ScoringParams params;
+    // Table II(a): rows/cols in A, C, G, T order.
+    const Score table[4][4] = {
+        {91, -90, -25, -100},
+        {-90, 100, -100, -25},
+        {-25, -100, 100, -90},
+        {-100, -25, -90, 91},
+    };
+    for (int a = 0; a < seq::kNumCodes; ++a) {
+        for (int b = 0; b < seq::kNumCodes; ++b) {
+            if (a < seq::kNumBases && b < seq::kNumBases) {
+                params.matrix[a][b] = table[a][b];
+            } else {
+                // N against anything is strongly penalized so alignments
+                // never run through separator/ambiguity runs.
+                params.matrix[a][b] = -100;
+            }
+        }
+    }
+    params.gap_open = 430;
+    params.gap_extend = 30;
+    return params;
+}
+
+ScoringParams
+ScoringParams::unit(Score match, Score mismatch, Score open, Score extend)
+{
+    ScoringParams params;
+    for (int a = 0; a < seq::kNumCodes; ++a) {
+        for (int b = 0; b < seq::kNumCodes; ++b) {
+            if (a < seq::kNumBases && b < seq::kNumBases) {
+                params.matrix[a][b] = (a == b) ? match : mismatch;
+            } else {
+                params.matrix[a][b] = mismatch;
+            }
+        }
+    }
+    params.gap_open = open;
+    params.gap_extend = extend;
+    return params;
+}
+
+}  // namespace darwin::align

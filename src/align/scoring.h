@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Scoring model: substitution matrix + affine gap penalties.
+ *
+ * The paper's Table II parameters (the LASTZ default HOXD-like matrix with
+ * gap open 430 / gap extend 30) are the library defaults. Penalties are
+ * stored as positive magnitudes and *subtracted* by the DP kernels, which
+ * mirrors the hardware (Section IV, Eqs. 1-3): opening a gap costs `o` for
+ * its first base and `e` for each additional base.
+ */
+#ifndef DARWIN_ALIGN_SCORING_H
+#define DARWIN_ALIGN_SCORING_H
+
+#include <array>
+#include <cstdint>
+
+#include "seq/alphabet.h"
+
+namespace darwin::align {
+
+/** Signed score type used by every DP kernel. */
+using Score = std::int32_t;
+
+/** A very negative sentinel that survives additions without overflow. */
+inline constexpr Score kScoreNegInf = INT32_MIN / 4;
+
+/** Substitution matrix + affine gap model. */
+struct ScoringParams {
+    /** W[a][b]: score of aligning base codes a and b (N included). */
+    std::array<std::array<Score, seq::kNumCodes>, seq::kNumCodes> matrix{};
+
+    /** Cost of the first base of a gap (positive magnitude). */
+    Score gap_open = 430;
+
+    /** Cost of each subsequent gap base (positive magnitude). */
+    Score gap_extend = 30;
+
+    /** Substitution score for a pair of base codes. */
+    Score
+    substitution(std::uint8_t a, std::uint8_t b) const
+    {
+        return matrix[a][b];
+    }
+
+    /** Total cost of a gap of `len` bases: o + (len-1)*e. */
+    Score
+    gap_cost(std::uint64_t len) const
+    {
+        if (len == 0)
+            return 0;
+        return gap_open + static_cast<Score>(len - 1) * gap_extend;
+    }
+
+    /**
+     * The paper's Table II parameters: LASTZ default substitution scores
+     * (A/C/G/T as printed) with N scoring -100 against everything, gap
+     * open 430, gap extend 30.
+     */
+    static ScoringParams paper_defaults();
+
+    /** A simple +1/-1 unit matrix with cheap gaps, used in tests. */
+    static ScoringParams unit(Score match = 1, Score mismatch = -1,
+                              Score open = 2, Score extend = 1);
+};
+
+}  // namespace darwin::align
+
+#endif  // DARWIN_ALIGN_SCORING_H

@@ -1,0 +1,178 @@
+#include "align/smith_waterman.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace darwin::align {
+
+namespace {
+
+enum VDir : std::uint8_t { kStop = 0, kDiag = 1, kHGap = 2, kVGap = 3 };
+
+struct Pointer {
+    std::uint8_t vdir : 2;   ///< provenance of V
+    std::uint8_t hopen : 1;  ///< H-gap opened (vs extended) at this cell
+    std::uint8_t vopen : 1;  ///< V-gap opened (vs extended) at this cell
+};
+
+}  // namespace
+
+LocalAlignment
+smith_waterman(std::span<const std::uint8_t> target,
+               std::span<const std::uint8_t> query,
+               const ScoringParams& scoring)
+{
+    const std::size_t n = target.size();
+    const std::size_t m = query.size();
+    const std::size_t stride = n + 1;
+
+    // V/H/G matrices; H = gap consuming target (Delete), G = gap consuming
+    // query (Insert). Indexed [i * stride + j] with i over query rows
+    // (0..m) and j over target columns (0..n).
+    std::vector<Score> v((m + 1) * stride, 0);
+    std::vector<Score> h((m + 1) * stride, kScoreNegInf);
+    std::vector<Score> g((m + 1) * stride, kScoreNegInf);
+    std::vector<Pointer> ptr((m + 1) * stride, Pointer{kStop, 0, 0});
+
+    Score best = 0;
+    std::size_t best_i = 0;
+    std::size_t best_j = 0;
+
+    for (std::size_t i = 1; i <= m; ++i) {
+        for (std::size_t j = 1; j <= n; ++j) {
+            const std::size_t idx = i * stride + j;
+            const std::size_t up = (i - 1) * stride + j;
+            const std::size_t left = idx - 1;
+            const std::size_t diag = up - 1;
+
+            Pointer p{kStop, 0, 0};
+
+            // H-gap: consume target base j (move left -> right).
+            const Score h_open = v[left] - scoring.gap_open;
+            const Score h_ext = h[left] - scoring.gap_extend;
+            h[idx] = std::max(h_open, h_ext);
+            p.hopen = h_open >= h_ext;
+
+            // V-gap: consume query base i (move top -> bottom).
+            const Score g_open = v[up] - scoring.gap_open;
+            const Score g_ext = g[up] - scoring.gap_extend;
+            g[idx] = std::max(g_open, g_ext);
+            p.vopen = g_open >= g_ext;
+
+            const Score diag_score =
+                v[diag] + scoring.substitution(target[j - 1], query[i - 1]);
+
+            Score val = 0;
+            p.vdir = kStop;
+            if (diag_score > val) {
+                val = diag_score;
+                p.vdir = kDiag;
+            }
+            if (h[idx] > val) {
+                val = h[idx];
+                p.vdir = kHGap;
+            }
+            if (g[idx] > val) {
+                val = g[idx];
+                p.vdir = kVGap;
+            }
+            v[idx] = val;
+            ptr[idx] = p;
+
+            if (val > best) {
+                best = val;
+                best_i = i;
+                best_j = j;
+            }
+        }
+    }
+
+    LocalAlignment out;
+    out.score = best;
+    if (best == 0)
+        return out;
+
+    // Traceback from the best cell until a kStop V-cell.
+    std::size_t i = best_i;
+    std::size_t j = best_j;
+    Cigar rev;
+    enum class State { V, H, G } state = State::V;
+    while (true) {
+        const std::size_t idx = i * stride + j;
+        if (state == State::V) {
+            const Pointer p = ptr[idx];
+            if (p.vdir == kStop)
+                break;
+            if (p.vdir == kDiag) {
+                const bool eq = target[j - 1] == query[i - 1] &&
+                                seq::is_concrete(target[j - 1]);
+                rev.push(eq ? EditOp::Match : EditOp::Mismatch);
+                --i;
+                --j;
+            } else if (p.vdir == kHGap) {
+                state = State::H;
+            } else {
+                state = State::G;
+            }
+        } else if (state == State::H) {
+            const Pointer p = ptr[idx];
+            rev.push(EditOp::Delete);
+            --j;
+            if (p.hopen)
+                state = State::V;
+        } else {
+            const Pointer p = ptr[idx];
+            rev.push(EditOp::Insert);
+            --i;
+            if (p.vopen)
+                state = State::V;
+        }
+        require(i <= m && j <= n, "smith_waterman: traceback escaped");
+    }
+
+    rev.reverse();
+    out.cigar = std::move(rev);
+    out.target_start = j;
+    out.target_end = best_j;
+    out.query_start = i;
+    out.query_end = best_i;
+    return out;
+}
+
+Score
+smith_waterman_score(std::span<const std::uint8_t> target,
+                     std::span<const std::uint8_t> query,
+                     const ScoringParams& scoring)
+{
+    const std::size_t n = target.size();
+    const std::size_t m = query.size();
+    std::vector<Score> v_prev(n + 1, 0);
+    std::vector<Score> v_cur(n + 1, 0);
+    std::vector<Score> h_cur(n + 1, kScoreNegInf);
+    std::vector<Score> g_col(n + 1, kScoreNegInf);
+
+    Score best = 0;
+    for (std::size_t i = 1; i <= m; ++i) {
+        h_cur[0] = kScoreNegInf;
+        v_cur[0] = 0;
+        for (std::size_t j = 1; j <= n; ++j) {
+            h_cur[j] = std::max(v_cur[j - 1] - scoring.gap_open,
+                                h_cur[j - 1] - scoring.gap_extend);
+            g_col[j] = std::max(v_prev[j] - scoring.gap_open,
+                                g_col[j] - scoring.gap_extend);
+            const Score diag =
+                v_prev[j - 1] +
+                scoring.substitution(target[j - 1], query[i - 1]);
+            Score val = std::max<Score>(0, diag);
+            val = std::max(val, h_cur[j]);
+            val = std::max(val, g_col[j]);
+            v_cur[j] = val;
+            best = std::max(best, val);
+        }
+        std::swap(v_prev, v_cur);
+    }
+    return best;
+}
+
+}  // namespace darwin::align

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Full (unbanded) Smith-Waterman local alignment with affine gaps.
+ *
+ * This is the O(n*m)-memory reference implementation: it is what every
+ * heuristic in the library (banded SW, GACT, GACT-X) is validated against
+ * in the test suite. It is not used on genome-scale inputs.
+ */
+#ifndef DARWIN_ALIGN_SMITH_WATERMAN_H
+#define DARWIN_ALIGN_SMITH_WATERMAN_H
+
+#include <span>
+
+#include "align/alignment.h"
+#include "align/scoring.h"
+
+namespace darwin::align {
+
+/** A local alignment within a pair of spans (span-relative coordinates). */
+struct LocalAlignment {
+    Score score = 0;
+    std::size_t target_start = 0;
+    std::size_t target_end = 0;
+    std::size_t query_start = 0;
+    std::size_t query_end = 0;
+    Cigar cigar;
+};
+
+/**
+ * Optimal local alignment of two spans (Gotoh affine-gap Smith-Waterman
+ * with full traceback). Returns a zero-score empty alignment when no
+ * positive-scoring pair exists.
+ */
+LocalAlignment smith_waterman(std::span<const std::uint8_t> target,
+                              std::span<const std::uint8_t> query,
+                              const ScoringParams& scoring);
+
+/** Score-only variant (same DP, no traceback storage). */
+Score smith_waterman_score(std::span<const std::uint8_t> target,
+                           std::span<const std::uint8_t> query,
+                           const ScoringParams& scoring);
+
+}  // namespace darwin::align
+
+#endif  // DARWIN_ALIGN_SMITH_WATERMAN_H

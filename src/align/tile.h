@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The tile-aligner abstraction shared by the extension stage.
+ *
+ * Both GACT and GACT-X reduce arbitrarily-long extension to a sequence of
+ * fixed-size *tiles*: align target[0..T) x query[0..T) from the tile
+ * origin, track the maximum-scoring cell, and trace back from that cell to
+ * the origin. The extension driver (align/extension.h) then stitches tile
+ * paths. A TileAligner implements exactly that per-tile contract.
+ */
+#ifndef DARWIN_ALIGN_TILE_H
+#define DARWIN_ALIGN_TILE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/cigar.h"
+#include "align/scoring.h"
+
+namespace darwin::align {
+
+/** Result of aligning one tile from its origin. */
+struct TileResult {
+    /** Best cell score found (Needleman-Wunsch from origin; may be <= 0). */
+    Score max_score = 0;
+
+    /** Target / query bases consumed by the path to the best cell. */
+    std::size_t target_max = 0;
+    std::size_t query_max = 0;
+
+    /** Edit script from the tile origin to the best cell. */
+    Cigar cigar;
+
+    /** DP cells evaluated (proxy for compute cost). */
+    std::uint64_t cells_computed = 0;
+
+    /** Traceback pointer storage used, in bytes (4 bits per cell). */
+    std::uint64_t traceback_bytes = 0;
+
+    /**
+     * Columns computed per Npe-row stripe, in stripe order. Filled by the
+     * GACT-X engine; the hardware model converts these directly to systolic
+     * cycle counts.
+     */
+    std::vector<std::uint32_t> stripe_columns;
+};
+
+/** Interface implemented by GACT, GACT-X, and test references. */
+class TileAligner {
+  public:
+    virtual ~TileAligner() = default;
+
+    /**
+     * Align one tile from its origin.
+     * @param target Tile slice of the target (up to tile_size() bases).
+     * @param query  Tile slice of the query.
+     */
+    virtual TileResult align_tile(
+        std::span<const std::uint8_t> target,
+        std::span<const std::uint8_t> query) const = 0;
+
+    /** Tile edge length in bp the driver should feed. */
+    virtual std::size_t tile_size() const = 0;
+
+    /** Tile overlap in bp between successive tiles. */
+    virtual std::size_t tile_overlap() const = 0;
+};
+
+}  // namespace darwin::align
+
+#endif  // DARWIN_ALIGN_TILE_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ungapped X-drop extension — the LASTZ filtering stage our baseline
+ * aligner uses (paper §III-C, "Unlike Darwin-WGA, LASTZ filters using
+ * X-drop ungapped extension").
+ *
+ * From a seed hit the filter extends along the diagonal in both
+ * directions, accumulating substitution scores only (no indels allowed),
+ * and stops a direction when the running score drops more than `xdrop`
+ * below its maximum. A hit passes the filter iff the combined best
+ * segment score reaches the threshold. This is the stage whose rigidity
+ * loses alignments whose ungapped blocks are short (paper Fig. 2) — the
+ * motivation for gapped filtering.
+ */
+#ifndef DARWIN_ALIGN_UNGAPPED_XDROP_H
+#define DARWIN_ALIGN_UNGAPPED_XDROP_H
+
+#include <cstdint>
+#include <span>
+
+#include "align/scoring.h"
+
+namespace darwin::align {
+
+/** Best ungapped segment around a seed hit. */
+struct UngappedResult {
+    Score score = 0;
+    /** Segment [target_lo, target_hi) on the target. */
+    std::size_t target_lo = 0;
+    std::size_t target_hi = 0;
+    /** Segment start on the query (same length as the target segment). */
+    std::size_t query_lo = 0;
+    /** Midpoint of the segment: the anchor handed to extension. */
+    std::size_t anchor_t = 0;
+    std::size_t anchor_q = 0;
+    std::uint64_t cells_computed = 0;
+};
+
+/**
+ * Ungapped X-drop extension of a seed hit.
+ *
+ * @param target  Full target span.
+ * @param query   Full query span.
+ * @param seed_t  Seed start position on the target.
+ * @param seed_q  Seed start position on the query.
+ * @param seed_len Seed span length (scored as part of the segment).
+ * @param scoring Substitution scores.
+ * @param xdrop   Drop-off bound.
+ */
+UngappedResult ungapped_xdrop_extend(std::span<const std::uint8_t> target,
+                                     std::span<const std::uint8_t> query,
+                                     std::size_t seed_t, std::size_t seed_q,
+                                     std::size_t seed_len,
+                                     const ScoringParams& scoring,
+                                     Score xdrop);
+
+}  // namespace darwin::align
+
+#endif  // DARWIN_ALIGN_UNGAPPED_XDROP_H

@@ -1,0 +1,185 @@
+#include "align/xdrop_reference.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "align/detail/pointer_grid.h"
+#include "util/logging.h"
+
+namespace darwin::align {
+
+using detail::kDiag;
+using detail::kHGap;
+using detail::kOrigin;
+using detail::kVGap;
+using detail::Pointer;
+using detail::PointerGrid;
+using detail::PointerRow;
+
+TileResult
+xdrop_extend(std::span<const std::uint8_t> target,
+             std::span<const std::uint8_t> query, const XDropConfig& config)
+{
+    const std::size_t n = target.size();
+    const std::size_t m = query.size();
+    const ScoringParams& scoring = config.scoring;
+    const Score ydrop = config.ydrop;
+
+    TileResult out;
+    if (n == 0 || m == 0)
+        return out;
+
+    // Previous-row value arrays over the full column range (only the
+    // window [prev_start, prev_end] holds live values).
+    std::vector<Score> v_prev(n + 1, kScoreNegInf);
+    std::vector<Score> g_prev(n + 1, kScoreNegInf);
+    std::vector<Score> v_cur(n + 1, kScoreNegInf);
+    std::vector<Score> g_cur(n + 1, kScoreNegInf);
+
+    Score vmax = 0;
+    std::size_t best_i = 0;
+    std::size_t best_j = 0;
+
+    // Row 0: leading target gap, pruned at the X-drop bound.
+    std::size_t prev_start = 0;
+    std::size_t prev_end = 0;
+    v_prev[0] = 0;
+    for (std::size_t j = 1; j <= n; ++j) {
+        const Score val = -scoring.gap_cost(j);
+        if (val < -ydrop)
+            break;
+        v_prev[j] = val;
+        prev_end = j;
+    }
+
+    PointerGrid grid;
+    std::uint64_t traceback_bytes = 0;
+    bool truncated = false;
+
+    for (std::size_t i = 1; i <= m && !truncated; ++i) {
+        const Score threshold = vmax - ydrop;
+        const std::size_t row_start = prev_start;
+        std::fill(v_cur.begin() + static_cast<std::ptrdiff_t>(row_start),
+                  v_cur.begin() +
+                      static_cast<std::ptrdiff_t>(
+                          std::min(n, prev_end + 2)) + 1,
+                  kScoreNegInf);
+        std::fill(g_cur.begin() + static_cast<std::ptrdiff_t>(row_start),
+                  g_cur.begin() +
+                      static_cast<std::ptrdiff_t>(
+                          std::min(n, prev_end + 2)) + 1,
+                  kScoreNegInf);
+
+        PointerRow row;
+        row.start = row_start;
+
+        Score h = kScoreNegInf;
+        std::size_t alive_first = n + 1;
+        std::size_t alive_last = 0;
+
+        std::size_t j = row_start;
+        if (j == 0) {
+            // Column 0 boundary: leading query gap.
+            const Score val = -scoring.gap_cost(i);
+            const bool alive = val >= threshold;
+            v_cur[0] = alive ? val : kScoreNegInf;
+            g_cur[0] = v_cur[0];
+            row.ptrs.push_back(Pointer{kVGap, 0, i == 1});
+            if (alive) {
+                alive_first = 0;
+                alive_last = 0;
+            }
+            ++out.cells_computed;
+            j = 1;
+        } else {
+            // Window does not touch column 0; left neighbor is pruned.
+            h = kScoreNegInf;
+        }
+
+        for (; j <= n; ++j) {
+            const Score up =
+                (j >= prev_start && j <= prev_end) ? v_prev[j]
+                                                   : kScoreNegInf;
+            const Score diag_v = (j >= prev_start + 1 && j <= prev_end + 1)
+                                     ? v_prev[j - 1]
+                                     : kScoreNegInf;
+            const Score g_up =
+                (j >= prev_start && j <= prev_end) ? g_prev[j]
+                                                   : kScoreNegInf;
+
+            Pointer p{kOrigin, 0, 0};
+            const Score left_v = (j - 1 >= row.start) ? v_cur[j - 1]
+                                                      : kScoreNegInf;
+            const Score h_open = left_v - scoring.gap_open;
+            const Score h_ext = h - scoring.gap_extend;
+            h = std::max(h_open, h_ext);
+            p.hopen = h_open >= h_ext;
+            if (h < threshold)
+                h = kScoreNegInf;
+
+            Score g = std::max(up - scoring.gap_open,
+                               g_up - scoring.gap_extend);
+            p.vopen = (up - scoring.gap_open) >=
+                      (g_up - scoring.gap_extend);
+            if (g < threshold)
+                g = kScoreNegInf;
+
+            const Score diag =
+                diag_v + scoring.substitution(target[j - 1], query[i - 1]);
+
+            Score val = diag;
+            p.vdir = kDiag;
+            if (h > val) {
+                val = h;
+                p.vdir = kHGap;
+            }
+            if (g > val) {
+                val = g;
+                p.vdir = kVGap;
+            }
+            if (val < threshold)
+                val = kScoreNegInf;
+
+            v_cur[j] = val;
+            g_cur[j] = g;
+            row.ptrs.push_back(p);
+            ++out.cells_computed;
+
+            if (val > vmax) {
+                vmax = val;
+                best_i = i;
+                best_j = j;
+            }
+            if (val != kScoreNegInf || g != kScoreNegInf) {
+                alive_first = std::min(alive_first, j);
+                alive_last = std::max(alive_last, j);
+            }
+            // Beyond the previous row's influence, only the horizontal gap
+            // can keep the row alive.
+            if (j > prev_end && val == kScoreNegInf && h == kScoreNegInf)
+                break;
+        }
+
+        traceback_bytes += (row.ptrs.size() + 1) / 2;
+        grid.add_row(std::move(row));
+        if (traceback_bytes > config.traceback_limit_bytes)
+            truncated = true;
+
+        if (alive_first > alive_last && alive_first == n + 1)
+            break;  // row fully pruned: extension is finished
+        prev_start = alive_first;
+        prev_end = alive_last;
+        std::swap(v_prev, v_cur);
+        std::swap(g_prev, g_cur);
+    }
+
+    out.max_score = vmax;
+    out.target_max = best_j;
+    out.query_max = best_i;
+    out.traceback_bytes = traceback_bytes;
+    if (best_i != 0 || best_j != 0)
+        out.cigar = detail::trace_from(grid, target, query, best_i, best_j);
+    return out;
+}
+
+}  // namespace darwin::align

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Row-granular X-drop extension engine.
+ *
+ * Needleman-Wunsch from the origin with affine gaps, where any cell whose
+ * score falls below (Vmax - Y) is pruned to -inf and each row only
+ * computes the surviving column window (Zhang et al.'s X-drop bound, the
+ * paper's "Y-drop"). Traceback pointers are stored per row at 4 bits per
+ * cell, so the engine doubles as:
+ *
+ *  - the *reference* for the stripe-granular GACT-X hardware algorithm
+ *    (stripe windows are supersets of row windows, so GACT-X's Vmax must
+ *    be >= this engine's Vmax — a test invariant), and
+ *  - the GACT tile engine when constructed with an effectively infinite
+ *    Y bound (GACT computes the full tile; see align/gact.h).
+ */
+#ifndef DARWIN_ALIGN_XDROP_REFERENCE_H
+#define DARWIN_ALIGN_XDROP_REFERENCE_H
+
+#include <limits>
+
+#include "align/tile.h"
+
+namespace darwin::align {
+
+/** Configuration for the row-granular X-drop engine. */
+struct XDropConfig {
+    ScoringParams scoring = ScoringParams::paper_defaults();
+
+    /** X-drop bound Y: prune cells below Vmax - ydrop. */
+    Score ydrop = 9430;
+
+    /**
+     * Traceback pointer budget in bytes (4 bits per computed cell).
+     * Computation stops early when the budget is exhausted, exactly as an
+     * exhausted traceback BRAM would end a hardware tile.
+     */
+    std::uint64_t traceback_limit_bytes =
+        std::numeric_limits<std::uint64_t>::max();
+};
+
+/**
+ * Extend from the origin over (target x query) with X-drop pruning and
+ * full traceback. Spans are expected to be tile-sized (the extension
+ * driver slices tiles); the engine itself accepts any size that fits the
+ * traceback budget.
+ */
+TileResult xdrop_extend(std::span<const std::uint8_t> target,
+                        std::span<const std::uint8_t> query,
+                        const XDropConfig& config);
+
+}  // namespace darwin::align
+
+#endif  // DARWIN_ALIGN_XDROP_REFERENCE_H

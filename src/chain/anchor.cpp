@@ -1,0 +1,20 @@
+#include "chain/anchor.h"
+
+#include "util/strings.h"
+
+namespace darwin::chain {
+
+std::string
+chain_summary(const Chain& chain)
+{
+    return strprintf(
+        "chain blocks=%zu score=%.0f t[%llu,%llu) q[%llu,%llu) match=%llu",
+        chain.size(), chain.score,
+        static_cast<unsigned long long>(chain.target_start),
+        static_cast<unsigned long long>(chain.target_end),
+        static_cast<unsigned long long>(chain.query_start),
+        static_cast<unsigned long long>(chain.query_end),
+        static_cast<unsigned long long>(chain.matched_bases));
+}
+
+}  // namespace darwin::chain

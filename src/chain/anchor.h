@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Chain data model.
+ *
+ * A chain (Kent et al., "Evolution's cauldron") is a maximally-scoring
+ * ordered sequence of local alignments that are collinear in both
+ * genomes, possibly separated by large one- or two-sided gaps. Chains are
+ * the unit over which the paper measures sensitivity (top-10 chain
+ * scores, matched base-pairs in all chains, exon coverage).
+ */
+#ifndef DARWIN_CHAIN_ANCHOR_H
+#define DARWIN_CHAIN_ANCHOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "align/alignment.h"
+
+namespace darwin::chain {
+
+/** A chain over a set of alignments (blocks). */
+struct Chain {
+    /** Indices into the alignment vector handed to the chainer, ordered
+     *  by target position. */
+    std::vector<std::size_t> members;
+
+    /** Chain score: block scores minus inter-block gap costs. */
+    double score = 0.0;
+
+    /** Footprint in both genomes. */
+    std::uint64_t target_start = 0;
+    std::uint64_t target_end = 0;
+    std::uint64_t query_start = 0;
+    std::uint64_t query_end = 0;
+
+    /** Sum of exact-match bases over member blocks. */
+    std::uint64_t matched_bases = 0;
+
+    std::size_t size() const { return members.size(); }
+    bool empty() const { return members.empty(); }
+};
+
+/** Summarize a chain for logs. */
+std::string chain_summary(const Chain& chain);
+
+}  // namespace darwin::chain
+
+#endif  // DARWIN_CHAIN_ANCHOR_H

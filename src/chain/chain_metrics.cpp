@@ -1,0 +1,23 @@
+#include "chain/chain_metrics.h"
+
+#include <algorithm>
+
+namespace darwin::chain {
+
+ChainMetrics
+summarize_chains(const std::vector<Chain>& chains, std::size_t top_k)
+{
+    ChainMetrics out;
+    out.num_chains = chains.size();
+    const std::size_t k = std::min(top_k, chains.size());
+    for (std::size_t i = 0; i < chains.size(); ++i) {
+        out.total_matched_bases += chains[i].matched_bases;
+        if (i < k) {
+            out.top_k_score += chains[i].score;
+            out.top_k_matched_bases += chains[i].matched_bases;
+        }
+    }
+    return out;
+}
+
+}  // namespace darwin::chain

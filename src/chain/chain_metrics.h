@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Chain-level metrics used by the sensitivity evaluation (Table III).
+ */
+#ifndef DARWIN_CHAIN_CHAIN_METRICS_H
+#define DARWIN_CHAIN_CHAIN_METRICS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/anchor.h"
+
+namespace darwin::chain {
+
+/** Aggregates over a chain set. */
+struct ChainMetrics {
+    std::size_t num_chains = 0;
+    /** Sum of scores of the top-k chains (k as requested). */
+    double top_k_score = 0.0;
+    /** Matched base-pairs across *all* chains. */
+    std::uint64_t total_matched_bases = 0;
+    /** Matched base-pairs across the top-k chains. */
+    std::uint64_t top_k_matched_bases = 0;
+};
+
+/** Compute metrics over chains (assumed sorted by descending score). */
+ChainMetrics summarize_chains(const std::vector<Chain>& chains,
+                              std::size_t top_k = 10);
+
+}  // namespace darwin::chain
+
+#endif  // DARWIN_CHAIN_CHAIN_METRICS_H

@@ -1,0 +1,224 @@
+#include "chain/chainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace darwin::chain {
+
+GapCostTable::GapCostTable(std::vector<std::uint64_t> positions,
+                           std::vector<double> single,
+                           std::vector<double> both)
+    : positions_(std::move(positions)),
+      single_(std::move(single)),
+      both_(std::move(both))
+{
+    require(!positions_.empty() && positions_.size() == single_.size() &&
+            positions_.size() == both_.size(),
+            "GapCostTable: mismatched table sizes");
+    require(std::is_sorted(positions_.begin(), positions_.end()),
+            "GapCostTable: breakpoints must ascend");
+}
+
+GapCostTable
+GapCostTable::loose()
+{
+    // The axtChain -linearGap=loose schedule (qGap == tGap in that file).
+    return GapCostTable(
+        {1, 2, 3, 11, 111, 2111, 12111, 32111, 72111, 152111, 252111},
+        {325, 360, 400, 450, 600, 1100, 3600, 7600, 15600, 31600, 56600},
+        {625, 660, 700, 750, 900, 1400, 4000, 8000, 16000, 32000, 57000});
+}
+
+double
+GapCostTable::interpolate(const std::vector<double>& costs,
+                          std::uint64_t gap) const
+{
+    if (gap == 0)
+        return 0.0;
+    if (gap <= positions_.front())
+        return costs.front();
+    if (gap >= positions_.back()) {
+        // Extrapolate with the final segment's slope.
+        const std::size_t k = positions_.size() - 1;
+        const double slope =
+            (costs[k] - costs[k - 1]) /
+            static_cast<double>(positions_[k] - positions_[k - 1]);
+        return costs[k] +
+               slope * static_cast<double>(gap - positions_[k]);
+    }
+    const auto it =
+        std::upper_bound(positions_.begin(), positions_.end(), gap);
+    const std::size_t hi = static_cast<std::size_t>(
+        it - positions_.begin());
+    const std::size_t lo = hi - 1;
+    const double frac =
+        static_cast<double>(gap - positions_[lo]) /
+        static_cast<double>(positions_[hi] - positions_[lo]);
+    return costs[lo] + frac * (costs[hi] - costs[lo]);
+}
+
+double
+GapCostTable::cost(std::uint64_t dt, std::uint64_t dq) const
+{
+    if (dt == 0 && dq == 0)
+        return 0.0;
+    if (dt == 0)
+        return interpolate(single_, dq);
+    if (dq == 0)
+        return interpolate(single_, dt);
+    return interpolate(both_, dt + dq);
+}
+
+std::vector<Chain>
+chain_alignments(const std::vector<align::Alignment>& alignments,
+                 const ChainParams& params)
+{
+    const std::size_t n = alignments.size();
+    if (n == 0)
+        return {};
+
+    // Sort block indices by target start (ties by query start).
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const auto& x = alignments[a];
+        const auto& y = alignments[b];
+        if (x.target_start != y.target_start)
+            return x.target_start < y.target_start;
+        return x.query_start < y.query_start;
+    });
+
+    std::vector<double> dp(n, 0.0);
+    std::vector<std::ptrdiff_t> back(n, -1);
+
+    // Cost of joining predecessor `bi` before `bj`, or a negative value
+    // when the pair cannot be joined. Bounded overlap at the seam is
+    // tolerated (independently extended neighbors overrun each other
+    // slightly); overlapped bases are charged at block j's score density
+    // so joining never profits from double-covered sequence.
+    const auto join_cost = [&params](const align::Alignment& bi,
+                                     const align::Alignment& bj) -> double {
+        if (bi.query_strand != bj.query_strand)
+            return -1.0;
+        if (bi.target_start >= bj.target_start ||
+            bi.query_start >= bj.query_start ||
+            bi.target_end >= bj.target_end || bi.query_end >= bj.query_end)
+            return -1.0;
+        const std::int64_t ot = static_cast<std::int64_t>(bi.target_end) -
+                                static_cast<std::int64_t>(bj.target_start);
+        const std::int64_t oq = static_cast<std::int64_t>(bi.query_end) -
+                                static_cast<std::int64_t>(bj.query_start);
+        const std::uint64_t shorter =
+            std::min(std::min(bi.target_span(), bj.target_span()),
+                     std::min(bi.query_span(), bj.query_span()));
+        if (ot * 2 >= static_cast<std::int64_t>(shorter) ||
+            oq * 2 >= static_cast<std::int64_t>(shorter))
+            return -1.0;
+        const std::uint64_t dt =
+            ot > 0 ? 0 : static_cast<std::uint64_t>(-ot);
+        const std::uint64_t dq =
+            oq > 0 ? 0 : static_cast<std::uint64_t>(-oq);
+        if (dt > params.max_join_gap && dq > params.max_join_gap)
+            return -1.0;
+        if (dt + dq > 2 * params.max_join_gap)
+            return -1.0;
+        const std::uint64_t overlap_bp =
+            static_cast<std::uint64_t>(std::max<std::int64_t>(ot, 0)) +
+            static_cast<std::uint64_t>(std::max<std::int64_t>(oq, 0));
+        const double overlap_penalty =
+            overlap_bp > 0
+                ? static_cast<double>(overlap_bp) *
+                      static_cast<double>(bj.score) /
+                      static_cast<double>(
+                          std::max<std::uint64_t>(bj.target_span(), 1))
+                : 0.0;
+        return params.gap_costs.cost(dt, dq) + overlap_penalty;
+    };
+
+    for (std::size_t oj = 0; oj < n; ++oj) {
+        const std::size_t j = order[oj];
+        const auto& bj = alignments[j];
+        dp[j] = static_cast<double>(bj.score);
+        back[j] = -1;
+        // Scan predecessors backwards; once target gaps exceed the join
+        // bound no earlier block can qualify either (sorted by start, so
+        // this is a heuristic cut consistent with max_join_gap on ends).
+        for (std::size_t oi = oj; oi-- > 0;) {
+            const std::size_t i = order[oi];
+            const auto& bi = alignments[i];
+            const double cost = join_cost(bi, bj);
+            if (cost < 0.0)
+                continue;
+            const double cand =
+                dp[i] + static_cast<double>(bj.score) - cost;
+            if (cand > dp[j]) {
+                dp[j] = cand;
+                back[j] = static_cast<std::ptrdiff_t>(i);
+            }
+            // Early exit: blocks starting far before cannot be joined.
+            if (bj.target_start > bi.target_start &&
+                bj.target_start - bi.target_start >
+                    4 * params.max_join_gap)
+                break;
+        }
+    }
+
+    // Best-first extraction; each block is used at most once. When a
+    // backtrack runs into a used block, the chain is truncated there and
+    // its score becomes the standalone score of the kept suffix.
+    std::vector<bool> used(n, false);
+    std::vector<std::size_t> by_score(n);
+    std::iota(by_score.begin(), by_score.end(), 0);
+    std::sort(by_score.begin(), by_score.end(),
+              [&](std::size_t a, std::size_t b) { return dp[a] > dp[b]; });
+
+    std::vector<Chain> chains;
+    for (const std::size_t head : by_score) {
+        if (used[head])
+            continue;
+        Chain chain;
+        double suffix_base = 0.0;  // dp at the truncation point
+        std::ptrdiff_t cur = static_cast<std::ptrdiff_t>(head);
+        std::ptrdiff_t last_kept = -1;
+        while (cur >= 0) {
+            const auto c = static_cast<std::size_t>(cur);
+            if (used[c]) {
+                // Truncate: subtract the used prefix's dp and refund the
+                // join cost into it.
+                require(last_kept >= 0, "chainer: head already used");
+                const auto& prev = alignments[c];
+                const auto& kept =
+                    alignments[static_cast<std::size_t>(last_kept)];
+                const double cost = join_cost(prev, kept);
+                suffix_base = dp[c] - std::max(cost, 0.0);
+                break;
+            }
+            used[c] = true;
+            chain.members.push_back(c);
+            last_kept = cur;
+            cur = back[c];
+        }
+        std::reverse(chain.members.begin(), chain.members.end());
+        chain.score = dp[head] - suffix_base;
+        if (chain.score < params.min_chain_score || chain.empty())
+            continue;
+
+        const auto& first = alignments[chain.members.front()];
+        const auto& last = alignments[chain.members.back()];
+        chain.target_start = first.target_start;
+        chain.target_end = last.target_end;
+        chain.query_start = first.query_start;
+        chain.query_end = last.query_end;
+        for (const std::size_t idx : chain.members)
+            chain.matched_bases += alignments[idx].matched_bases();
+        chains.push_back(std::move(chain));
+    }
+
+    std::sort(chains.begin(), chains.end(),
+              [](const Chain& a, const Chain& b) { return a.score > b.score; });
+    return chains;
+}
+
+}  // namespace darwin::chain

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Chaining of local alignments (the AXTCHAIN role in the paper's
+ * methodology, §II and §V-E, run with -linearGap=loose).
+ *
+ * Dynamic program over blocks sorted by target position: a block may
+ * follow a predecessor that ends strictly before it in *both* genomes;
+ * the join is charged a gap cost from the loose piecewise-linear schedule
+ * (one-sided gaps use the single-gap table, two-sided gaps the bothGap
+ * table). Chains are extracted best-first; each block belongs to at most
+ * one chain.
+ */
+#ifndef DARWIN_CHAIN_CHAINER_H
+#define DARWIN_CHAIN_CHAINER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "align/alignment.h"
+#include "chain/anchor.h"
+
+namespace darwin::chain {
+
+/** Piecewise-linear gap cost schedule (axtChain "loose" by default). */
+class GapCostTable {
+  public:
+    /**
+     * @param positions Breakpoints (gap sizes), ascending, starting at 1.
+     * @param single Costs at the breakpoints for one-sided gaps.
+     * @param both Costs at the breakpoints for two-sided gaps.
+     */
+    GapCostTable(std::vector<std::uint64_t> positions,
+                 std::vector<double> single, std::vector<double> both);
+
+    /** The axtChain -linearGap=loose schedule. */
+    static GapCostTable loose();
+
+    /**
+     * Cost of joining across a gap of `dt` target bases and `dq` query
+     * bases (either may be zero). Zero total gap costs nothing.
+     */
+    double cost(std::uint64_t dt, std::uint64_t dq) const;
+
+  private:
+    double interpolate(const std::vector<double>& costs,
+                       std::uint64_t gap) const;
+
+    std::vector<std::uint64_t> positions_;
+    std::vector<double> single_;
+    std::vector<double> both_;
+};
+
+/** Chainer configuration. */
+struct ChainParams {
+    GapCostTable gap_costs = GapCostTable::loose();
+
+    /** Joins with dt+dq beyond this are not considered. */
+    std::uint64_t max_join_gap = 100'000;
+
+    /** Chains scoring below this are dropped (axtChain minScore). */
+    double min_chain_score = 1'000.0;
+};
+
+/**
+ * Chain a set of alignments. Blocks overlapping in either genome are
+ * never joined; each block lands in at most one chain. Returns chains
+ * sorted by descending score.
+ */
+std::vector<Chain> chain_alignments(
+    const std::vector<align::Alignment>& alignments,
+    const ChainParams& params = ChainParams{});
+
+}  // namespace darwin::chain
+
+#endif  // DARWIN_CHAIN_CHAINER_H

@@ -1,0 +1,62 @@
+#include "eval/block_stats.h"
+
+#include <algorithm>
+
+namespace darwin::eval {
+
+std::vector<std::uint64_t>
+ungapped_blocks(const align::Cigar& cigar)
+{
+    std::vector<std::uint64_t> blocks;
+    std::uint64_t run = 0;
+    for (const auto& op : cigar.runs()) {
+        switch (op.op) {
+          case align::EditOp::Match:
+          case align::EditOp::Mismatch:
+            run += op.length;
+            break;
+          case align::EditOp::Insert:
+          case align::EditOp::Delete:
+            if (run > 0)
+                blocks.push_back(run);
+            run = 0;
+            break;
+        }
+    }
+    if (run > 0)
+        blocks.push_back(run);
+    return blocks;
+}
+
+BlockStats
+collect_block_stats(const wga::WgaResult& result, std::size_t top_k)
+{
+    BlockStats out;
+    const std::size_t k = std::min(top_k, result.chains.size());
+    for (std::size_t c = 0; c < k; ++c) {
+        for (const std::size_t idx : result.chains[c].members) {
+            for (const std::uint64_t len :
+                 ungapped_blocks(result.alignments[idx].cigar)) {
+                out.lengths.push_back(len);
+                out.histogram.add(len);
+            }
+        }
+    }
+    if (!out.lengths.empty()) {
+        std::uint64_t total = 0;
+        std::uint64_t below = 0;
+        for (const std::uint64_t len : out.lengths) {
+            total += len;
+            if (len < 30)
+                ++below;
+        }
+        out.mean_length = static_cast<double>(total) /
+                          static_cast<double>(out.lengths.size());
+        out.fraction_below_30bp =
+            static_cast<double>(below) /
+            static_cast<double>(out.lengths.size());
+    }
+    return out;
+}
+
+}  // namespace darwin::eval

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ungapped alignment-block statistics (the paper's Fig. 2).
+ *
+ * An ungapped block is a maximal run of aligned (match or mismatch)
+ * columns uninterrupted by an indel. Fig. 2 plots the distribution of
+ * block sizes in the top-10 chains for a close pair versus a distant
+ * pair, with a red line at the ~30 bp equivalent score LASTZ's ungapped
+ * filter demands: blocks left of the line are invisible to ungapped
+ * filtering.
+ */
+#ifndef DARWIN_EVAL_BLOCK_STATS_H
+#define DARWIN_EVAL_BLOCK_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.h"
+#include "wga/pipeline.h"
+
+namespace darwin::eval {
+
+/** Collected block-length data. */
+struct BlockStats {
+    std::vector<std::uint64_t> lengths;
+    double mean_length = 0.0;
+    double fraction_below_30bp = 0.0;
+
+    /** Log-binned histogram, Fig. 2 style. */
+    LogHistogram histogram{20};
+};
+
+/**
+ * Collect ungapped block lengths from the top-k chains of a result.
+ * @param top_k Number of chains to mine (the paper uses 10).
+ */
+BlockStats collect_block_stats(const wga::WgaResult& result,
+                               std::size_t top_k = 10);
+
+/** Block lengths of a single alignment's edit script. */
+std::vector<std::uint64_t> ungapped_blocks(const align::Cigar& cigar);
+
+}  // namespace darwin::eval
+
+#endif  // DARWIN_EVAL_BLOCK_STATS_H

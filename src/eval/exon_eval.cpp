@@ -1,0 +1,98 @@
+#include "eval/exon_eval.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace darwin::eval {
+
+std::vector<FlatExon>
+flatten_exons(const synth::AnnotatedGenome& target,
+              const synth::AnnotatedGenome& query)
+{
+    // Index the query copies by name.
+    std::unordered_map<std::string, seq::Interval> query_by_name;
+    for (std::size_t c = 0; c < query.annotations.size(); ++c) {
+        const std::uint64_t offset = query.genome.flat_offset(c);
+        for (const auto& ann : query.annotations[c]) {
+            if (ann.kind != synth::AnnotationKind::Exon)
+                continue;
+            query_by_name[ann.name] = {offset + ann.interval.start,
+                                       offset + ann.interval.end};
+        }
+    }
+
+    std::vector<FlatExon> out;
+    for (std::size_t c = 0; c < target.annotations.size(); ++c) {
+        const std::uint64_t offset = target.genome.flat_offset(c);
+        for (const auto& ann : target.annotations[c]) {
+            if (ann.kind != synth::AnnotationKind::Exon)
+                continue;
+            const auto it = query_by_name.find(ann.name);
+            if (it == query_by_name.end() || it->second.empty())
+                continue;
+            if (ann.interval.empty())
+                continue;
+            out.push_back(FlatExon{
+                ann.name,
+                {offset + ann.interval.start, offset + ann.interval.end},
+                it->second});
+        }
+    }
+    return out;
+}
+
+ExonEvalResult
+count_recovered_exons(const std::vector<FlatExon>& exons,
+                      const wga::WgaResult& result,
+                      const ExonEvalParams& params)
+{
+    // Collect the blocks of all chains once, sorted by target start.
+    struct Block {
+        seq::Interval target;
+        seq::Interval query;
+    };
+    std::vector<Block> blocks;
+    for (const auto& chain : result.chains) {
+        for (const std::size_t idx : chain.members) {
+            const auto& a = result.alignments[idx];
+            blocks.push_back(Block{{a.target_start, a.target_end},
+                                   {a.query_start, a.query_end}});
+        }
+    }
+    std::sort(blocks.begin(), blocks.end(),
+              [](const Block& x, const Block& y) {
+                  return x.target.start < y.target.start;
+              });
+
+    ExonEvalResult out;
+    out.total_exons = exons.size();
+    for (const auto& exon : exons) {
+        // Expand the query copy by the margin.
+        const seq::Interval query_window{
+            exon.query.start > params.query_margin
+                ? exon.query.start - params.query_margin
+                : 0,
+            exon.query.end + params.query_margin};
+
+        std::vector<seq::Interval> covering;
+        // Blocks are sorted by target start; a linear scan with an early
+        // break keeps this O(blocks) per exon.
+        for (const auto& block : blocks) {
+            if (block.target.start >= exon.target.end)
+                break;
+            if (seq::intersection_length(block.target, exon.target) == 0)
+                continue;
+            if (seq::intersection_length(block.query, query_window) == 0)
+                continue;
+            covering.push_back(block.target);
+        }
+        if (seq::coverage_fraction(exon.target, covering) >=
+            params.min_coverage)
+            ++out.recovered;
+    }
+    return out;
+}
+
+}  // namespace darwin::eval

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Exon-recovery evaluation — the Table III "Exon Counts" metric.
+ *
+ * The paper asks, for every exon with a detectable ortholog (TBLASTX
+ * oracle), whether the aligner's chains cover it. Our synthetic genomes
+ * carry planted conserved segments whose positions in *both* descendants
+ * are known exactly (synth::Annotation), so the oracle is ground truth:
+ * an exon is *recovered* when chain blocks cover at least `min_coverage`
+ * of its target copy while mapping into the neighborhood of its query
+ * copy.
+ */
+#ifndef DARWIN_EVAL_EXON_EVAL_H
+#define DARWIN_EVAL_EXON_EVAL_H
+
+#include <string>
+#include <vector>
+
+#include "seq/interval.h"
+#include "synth/evolver.h"
+#include "wga/pipeline.h"
+
+namespace darwin::eval {
+
+/** One exon with both copies in flattened-genome coordinates. */
+struct FlatExon {
+    std::string name;
+    seq::Interval target;  ///< flat coords in the target genome
+    seq::Interval query;   ///< flat coords in the query genome
+};
+
+/**
+ * Pair up annotations by name across the two genomes and lift them to
+ * flattened coordinates. Only exons present in both genomes (all of
+ * them, for genomes evolved from one ancestor) are returned.
+ */
+std::vector<FlatExon> flatten_exons(const synth::AnnotatedGenome& target,
+                                    const synth::AnnotatedGenome& query);
+
+/** Exon recovery parameters. */
+struct ExonEvalParams {
+    double min_coverage = 0.5;        ///< fraction of the target copy
+    std::uint64_t query_margin = 2000;  ///< slack around the query copy
+};
+
+/** Result of the recovery count. */
+struct ExonEvalResult {
+    std::size_t total_exons = 0;
+    std::size_t recovered = 0;
+
+    double
+    fraction() const
+    {
+        return total_exons
+                   ? static_cast<double>(recovered) /
+                         static_cast<double>(total_exons)
+                   : 0.0;
+    }
+};
+
+/** Count exons recovered by the chains of a WGA result. */
+ExonEvalResult count_recovered_exons(const std::vector<FlatExon>& exons,
+                                     const wga::WgaResult& result,
+                                     const ExonEvalParams& params = {});
+
+}  // namespace darwin::eval
+
+#endif  // DARWIN_EVAL_EXON_EVAL_H

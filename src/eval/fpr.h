@@ -1,0 +1,47 @@
+/**
+ * @file
+ * False-positive-rate (noise) analysis (paper §V-E, §VI-B).
+ *
+ * The null model is the target genome shuffled with exact dinucleotide
+ * preservation: any alignment the pipeline finds against it is a false
+ * positive. FPR = matched bp against the shuffled target / matched bp
+ * against the real target, averaged over repeats.
+ */
+#ifndef DARWIN_EVAL_FPR_H
+#define DARWIN_EVAL_FPR_H
+
+#include <cstdint>
+
+#include "wga/pipeline.h"
+
+namespace darwin::eval {
+
+/** Outcome of the noise analysis. */
+struct FprResult {
+    std::uint64_t real_matched_bases = 0;
+    double shuffled_matched_bases_mean = 0.0;
+    std::size_t repeats = 0;
+
+    /** FPR as a fraction (the paper reports e.g. 0.0007%). */
+    double
+    rate() const
+    {
+        return real_matched_bases
+                   ? shuffled_matched_bases_mean /
+                         static_cast<double>(real_matched_bases)
+                   : 0.0;
+    }
+};
+
+/**
+ * Run the noise analysis: one real run plus `repeats` runs against
+ * independently shuffled copies of the target.
+ */
+FprResult noise_analysis(const wga::WgaPipeline& pipeline,
+                         const seq::Genome& target,
+                         const seq::Genome& query, std::size_t repeats,
+                         std::uint64_t seed, ThreadPool* pool = nullptr);
+
+}  // namespace darwin::eval
+
+#endif  // DARWIN_EVAL_FPR_H

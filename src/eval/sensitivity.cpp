@@ -1,0 +1,30 @@
+#include "eval/sensitivity.h"
+
+namespace darwin::eval {
+
+SensitivitySummary
+summarize(const wga::WgaResult& result, std::size_t top_k)
+{
+    SensitivitySummary out;
+    out.num_alignments = result.alignments.size();
+    out.chains = chain::summarize_chains(result.chains, top_k);
+    return out;
+}
+
+double
+improvement_percent(double baseline, double ours)
+{
+    if (baseline == 0.0)
+        return ours == 0.0 ? 0.0 : 100.0;
+    return (ours - baseline) / baseline * 100.0;
+}
+
+double
+improvement_ratio(double baseline, double ours)
+{
+    if (baseline == 0.0)
+        return ours == 0.0 ? 1.0 : 0.0;
+    return ours / baseline;
+}
+
+}  // namespace darwin::eval

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Sensitivity metrics (paper §V-E, Table III).
+ *
+ * Three proxies, in the absence of ground truth in the paper (we *do*
+ * have ground truth for exons — see eval/exon_eval.h):
+ *  (i)  top-10 chain scores (orthologous base-pair proxy),
+ *  (ii) matched base-pairs across all chains (ortholog+paralog proxy),
+ *  (iii) exon recovery (functional-region proxy).
+ */
+#ifndef DARWIN_EVAL_SENSITIVITY_H
+#define DARWIN_EVAL_SENSITIVITY_H
+
+#include "chain/chain_metrics.h"
+#include "wga/pipeline.h"
+
+namespace darwin::eval {
+
+/** Chain-level sensitivity summary of one WGA run. */
+struct SensitivitySummary {
+    std::size_t num_alignments = 0;
+    chain::ChainMetrics chains;
+};
+
+/** Summarize a pipeline result. */
+SensitivitySummary summarize(const wga::WgaResult& result,
+                             std::size_t top_k = 10);
+
+/** Percentage improvement of `ours` over `baseline` (positive = better). */
+double improvement_percent(double baseline, double ours);
+
+/** Ratio ours/baseline with a zero-safe denominator. */
+double improvement_ratio(double baseline, double ours);
+
+}  // namespace darwin::eval
+
+#endif  // DARWIN_EVAL_SENSITIVITY_H

@@ -1,0 +1,148 @@
+#include "hw/bsw_array.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace darwin::hw {
+
+using align::kScoreNegInf;
+using align::Score;
+
+BswArrayModel::BswArrayModel(BswArrayConfig config) : config_(config)
+{
+    require(config_.num_pe > 0, "BswArrayModel: num_pe must be > 0");
+}
+
+BswTileSim
+BswArrayModel::run_tile(std::span<const std::uint8_t> target,
+                        std::span<const std::uint8_t> query) const
+{
+    const std::size_t n = target.size();
+    const std::size_t m = query.size();
+    const std::size_t npe = config_.num_pe;
+    const std::size_t band = config_.band;
+    const align::ScoringParams& scoring = config_.scoring;
+
+    BswTileSim sim;
+    if (n == 0 || m == 0)
+        return sim;
+
+    // BRAM row: last row of the previous stripe. Row 0 of local SW is all
+    // zeros across every column.
+    std::vector<Score> bram_v(n + 1, 0);
+    std::vector<Score> bram_g(n + 1, kScoreNegInf);
+    std::vector<Score> next_v(n + 1, kScoreNegInf);
+    std::vector<Score> next_g(n + 1, kScoreNegInf);
+    std::size_t bram_lo = 0;   // valid window of the BRAM row (inclusive)
+    std::size_t bram_hi = n;
+
+    std::vector<Score> col_v(npe), col_g(npe), col_h(npe);
+    std::vector<Score> prev_col_v(npe), prev_col_g(npe);
+
+    const std::size_t num_stripes = (m + npe - 1) / npe;
+    for (std::size_t stripe = 1; stripe <= num_stripes; ++stripe) {
+        const std::size_t i0 = (stripe - 1) * npe + 1;
+        const std::size_t i1 = std::min(m, stripe * npe);
+        const std::size_t rows = i1 - i0 + 1;
+
+        // Eq. 4/5 column range (0-based column indices of the target).
+        const std::int64_t js =
+            std::max<std::int64_t>(0,
+                                   static_cast<std::int64_t>((stripe - 1) *
+                                                             npe + 1) -
+                                       static_cast<std::int64_t>(band));
+        const std::size_t jstart = static_cast<std::size_t>(js);
+        const std::size_t jstop =
+            std::min(n - 1, stripe * npe + band);
+        if (jstart > jstop)
+            continue;
+
+        std::fill(col_h.begin(), col_h.end(), kScoreNegInf);
+        std::fill(prev_col_v.begin(), prev_col_v.end(), kScoreNegInf);
+        std::fill(prev_col_g.begin(), prev_col_g.end(), kScoreNegInf);
+
+        // DP columns are 1-based: column j corresponds to target index
+        // j - 1, so the Eq. 4/5 range maps to [jstart + 1, jstop + 1].
+        for (std::size_t j = jstart + 1; j <= jstop + 1; ++j) {
+            for (std::size_t r = 0; r < rows; ++r) {
+                const std::size_t i = i0 + r;
+                Score up, g_up, diag_v;
+                if (r == 0) {
+                    const bool in = j >= bram_lo && j <= bram_hi;
+                    const bool in_l = j >= bram_lo + 1 && j <= bram_hi + 1;
+                    up = in ? bram_v[j] : kScoreNegInf;
+                    g_up = in ? bram_g[j] : kScoreNegInf;
+                    diag_v = in_l ? bram_v[j - 1] : kScoreNegInf;
+                } else {
+                    up = col_v[r - 1];
+                    g_up = col_g[r - 1];
+                    diag_v = prev_col_v[r - 1];
+                }
+                const Score left_v = prev_col_v[r];
+
+                const Score h = std::max(left_v - scoring.gap_open,
+                                         col_h[r] - scoring.gap_extend);
+                col_h[r] = h;
+                const Score g = std::max(up - scoring.gap_open,
+                                         g_up - scoring.gap_extend);
+                const Score diag =
+                    diag_v +
+                    scoring.substitution(target[j - 1], query[i - 1]);
+
+                Score val = std::max<Score>(0, diag);
+                val = std::max(val, h);
+                val = std::max(val, g);
+                col_v[r] = val;
+                col_g[r] = g;
+                ++sim.cells;
+
+                if (val > sim.max_score) {
+                    sim.max_score = val;
+                    sim.target_max = j;
+                    sim.query_max = i;
+                }
+            }
+            std::swap(prev_col_v, col_v);
+            std::swap(prev_col_g, col_g);
+            next_v[j] = prev_col_v[rows - 1];
+            next_g[j] = prev_col_g[rows - 1];
+        }
+
+        sim.cycles += stripe_cycles(jstop - jstart + 1, npe);
+        std::swap(bram_v, next_v);
+        std::swap(bram_g, next_g);
+        std::fill(next_v.begin(), next_v.end(), kScoreNegInf);
+        std::fill(next_g.begin(), next_g.end(), kScoreNegInf);
+        bram_lo = jstart + 1;
+        bram_hi = jstop + 1;
+    }
+    sim.cycles += kTileSetupCycles;
+    return sim;
+}
+
+std::uint64_t
+BswArrayModel::tile_cycles(std::size_t rlen, std::size_t qlen,
+                           std::size_t npe, std::size_t band)
+{
+    if (rlen == 0 || qlen == 0)
+        return kTileSetupCycles;
+    std::uint64_t cycles = kTileSetupCycles;
+    const std::size_t num_stripes = (qlen + npe - 1) / npe;
+    for (std::size_t stripe = 1; stripe <= num_stripes; ++stripe) {
+        const std::int64_t js =
+            std::max<std::int64_t>(0,
+                                   static_cast<std::int64_t>((stripe - 1) *
+                                                             npe + 1) -
+                                       static_cast<std::int64_t>(band));
+        const std::size_t jstart = static_cast<std::size_t>(js);
+        const std::size_t jstop = std::min(rlen - 1, stripe * npe + band);
+        if (jstart > jstop)
+            continue;
+        cycles += stripe_cycles(jstop - jstart + 1, npe);
+    }
+    return cycles;
+}
+
+}  // namespace darwin::hw

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cycle-level model of the BSW (gapped filtering) systolic array
+ * (paper §IV, Eqs. 4-5).
+ *
+ * The array processes the query in stripes of Npe rows. Because the band
+ * is fixed, each stripe's column range is a closed-form function of the
+ * stripe number n and the bandwidth B:
+ *     jstart(n) = max(0, (n-1)*Npe + 1 - B)
+ *     jstop(n)  = min(rlen - 1, n*Npe + B)
+ * The model computes the same affine-gap Smith-Waterman recurrence as the
+ * software kernel over exactly that cell set (a stripe-granular superset
+ * of the per-row band), and counts wavefront cycles per Eq. 4/5 geometry.
+ */
+#ifndef DARWIN_HW_BSW_ARRAY_H
+#define DARWIN_HW_BSW_ARRAY_H
+
+#include <span>
+
+#include "align/scoring.h"
+#include "hw/pe_array.h"
+
+namespace darwin::hw {
+
+/** Configuration of one BSW array. */
+struct BswArrayConfig {
+    std::size_t num_pe = 64;
+    std::size_t band = 32;
+    align::ScoringParams scoring = align::ScoringParams::paper_defaults();
+};
+
+/** Result of simulating one filter tile. */
+struct BswTileSim {
+    align::Score max_score = 0;
+    std::size_t target_max = 0;
+    std::size_t query_max = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t cells = 0;
+};
+
+/** One BSW systolic array. */
+class BswArrayModel {
+  public:
+    explicit BswArrayModel(BswArrayConfig config);
+
+    /** Simulate a tile cell-for-cell and count cycles. */
+    BswTileSim run_tile(std::span<const std::uint8_t> target,
+                        std::span<const std::uint8_t> query) const;
+
+    /**
+     * Geometry-only cycle count for a (rlen x qlen) tile — what the
+     * performance model uses, identical to run_tile().cycles.
+     */
+    static std::uint64_t tile_cycles(std::size_t rlen, std::size_t qlen,
+                                     std::size_t npe, std::size_t band);
+
+    const BswArrayConfig& config() const { return config_; }
+
+  private:
+    BswArrayConfig config_;
+};
+
+}  // namespace darwin::hw
+
+#endif  // DARWIN_HW_BSW_ARRAY_H

@@ -1,0 +1,50 @@
+#include "hw/config.h"
+
+namespace darwin::hw {
+
+DeviceConfig
+DeviceConfig::cpu_c4_8xlarge()
+{
+    DeviceConfig config;
+    config.name = "CPU (c4.8xlarge)";
+    config.power_w = 215.0;        // Table VI
+    config.price_per_hour = 1.59;  // §V-B
+    return config;
+}
+
+DeviceConfig
+DeviceConfig::fpga_f1_2xlarge()
+{
+    DeviceConfig config;
+    config.name = "FPGA (Virtex UltraScale+)";
+    config.clock_hz = 150e6;  // §V-C
+    config.bsw_arrays = 50;
+    config.bsw_pe = 32;
+    config.gactx_arrays = 2;
+    config.gactx_pe = 32;
+    // One 64 GB DDR4 channel.
+    config.dram_bandwidth = 19.2e9;
+    config.power_w = 65.0;         // Table VI
+    config.price_per_hour = 1.65;  // §V-C
+    return config;
+}
+
+DeviceConfig
+DeviceConfig::asic_40nm()
+{
+    DeviceConfig config;
+    config.name = "ASIC (TSMC 40nm)";
+    config.clock_hz = 1e9;  // §VI-A: 1 GHz critical path
+    config.bsw_arrays = 64;
+    config.bsw_pe = 64;
+    config.gactx_arrays = 12;
+    config.gactx_pe = 64;
+    config.traceback_per_pe = 16 * 1024;  // Table IV
+    // Four DDR4-2400R channels (Table IV): 4 x 19.2 GB/s.
+    config.dram_bandwidth = 4 * 19.2e9;
+    config.power_w = 43.34;  // Table IV total
+    config.price_per_hour = 0.0;
+    return config;
+}
+
+}  // namespace darwin::hw

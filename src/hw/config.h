@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hardware platform configurations (paper §V-C/D, §VI-A/C).
+ *
+ * Three platforms appear in the evaluation:
+ *  - the c4.8xlarge CPU software baseline,
+ *  - the f1.2xlarge FPGA (50 BSW + 2 GACT-X arrays, 32 PEs each, 150 MHz),
+ *  - the TSMC 40nm ASIC (64 BSW + 12 GACT-X arrays, 64 PEs each, 1 GHz,
+ *    provisioned so DDR4-2400 x4 bandwidth is the bottleneck).
+ */
+#ifndef DARWIN_HW_CONFIG_H
+#define DARWIN_HW_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace darwin::hw {
+
+/** One accelerator (or baseline) platform. */
+struct DeviceConfig {
+    std::string name;
+
+    /** Array clock in Hz (0 for the CPU baseline). */
+    double clock_hz = 0.0;
+
+    /** Banded-Smith-Waterman filter arrays. */
+    std::size_t bsw_arrays = 0;
+    std::size_t bsw_pe = 0;
+
+    /** GACT-X extension arrays. */
+    std::size_t gactx_arrays = 0;
+    std::size_t gactx_pe = 0;
+
+    /** Traceback SRAM per GACT-X PE, bytes (ASIC: 16 KB). */
+    std::uint64_t traceback_per_pe = 16 * 1024;
+
+    /** Peak DRAM bandwidth in bytes/s and achievable efficiency. */
+    double dram_bandwidth = 0.0;
+    double dram_efficiency = 0.6;
+
+    /** Platform power (W), DRAM included (paper Table VI). */
+    double power_w = 0.0;
+
+    /** Cloud price in $/hour (0 when not applicable, e.g. ASIC). */
+    double price_per_hour = 0.0;
+
+    /** The c4.8xlarge software baseline host. */
+    static DeviceConfig cpu_c4_8xlarge();
+
+    /** The f1.2xlarge Xilinx Virtex UltraScale+ FPGA. */
+    static DeviceConfig fpga_f1_2xlarge();
+
+    /** The TSMC 40nm ASIC. */
+    static DeviceConfig asic_40nm();
+};
+
+}  // namespace darwin::hw
+
+#endif  // DARWIN_HW_CONFIG_H

@@ -1,0 +1,48 @@
+#include "hw/dram_model.h"
+
+#include "util/logging.h"
+
+namespace darwin::hw {
+
+DramModel::DramModel(const DeviceConfig& config)
+    : achievable_(config.dram_bandwidth * config.dram_efficiency)
+{
+    require(achievable_ > 0.0, "DramModel: device has no DRAM bandwidth");
+}
+
+double
+DramModel::achievable_bandwidth() const
+{
+    return achievable_;
+}
+
+std::uint64_t
+DramModel::bsw_tile_bytes(std::size_t tile_size)
+{
+    // Target + query slices, one byte per base on the link.
+    return 2 * static_cast<std::uint64_t>(tile_size);
+}
+
+std::uint64_t
+DramModel::gactx_tile_bytes(std::size_t tile_size,
+                            std::uint64_t traceback_ops)
+{
+    // Sequences in + 2-bit traceback pointers out (4 ops per byte).
+    return 2 * static_cast<std::uint64_t>(tile_size) +
+           (traceback_ops + 3) / 4;
+}
+
+double
+DramModel::transfer_seconds(std::uint64_t bytes) const
+{
+    return static_cast<double>(bytes) / achievable_;
+}
+
+double
+DramModel::bandwidth_tile_rate(std::uint64_t bytes_per_tile) const
+{
+    require(bytes_per_tile > 0, "DramModel: zero bytes per tile");
+    return achievable_ / static_cast<double>(bytes_per_tile);
+}
+
+}  // namespace darwin::hw

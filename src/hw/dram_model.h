@@ -1,0 +1,50 @@
+/**
+ * @file
+ * DRAM traffic model (the paper uses Ramulator + DRAMPower; we model the
+ * same quantity — bytes moved per tile against an achievable-bandwidth
+ * ceiling — with closed-form accounting).
+ *
+ * Both array types stream their tile's target and query slices from
+ * DRAM (3-bit-packed in BRAM, byte-aligned on the link), and GACT-X
+ * returns its traceback pointers to the host.
+ */
+#ifndef DARWIN_HW_DRAM_MODEL_H
+#define DARWIN_HW_DRAM_MODEL_H
+
+#include <cstdint>
+
+#include "hw/config.h"
+
+namespace darwin::hw {
+
+/** Closed-form DRAM traffic/bandwidth model. */
+class DramModel {
+  public:
+    explicit DramModel(const DeviceConfig& config);
+
+    /** Achievable bandwidth (peak x efficiency), bytes/s. */
+    double achievable_bandwidth() const;
+
+    /** Bytes fetched per BSW filter tile (both sequence slices). */
+    static std::uint64_t bsw_tile_bytes(std::size_t tile_size);
+
+    /**
+     * Bytes per GACT-X tile: both sequence slices in, 2-bit traceback
+     * pointers out.
+     */
+    static std::uint64_t gactx_tile_bytes(std::size_t tile_size,
+                                          std::uint64_t traceback_ops);
+
+    /** Seconds to move `bytes` at the achievable bandwidth. */
+    double transfer_seconds(std::uint64_t bytes) const;
+
+    /** Tiles/s the link alone can sustain for a given per-tile traffic. */
+    double bandwidth_tile_rate(std::uint64_t bytes_per_tile) const;
+
+  private:
+    double achievable_;
+};
+
+}  // namespace darwin::hw
+
+#endif  // DARWIN_HW_DRAM_MODEL_H

@@ -1,0 +1,45 @@
+#include "hw/gactx_array.h"
+
+namespace darwin::hw {
+
+GactXArrayModel::GactXArrayModel(align::GactXParams params)
+    : params_(params), engine_(params)
+{
+}
+
+GactXTileSim
+GactXArrayModel::run_tile(std::span<const std::uint8_t> target,
+                          std::span<const std::uint8_t> query) const
+{
+    GactXTileSim sim;
+    sim.tile = engine_.align_tile(target, query);
+    sim.cycles = tile_cycles(sim.tile, params_.num_pe);
+    return sim;
+}
+
+std::uint64_t
+GactXArrayModel::tile_cycles(const align::TileResult& tile, std::size_t npe)
+{
+    std::uint64_t cycles = kTileSetupCycles;
+    for (const std::uint32_t columns : tile.stripe_columns)
+        cycles += stripe_cycles(columns, npe);
+    // Traceback runs at one pointer step per cycle.
+    cycles += tile.cigar.total_ops();
+    return cycles;
+}
+
+std::uint64_t
+GactXArrayModel::workload_cycles(const align::ExtensionStats& stats,
+                                 std::size_t npe)
+{
+    // Sum over stripes of (columns + npe - 1 + turnaround), plus setup
+    // per tile and one cycle per traceback op.
+    std::uint64_t cycles = stats.tiles * kTileSetupCycles;
+    cycles += stats.stripe_columns;
+    cycles += stats.stripes *
+              (static_cast<std::uint64_t>(npe) - 1 + kStripeTurnaroundCycles);
+    cycles += stats.traceback_ops;
+    return cycles;
+}
+
+}  // namespace darwin::hw

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared systolic-array timing primitives.
+ *
+ * Both accelerator arrays process a stripe of Npe rows as a diagonal
+ * wavefront: after Npe-1 fill cycles, one column completes per cycle, so
+ * a stripe of C columns takes C + Npe - 1 cycles, plus a small turnaround
+ * to spill/reload the boundary BRAM row between stripes.
+ */
+#ifndef DARWIN_HW_PE_ARRAY_H
+#define DARWIN_HW_PE_ARRAY_H
+
+#include <cstdint>
+
+namespace darwin::hw {
+
+/** Fixed per-stripe turnaround cycles (BRAM row handoff). */
+inline constexpr std::uint64_t kStripeTurnaroundCycles = 4;
+
+/** Fixed per-tile setup cycles (descriptor load, PE config). */
+inline constexpr std::uint64_t kTileSetupCycles = 32;
+
+/** Cycles for one stripe of `columns` columns on `npe` PEs. */
+inline std::uint64_t
+stripe_cycles(std::uint64_t columns, std::size_t npe)
+{
+    if (columns == 0)
+        return kStripeTurnaroundCycles;
+    return columns + static_cast<std::uint64_t>(npe) - 1 +
+           kStripeTurnaroundCycles;
+}
+
+}  // namespace darwin::hw
+
+#endif  // DARWIN_HW_PE_ARRAY_H

@@ -1,0 +1,95 @@
+#include "hw/perf_model.h"
+
+#include "hw/gactx_array.h"
+#include "util/logging.h"
+
+namespace darwin::hw {
+
+PerfModel::PerfModel(DeviceConfig config)
+    : config_(std::move(config)), dram_(config_)
+{
+    require(config_.clock_hz > 0.0, "PerfModel: device has no clock");
+    require(config_.bsw_arrays > 0 && config_.gactx_arrays > 0,
+            "PerfModel: device has no arrays");
+}
+
+DeviceEstimate
+PerfModel::estimate(const WorkloadCounts& workload) const
+{
+    DeviceEstimate out;
+
+    // Filtering: identical tiles, closed-form cycles.
+    const std::uint64_t bsw_cycles = BswArrayModel::tile_cycles(
+        workload.filter_tile_size, workload.filter_tile_size,
+        config_.bsw_pe, workload.filter_band);
+    const double filter_compute_rate =
+        config_.clock_hz / static_cast<double>(bsw_cycles) *
+        static_cast<double>(config_.bsw_arrays);
+    out.filter.compute_seconds =
+        static_cast<double>(workload.filter_tiles) / filter_compute_rate;
+    out.filter.dram_seconds = dram_.transfer_seconds(
+        workload.filter_tiles *
+        DramModel::bsw_tile_bytes(workload.filter_tile_size));
+    out.filter.dram_bound =
+        out.filter.dram_seconds > out.filter.compute_seconds;
+
+    // Extension: cycles from the measured stripe/traceback totals.
+    const std::uint64_t gactx_cycles = GactXArrayModel::workload_cycles(
+        workload.extension, config_.gactx_pe);
+    out.extension.compute_seconds =
+        static_cast<double>(gactx_cycles) /
+        (config_.clock_hz * static_cast<double>(config_.gactx_arrays));
+    out.extension.dram_seconds = dram_.transfer_seconds(
+        workload.extension.tiles *
+            2 * static_cast<std::uint64_t>(workload.extension_tile_size) +
+        (workload.extension.traceback_ops + 3) / 4);
+    out.extension.dram_bound =
+        out.extension.dram_seconds > out.extension.compute_seconds;
+
+    out.seeding_seconds = workload.seeding_software_seconds;
+    out.total_seconds = out.seeding_seconds + out.filter.seconds() +
+                        out.extension.seconds();
+
+    if (out.filter.seconds() > 0.0) {
+        out.filter_tiles_per_second =
+            static_cast<double>(workload.filter_tiles) /
+            out.filter.seconds();
+    }
+    if (out.extension.seconds() > 0.0) {
+        out.extension_tiles_per_second =
+            static_cast<double>(workload.extension.tiles) /
+            out.extension.seconds();
+    }
+    return out;
+}
+
+double
+PerfModel::perf_per_dollar_improvement(double baseline_seconds,
+                                       double baseline_price_per_hour,
+                                       double device_seconds,
+                                       double device_price_per_hour)
+{
+    require(device_seconds > 0.0 && baseline_seconds > 0.0,
+            "perf_per_dollar_improvement: zero runtime");
+    const double baseline_cost =
+        baseline_seconds / 3600.0 * baseline_price_per_hour;
+    const double device_cost =
+        device_seconds / 3600.0 * device_price_per_hour;
+    require(device_cost > 0.0, "perf_per_dollar_improvement: zero cost");
+    return baseline_cost / device_cost;
+}
+
+double
+PerfModel::perf_per_watt_improvement(double baseline_seconds,
+                                     double baseline_power_w,
+                                     double device_seconds,
+                                     double device_power_w)
+{
+    require(device_seconds > 0.0 && device_power_w > 0.0,
+            "perf_per_watt_improvement: zero device work");
+    const double baseline_energy = baseline_seconds * baseline_power_w;
+    const double device_energy = device_seconds * device_power_w;
+    return baseline_energy / device_energy;
+}
+
+}  // namespace darwin::hw

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Device-level performance model (Table V reproduction).
+ *
+ * Inputs are the *measured* workload of a pipeline run (seed lookups,
+ * filter tiles, GACT-X stripe/traceback totals) plus host-measured
+ * software timings. Accelerated stage time is
+ *     cycles_per_tile x tiles / (clock x arrays)
+ * bounded below by the DRAM transfer time of the stage's traffic — the
+ * paper provisions the ASIC so DRAM is the bottleneck, which this model
+ * reproduces when the compute rate exceeds the link rate.
+ */
+#ifndef DARWIN_HW_PERF_MODEL_H
+#define DARWIN_HW_PERF_MODEL_H
+
+#include "align/extension.h"
+#include "hw/bsw_array.h"
+#include "hw/config.h"
+#include "hw/dram_model.h"
+
+namespace darwin::hw {
+
+/** The workload one WGA run produced (from PipelineStats). */
+struct WorkloadCounts {
+    std::uint64_t seed_lookups = 0;
+    std::uint64_t filter_tiles = 0;
+    std::size_t filter_tile_size = 320;
+    std::size_t filter_band = 32;
+
+    std::uint64_t extension_tiles = 0;
+    std::size_t extension_tile_size = 1920;
+    align::ExtensionStats extension;
+
+    /** Host-measured seeding time (stays in software on the device). */
+    double seeding_software_seconds = 0.0;
+};
+
+/** Per-stage estimate. */
+struct StageEstimate {
+    double compute_seconds = 0.0;
+    double dram_seconds = 0.0;
+    bool dram_bound = false;
+
+    double
+    seconds() const
+    {
+        return compute_seconds > dram_seconds ? compute_seconds
+                                              : dram_seconds;
+    }
+};
+
+/** Whole-device estimate. */
+struct DeviceEstimate {
+    StageEstimate filter;
+    StageEstimate extension;
+    double seeding_seconds = 0.0;
+    double total_seconds = 0.0;
+    double filter_tiles_per_second = 0.0;
+    double extension_tiles_per_second = 0.0;
+};
+
+/** Performance model for one accelerator configuration. */
+class PerfModel {
+  public:
+    explicit PerfModel(DeviceConfig config);
+
+    /** Estimate a full WGA run on this device. */
+    DeviceEstimate estimate(const WorkloadCounts& workload) const;
+
+    /** Performance-per-dollar ratio versus a baseline run. */
+    static double perf_per_dollar_improvement(
+        double baseline_seconds, double baseline_price_per_hour,
+        double device_seconds, double device_price_per_hour);
+
+    /** Performance-per-watt ratio versus a baseline run. */
+    static double perf_per_watt_improvement(double baseline_seconds,
+                                            double baseline_power_w,
+                                            double device_seconds,
+                                            double device_power_w);
+
+    const DeviceConfig& config() const { return config_; }
+
+  private:
+    DeviceConfig config_;
+    DramModel dram_;
+};
+
+}  // namespace darwin::hw
+
+#endif  // DARWIN_HW_PERF_MODEL_H

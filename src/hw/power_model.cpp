@@ -1,0 +1,81 @@
+#include "hw/power_model.h"
+
+#include "util/strings.h"
+
+namespace darwin::hw {
+
+AsicPowerModel::AsicPowerModel()
+{
+    // Table IV: 64 x 64-PE BSW arrays: 16.6 mm^2, 25.6 W.
+    const double bsw_pes = 64.0 * 64.0;
+    area_per_bsw_pe_ = 16.6 / bsw_pes;
+    power_per_bsw_pe_ = 25.6 / bsw_pes;
+
+    // Table IV: 12 x 64-PE GACT-X arrays: 4.2 mm^2, 6.72 W.
+    const double gactx_pes = 12.0 * 64.0;
+    area_per_gactx_pe_ = 4.2 / gactx_pes;
+    power_per_gactx_pe_ = 6.72 / gactx_pes;
+
+    // Table IV: 12 x (64 PE x 16 KB/PE) SRAM: 15.12 mm^2, 7.92 W.
+    const double sram_kb = 12.0 * 64.0 * 16.0;
+    area_per_sram_kb_ = 15.12 / sram_kb;
+    power_per_sram_kb_ = 7.92 / sram_kb;
+
+    // Table IV: DDR4-2400R, 4 x 32 GB: 3.10 W.
+    dram_power_ = 3.10;
+}
+
+std::vector<ComponentBreakdown>
+AsicPowerModel::breakdown(const DeviceConfig& config) const
+{
+    std::vector<ComponentBreakdown> rows;
+
+    const double bsw_pes =
+        static_cast<double>(config.bsw_arrays * config.bsw_pe);
+    rows.push_back({"BSW Logic",
+                    strprintf("%zu x (%zuPE array)", config.bsw_arrays,
+                              config.bsw_pe),
+                    area_per_bsw_pe_ * bsw_pes,
+                    power_per_bsw_pe_ * bsw_pes});
+
+    const double gactx_pes =
+        static_cast<double>(config.gactx_arrays * config.gactx_pe);
+    rows.push_back({"GACT-X Logic",
+                    strprintf("%zu x (%zuPE array)", config.gactx_arrays,
+                              config.gactx_pe),
+                    area_per_gactx_pe_ * gactx_pes,
+                    power_per_gactx_pe_ * gactx_pes});
+
+    const double sram_kb =
+        gactx_pes * static_cast<double>(config.traceback_per_pe) / 1024.0;
+    rows.push_back({"Traceback SRAM",
+                    strprintf("%zu x (%zuPE x %lluKB/PE)",
+                              config.gactx_arrays, config.gactx_pe,
+                              static_cast<unsigned long long>(
+                                  config.traceback_per_pe / 1024)),
+                    area_per_sram_kb_ * sram_kb,
+                    power_per_sram_kb_ * sram_kb});
+
+    rows.push_back({"DRAM", "DDR4-2400R 4 x 32GB", 0.0, dram_power_});
+    return rows;
+}
+
+double
+AsicPowerModel::total_area_mm2(const DeviceConfig& config) const
+{
+    double total = 0.0;
+    for (const auto& row : breakdown(config))
+        total += row.area_mm2;
+    return total;
+}
+
+double
+AsicPowerModel::total_power_w(const DeviceConfig& config) const
+{
+    double total = 0.0;
+    for (const auto& row : breakdown(config))
+        total += row.power_w;
+    return total;
+}
+
+}  // namespace darwin::hw

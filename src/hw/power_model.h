@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASIC area/power model (Table IV reproduction).
+ *
+ * The paper reports a synthesized breakdown at TSMC 40nm / 1 GHz:
+ * per-unit constants (area and power per BSW PE, per GACT-X PE, per KB of
+ * traceback SRAM, DRAM interface power) are derived from that table so
+ * alternative array provisioning can be explored; evaluating the model at
+ * the paper's configuration reproduces Table IV exactly.
+ */
+#ifndef DARWIN_HW_POWER_MODEL_H
+#define DARWIN_HW_POWER_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "hw/config.h"
+
+namespace darwin::hw {
+
+/** One row of the area/power breakdown. */
+struct ComponentBreakdown {
+    std::string component;
+    std::string configuration;
+    double area_mm2 = 0.0;
+    double power_w = 0.0;
+};
+
+/** ASIC area/power model. */
+class AsicPowerModel {
+  public:
+    AsicPowerModel();
+
+    /** Breakdown rows (BSW logic, GACT-X logic, SRAM, DRAM) + totals. */
+    std::vector<ComponentBreakdown> breakdown(
+        const DeviceConfig& config) const;
+
+    double total_area_mm2(const DeviceConfig& config) const;
+    double total_power_w(const DeviceConfig& config) const;
+
+  private:
+    // Per-unit constants derived from Table IV.
+    double area_per_bsw_pe_;        // mm^2
+    double power_per_bsw_pe_;       // W
+    double area_per_gactx_pe_;      // mm^2
+    double power_per_gactx_pe_;     // W
+    double area_per_sram_kb_;       // mm^2
+    double power_per_sram_kb_;      // W
+    double dram_power_;             // W
+};
+
+}  // namespace darwin::hw
+
+#endif  // DARWIN_HW_POWER_MODEL_H

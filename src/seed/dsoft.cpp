@@ -1,0 +1,130 @@
+#include "seed/dsoft.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace darwin::seed {
+
+namespace {
+
+/** Per-band accumulator: hit count plus the first hit seen. */
+struct BandState {
+    std::uint32_t hits = 0;
+    SeedHit first;
+};
+
+}  // namespace
+
+DsoftSeeder::DsoftSeeder(const SeedIndex& index, DsoftParams params)
+    : index_(index), params_(params)
+{
+    require(params_.chunk_size > 0, "DsoftSeeder: chunk_size must be > 0");
+    require(params_.bin_size > 0, "DsoftSeeder: bin_size must be > 0");
+    require(params_.query_stride > 0, "DsoftSeeder: stride must be > 0");
+    require(params_.min_hits_per_band > 0, "DsoftSeeder: h must be > 0");
+}
+
+std::vector<SeedHit>
+DsoftSeeder::seed_chunk(std::span<const std::uint8_t> query,
+                        std::size_t chunk_begin, std::size_t chunk_end,
+                        SeedingStats* stats) const
+{
+    const SeedPattern& pattern = index_.pattern();
+    SeedingStats local;
+    // Diagonal band id -> accumulated state. Hits are projected along
+    // their diagonal to the chunk end so that a run of collinear hits
+    // inside the chunk lands in one band.
+    std::unordered_map<std::uint64_t, BandState> bands;
+
+    auto record_hits = [&](std::span<const std::uint32_t> hits,
+                           std::size_t q) {
+        for (const std::uint32_t t : hits) {
+            ++local.seed_hits;
+            // Diagonal projection: target position at the chunk end.
+            const std::uint64_t projected =
+                static_cast<std::uint64_t>(t) + (chunk_end - q);
+            const std::uint64_t band = projected / params_.bin_size;
+            BandState& state = bands[band];
+            if (state.hits == 0)
+                state.first = SeedHit{t, q};
+            ++state.hits;
+        }
+    };
+
+    for (std::size_t q = chunk_begin; q < chunk_end;
+         q += params_.query_stride) {
+        const auto key = pattern.key_at(query, q);
+        if (!key)
+            continue;
+        ++local.seed_lookups;
+        record_hits(index_.lookup(*key), q);
+        if (params_.transitions) {
+            for (const SeedKey neighbor : pattern.transition_neighbors(*key)) {
+                ++local.seed_lookups;
+                record_hits(index_.lookup(neighbor), q);
+            }
+        }
+    }
+
+    std::vector<SeedHit> out;
+    for (const auto& [band, state] : bands) {
+        if (state.hits >= params_.min_hits_per_band) {
+            out.push_back(state.first);
+            ++local.candidates;
+        }
+    }
+    std::sort(out.begin(), out.end(), [](const SeedHit& a, const SeedHit& b) {
+        return a.query_pos != b.query_pos ? a.query_pos < b.query_pos
+                                          : a.target_pos < b.target_pos;
+    });
+    if (stats)
+        stats->merge(local);
+    return out;
+}
+
+std::vector<SeedHit>
+DsoftSeeder::seed_all(const seq::Sequence& query, SeedingStats* stats,
+                      ThreadPool* pool) const
+{
+    const std::span<const std::uint8_t> codes{query.codes().data(),
+                                              query.size()};
+    const std::size_t num_chunks =
+        (query.size() + params_.chunk_size - 1) / params_.chunk_size;
+
+    std::vector<std::vector<SeedHit>> per_chunk(num_chunks);
+    std::vector<SeedingStats> per_chunk_stats(num_chunks);
+
+    auto do_chunk = [&](std::size_t chunk) {
+        const std::size_t begin = chunk * params_.chunk_size;
+        const std::size_t end =
+            std::min(query.size(), begin + params_.chunk_size);
+        per_chunk[chunk] =
+            seed_chunk(codes, begin, end, &per_chunk_stats[chunk]);
+    };
+
+    if (pool) {
+        pool->parallel_for(0, num_chunks, do_chunk);
+    } else {
+        for (std::size_t chunk = 0; chunk < num_chunks; ++chunk)
+            do_chunk(chunk);
+    }
+
+    std::vector<SeedHit> out;
+    std::size_t total = 0;
+    for (const auto& hits : per_chunk)
+        total += hits.size();
+    out.reserve(total);
+    for (auto& hits : per_chunk) {
+        out.insert(out.end(), hits.begin(), hits.end());
+    }
+    if (stats) {
+        for (const auto& s : per_chunk_stats)
+            stats->merge(s);
+    }
+    return out;
+}
+
+}  // namespace darwin::seed

@@ -1,0 +1,87 @@
+#include "seed/seed_index.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace darwin::seed {
+
+SeedIndex::SeedIndex(const seq::Sequence& target, const SeedPattern& pattern,
+                     std::uint32_t max_bucket)
+    : pattern_(pattern)
+{
+    require(max_bucket > 0, "SeedIndex: max_bucket must be positive");
+    if (target.size() >= std::numeric_limits<std::uint32_t>::max())
+        fatal("SeedIndex: target longer than 2^32-1 is not supported");
+
+    const std::uint64_t buckets = pattern_.key_space();
+    const std::span<const std::uint8_t> codes{target.codes().data(),
+                                              target.size()};
+
+    // Pass 1: bucket sizes.
+    std::vector<std::uint32_t> counts(buckets, 0);
+    const std::size_t last =
+        target.size() >= pattern_.span() ? target.size() - pattern_.span() + 1
+                                         : 0;
+    for (std::size_t pos = 0; pos < last; ++pos) {
+        const auto key = pattern_.key_at(codes, pos);
+        if (key) {
+            ++counts[*key];
+        } else {
+            ++skipped_;
+        }
+    }
+
+    // Clamp repetitive buckets.
+    over_represented_.assign(buckets, false);
+    for (std::uint64_t k = 0; k < buckets; ++k) {
+        if (counts[k] > max_bucket) {
+            counts[k] = max_bucket;
+            over_represented_[k] = true;
+            ++truncated_;
+        }
+    }
+
+    // Prefix sums into bucket_offsets_.
+    bucket_offsets_.assign(buckets + 1, 0);
+    std::uint64_t running = 0;
+    for (std::uint64_t k = 0; k < buckets; ++k) {
+        bucket_offsets_[k] = static_cast<std::uint32_t>(running);
+        running += counts[k];
+    }
+    bucket_offsets_[buckets] = static_cast<std::uint32_t>(running);
+
+    // Pass 2: fill positions (first max_bucket occurrences per bucket).
+    positions_.assign(running, 0);
+    std::vector<std::uint32_t> cursor(counts.size(), 0);
+    for (std::size_t pos = 0; pos < last; ++pos) {
+        const auto key = pattern_.key_at(codes, pos);
+        if (!key)
+            continue;
+        const std::uint64_t k = *key;
+        if (cursor[k] >= counts[k])
+            continue;  // truncated repeat bucket
+        positions_[bucket_offsets_[k] + cursor[k]] =
+            static_cast<std::uint32_t>(pos);
+        ++cursor[k];
+    }
+}
+
+std::span<const std::uint32_t>
+SeedIndex::lookup(SeedKey key) const
+{
+    require(key < pattern_.key_space(), "SeedIndex::lookup: key range");
+    const std::uint32_t lo = bucket_offsets_[key];
+    const std::uint32_t hi = bucket_offsets_[key + 1];
+    return {positions_.data() + lo, hi - lo};
+}
+
+bool
+SeedIndex::over_represented(SeedKey key) const
+{
+    require(key < pattern_.key_space(),
+            "SeedIndex::over_represented: key range");
+    return over_represented_[key];
+}
+
+}  // namespace darwin::seed

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Seed position index over the target genome.
+ *
+ * A counting-sort (bucketed) index: one bucket per seed key holding every
+ * target position whose window produces that key. Lookup is O(1) to a
+ * contiguous position slice — the software analogue of the seed table the
+ * Darwin-WGA host keeps in DRAM.
+ */
+#ifndef DARWIN_SEED_SEED_INDEX_H
+#define DARWIN_SEED_SEED_INDEX_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "seed/seed_pattern.h"
+#include "seq/sequence.h"
+
+namespace darwin::seed {
+
+/** Bucketed position index for one target sequence. */
+class SeedIndex {
+  public:
+    /**
+     * Build the index over `target` (typically a flattened genome).
+     * Windows containing N contribute nothing, so chromosome separators
+     * are never indexed.
+     *
+     * @param max_bucket Buckets holding more than this many positions are
+     *        truncated to it and flagged as over-represented; repetitive
+     *        seeds otherwise swamp the filter stage (whole-genome aligners
+     *        all cap repeat seeds one way or another).
+     */
+    SeedIndex(const seq::Sequence& target, const SeedPattern& pattern,
+              std::uint32_t max_bucket = 256);
+
+    /** Target positions whose window hashes to `key`. */
+    std::span<const std::uint32_t> lookup(SeedKey key) const;
+
+    /** True when the bucket was truncated at construction. */
+    bool over_represented(SeedKey key) const;
+
+    /** Total indexed positions (after truncation). */
+    std::size_t num_positions() const { return positions_.size(); }
+
+    /** Number of windows skipped because of ambiguous bases. */
+    std::uint64_t skipped_windows() const { return skipped_; }
+
+    /** Number of buckets that hit the cap. */
+    std::uint64_t truncated_buckets() const { return truncated_; }
+
+    const SeedPattern& pattern() const { return pattern_; }
+
+  private:
+    SeedPattern pattern_;
+    std::vector<std::uint32_t> bucket_offsets_;  ///< key_space + 1 entries
+    std::vector<std::uint32_t> positions_;
+    std::vector<bool> over_represented_;
+    std::uint64_t skipped_ = 0;
+    std::uint64_t truncated_ = 0;
+};
+
+}  // namespace darwin::seed
+
+#endif  // DARWIN_SEED_SEED_INDEX_H

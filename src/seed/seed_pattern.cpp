@@ -1,0 +1,63 @@
+#include "seed/seed_pattern.h"
+
+#include "seq/alphabet.h"
+#include "util/logging.h"
+
+namespace darwin::seed {
+
+SeedPattern::SeedPattern(const std::string& pattern)
+    : pattern_(pattern), span_(pattern.size())
+{
+    if (pattern.empty())
+        fatal("SeedPattern: empty pattern");
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+        if (pattern[i] == '1') {
+            match_offsets_.push_back(static_cast<std::uint32_t>(i));
+        } else if (pattern[i] != '0') {
+            fatal("SeedPattern: pattern may contain only '1' and '0', got " +
+                  pattern);
+        }
+    }
+    if (match_offsets_.empty())
+        fatal("SeedPattern: pattern has no match positions");
+    if (weight() > 15)
+        fatal("SeedPattern: weight > 15 exceeds the 32-bit key space");
+}
+
+SeedPattern
+SeedPattern::lastz_default()
+{
+    return SeedPattern("1110100110010101111");
+}
+
+std::optional<SeedKey>
+SeedPattern::key_at(std::span<const std::uint8_t> codes,
+                    std::size_t pos) const
+{
+    if (pos + span_ > codes.size())
+        return std::nullopt;
+    SeedKey key = 0;
+    for (const std::uint32_t offset : match_offsets_) {
+        const std::uint8_t base = codes[pos + offset];
+        if (!seq::is_concrete(base))
+            return std::nullopt;
+        key = (key << 2) | base;
+    }
+    return key;
+}
+
+std::vector<SeedKey>
+SeedPattern::transition_neighbors(SeedKey key) const
+{
+    std::vector<SeedKey> neighbors;
+    neighbors.reserve(weight());
+    for (std::size_t i = 0; i < weight(); ++i) {
+        // Transitions A<->G (00<->10) and C<->T (01<->11) flip the high
+        // bit of the 2-bit code.
+        const SeedKey mask = SeedKey{0b10} << (2 * i);
+        neighbors.push_back(key ^ mask);
+    }
+    return neighbors;
+}
+
+}  // namespace darwin::seed

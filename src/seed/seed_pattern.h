@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Spaced seed patterns (paper §III-B, Fig. 5).
+ *
+ * A pattern is a string over {'1','0'}: '1' positions must match (2 bits
+ * of the base enter the seed key), '0' positions are don't-cares. The
+ * default is LASTZ's 12-of-19 pattern. Transition tolerance is handled on
+ * the query side: a seed with one transition substitution (A<->G, C<->T)
+ * differs from the exact key by flipping one position's high bit, so a
+ * 1-transition lookup queries the exact key plus `weight` neighbor keys
+ * — exactly the (m+1)-fold work multiplier the paper describes.
+ */
+#ifndef DARWIN_SEED_SEED_PATTERN_H
+#define DARWIN_SEED_SEED_PATTERN_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace darwin::seed {
+
+/** Seed key type (2 bits per match position; weight <= 15). */
+using SeedKey = std::uint32_t;
+
+/** A spaced seed pattern. */
+class SeedPattern {
+  public:
+    /** @param pattern String of '1' (match) and '0' (don't care). */
+    explicit SeedPattern(const std::string& pattern);
+
+    /** LASTZ / Darwin-WGA default 12-of-19 pattern. */
+    static SeedPattern lastz_default();
+
+    /** Number of match positions. */
+    std::size_t weight() const { return match_offsets_.size(); }
+
+    /** Total pattern length in bp. */
+    std::size_t span() const { return span_; }
+
+    /** Number of possible keys (4^weight). */
+    std::uint64_t
+    key_space() const
+    {
+        return 1ULL << (2 * weight());
+    }
+
+    /** Offsets (within the span) of the match positions. */
+    const std::vector<std::uint32_t>&
+    match_offsets() const
+    {
+        return match_offsets_;
+    }
+
+    /**
+     * Extract the seed key for the window starting at `pos`. Returns
+     * nullopt when the window overruns the span or any match position
+     * holds an ambiguous base (N).
+     */
+    std::optional<SeedKey> key_at(std::span<const std::uint8_t> codes,
+                                  std::size_t pos) const;
+
+    /**
+     * The `weight` keys reachable from `key` by one transition
+     * substitution (flip the high bit of one position's 2-bit code).
+     * Does not include `key` itself.
+     */
+    std::vector<SeedKey> transition_neighbors(SeedKey key) const;
+
+    const std::string& pattern() const { return pattern_; }
+
+  private:
+    std::string pattern_;
+    std::size_t span_;
+    std::vector<std::uint32_t> match_offsets_;
+};
+
+}  // namespace darwin::seed
+
+#endif  // DARWIN_SEED_SEED_PATTERN_H

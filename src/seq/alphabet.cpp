@@ -1,0 +1,67 @@
+#include "seq/alphabet.h"
+
+namespace darwin::seq {
+
+namespace {
+
+constexpr char kDecode[kNumCodes] = {'A', 'C', 'G', 'T', 'N'};
+
+}  // namespace
+
+std::uint8_t
+encode_base(char c)
+{
+    switch (c) {
+      case 'A': case 'a': return BaseA;
+      case 'C': case 'c': return BaseC;
+      case 'G': case 'g': return BaseG;
+      case 'T': case 't': return BaseT;
+      default:            return BaseN;
+    }
+}
+
+char
+decode_base(std::uint8_t code)
+{
+    return code < kNumCodes ? kDecode[code] : 'N';
+}
+
+std::uint8_t
+complement(std::uint8_t code)
+{
+    switch (code) {
+      case BaseA: return BaseT;
+      case BaseC: return BaseG;
+      case BaseG: return BaseC;
+      case BaseT: return BaseA;
+      default:    return BaseN;
+    }
+}
+
+std::uint8_t
+transition_partner(std::uint8_t code)
+{
+    switch (code) {
+      case BaseA: return BaseG;
+      case BaseG: return BaseA;
+      case BaseC: return BaseT;
+      case BaseT: return BaseC;
+      default:    return BaseN;
+    }
+}
+
+bool
+is_transition(std::uint8_t a, std::uint8_t b)
+{
+    return a != b && is_concrete(a) && is_concrete(b) &&
+           transition_partner(a) == b;
+}
+
+bool
+is_transversion(std::uint8_t a, std::uint8_t b)
+{
+    return a != b && is_concrete(a) && is_concrete(b) &&
+           transition_partner(a) != b;
+}
+
+}  // namespace darwin::seq

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The DNA alphabet used throughout Darwin-WGA.
+ *
+ * Bases are stored as small integer codes (A=0, C=1, G=2, T=3, N=4), the
+ * same 3-bit-per-base encoding the paper's hardware uses in its BRAMs
+ * (Section IV). Transitions (A<->G, T<->C) get first-class support because
+ * both the seed patterns (Fig. 5) and the evolution model treat them
+ * specially.
+ */
+#ifndef DARWIN_SEQ_ALPHABET_H
+#define DARWIN_SEQ_ALPHABET_H
+
+#include <cstdint>
+
+namespace darwin::seq {
+
+/** Integer base codes. N covers every ambiguous IUPAC letter. */
+enum Base : std::uint8_t {
+    BaseA = 0,
+    BaseC = 1,
+    BaseG = 2,
+    BaseT = 3,
+    BaseN = 4,
+};
+
+/** Number of unambiguous bases. */
+inline constexpr int kNumBases = 4;
+
+/** Number of codes including N. */
+inline constexpr int kNumCodes = 5;
+
+/** Encode an ASCII base (case-insensitive); anything unknown becomes N. */
+std::uint8_t encode_base(char c);
+
+/** Decode a base code to an upper-case ASCII letter. */
+char decode_base(std::uint8_t code);
+
+/** Watson-Crick complement; N maps to N. */
+std::uint8_t complement(std::uint8_t code);
+
+/** True for the A,C,G,T codes (i.e., not N). */
+inline bool
+is_concrete(std::uint8_t code)
+{
+    return code < kNumBases;
+}
+
+/**
+ * The transition partner of a base: A<->G, C<->T. N maps to N.
+ * Transitions are purine<->purine / pyrimidine<->pyrimidine substitutions
+ * and occur at higher-than-random frequency in real genomes.
+ */
+std::uint8_t transition_partner(std::uint8_t code);
+
+/** True when a != b and the pair is a transition (A/G or C/T). */
+bool is_transition(std::uint8_t a, std::uint8_t b);
+
+/** True when a != b, both concrete, and the pair is not a transition. */
+bool is_transversion(std::uint8_t a, std::uint8_t b);
+
+}  // namespace darwin::seq
+
+#endif  // DARWIN_SEQ_ALPHABET_H

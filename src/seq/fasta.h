@@ -1,0 +1,39 @@
+/**
+ * @file
+ * FASTA reading and writing.
+ *
+ * Supports multi-record files, lower/upper case, arbitrary line widths, and
+ * comments. Malformed inputs raise FatalError with a line-numbered message.
+ */
+#ifndef DARWIN_SEQ_FASTA_H
+#define DARWIN_SEQ_FASTA_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "seq/genome.h"
+#include "seq/sequence.h"
+
+namespace darwin::seq {
+
+/** Parse every record from a FASTA stream. */
+std::vector<Sequence> read_fasta(std::istream& in);
+
+/** Parse every record from a FASTA file. */
+std::vector<Sequence> read_fasta_file(const std::string& path);
+
+/** Read a FASTA file as a Genome (one chromosome per record). */
+Genome read_genome(const std::string& path, const std::string& name = "");
+
+/** Write records to a stream with the given line width. */
+void write_fasta(std::ostream& out, const std::vector<Sequence>& records,
+                 std::size_t line_width = 60);
+
+/** Write a genome (one record per chromosome) to a file. */
+void write_genome_file(const std::string& path, const Genome& genome,
+                       std::size_t line_width = 60);
+
+}  // namespace darwin::seq
+
+#endif  // DARWIN_SEQ_FASTA_H

@@ -1,0 +1,97 @@
+#include "seq/genome.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace darwin::seq {
+
+std::size_t
+Genome::add_chromosome(Sequence chromosome)
+{
+    chromosomes_.push_back(std::move(chromosome));
+    flat_valid_ = false;
+    return chromosomes_.size() - 1;
+}
+
+const Sequence&
+Genome::chromosome(std::size_t i) const
+{
+    require(i < chromosomes_.size(), "Genome::chromosome: bad index");
+    return chromosomes_[i];
+}
+
+std::size_t
+Genome::total_length() const
+{
+    std::size_t total = 0;
+    for (const auto& chrom : chromosomes_)
+        total += chrom.size();
+    return total;
+}
+
+const Sequence&
+Genome::flattened() const
+{
+    if (!flat_valid_)
+        rebuild_flat();
+    return flat_;
+}
+
+std::size_t
+Genome::flat_offset(std::size_t chromosome_index) const
+{
+    if (!flat_valid_)
+        rebuild_flat();
+    require(chromosome_index < flat_offsets_.size(),
+            "Genome::flat_offset: bad index");
+    return flat_offsets_[chromosome_index];
+}
+
+GenomePosition
+Genome::resolve(std::size_t flat_position, bool* in_separator) const
+{
+    if (!flat_valid_)
+        rebuild_flat();
+    require(!chromosomes_.empty(), "Genome::resolve: empty genome");
+    // flat_offsets_ is sorted; find the last chromosome starting at or
+    // before flat_position.
+    auto it = std::upper_bound(flat_offsets_.begin(), flat_offsets_.end(),
+                               flat_position);
+    const std::size_t chrom =
+        static_cast<std::size_t>(it - flat_offsets_.begin()) - 1;
+    const std::size_t within = flat_position - flat_offsets_[chrom];
+    if (within >= chromosomes_[chrom].size()) {
+        // Inside the separator after `chrom`.
+        if (in_separator)
+            *in_separator = true;
+        const std::size_t next = std::min(chrom + 1,
+                                          chromosomes_.size() - 1);
+        return {next, 0};
+    }
+    if (in_separator)
+        *in_separator = false;
+    return {chrom, within};
+}
+
+void
+Genome::rebuild_flat() const
+{
+    std::vector<std::uint8_t> codes;
+    std::size_t total = total_length();
+    if (!chromosomes_.empty())
+        total += (chromosomes_.size() - 1) * separator_length();
+    codes.reserve(total);
+    flat_offsets_.clear();
+    for (std::size_t i = 0; i < chromosomes_.size(); ++i) {
+        if (i > 0)
+            codes.insert(codes.end(), separator_length(), BaseN);
+        flat_offsets_.push_back(codes.size());
+        const auto& chrom_codes = chromosomes_[i].codes();
+        codes.insert(codes.end(), chrom_codes.begin(), chrom_codes.end());
+    }
+    flat_ = Sequence(name_ + ":flat", std::move(codes));
+    flat_valid_ = true;
+}
+
+}  // namespace darwin::seq

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Genome: an ordered collection of chromosomes with a flattened coordinate
+ * space.
+ *
+ * The WGA pipeline indexes the *flattened* target (chromosomes
+ * concatenated, separated by runs of N so no seed can straddle a boundary)
+ * and later maps flat positions back to (chromosome, offset) pairs for
+ * reporting. This mirrors how whole-genome aligners treat multi-contig
+ * assemblies.
+ */
+#ifndef DARWIN_SEQ_GENOME_H
+#define DARWIN_SEQ_GENOME_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.h"
+
+namespace darwin::seq {
+
+/** A position resolved to a chromosome. */
+struct GenomePosition {
+    std::size_t chromosome = 0;  ///< index into chromosomes()
+    std::size_t offset = 0;      ///< 0-based offset within the chromosome
+};
+
+/** A multi-chromosome genome assembly. */
+class Genome {
+  public:
+    Genome() = default;
+    explicit Genome(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    /** Append a chromosome; returns its index. */
+    std::size_t add_chromosome(Sequence chromosome);
+
+    std::size_t num_chromosomes() const { return chromosomes_.size(); }
+    const Sequence& chromosome(std::size_t i) const;
+    const std::vector<Sequence>& chromosomes() const { return chromosomes_; }
+
+    /** Total bases across all chromosomes (no separators). */
+    std::size_t total_length() const;
+
+    /**
+     * Flattened sequence: chromosomes joined by separator_length() Ns.
+     * Rebuilt lazily; invalidated by add_chromosome().
+     */
+    const Sequence& flattened() const;
+
+    /** Number of N separators inserted between chromosomes when
+     *  flattening. 256 Ns cost -25,600 under the paper matrix — far
+     *  beyond the GACT-X X-drop bound (Y = 9,430), so no extension can
+     *  ever cross a chromosome boundary. */
+    static constexpr std::size_t separator_length() { return 256; }
+
+    /** Flat start offset of a chromosome within flattened(). */
+    std::size_t flat_offset(std::size_t chromosome_index) const;
+
+    /**
+     * Map a flat position back to (chromosome, offset). Positions inside a
+     * separator resolve to the *following* chromosome at offset 0 with
+     * in_separator set.
+     */
+    GenomePosition resolve(std::size_t flat_position,
+                           bool* in_separator = nullptr) const;
+
+  private:
+    void rebuild_flat() const;
+
+    std::string name_;
+    std::vector<Sequence> chromosomes_;
+    mutable Sequence flat_;
+    mutable std::vector<std::size_t> flat_offsets_;
+    mutable bool flat_valid_ = false;
+};
+
+}  // namespace darwin::seq
+
+#endif  // DARWIN_SEQ_GENOME_H

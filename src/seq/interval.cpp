@@ -1,0 +1,59 @@
+#include "seq/interval.h"
+
+#include <algorithm>
+
+namespace darwin::seq {
+
+std::uint64_t
+intersection_length(const Interval& a, const Interval& b)
+{
+    const std::uint64_t lo = std::max(a.start, b.start);
+    const std::uint64_t hi = std::min(a.end, b.end);
+    return hi > lo ? hi - lo : 0;
+}
+
+std::vector<Interval>
+merge_intervals(std::vector<Interval> intervals)
+{
+    intervals.erase(std::remove_if(intervals.begin(), intervals.end(),
+                                   [](const Interval& iv) {
+                                       return iv.empty();
+                                   }),
+                    intervals.end());
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) {
+                  return a.start < b.start;
+              });
+    std::vector<Interval> merged;
+    for (const auto& iv : intervals) {
+        if (!merged.empty() && iv.start <= merged.back().end) {
+            merged.back().end = std::max(merged.back().end, iv.end);
+        } else {
+            merged.push_back(iv);
+        }
+    }
+    return merged;
+}
+
+std::uint64_t
+covered_length(std::vector<Interval> intervals)
+{
+    std::uint64_t total = 0;
+    for (const auto& iv : merge_intervals(std::move(intervals)))
+        total += iv.length();
+    return total;
+}
+
+double
+coverage_fraction(const Interval& target, const std::vector<Interval>& cover)
+{
+    if (target.empty())
+        return 0.0;
+    std::uint64_t overlap = 0;
+    for (const auto& iv : merge_intervals(cover))
+        overlap += intersection_length(target, iv);
+    return static_cast<double>(overlap) /
+           static_cast<double>(target.length());
+}
+
+}  // namespace darwin::seq

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Half-open genomic intervals and coverage arithmetic.
+ *
+ * Used by the exon-recovery evaluation (which intersects chain footprints
+ * with planted conserved segments) and by anchor-absorption bookkeeping.
+ */
+#ifndef DARWIN_SEQ_INTERVAL_H
+#define DARWIN_SEQ_INTERVAL_H
+
+#include <cstdint>
+#include <vector>
+
+namespace darwin::seq {
+
+/** A half-open interval [start, end) on one sequence. */
+struct Interval {
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+
+    std::uint64_t length() const { return end > start ? end - start : 0; }
+    bool empty() const { return end <= start; }
+
+    bool operator==(const Interval&) const = default;
+};
+
+/** Length of the intersection of two intervals. */
+std::uint64_t intersection_length(const Interval& a, const Interval& b);
+
+/** Sort and merge overlapping/adjacent intervals. */
+std::vector<Interval> merge_intervals(std::vector<Interval> intervals);
+
+/** Total length of a (possibly overlapping) interval set after merging. */
+std::uint64_t covered_length(std::vector<Interval> intervals);
+
+/**
+ * Fraction of `target` covered by the union of `cover`.
+ * Returns 0 for an empty target.
+ */
+double coverage_fraction(const Interval& target,
+                         const std::vector<Interval>& cover);
+
+}  // namespace darwin::seq
+
+#endif  // DARWIN_SEQ_INTERVAL_H

@@ -1,0 +1,101 @@
+#include "seq/sequence.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace darwin::seq {
+
+Sequence::Sequence(std::string name, const std::string& bases)
+    : name_(std::move(name)), codes_(encode_string(bases))
+{
+}
+
+Sequence::Sequence(std::string name, std::vector<std::uint8_t> codes)
+    : name_(std::move(name)), codes_(std::move(codes))
+{
+}
+
+std::uint8_t
+Sequence::at(std::size_t i) const
+{
+    require(i < codes_.size(), "Sequence::at: index out of range");
+    return codes_[i];
+}
+
+std::span<const std::uint8_t>
+Sequence::view(std::size_t start, std::size_t end) const
+{
+    end = std::min(end, codes_.size());
+    start = std::min(start, end);
+    return {codes_.data() + start, end - start};
+}
+
+Sequence
+Sequence::subsequence(std::size_t start, std::size_t len,
+                      const std::string& name) const
+{
+    start = std::min(start, codes_.size());
+    len = std::min(len, codes_.size() - start);
+    std::vector<std::uint8_t> codes(codes_.begin() + start,
+                                    codes_.begin() + start + len);
+    return Sequence(name.empty() ? name_ + ":sub" : name, std::move(codes));
+}
+
+Sequence
+Sequence::reverse_complement() const
+{
+    std::vector<std::uint8_t> codes(codes_.size());
+    for (std::size_t i = 0; i < codes_.size(); ++i)
+        codes[codes_.size() - 1 - i] = complement(codes_[i]);
+    return Sequence(name_ + ":rc", std::move(codes));
+}
+
+std::string
+Sequence::to_string() const
+{
+    return to_string(0, codes_.size());
+}
+
+std::string
+Sequence::to_string(std::size_t start, std::size_t end) const
+{
+    end = std::min(end, codes_.size());
+    start = std::min(start, end);
+    std::string out;
+    out.reserve(end - start);
+    for (std::size_t i = start; i < end; ++i)
+        out.push_back(decode_base(codes_[i]));
+    return out;
+}
+
+std::vector<std::uint64_t>
+Sequence::base_counts() const
+{
+    std::vector<std::uint64_t> counts(kNumCodes, 0);
+    for (std::uint8_t c : codes_)
+        ++counts[std::min<std::uint8_t>(c, BaseN)];
+    return counts;
+}
+
+double
+Sequence::n_fraction() const
+{
+    if (codes_.empty())
+        return 0.0;
+    const auto counts = base_counts();
+    return static_cast<double>(counts[BaseN]) /
+           static_cast<double>(codes_.size());
+}
+
+std::vector<std::uint8_t>
+encode_string(const std::string& bases)
+{
+    std::vector<std::uint8_t> codes;
+    codes.reserve(bases.size());
+    for (char c : bases)
+        codes.push_back(encode_base(c));
+    return codes;
+}
+
+}  // namespace darwin::seq

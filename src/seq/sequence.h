@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Sequence: a named DNA sequence stored as base codes.
+ *
+ * This is the fundamental container the aligners operate on. Positions are
+ * 0-based; subsequence ranges are half-open [start, end).
+ */
+#ifndef DARWIN_SEQ_SEQUENCE_H
+#define DARWIN_SEQ_SEQUENCE_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "seq/alphabet.h"
+
+namespace darwin::seq {
+
+/** A named, code-encoded DNA sequence. */
+class Sequence {
+  public:
+    Sequence() = default;
+
+    /** Construct from a name and ASCII bases. */
+    Sequence(std::string name, const std::string& bases);
+
+    /** Construct from a name and pre-encoded codes. */
+    Sequence(std::string name, std::vector<std::uint8_t> codes);
+
+    const std::string& name() const { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    std::size_t size() const { return codes_.size(); }
+    bool empty() const { return codes_.empty(); }
+
+    /** Base code at position i (unchecked in release hot paths). */
+    std::uint8_t operator[](std::size_t i) const { return codes_[i]; }
+
+    /** Checked accessor used by non-hot-path callers. */
+    std::uint8_t at(std::size_t i) const;
+
+    const std::vector<std::uint8_t>& codes() const { return codes_; }
+    std::vector<std::uint8_t>& codes() { return codes_; }
+
+    /** Read-only view over [start, end); clamps end to size(). */
+    std::span<const std::uint8_t> view(std::size_t start,
+                                       std::size_t end) const;
+
+    /** Copy of the subsequence [start, start+len) as a new Sequence. */
+    Sequence subsequence(std::size_t start, std::size_t len,
+                         const std::string& name = "") const;
+
+    /** Reverse complement as a new Sequence. */
+    Sequence reverse_complement() const;
+
+    /** Decode the whole sequence to an ASCII string. */
+    std::string to_string() const;
+
+    /** Decode [start, end) to ASCII. */
+    std::string to_string(std::size_t start, std::size_t end) const;
+
+    /** Append a single base code. */
+    void push_back(std::uint8_t code) { codes_.push_back(code); }
+
+    /** Count of each base code in the sequence. */
+    std::vector<std::uint64_t> base_counts() const;
+
+    /** Fraction of positions that are N. */
+    double n_fraction() const;
+
+  private:
+    std::string name_;
+    std::vector<std::uint8_t> codes_;
+};
+
+/** Encode an ASCII string of bases into codes. */
+std::vector<std::uint8_t> encode_string(const std::string& bases);
+
+}  // namespace darwin::seq
+
+#endif  // DARWIN_SEQ_SEQUENCE_H

@@ -1,0 +1,143 @@
+#include "seq/shuffle.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/logging.h"
+
+namespace darwin::seq {
+
+namespace {
+
+/**
+ * Altschul-Erikson doublet shuffle.
+ *
+ * Model the sequence as an Eulerian path in a multigraph whose vertices
+ * are the symbols and whose edges are the consecutive pairs. Pick, for
+ * every vertex other than the final symbol, a random outgoing edge to
+ * serve as that vertex's *last* departure; the choice is valid iff the
+ * chosen edges form an arborescence into the final vertex. Shuffle the
+ * remaining edges of each vertex freely and walk the path.
+ */
+class DoubletShuffler {
+  public:
+    DoubletShuffler(const std::vector<std::uint8_t>& codes, Rng& rng)
+        : codes_(codes), rng_(rng)
+    {
+    }
+
+    std::vector<std::uint8_t>
+    run()
+    {
+        const std::size_t n = codes_.size();
+        for (auto& edges : successors_)
+            edges.clear();
+        for (std::size_t i = 0; i + 1 < n; ++i)
+            successors_[codes_[i]].push_back(codes_[i + 1]);
+
+        const std::uint8_t first = codes_.front();
+        const std::uint8_t last = codes_.back();
+
+        // Choose last-edge targets until they form an arborescence into
+        // `last`. Expected number of attempts is small (bounded by the
+        // number of distinct symbols).
+        std::array<int, kNumCodes> last_edge{};
+        for (;;) {
+            last_edge.fill(-1);
+            for (int v = 0; v < kNumCodes; ++v) {
+                if (v == last || successors_[v].empty())
+                    continue;
+                const std::size_t pick =
+                    rng_.uniform(successors_[v].size());
+                last_edge[static_cast<std::size_t>(v)] =
+                    successors_[v][pick];
+            }
+            if (reaches_sink(last_edge, last))
+                break;
+        }
+
+        // Remove one instance of each chosen last edge, shuffle the rest,
+        // and re-append the last edge.
+        for (int v = 0; v < kNumCodes; ++v) {
+            auto& edges = successors_[v];
+            const int chosen = last_edge[static_cast<std::size_t>(v)];
+            if (chosen >= 0) {
+                auto it = std::find(edges.begin(), edges.end(),
+                                    static_cast<std::uint8_t>(chosen));
+                require(it != edges.end(),
+                        "doublet shuffle: chosen edge missing");
+                edges.erase(it);
+            }
+            std::shuffle(edges.begin(), edges.end(), rng_);
+            if (chosen >= 0)
+                edges.push_back(static_cast<std::uint8_t>(chosen));
+        }
+
+        // Walk the Eulerian path.
+        std::vector<std::uint8_t> out;
+        out.reserve(n);
+        out.push_back(first);
+        std::array<std::size_t, kNumCodes> cursor{};
+        std::uint8_t v = first;
+        while (out.size() < n) {
+            auto& edges = successors_[v];
+            require(cursor[v] < edges.size(),
+                    "doublet shuffle: ran out of edges");
+            const std::uint8_t w = edges[cursor[v]++];
+            out.push_back(w);
+            v = w;
+        }
+        return out;
+    }
+
+  private:
+    /** True if following the chosen last edges from every active vertex
+     *  reaches `sink`. */
+    bool
+    reaches_sink(const std::array<int, kNumCodes>& last_edge,
+                 std::uint8_t sink) const
+    {
+        for (int v = 0; v < kNumCodes; ++v) {
+            if (v == sink || successors_[v].empty())
+                continue;
+            int cur = v;
+            int steps = 0;
+            while (cur != sink && steps <= kNumCodes) {
+                cur = last_edge[static_cast<std::size_t>(cur)];
+                if (cur < 0)
+                    break;
+                // A vertex with no outgoing edges can still be the sink.
+                ++steps;
+            }
+            if (cur != sink)
+                return false;
+        }
+        return true;
+    }
+
+    const std::vector<std::uint8_t>& codes_;
+    Rng& rng_;
+    std::array<std::vector<std::uint8_t>, kNumCodes> successors_;
+};
+
+}  // namespace
+
+Sequence
+dinucleotide_shuffle(const Sequence& input, Rng& rng)
+{
+    if (input.size() < 3)
+        return input;
+    DoubletShuffler shuffler(input.codes(), rng);
+    return Sequence(input.name() + ":shuffled", shuffler.run());
+}
+
+Genome
+shuffle_genome(const Genome& genome, Rng& rng)
+{
+    Genome out(genome.name() + ":shuffled");
+    for (const auto& chrom : genome.chromosomes())
+        out.add_chromosome(dinucleotide_shuffle(chrom, rng));
+    return out;
+}
+
+}  // namespace darwin::seq

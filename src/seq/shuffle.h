@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Dinucleotide-preserving sequence shuffle.
+ *
+ * The paper's false-positive-rate analysis (Section V-E) builds a null
+ * model by shuffling the target genome while preserving its 2-mer
+ * statistics ("fasta-shuffle-letters" with 2-mers). We implement the exact
+ * Altschul-Erikson doublet shuffle: the result has *identical* dinucleotide
+ * counts to the input but is otherwise a uniformly random Eulerian
+ * rearrangement, so any alignment against it is a false positive.
+ */
+#ifndef DARWIN_SEQ_SHUFFLE_H
+#define DARWIN_SEQ_SHUFFLE_H
+
+#include "seq/genome.h"
+#include "seq/sequence.h"
+#include "util/rng.h"
+
+namespace darwin::seq {
+
+/**
+ * Shuffle a sequence while preserving its exact dinucleotide counts.
+ * The first and last bases of the result match the input (a property of
+ * the Euler-path construction). Sequences of length < 3 are returned
+ * unchanged.
+ */
+Sequence dinucleotide_shuffle(const Sequence& input, Rng& rng);
+
+/** Apply dinucleotide_shuffle to every chromosome of a genome. */
+Genome shuffle_genome(const Genome& genome, Rng& rng);
+
+}  // namespace darwin::seq
+
+#endif  // DARWIN_SEQ_SHUFFLE_H

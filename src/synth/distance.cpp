@@ -1,0 +1,33 @@
+#include "synth/distance.h"
+
+#include <cmath>
+#include <limits>
+
+namespace darwin::synth {
+
+double
+AlignedColumnCounts::mismatch_fraction() const
+{
+    const std::uint64_t n = total();
+    return n ? static_cast<double>(mismatches) / static_cast<double>(n)
+             : 0.0;
+}
+
+double
+jukes_cantor_distance(double mismatch_fraction)
+{
+    if (mismatch_fraction <= 0.0)
+        return 0.0;
+    const double arg = 1.0 - 4.0 / 3.0 * mismatch_fraction;
+    if (arg <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return -0.75 * std::log(arg);
+}
+
+double
+jukes_cantor_distance(const AlignedColumnCounts& counts)
+{
+    return jukes_cantor_distance(counts.mismatch_fraction());
+}
+
+}  // namespace darwin::synth

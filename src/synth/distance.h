@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Phylogenetic distance estimation (Fig. 8 reproduction).
+ *
+ * The paper computes distances with PHAST; we estimate them with the
+ * Jukes-Cantor correction applied to the mismatch fraction observed in
+ * aligned (non-gap) columns of high-confidence alignments.
+ */
+#ifndef DARWIN_SYNTH_DISTANCE_H
+#define DARWIN_SYNTH_DISTANCE_H
+
+#include <cstdint>
+
+namespace darwin::synth {
+
+/** Observed per-site statistics over aligned columns. */
+struct AlignedColumnCounts {
+    std::uint64_t matches = 0;
+    std::uint64_t mismatches = 0;
+
+    std::uint64_t total() const { return matches + mismatches; }
+    double mismatch_fraction() const;
+};
+
+/**
+ * Jukes-Cantor distance (substitutions/site) from a mismatch fraction p:
+ * d = -3/4 ln(1 - 4p/3). Saturates (returns +inf) for p >= 3/4.
+ */
+double jukes_cantor_distance(double mismatch_fraction);
+
+/** Convenience: distance from counts. */
+double jukes_cantor_distance(const AlignedColumnCounts& counts);
+
+}  // namespace darwin::synth
+
+#endif  // DARWIN_SYNTH_DISTANCE_H

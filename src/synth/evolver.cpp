@@ -1,0 +1,244 @@
+#include "synth/evolver.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace darwin::synth {
+
+namespace {
+
+double
+uniform_in(Rng& rng, double lo, double hi)
+{
+    return lo + rng.uniform_double() * (hi - lo);
+}
+
+/** Geometric length with the given mean (>= 1). */
+std::uint64_t
+geometric_length(Rng& rng, std::uint64_t mean)
+{
+    if (mean <= 1)
+        return 1;
+    return 1 + rng.geometric(1.0 / static_cast<double>(mean));
+}
+
+/** Apply `age` substitutions/site (plus light indels) to a copy. */
+std::vector<std::uint8_t>
+age_copy(const seq::Sequence& element, double age, Rng& rng)
+{
+    BranchParams params;
+    params.substitutions_per_site = age;
+    params.indel_rate_per_site = std::min(0.2, age * 0.05);
+    params.long_indel_fraction = 0.0;
+    Mutator mutator(params);
+    return mutator.mutate(element, {}, rng).sequence.codes();
+}
+
+/** Shared state for island/repeat placement over one chromosome. */
+struct IslandPlanter {
+    const AncestorConfig& config;
+    const std::vector<seq::Sequence>& elements;  ///< repeat families
+    std::vector<std::uint8_t>& codes;            ///< chromosome being built
+    Rng& rng;
+    std::size_t chrom_index = 0;
+    std::size_t island_counter = 0;
+    std::size_t repeat_counter = 0;
+
+    /**
+     * Fill the gap [gap_start, gap_end) between exons with alignable
+     * islands; a fraction of the slots host diverged repeat-family
+     * copies (written over the background sequence).
+     */
+    void
+    fill(std::uint64_t gap_start, std::uint64_t gap_end,
+         std::vector<Annotation>* out)
+    {
+        if (config.island_fraction <= 0.0 ||
+            config.island_mean_length == 0)
+            return;
+        const double f = std::min(config.island_fraction, 0.95);
+        const auto background_mean = static_cast<std::uint64_t>(
+            static_cast<double>(config.island_mean_length) * (1.0 - f) /
+            f);
+        std::uint64_t pos = gap_start;
+        for (;;) {
+            pos += geometric_length(
+                rng, std::max<std::uint64_t>(background_mean, 1));
+            if (pos >= gap_end)
+                return;
+            const std::uint64_t room = gap_end - pos;
+            const bool as_repeat =
+                !elements.empty() &&
+                rng.chance(config.repeat_island_fraction);
+            Annotation island;
+            island.kind = AnnotationKind::Island;
+            std::uint64_t len = 0;
+            if (as_repeat) {
+                const std::size_t family =
+                    rng.uniform(elements.size());
+                const double age = uniform_in(rng, config.repeat_age_min,
+                                              config.repeat_age_max);
+                const auto copy =
+                    age_copy(elements[family], age, rng);
+                len = std::min<std::uint64_t>(copy.size(), room);
+                if (len >= 100) {
+                    std::copy(copy.begin(),
+                              copy.begin() +
+                                  static_cast<std::ptrdiff_t>(len),
+                              codes.begin() +
+                                  static_cast<std::ptrdiff_t>(pos));
+                    island.name = strprintf(
+                        "chr%zu_rep%zu_fam%zu", chrom_index + 1,
+                        repeat_counter++, family);
+                    island.sub_factor =
+                        uniform_in(rng, config.repeat_sub_factor_min,
+                                   config.repeat_sub_factor_max);
+                    island.indel_factor =
+                        uniform_in(rng, config.repeat_indel_factor_min,
+                                   config.repeat_indel_factor_max);
+                }
+            } else {
+                len = std::min<std::uint64_t>(
+                    geometric_length(rng, config.island_mean_length),
+                    room);
+                if (len >= 50) {
+                    island.name =
+                        strprintf("chr%zu_island%zu", chrom_index + 1,
+                                  island_counter++);
+                    island.sub_factor =
+                        uniform_in(rng, config.island_sub_factor_min,
+                                   config.island_sub_factor_max);
+                    island.indel_factor =
+                        uniform_in(rng, config.island_indel_factor_min,
+                                   config.island_indel_factor_max);
+                }
+            }
+            if (!island.name.empty()) {
+                island.interval = {pos, pos + len};
+                out->push_back(std::move(island));
+            }
+            pos += len;
+        }
+    }
+};
+
+}  // namespace
+
+std::size_t
+AnnotatedGenome::total_exons() const
+{
+    std::size_t total = 0;
+    for (const auto& per_chrom : annotations) {
+        for (const auto& ann : per_chrom) {
+            if (ann.kind == AnnotationKind::Exon)
+                ++total;
+        }
+    }
+    return total;
+}
+
+AnnotatedGenome
+make_ancestor(const std::string& name, const AncestorConfig& config,
+              const MarkovSource& source, Rng& rng)
+{
+    require(config.exon_min_length > 0 &&
+            config.exon_min_length <= config.exon_max_length,
+            "make_ancestor: bad exon length range");
+
+    // Repeat family elements shared by every chromosome.
+    std::vector<seq::Sequence> elements;
+    for (std::size_t family = 0; family < config.repeat_families;
+         ++family) {
+        const auto len = static_cast<std::size_t>(rng.uniform_range(
+            static_cast<std::int64_t>(config.repeat_element_min_length),
+            static_cast<std::int64_t>(config.repeat_element_max_length)));
+        elements.push_back(source.generate(
+            len, rng, strprintf("%s_fam%zu", name.c_str(), family)));
+    }
+
+    AnnotatedGenome out;
+    out.genome.set_name(name);
+    for (std::size_t c = 0; c < config.num_chromosomes; ++c) {
+        seq::Sequence chrom = source.generate(
+            config.chromosome_length, rng,
+            strprintf("%s_chr%zu", name.c_str(), c + 1));
+
+        // Exons go on a jittered grid (non-overlapping by construction);
+        // the gaps between them are filled with alignable islands and
+        // repeat copies.
+        std::vector<Annotation> exons;
+        const std::size_t want = config.exons_per_chromosome;
+        if (want > 0 && chrom.size() > config.exon_max_length * 2) {
+            const std::size_t stride = chrom.size() / want;
+            for (std::size_t e = 0; e < want; ++e) {
+                const std::uint64_t len = static_cast<std::uint64_t>(
+                    rng.uniform_range(
+                        static_cast<std::int64_t>(config.exon_min_length),
+                        static_cast<std::int64_t>(config.exon_max_length)));
+                if (stride <= len + 2)
+                    break;
+                const std::size_t slack = stride - len - 1;
+                const std::size_t start =
+                    e * stride + rng.uniform(std::max<std::size_t>(slack, 1));
+                if (start + len > chrom.size())
+                    break;
+                Annotation exon;
+                exon.name = strprintf("%s_chr%zu_exon%zu", name.c_str(),
+                                      c + 1, e);
+                exon.interval = {start, start + len};
+                exon.kind = AnnotationKind::Exon;
+                exon.sub_factor =
+                    uniform_in(rng, config.exon_sub_factor_min,
+                               config.exon_sub_factor_max);
+                exon.indel_factor =
+                    uniform_in(rng, config.exon_indel_factor_min,
+                               config.exon_indel_factor_max);
+                exons.push_back(std::move(exon));
+            }
+        }
+
+        std::vector<Annotation> annotations;
+        IslandPlanter planter{config, elements, chrom.codes(), rng, c};
+        std::uint64_t cursor = 0;
+        for (auto& exon : exons) {
+            planter.fill(cursor, exon.interval.start, &annotations);
+            cursor = exon.interval.end;
+            annotations.push_back(std::move(exon));
+        }
+        planter.fill(cursor, chrom.size(), &annotations);
+
+        out.genome.add_chromosome(std::move(chrom));
+        out.annotations.push_back(std::move(annotations));
+    }
+    return out;
+}
+
+AnnotatedGenome
+evolve_genome(const AnnotatedGenome& ancestor,
+              const std::string& descendant_name,
+              const BranchParams& params, Rng& rng, BranchStats* stats)
+{
+    Mutator mutator(params);
+    AnnotatedGenome out;
+    out.genome.set_name(descendant_name);
+    for (std::size_t c = 0; c < ancestor.genome.num_chromosomes(); ++c) {
+        MutationResult result = mutator.mutate(
+            ancestor.genome.chromosome(c), ancestor.annotations[c], rng);
+        result.sequence.set_name(strprintf("%s_chr%zu",
+                                           descendant_name.c_str(), c + 1));
+        if (stats) {
+            stats->substitutions += result.substitutions;
+            stats->insertion_events += result.insertion_events;
+            stats->deletion_events += result.deletion_events;
+            stats->inserted_bases += result.inserted_bases;
+            stats->deleted_bases += result.deleted_bases;
+        }
+        out.genome.add_chromosome(std::move(result.sequence));
+        out.annotations.push_back(std::move(result.annotations));
+    }
+    return out;
+}
+
+}  // namespace darwin::synth

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Genome-level evolution: generate an ancestor with planted conserved
+ * "exon" segments, then evolve descendant genomes along branches.
+ *
+ * The planted segments are our ground-truth substitute for the paper's
+ * TBLASTX exon orthology oracle (see DESIGN.md §1): because we know where
+ * every exon landed in *both* descendants, exon recovery can be scored
+ * exactly instead of via a second aligner.
+ */
+#ifndef DARWIN_SYNTH_EVOLVER_H
+#define DARWIN_SYNTH_EVOLVER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/genome.h"
+#include "synth/markov_source.h"
+#include "synth/mutator.h"
+#include "util/rng.h"
+
+namespace darwin::synth {
+
+/** Shape of the generated ancestor. */
+struct AncestorConfig {
+    std::size_t num_chromosomes = 2;
+    std::size_t chromosome_length = 500'000;
+
+    /** Number of planted conserved exons per chromosome. */
+    std::size_t exons_per_chromosome = 100;
+    std::uint64_t exon_min_length = 80;
+    std::uint64_t exon_max_length = 400;
+    /** Exon substitution-rate factors are drawn uniformly from this
+     *  range: low-end exons are trivially found by any aligner, high-end
+     *  ones are the marginal cases that separate the aligners. */
+    double exon_sub_factor_min = 0.05;
+    double exon_sub_factor_max = 0.40;
+    double exon_indel_factor_min = 0.02;
+    double exon_indel_factor_max = 0.15;
+
+    /**
+     * Alignable-island mosaic. Real genomes are not uniformly divergent:
+     * alignable islands under moderate constraint sit in neutral
+     * background that distant species cannot align at all. The island
+     * parameters control how much of the genome distant pairs can align
+     * and how marginal those alignments are — the regime where gapped
+     * vs ungapped filtering separates (paper Fig. 2 / Table III).
+     */
+    double island_fraction = 0.40;       ///< genome fraction in islands
+    std::uint64_t island_mean_length = 500;
+    double island_sub_factor_min = 0.25;
+    double island_sub_factor_max = 0.75;
+    /** Island indel load relative to the neutral indel rate; the high end
+     *  produces the short ungapped blocks of Fig. 2. */
+    double island_indel_factor_min = 0.30;
+    double island_indel_factor_max = 1.00;
+
+    /**
+     * Paralogous repeat families. A fraction of islands are not fresh
+     * sequence but diverged *copies* of a shared family element: every
+     * (target copy, query copy) pair of a family is a potential
+     * paralogous alignment at identity (copy ages + branch divergence).
+     * Paralogs dominate the matched-bp gains the paper reports for
+     * distant pairs (§VI-B: "paralogs are more numerous and faster
+     * evolving than orthologs ... Darwin-WGA helps identify these
+     * paralogs with much higher sensitivity") — matched base-pairs can
+     * exceed the genome length because one target region chains to many
+     * query copies.
+     */
+    std::size_t repeat_families = 4;
+    std::uint64_t repeat_element_min_length = 250;
+    std::uint64_t repeat_element_max_length = 600;
+    /** Probability that an island slot hosts a repeat copy instead. */
+    double repeat_island_fraction = 0.55;
+    /** Per-copy age (substitutions/site accumulated before speciation). */
+    double repeat_age_min = 0.02;
+    double repeat_age_max = 0.25;
+    /** Branch rate factors for repeat copies (they are conserved-ish). */
+    double repeat_sub_factor_min = 0.15;
+    double repeat_sub_factor_max = 0.35;
+    double repeat_indel_factor_min = 0.30;
+    double repeat_indel_factor_max = 0.80;
+};
+
+/** A genome plus its per-chromosome rate-class annotations. */
+struct AnnotatedGenome {
+    seq::Genome genome;
+    /** annotations[c] are sorted, non-overlapping segments on chromosome c
+     *  (exons and alignable islands interleaved). */
+    std::vector<std::vector<Annotation>> annotations;
+
+    /** Number of planted exons (AnnotationKind::Exon only). */
+    std::size_t total_exons() const;
+};
+
+/** Aggregate mutation statistics for a whole-genome branch. */
+struct BranchStats {
+    std::uint64_t substitutions = 0;
+    std::uint64_t insertion_events = 0;
+    std::uint64_t deletion_events = 0;
+    std::uint64_t inserted_bases = 0;
+    std::uint64_t deleted_bases = 0;
+};
+
+/** Generate an ancestor genome with planted exon annotations. */
+AnnotatedGenome make_ancestor(const std::string& name,
+                              const AncestorConfig& config,
+                              const MarkovSource& source, Rng& rng);
+
+/** Evolve a whole annotated genome along one branch. */
+AnnotatedGenome evolve_genome(const AnnotatedGenome& ancestor,
+                              const std::string& descendant_name,
+                              const BranchParams& params, Rng& rng,
+                              BranchStats* stats = nullptr);
+
+}  // namespace darwin::synth
+
+#endif  // DARWIN_SYNTH_EVOLVER_H

@@ -1,0 +1,89 @@
+#include "synth/markov_source.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace darwin::synth {
+
+namespace {
+
+void
+check_distribution(const std::array<double, 4>& dist, const char* what)
+{
+    double total = 0.0;
+    for (double p : dist) {
+        require(p >= 0.0, "MarkovSource: negative probability");
+        total += p;
+    }
+    if (std::abs(total - 1.0) > 1e-6)
+        fatal(std::string("MarkovSource: ") + what + " does not sum to 1");
+}
+
+std::uint8_t
+sample(const std::array<double, 4>& dist, Rng& rng)
+{
+    double r = rng.uniform_double();
+    for (int b = 0; b < 4; ++b) {
+        r -= dist[static_cast<std::size_t>(b)];
+        if (r < 0.0)
+            return static_cast<std::uint8_t>(b);
+    }
+    return 3;
+}
+
+}  // namespace
+
+MarkovSource::MarkovSource(const std::array<double, 4>& initial,
+                           const Matrix& transition)
+    : initial_(initial), transition_(transition)
+{
+    check_distribution(initial_, "initial distribution");
+    for (const auto& row : transition_)
+        check_distribution(row, "transition row");
+}
+
+MarkovSource
+MarkovSource::genome_like()
+{
+    // Roughly invertebrate-like composition: AT-rich with CpG depletion
+    // (row C has a depressed G column) and mild homopolymer affinity.
+    const std::array<double, 4> initial = {0.30, 0.20, 0.20, 0.30};
+    const Matrix transition = {{
+        // next:   A      C      G      T        current:
+        {{0.35, 0.17, 0.20, 0.28}},            // A
+        {{0.32, 0.24, 0.06, 0.38}},            // C (CpG depleted)
+        {{0.28, 0.21, 0.24, 0.27}},            // G
+        {{0.25, 0.18, 0.22, 0.35}},            // T
+    }};
+    return MarkovSource(initial, transition);
+}
+
+MarkovSource
+MarkovSource::uniform()
+{
+    const std::array<double, 4> initial = {0.25, 0.25, 0.25, 0.25};
+    Matrix transition{};
+    for (auto& row : transition)
+        row = {0.25, 0.25, 0.25, 0.25};
+    return MarkovSource(initial, transition);
+}
+
+seq::Sequence
+MarkovSource::generate(std::size_t length, Rng& rng,
+                       const std::string& name) const
+{
+    std::vector<std::uint8_t> codes;
+    codes.reserve(length);
+    if (length == 0)
+        return seq::Sequence(name, std::move(codes));
+    std::uint8_t current = sample(initial_, rng);
+    codes.push_back(current);
+    for (std::size_t i = 1; i < length; ++i) {
+        current = sample(transition_[current], rng);
+        codes.push_back(current);
+    }
+    return seq::Sequence(name, std::move(codes));
+}
+
+}  // namespace darwin::synth

@@ -1,0 +1,218 @@
+#include "synth/mutator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace darwin::synth {
+
+namespace {
+
+/**
+ * Convert a branch length (substitutions/site) into the probability that a
+ * site is observed mutated, correcting for multiple hits (Jukes-Cantor).
+ */
+double
+observable_substitution_probability(double subs_per_site)
+{
+    return 0.75 * (1.0 - std::exp(-4.0 / 3.0 * subs_per_site));
+}
+
+/** Sweeps annotation boundaries while ancestor coordinates advance. */
+class AnnotationMapper {
+  public:
+    AnnotationMapper(const std::vector<Annotation>& annotations)
+        : annotations_(annotations), out_(annotations)
+    {
+    }
+
+    /**
+     * Note that the ancestor cursor has reached `ancestor_pos` and the
+     * output currently holds `out_pos` bases. Must be called with
+     * non-decreasing ancestor_pos.
+     */
+    void
+    advance(std::size_t ancestor_pos, std::size_t out_pos)
+    {
+        while (next_start_ < annotations_.size() &&
+               annotations_[next_start_].interval.start <= ancestor_pos) {
+            out_[next_start_].interval.start = out_pos;
+            ++next_start_;
+        }
+        while (next_end_ < annotations_.size() &&
+               annotations_[next_end_].interval.end <= ancestor_pos) {
+            out_[next_end_].interval.end = out_pos;
+            ++next_end_;
+        }
+    }
+
+    /** Finalize at end of sequence. */
+    std::vector<Annotation>
+    finish(std::size_t ancestor_len, std::size_t out_len)
+    {
+        advance(ancestor_len, out_len);
+        // Any annotation whose end was never crossed ends at out_len.
+        for (std::size_t i = next_end_; i < annotations_.size(); ++i)
+            out_[i].interval.end = out_len;
+        return std::move(out_);
+    }
+
+    /**
+     * Index of the (sorted, non-overlapping) annotation containing
+     * ancestor_pos, or npos.
+     */
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    std::size_t
+    containing(std::size_t ancestor_pos)
+    {
+        while (cursor_ < annotations_.size() &&
+               annotations_[cursor_].interval.end <= ancestor_pos)
+            ++cursor_;
+        if (cursor_ < annotations_.size() &&
+            annotations_[cursor_].interval.start <= ancestor_pos &&
+            ancestor_pos < annotations_[cursor_].interval.end)
+            return cursor_;
+        return npos;
+    }
+
+  private:
+    const std::vector<Annotation>& annotations_;
+    std::vector<Annotation> out_;
+    std::size_t next_start_ = 0;
+    std::size_t next_end_ = 0;
+    std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+Mutator::Mutator(BranchParams params) : params_(params)
+{
+    require(params_.substitutions_per_site >= 0.0,
+            "Mutator: negative substitution rate");
+    require(params_.indel_rate_per_site >= 0.0 &&
+            params_.indel_rate_per_site < 1.0,
+            "Mutator: indel rate out of range");
+    require(params_.transition_fraction >= 0.0 &&
+            params_.transition_fraction <= 1.0,
+            "Mutator: transition fraction out of range");
+}
+
+std::uint64_t
+Mutator::draw_indel_length(Rng& rng) const
+{
+    if (rng.chance(params_.long_indel_fraction)) {
+        return rng.zipf(params_.long_indel_alpha,
+                        std::max<std::uint64_t>(params_.long_indel_max, 1));
+    }
+    return 1 + rng.geometric(params_.short_indel_p);
+}
+
+std::uint8_t
+Mutator::substitute(std::uint8_t base, Rng& rng) const
+{
+    if (!seq::is_concrete(base))
+        return base;
+    if (rng.chance(params_.transition_fraction))
+        return seq::transition_partner(base);
+    // Pick one of the two transversion targets uniformly.
+    const std::uint8_t partner = seq::transition_partner(base);
+    std::uint8_t options[2];
+    int count = 0;
+    for (std::uint8_t b = 0; b < seq::kNumBases; ++b) {
+        if (b != base && b != partner)
+            options[count++] = b;
+    }
+    return options[rng.uniform(2)];
+}
+
+MutationResult
+Mutator::mutate(const seq::Sequence& ancestor,
+                const std::vector<Annotation>& annotations,
+                Rng& rng) const
+{
+    for (std::size_t i = 1; i < annotations.size(); ++i) {
+        require(annotations[i - 1].interval.end <=
+                annotations[i].interval.start,
+                "Mutator: annotations must be sorted and non-overlapping");
+    }
+
+    // Per-annotation rates (annotation factors override the defaults).
+    const double p_sub_neutral =
+        observable_substitution_probability(params_.substitutions_per_site);
+    const double p_indel_neutral = params_.indel_rate_per_site;
+    std::vector<double> p_sub_ann(annotations.size());
+    std::vector<double> p_indel_ann(annotations.size());
+    for (std::size_t a = 0; a < annotations.size(); ++a) {
+        const double sf = annotations[a].sub_factor >= 0.0
+                              ? annotations[a].sub_factor
+                              : params_.conserved_sub_factor;
+        const double inf = annotations[a].indel_factor >= 0.0
+                               ? annotations[a].indel_factor
+                               : params_.conserved_indel_factor;
+        p_sub_ann[a] = observable_substitution_probability(
+            params_.substitutions_per_site * sf);
+        p_indel_ann[a] =
+            std::min(0.9, params_.indel_rate_per_site * inf);
+    }
+
+    MutationResult result;
+    auto& out = result.sequence.codes();
+    out.reserve(ancestor.size() + ancestor.size() / 16);
+    AnnotationMapper mapper(annotations);
+
+    std::size_t i = 0;
+    const std::size_t n = ancestor.size();
+    while (i < n) {
+        mapper.advance(i, out.size());
+        const std::size_t ann = mapper.containing(i);
+        const bool inside = ann != AnnotationMapper::npos;
+        const double p_indel = inside ? p_indel_ann[ann] : p_indel_neutral;
+        const double p_sub = inside ? p_sub_ann[ann] : p_sub_neutral;
+
+        if (rng.chance(p_indel)) {
+            const std::uint64_t len = draw_indel_length(rng);
+            if (rng.chance(0.5)) {
+                // Deletion: skip `len` ancestral bases (clamped).
+                const std::size_t del =
+                    std::min<std::size_t>(len, n - i);
+                ++result.deletion_events;
+                result.deleted_bases += del;
+                i += del;
+                continue;
+            }
+            // Insertion before the current base. Half of insertions are
+            // tandem duplications of the preceding output; half are random.
+            ++result.insertion_events;
+            result.inserted_bases += len;
+            if (!out.empty() && rng.chance(0.5)) {
+                const std::size_t copy_len =
+                    std::min<std::size_t>(len, out.size());
+                const std::size_t from = out.size() - copy_len;
+                for (std::size_t k = 0; k < len; ++k)
+                    out.push_back(out[from + (k % copy_len)]);
+            } else {
+                for (std::uint64_t k = 0; k < len; ++k)
+                    out.push_back(
+                        static_cast<std::uint8_t>(rng.uniform(4)));
+            }
+        }
+
+        std::uint8_t base = ancestor[i];
+        if (rng.chance(p_sub)) {
+            const std::uint8_t mutated = substitute(base, rng);
+            if (mutated != base)
+                ++result.substitutions;
+            base = mutated;
+        }
+        out.push_back(base);
+        ++i;
+    }
+
+    result.sequence.set_name(ancestor.name() + ":desc");
+    result.annotations = mapper.finish(n, out.size());
+    return result;
+}
+
+}  // namespace darwin::synth

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Species-pair factory: the four whole-genome-alignment workloads of the
+ * paper (Table I / Fig. 8), realized as synthetic analogues.
+ *
+ * Each paper pair is reproduced by evolving two descendants from a common
+ * ancestor with a total phylogenetic distance chosen to match the paper's
+ * Fig. 8 tree (substitutions/site between the pair). Genome sizes default
+ * to a software-feasible scale; the *ratios* the paper reports are
+ * size-independent (DESIGN.md §1).
+ */
+#ifndef DARWIN_SYNTH_SPECIES_H
+#define DARWIN_SYNTH_SPECIES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/evolver.h"
+
+namespace darwin::synth {
+
+/** Static description of one paper species pair. */
+struct SpeciesPairSpec {
+    std::string pair_name;      ///< e.g. "ce11-cb4"
+    std::string target_name;    ///< synthetic analogue of the target
+    std::string query_name;     ///< synthetic analogue of the query
+    /** Neutral (background) pairwise divergence in substitutions/site,
+     *  both branches combined. Alignable islands and exons evolve at a
+     *  fraction of this (AncestorConfig factor ranges), so the distance
+     *  observed over *aligned* columns is considerably smaller. */
+    double distance = 0.1;
+    /** Neutral indel event rate per site (both branches combined). */
+    double indel_rate_per_site = 0.012;
+
+    /** Island conservation ranges for this pair (fractions of the
+     *  neutral rates). They place the pair's alignable islands in the
+     *  identity/indel-density regime where the paper's aligners operate:
+     *  mostly identity 55-85% with indels every ~15-60 bp. */
+    double island_sub_factor_min = 0.25;
+    double island_sub_factor_max = 0.75;
+    double island_indel_factor_min = 0.30;
+    double island_indel_factor_max = 1.00;
+};
+
+/** A fully materialized workload: two genomes + ground-truth annotations. */
+struct SpeciesPair {
+    SpeciesPairSpec spec;
+    AnnotatedGenome target;
+    AnnotatedGenome query;
+    BranchStats target_branch;
+    BranchStats query_branch;
+};
+
+/**
+ * The paper's four evaluation pairs in Table V order:
+ * ce11-cb4, dm6-dp4, dm6-droYak2, dm6-droSim1.
+ */
+std::vector<SpeciesPairSpec> paper_species_pairs();
+
+/** Look up a paper pair spec by name; fatal() if unknown. */
+SpeciesPairSpec find_species_pair(const std::string& pair_name);
+
+/**
+ * Materialize a species pair: generate the ancestor and evolve both
+ * branches (distance split evenly).
+ *
+ * @param spec   Which pair to build.
+ * @param config Ancestor shape (genome size, exon density).
+ * @param seed   Deterministic seed; same seed -> identical pair.
+ */
+SpeciesPair make_species_pair(const SpeciesPairSpec& spec,
+                              const AncestorConfig& config,
+                              std::uint64_t seed);
+
+}  // namespace darwin::synth
+
+#endif  // DARWIN_SYNTH_SPECIES_H

@@ -1,0 +1,82 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace darwin {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_mutex;
+
+const char*
+level_tag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void
+set_log_level(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+log_level()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+log_message(LogLevel level, const std::string& msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(log_level()))
+        return;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+}
+
+void
+inform(const std::string& msg)
+{
+    log_message(LogLevel::Info, msg);
+}
+
+void
+warn(const std::string& msg)
+{
+    log_message(LogLevel::Warn, msg);
+}
+
+void
+debug(const std::string& msg)
+{
+    log_message(LogLevel::Debug, msg);
+}
+
+void
+fatal(const std::string& msg)
+{
+    log_message(LogLevel::Error, "fatal: " + msg);
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string& msg)
+{
+    log_message(LogLevel::Error, "panic: " + msg);
+    std::abort();
+}
+
+}  // namespace darwin

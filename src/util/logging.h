@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal thread-safe logging for the Darwin-WGA library.
+ *
+ * Severity model follows the conventions of simulator codebases:
+ *  - fatal():  user-caused, unrecoverable condition (bad input/config);
+ *              throws FatalError so callers and tests can intercept it.
+ *  - panic():  internal invariant violation (a library bug); aborts.
+ *  - warn()/inform(): advisory messages on stderr, never terminate.
+ */
+#ifndef DARWIN_UTIL_LOGGING_H
+#define DARWIN_UTIL_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace darwin {
+
+/** Severity of a log record. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/** Exception thrown by fatal() for user-caused unrecoverable errors. */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/** Global log threshold; records below it are dropped. Defaults to Info. */
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/** Emit a record at the given level (thread-safe, single write). */
+void log_message(LogLevel level, const std::string& msg);
+
+/** Informational message, visible at Info level. */
+void inform(const std::string& msg);
+
+/** Advisory about questionable but survivable conditions. */
+void warn(const std::string& msg);
+
+/** Debug chatter, hidden unless the level is lowered to Debug. */
+void debug(const std::string& msg);
+
+/** User-caused unrecoverable error: logs and throws FatalError. */
+[[noreturn]] void fatal(const std::string& msg);
+
+/** Internal invariant violation: logs and aborts. */
+[[noreturn]] void panic(const std::string& msg);
+
+/**
+ * Check an internal invariant; calls panic() with the message on failure.
+ * Unlike assert(), stays active in release builds — the algorithms here
+ * guard DP-table indexing with it.
+ */
+inline void
+require(bool condition, const char* msg)
+{
+    if (!condition)
+        panic(msg);
+}
+
+}  // namespace darwin
+
+#endif  // DARWIN_UTIL_LOGGING_H

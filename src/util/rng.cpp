@@ -1,0 +1,148 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace darwin {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto& word : state_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::uniform(std::uint64_t bound)
+{
+    require(bound > 0, "Rng::uniform: bound must be positive");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::uniform_range(std::int64_t lo, std::int64_t hi)
+{
+    require(lo <= hi, "Rng::uniform_range: lo must be <= hi");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double
+Rng::uniform_double()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform_double() < p;
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    require(p > 0.0 && p <= 1.0, "Rng::geometric: p must be in (0,1]");
+    if (p == 1.0)
+        return 0;
+    double u = uniform_double();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+std::size_t
+Rng::weighted_pick(const std::vector<double>& weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        require(w >= 0.0, "Rng::weighted_pick: negative weight");
+        total += w;
+    }
+    require(total > 0.0, "Rng::weighted_pick: all weights zero");
+    double r = uniform_double() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::uint64_t
+Rng::zipf(double alpha, std::uint64_t max_value)
+{
+    require(max_value >= 1, "Rng::zipf: max_value must be >= 1");
+    // Inverse-CDF sampling over the truncated power law via rejection on a
+    // continuous envelope; adequate for the indel-length use case.
+    for (;;) {
+        const double u = uniform_double();
+        // Continuous Pareto-like draw on [1, max+1).
+        const double one_minus_a = 1.0 - alpha;
+        double x;
+        if (std::abs(one_minus_a) < 1e-12) {
+            x = std::pow(static_cast<double>(max_value) + 1.0, u);
+        } else {
+            const double hi = std::pow(static_cast<double>(max_value) + 1.0,
+                                       one_minus_a);
+            x = std::pow(1.0 + u * (hi - 1.0), 1.0 / one_minus_a);
+        }
+        const std::uint64_t k = static_cast<std::uint64_t>(x);
+        if (k >= 1 && k <= max_value)
+            return k;
+    }
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd2b74407b1ce6e93ULL);
+}
+
+}  // namespace darwin

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Everything stochastic in this library (synthetic genome generation,
+ * mutation processes, shuffles, test sweeps) draws from Rng so that every
+ * experiment is exactly reproducible from a 64-bit seed. The core generator
+ * is xoshiro256**, seeded through splitmix64.
+ */
+#ifndef DARWIN_UTIL_RNG_H
+#define DARWIN_UTIL_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace darwin {
+
+/** xoshiro256** pseudo-random generator with distribution helpers. */
+class Rng {
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Raw 64 uniform random bits. */
+    std::uint64_t next();
+
+    /** UniformRandomBitGenerator interface for <random> interop. */
+    result_type operator()() { return next(); }
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t uniform(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform_double();
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p);
+
+    /**
+     * Geometric draw: number of failures before the first success for
+     * success probability p in (0, 1]. Used for indel length - 1.
+     */
+    std::uint64_t geometric(double p);
+
+    /**
+     * Draw an index according to non-negative weights. At least one weight
+     * must be positive.
+     */
+    std::size_t weighted_pick(const std::vector<double>& weights);
+
+    /** Zipf-like heavy-tailed draw in [1, max_value]: P(k) ~ 1/k^alpha. */
+    std::uint64_t zipf(double alpha, std::uint64_t max_value);
+
+    /** Fork a statistically-independent child stream (splitmix of state). */
+    Rng fork();
+
+  private:
+    std::uint64_t state_[4];
+};
+
+}  // namespace darwin
+
+#endif  // DARWIN_UTIL_RNG_H

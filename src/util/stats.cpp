@@ -1,0 +1,135 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace darwin {
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    sum_sq_ += x * x;
+}
+
+double
+RunningStats::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double m = mean();
+    return std::max(0.0, (sum_sq_ - n * m * m) / (n - 1.0));
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+RunningStats::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+LogHistogram::LogHistogram(int num_bins)
+    : bins_(static_cast<std::size_t>(num_bins), 0)
+{
+    require(num_bins > 0 && num_bins <= 63, "LogHistogram: bad bin count");
+}
+
+void
+LogHistogram::add(std::uint64_t value)
+{
+    int bin = 0;
+    std::uint64_t v = std::max<std::uint64_t>(value, 1);
+    while (v > 1) {
+        v >>= 1;
+        ++bin;
+    }
+    bin = std::min(bin, num_bins() - 1);
+    ++bins_[static_cast<std::size_t>(bin)];
+    raw_.push_back(value);
+    ++total_;
+}
+
+std::uint64_t
+LogHistogram::bin_low(int bin) const
+{
+    return 1ULL << bin;
+}
+
+double
+LogHistogram::fraction_below(std::uint64_t threshold) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    for (std::uint64_t v : raw_) {
+        if (v < threshold)
+            ++below;
+    }
+    return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::string
+LogHistogram::render(int width) const
+{
+    std::uint64_t peak = 1;
+    for (std::uint64_t c : bins_)
+        peak = std::max(peak, c);
+    std::string out;
+    for (int b = 0; b < num_bins(); ++b) {
+        const std::uint64_t c = bins_[static_cast<std::size_t>(b)];
+        if (c == 0)
+            continue;
+        const int bar =
+            static_cast<int>(static_cast<double>(c) * width / peak);
+        out += strprintf("  [%8llu, %8llu) %10s |",
+                         static_cast<unsigned long long>(bin_low(b)),
+                         static_cast<unsigned long long>(bin_low(b) * 2),
+                         with_commas(c).c_str());
+        out.append(static_cast<std::size_t>(std::max(bar, c ? 1 : 0)), '#');
+        out += "\n";
+    }
+    return out;
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace darwin

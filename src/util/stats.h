@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Descriptive statistics and histograms used by the evaluation module and
+ * the bench harnesses (e.g. the ungapped block-size distribution of Fig. 2).
+ */
+#ifndef DARWIN_UTIL_STATS_H
+#define DARWIN_UTIL_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace darwin {
+
+/** Streaming accumulator for count/mean/min/max/variance. */
+class RunningStats {
+  public:
+    void add(double x);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Histogram with logarithmic (base-2) bins over [1, 2^max_bin). Matches the
+ * log-scale X axis of the paper's Figure 2.
+ */
+class LogHistogram {
+  public:
+    explicit LogHistogram(int num_bins = 24);
+
+    void add(std::uint64_t value);
+
+    int num_bins() const { return static_cast<int>(bins_.size()); }
+    std::uint64_t bin_count(int bin) const { return bins_.at(bin); }
+    std::uint64_t total() const { return total_; }
+
+    /** Lower edge of a bin (1, 2, 4, ...). */
+    std::uint64_t bin_low(int bin) const;
+
+    /** Fraction of mass at values strictly below the threshold. */
+    double fraction_below(std::uint64_t threshold) const;
+
+    /** Render an ASCII plot (one row per non-empty bin). */
+    std::string render(int width = 50) const;
+
+  private:
+    std::vector<std::uint64_t> bins_;
+    std::vector<std::uint64_t> raw_;  // retained for exact quantiles
+    std::uint64_t total_ = 0;
+};
+
+/** Exact percentile of a copy of the data (p in [0,100]). */
+double percentile(std::vector<double> values, double p);
+
+}  // namespace darwin
+
+#endif  // DARWIN_UTIL_STATS_H

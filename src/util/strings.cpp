@@ -1,0 +1,119 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace darwin {
+
+std::vector<std::string>
+split(const std::string& text, char delim)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream in(text);
+    while (std::getline(in, field, delim))
+        fields.push_back(field);
+    if (!text.empty() && text.back() == delim)
+        fields.push_back("");
+    if (text.empty())
+        fields.push_back("");
+    return fields;
+}
+
+std::string
+join(const std::vector<std::string>& items, const std::string& sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += items[i];
+    }
+    return out;
+}
+
+std::string
+trim(const std::string& text)
+{
+    std::size_t first = 0;
+    std::size_t last = text.size();
+    while (first < last &&
+           std::isspace(static_cast<unsigned char>(text[first])))
+        ++first;
+    while (last > first &&
+           std::isspace(static_cast<unsigned char>(text[last - 1])))
+        --last;
+    return text.substr(first, last - first);
+}
+
+bool
+starts_with(const std::string& text, const std::string& prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+with_commas(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count > 0 && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    return std::string(out.rbegin(), out.rend());
+}
+
+std::string
+fixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+si_magnitude(double value)
+{
+    static const char* suffixes[] = {"", "K", "M", "G", "T"};
+    int idx = 0;
+    double v = std::fabs(value);
+    while (v >= 1000.0 && idx < 4) {
+        v /= 1000.0;
+        ++idx;
+    }
+    const double scaled = (value < 0 ? -v : v);
+    char buf[64];
+    if (idx == 0 && std::floor(scaled) == scaled) {
+        std::snprintf(buf, sizeof(buf), "%.0f", scaled);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f%s", scaled, suffixes[idx]);
+    }
+    return buf;
+}
+
+std::string
+strprintf(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out(needed > 0 ? needed : 0, '\0');
+    if (needed > 0)
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    va_end(args_copy);
+    return out;
+}
+
+}  // namespace darwin

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small string helpers shared across modules (formatting, splitting,
+ * human-readable numbers for bench output).
+ */
+#ifndef DARWIN_UTIL_STRINGS_H
+#define DARWIN_UTIL_STRINGS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace darwin {
+
+/** Split on a delimiter; empty fields are preserved. */
+std::vector<std::string> split(const std::string& text, char delim);
+
+/** Join items with a separator. */
+std::string join(const std::vector<std::string>& items,
+                 const std::string& sep);
+
+/** Trim ASCII whitespace from both ends. */
+std::string trim(const std::string& text);
+
+/** True if text begins with the given prefix. */
+bool starts_with(const std::string& text, const std::string& prefix);
+
+/** Format a count with thousands separators, e.g. 1,234,567. */
+std::string with_commas(std::uint64_t value);
+
+/** Format a double with fixed precision. */
+std::string fixed(double value, int precision);
+
+/** Format e.g. 1234567 as "1.23M" (SI suffixes, 3 significant figures). */
+std::string si_magnitude(double value);
+
+/** Printf-style formatting into a std::string. */
+std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace darwin
+
+#endif  // DARWIN_UTIL_STRINGS_H

@@ -1,0 +1,94 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace darwin {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (auto& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+        ++in_flight_;
+    }
+    task_ready_.notify_one();
+}
+
+void
+ThreadPool::wait_idle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& body,
+                         std::size_t grain)
+{
+    if (begin >= end)
+        return;
+    const std::size_t n = end - begin;
+    if (grain == 0)
+        grain = std::max<std::size_t>(1, n / (size() * 8));
+    for (std::size_t chunk = begin; chunk < end; chunk += grain) {
+        const std::size_t chunk_end = std::min(end, chunk + grain);
+        submit([chunk, chunk_end, &body] {
+            for (std::size_t i = chunk; i < chunk_end; ++i)
+                body(i);
+        });
+    }
+    wait_idle();
+}
+
+void
+ThreadPool::worker_loop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            task_ready_.wait(lock,
+                             [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                // stopping_ must be set; drain is complete.
+                return;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+}  // namespace darwin

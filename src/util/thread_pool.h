@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fixed-size thread pool used by the WGA pipelines.
+ *
+ * The filtering and extension stages process millions of independent tiles;
+ * ThreadPool::parallel_for partitions such index ranges across workers.
+ */
+#ifndef DARWIN_UTIL_THREAD_POOL_H
+#define DARWIN_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace darwin {
+
+/** A minimal work-queue thread pool. */
+class ThreadPool {
+  public:
+    /**
+     * @param num_threads Worker count; 0 means hardware_concurrency().
+     */
+    explicit ThreadPool(std::size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /** Enqueue a task; runs at some point on a worker thread. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait_idle();
+
+    /**
+     * Run body(i) for every i in [begin, end) across the pool and wait.
+     * Work is handed out in contiguous grains to limit queue contention.
+     */
+    void parallel_for(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)>& body,
+                      std::size_t grain = 0);
+
+  private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable task_ready_;
+    std::condition_variable idle_;
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+};
+
+}  // namespace darwin
+
+#endif  // DARWIN_UTIL_THREAD_POOL_H

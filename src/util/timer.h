@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Wall-clock timing helpers used by the pipelines and bench harnesses.
+ */
+#ifndef DARWIN_UTIL_TIMER_H
+#define DARWIN_UTIL_TIMER_H
+
+#include <chrono>
+
+namespace darwin {
+
+/** Monotonic stopwatch; starts on construction. */
+class Timer {
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        const auto dt = Clock::now() - start_;
+        return std::chrono::duration<double>(dt).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace darwin
+
+#endif  // DARWIN_UTIL_TIMER_H

@@ -1,0 +1,183 @@
+#include "wga/chain_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace darwin::wga {
+
+namespace {
+
+/** One ungapped block in flat coordinates. */
+struct Block {
+    std::uint64_t t = 0;
+    std::uint64_t q = 0;
+    std::uint64_t len = 0;
+};
+
+/** Split an alignment's edit script into ungapped blocks. */
+void
+append_blocks(const align::Alignment& alignment, std::vector<Block>* out)
+{
+    std::uint64_t t = alignment.target_start;
+    std::uint64_t q = alignment.query_start;
+    Block current{t, q, 0};
+    for (const auto& run : alignment.cigar.runs()) {
+        switch (run.op) {
+          case align::EditOp::Match:
+          case align::EditOp::Mismatch:
+            if (current.len == 0) {
+                current.t = t;
+                current.q = q;
+            }
+            current.len += run.length;
+            t += run.length;
+            q += run.length;
+            break;
+          case align::EditOp::Insert:
+          case align::EditOp::Delete:
+            if (current.len > 0) {
+                out->push_back(current);
+                current.len = 0;
+            }
+            if (run.op == align::EditOp::Insert)
+                q += run.length;
+            else
+                t += run.length;
+            break;
+        }
+    }
+    if (current.len > 0)
+        out->push_back(current);
+}
+
+/**
+ * Clip blocks so coordinates strictly advance (member alignments may
+ * overlap slightly at chain seams; UCSC chains require monotone blocks).
+ */
+std::vector<Block>
+monotone_blocks(const std::vector<Block>& blocks)
+{
+    std::vector<Block> out;
+    std::uint64_t t_end = 0;
+    std::uint64_t q_end = 0;
+    for (Block block : blocks) {
+        const std::uint64_t need_t =
+            block.t < t_end ? t_end - block.t : 0;
+        const std::uint64_t need_q =
+            block.q < q_end ? q_end - block.q : 0;
+        const std::uint64_t clip = std::max(need_t, need_q);
+        if (clip >= block.len)
+            continue;
+        block.t += clip;
+        block.q += clip;
+        block.len -= clip;
+        out.push_back(block);
+        t_end = block.t + block.len;
+        q_end = block.q + block.len;
+    }
+    return out;
+}
+
+}  // namespace
+
+void
+write_chains(std::ostream& out, const WgaResult& result,
+             const seq::Genome& target, const seq::Genome& query)
+{
+    std::size_t id = 0;
+    for (const auto& chain : result.chains) {
+        ++id;
+        if (chain.empty())
+            continue;
+        const bool reverse =
+            result.alignments[chain.members.front()].query_strand ==
+            align::Strand::Reverse;
+
+        std::vector<Block> blocks;
+        for (const std::size_t idx : chain.members)
+            append_blocks(result.alignments[idx], &blocks);
+        blocks = monotone_blocks(blocks);
+        if (blocks.empty())
+            continue;
+
+        // Resolve chromosomes; skip chains that leave one chromosome
+        // (the pipeline cannot produce them, but inputs may).
+        bool sep = false;
+        const auto t_pos = target.resolve(blocks.front().t, &sep);
+        bool sep_end = false;
+        const auto t_end_pos = target.resolve(
+            blocks.back().t + blocks.back().len - 1, &sep_end);
+        // For '-' chains the query coordinates live in
+        // reverse-complement space; mirror them to resolve.
+        const std::uint64_t q_flat_len = query.flattened().size();
+        const std::uint64_t q_lo =
+            reverse ? q_flat_len - (blocks.back().q + blocks.back().len)
+                    : blocks.front().q;
+        const std::uint64_t q_hi =
+            reverse ? q_flat_len - blocks.front().q - 1
+                    : blocks.back().q + blocks.back().len - 1;
+        bool q_sep = false, q_sep_end = false;
+        const auto q_pos = query.resolve(q_lo, &q_sep);
+        const auto q_end_pos = query.resolve(q_hi, &q_sep_end);
+        if (sep || sep_end || q_sep || q_sep_end ||
+            t_pos.chromosome != t_end_pos.chromosome ||
+            q_pos.chromosome != q_end_pos.chromosome) {
+            warn("chain_io: skipping chain crossing a chromosome "
+                 "separator");
+            continue;
+        }
+        const auto& t_chrom = target.chromosome(t_pos.chromosome);
+        const auto& q_chrom = query.chromosome(q_pos.chromosome);
+        const std::uint64_t t_off = target.flat_offset(t_pos.chromosome);
+        // In reverse space the chromosome's flat interval mirrors too.
+        const std::uint64_t q_off =
+            reverse ? q_flat_len -
+                          (query.flat_offset(q_pos.chromosome) +
+                           q_chrom.size())
+                    : query.flat_offset(q_pos.chromosome);
+
+        out << strprintf(
+            "chain %.0f %s %zu + %llu %llu %s %zu %c %llu %llu %zu\n",
+            chain.score, t_chrom.name().c_str(), t_chrom.size(),
+            static_cast<unsigned long long>(blocks.front().t - t_off),
+            static_cast<unsigned long long>(blocks.back().t +
+                                            blocks.back().len - t_off),
+            q_chrom.name().c_str(), q_chrom.size(), reverse ? '-' : '+',
+            static_cast<unsigned long long>(blocks.front().q - q_off),
+            static_cast<unsigned long long>(blocks.back().q +
+                                            blocks.back().len - q_off),
+            id);
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+            if (b + 1 < blocks.size()) {
+                const auto& next = blocks[b + 1];
+                out << strprintf(
+                    "%llu %llu %llu\n",
+                    static_cast<unsigned long long>(blocks[b].len),
+                    static_cast<unsigned long long>(
+                        next.t - (blocks[b].t + blocks[b].len)),
+                    static_cast<unsigned long long>(
+                        next.q - (blocks[b].q + blocks[b].len)));
+            } else {
+                out << strprintf("%llu\n", static_cast<unsigned long long>(
+                                               blocks[b].len));
+            }
+        }
+        out << "\n";
+    }
+}
+
+void
+write_chains_file(const std::string& path, const WgaResult& result,
+                  const seq::Genome& target, const seq::Genome& query)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("chain_io: cannot write file: " + path);
+    write_chains(out, result, target, query);
+}
+
+}  // namespace darwin::wga

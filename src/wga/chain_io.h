@@ -1,0 +1,42 @@
+/**
+ * @file
+ * UCSC .chain format output.
+ *
+ * The paper's §V-E workflow post-processes alignments with AXTCHAIN and
+ * uploads the chains to the UCSC genome browser; this writer emits the
+ * same interchange format so our chains can be loaded in browser-style
+ * tooling:
+ *
+ *   chain <score> <tName> <tSize> + <tStart> <tEnd>
+ *         <qName> <qSize> <qStrand> <qStart> <qEnd> <id>
+ *   <blockSize> <dt> <dq>
+ *   ...
+ *   <blockSize>
+ *
+ * Blocks are the ungapped segments of the member alignments; dt/dq are
+ * the gaps to the next block in target/query. Chains whose members span
+ * chromosome separators are skipped with a warning (the pipeline cannot
+ * produce them).
+ */
+#ifndef DARWIN_WGA_CHAIN_IO_H
+#define DARWIN_WGA_CHAIN_IO_H
+
+#include <iosfwd>
+
+#include "chain/anchor.h"
+#include "seq/genome.h"
+#include "wga/pipeline.h"
+
+namespace darwin::wga {
+
+/** Write chains (with their member alignments) as UCSC .chain records. */
+void write_chains(std::ostream& out, const WgaResult& result,
+                  const seq::Genome& target, const seq::Genome& query);
+
+/** Convenience: write to a file path. */
+void write_chains_file(const std::string& path, const WgaResult& result,
+                       const seq::Genome& target, const seq::Genome& query);
+
+}  // namespace darwin::wga
+
+#endif  // DARWIN_WGA_CHAIN_IO_H

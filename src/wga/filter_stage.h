@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The filtering stage: turns seed hits into extension anchors.
+ *
+ * Gapped mode cuts a Tf x Tf tile with the seed hit at its center and
+ * runs banded Smith-Waterman; the hit passes iff Vmax >= Hf and the
+ * anchor is xmax (paper §III-C). Ungapped mode is the LASTZ baseline:
+ * X-drop extension along the diagonal, anchor at the midpoint of the best
+ * segment. This stage dominates WGA runtime, so it is parallelized over
+ * candidates by the pipeline.
+ */
+#ifndef DARWIN_WGA_FILTER_STAGE_H
+#define DARWIN_WGA_FILTER_STAGE_H
+
+#include <optional>
+#include <vector>
+
+#include "align/banded_sw.h"
+#include "seed/dsoft.h"
+#include "util/thread_pool.h"
+#include "wga/params.h"
+
+namespace darwin::wga {
+
+/** An anchor that passed the filter. */
+struct FilterCandidate {
+    std::uint64_t anchor_t = 0;
+    std::uint64_t anchor_q = 0;
+    align::Score filter_score = 0;
+};
+
+/** Work counters for the filtering stage. */
+struct FilterStats {
+    std::uint64_t tiles = 0;
+    std::uint64_t cells = 0;
+    std::uint64_t passed = 0;
+
+    void
+    merge(const FilterStats& other)
+    {
+        tiles += other.tiles;
+        cells += other.cells;
+        passed += other.passed;
+    }
+};
+
+/** Filtering over one (target, query) span pair. */
+class FilterStage {
+  public:
+    FilterStage(const WgaParams& params,
+                std::span<const std::uint8_t> target,
+                std::span<const std::uint8_t> query);
+
+    /** Filter one seed hit; nullopt when it fails the threshold. */
+    std::optional<FilterCandidate> filter(const seed::SeedHit& hit,
+                                          FilterStats* stats = nullptr) const;
+
+    /**
+     * Filter a batch (optionally across a pool). The returned candidates
+     * are sorted by descending filter score (the extension order), ties
+     * broken by position for determinism.
+     */
+    std::vector<FilterCandidate> filter_all(
+        const std::vector<seed::SeedHit>& hits, FilterStats* stats = nullptr,
+        ThreadPool* pool = nullptr) const;
+
+  private:
+    const WgaParams& params_;
+    std::span<const std::uint8_t> target_;
+    std::span<const std::uint8_t> query_;
+    std::size_t seed_span_;
+};
+
+}  // namespace darwin::wga
+
+#endif  // DARWIN_WGA_FILTER_STAGE_H

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * MAF (Multiple Alignment Format) output — the interchange format both
+ * LASTZ and Darwin-WGA emit (paper §V-E) before chaining/visualization.
+ */
+#ifndef DARWIN_WGA_MAF_H
+#define DARWIN_WGA_MAF_H
+
+#include <iosfwd>
+#include <vector>
+
+#include "align/alignment.h"
+#include "seq/genome.h"
+
+namespace darwin::wga {
+
+/**
+ * Write alignments as MAF. Flat coordinates are resolved back to
+ * chromosome names/offsets; alignments spanning a chromosome separator
+ * are skipped with a warning (they cannot occur for real pipeline output
+ * because separators never align).
+ */
+void write_maf(std::ostream& out,
+               const std::vector<align::Alignment>& alignments,
+               const seq::Genome& target, const seq::Genome& query);
+
+/** Convenience: write to a file path. */
+void write_maf_file(const std::string& path,
+                    const std::vector<align::Alignment>& alignments,
+                    const seq::Genome& target, const seq::Genome& query);
+
+}  // namespace darwin::wga
+
+#endif  // DARWIN_WGA_MAF_H

@@ -1,0 +1,25 @@
+#include "wga/params.h"
+
+namespace darwin::wga {
+
+WgaParams
+WgaParams::darwin_defaults()
+{
+    WgaParams params;
+    params.filter_mode = FilterMode::Gapped;
+    params.filter_threshold = 4000;
+    params.extension_threshold = 4000;
+    return params;
+}
+
+WgaParams
+WgaParams::lastz_defaults()
+{
+    WgaParams params;
+    params.filter_mode = FilterMode::Ungapped;
+    params.filter_threshold = 3000;
+    params.extension_threshold = 3000;
+    return params;
+}
+
+}  // namespace darwin::wga

@@ -1,0 +1,100 @@
+#include "wga/pipeline.h"
+
+#include "seed/seed_index.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace darwin::wga {
+
+WgaPipeline::WgaPipeline(WgaParams params, chain::ChainParams chain_params)
+    : params_(std::move(params)), chain_params_(std::move(chain_params))
+{
+}
+
+WgaResult
+WgaPipeline::run(const seq::Genome& target, const seq::Genome& query,
+                 ThreadPool* pool) const
+{
+    return run_sequences(target.flattened(), query.flattened(), pool);
+}
+
+namespace {
+
+/** Seed -> filter -> extend one query orientation against the index. */
+std::vector<align::Alignment>
+run_one_strand(const WgaParams& params, const seed::SeedIndex& index,
+               std::span<const std::uint8_t> target_span,
+               const seq::Sequence& query, align::Strand strand,
+               PipelineStats* stats, ThreadPool* pool)
+{
+    const std::span<const std::uint8_t> query_span{query.codes().data(),
+                                                   query.size()};
+    Timer timer;
+    const seed::DsoftSeeder seeder(index, params.dsoft);
+    const std::vector<seed::SeedHit> hits =
+        seeder.seed_all(query, &stats->seeding, pool);
+    stats->seed_seconds += timer.seconds();
+    debug(strprintf("seeding(%s): %zu candidate hits",
+                    strand == align::Strand::Reverse ? "-" : "+",
+                    hits.size()));
+
+    timer.reset();
+    const FilterStage filter(params, target_span, query_span);
+    const std::vector<FilterCandidate> candidates =
+        filter.filter_all(hits, &stats->filter, pool);
+    stats->filter_seconds += timer.seconds();
+
+    timer.reset();
+    const align::GactXTileAligner aligner(params.gactx);
+    ExtendStage extend(params, target_span, query_span);
+    std::vector<align::Alignment> alignments =
+        extend.extend_all(candidates, aligner, &stats->extend, pool);
+    stats->extend_seconds += timer.seconds();
+
+    for (auto& alignment : alignments)
+        alignment.query_strand = strand;
+    return alignments;
+}
+
+}  // namespace
+
+WgaResult
+WgaPipeline::run_sequences(const seq::Sequence& target,
+                           const seq::Sequence& query,
+                           ThreadPool* pool) const
+{
+    WgaResult result;
+    const std::span<const std::uint8_t> target_span{target.codes().data(),
+                                                    target.size()};
+
+    Timer timer;
+    const seed::SeedPattern pattern(params_.seed_pattern);
+    const seed::SeedIndex index(target, pattern);
+    result.stats.seed_seconds = timer.seconds();
+
+    result.alignments =
+        run_one_strand(params_, index, target_span, query,
+                       align::Strand::Forward, &result.stats, pool);
+
+    if (params_.align_both_strands) {
+        // Second pass over the reverse complement; coordinates stay in
+        // reverse-complement space (the MAF '-' strand convention).
+        const seq::Sequence query_rc = query.reverse_complement();
+        auto reverse_alignments =
+            run_one_strand(params_, index, target_span, query_rc,
+                           align::Strand::Reverse, &result.stats, pool);
+        result.alignments.insert(
+            result.alignments.end(),
+            std::make_move_iterator(reverse_alignments.begin()),
+            std::make_move_iterator(reverse_alignments.end()));
+    }
+
+    timer.reset();
+    result.chains = chain::chain_alignments(result.alignments,
+                                            chain_params_);
+    result.stats.chain_seconds = timer.seconds();
+    return result;
+}
+
+}  // namespace darwin::wga

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The end-to-end whole-genome-alignment pipeline (paper Fig. 4/6):
+ * seed (D-SOFT) -> filter (gapped BSW or ungapped X-drop) -> extend
+ * (GACT-X) -> chain (axtChain-style).
+ *
+ * The same pipeline class realizes both systems under comparison:
+ * construct with WgaParams::darwin_defaults() for Darwin-WGA and
+ * WgaParams::lastz_defaults() for the LASTZ-like baseline.
+ */
+#ifndef DARWIN_WGA_PIPELINE_H
+#define DARWIN_WGA_PIPELINE_H
+
+#include <memory>
+
+#include "align/gactx.h"
+#include "chain/chainer.h"
+#include "seq/genome.h"
+#include "util/thread_pool.h"
+#include "wga/extend_stage.h"
+#include "wga/filter_stage.h"
+
+namespace darwin::wga {
+
+/** Per-stage wall-clock and workload accounting (Table V inputs). */
+struct PipelineStats {
+    seed::SeedingStats seeding;
+    FilterStats filter;
+    ExtendStats extend;
+
+    double seed_seconds = 0.0;
+    double filter_seconds = 0.0;
+    double extend_seconds = 0.0;
+    double chain_seconds = 0.0;
+
+    double
+    total_seconds() const
+    {
+        return seed_seconds + filter_seconds + extend_seconds +
+               chain_seconds;
+    }
+};
+
+/** Everything a WGA run produces. */
+struct WgaResult {
+    /** Local alignments in flattened-genome coordinates. */
+    std::vector<align::Alignment> alignments;
+    /** Chains over those alignments, sorted by descending score. */
+    std::vector<chain::Chain> chains;
+    PipelineStats stats;
+};
+
+/** The full aligner. */
+class WgaPipeline {
+  public:
+    explicit WgaPipeline(WgaParams params,
+                         chain::ChainParams chain_params = {});
+
+    const WgaParams& params() const { return params_; }
+
+    /**
+     * Align query against target. Coordinates in the result refer to the
+     * flattened() sequences of the two genomes.
+     *
+     * @param pool Optional thread pool for the seed and filter stages.
+     */
+    WgaResult run(const seq::Genome& target, const seq::Genome& query,
+                  ThreadPool* pool = nullptr) const;
+
+    /** Span-level entry point used by tests and small tools. */
+    WgaResult run_sequences(const seq::Sequence& target,
+                            const seq::Sequence& query,
+                            ThreadPool* pool = nullptr) const;
+
+  private:
+    WgaParams params_;
+    chain::ChainParams chain_params_;
+};
+
+}  // namespace darwin::wga
+
+#endif  // DARWIN_WGA_PIPELINE_H

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for scoring, CIGAR, and the full-matrix reference aligners
+ * (Smith-Waterman, Needleman-Wunsch, extension reference).
+ */
+#include <gtest/gtest.h>
+
+#include "align/cigar.h"
+#include "align/needleman_wunsch.h"
+#include "align/scoring.h"
+#include "align/smith_waterman.h"
+#include "seq/sequence.h"
+#include "util/rng.h"
+
+namespace darwin::align {
+namespace {
+
+using seq::encode_string;
+
+std::vector<std::uint8_t>
+random_codes(std::size_t len, Rng& rng)
+{
+    std::vector<std::uint8_t> codes(len);
+    for (auto& c : codes)
+        c = static_cast<std::uint8_t>(rng.uniform(4));
+    return codes;
+}
+
+TEST(Scoring, PaperDefaultsMatchTableII)
+{
+    const auto s = ScoringParams::paper_defaults();
+    EXPECT_EQ(s.substitution(seq::BaseA, seq::BaseA), 91);
+    EXPECT_EQ(s.substitution(seq::BaseC, seq::BaseC), 100);
+    EXPECT_EQ(s.substitution(seq::BaseA, seq::BaseC), -90);
+    EXPECT_EQ(s.substitution(seq::BaseA, seq::BaseG), -25);
+    EXPECT_EQ(s.substitution(seq::BaseA, seq::BaseT), -100);
+    EXPECT_EQ(s.substitution(seq::BaseG, seq::BaseT), -90);
+    EXPECT_EQ(s.gap_open, 430);
+    EXPECT_EQ(s.gap_extend, 30);
+    // Symmetry.
+    for (int a = 0; a < seq::kNumBases; ++a) {
+        for (int b = 0; b < seq::kNumBases; ++b)
+            EXPECT_EQ(s.matrix[a][b], s.matrix[b][a]);
+    }
+}
+
+TEST(Scoring, GapCost)
+{
+    const auto s = ScoringParams::paper_defaults();
+    EXPECT_EQ(s.gap_cost(0), 0);
+    EXPECT_EQ(s.gap_cost(1), 430);
+    EXPECT_EQ(s.gap_cost(2), 460);
+    EXPECT_EQ(s.gap_cost(11), 430 + 10 * 30);
+}
+
+TEST(Cigar, PushMerges)
+{
+    Cigar c;
+    c.push(EditOp::Match, 3);
+    c.push(EditOp::Match, 2);
+    c.push(EditOp::Insert, 1);
+    ASSERT_EQ(c.runs().size(), 2u);
+    EXPECT_EQ(c.runs()[0].length, 5u);
+    EXPECT_EQ(c.to_string(), "5=1I");
+}
+
+TEST(Cigar, Lengths)
+{
+    Cigar c;
+    c.push(EditOp::Match, 10);
+    c.push(EditOp::Mismatch, 2);
+    c.push(EditOp::Insert, 3);
+    c.push(EditOp::Delete, 4);
+    EXPECT_EQ(c.total_ops(), 19u);
+    EXPECT_EQ(c.target_consumed(), 16u);
+    EXPECT_EQ(c.query_consumed(), 15u);
+    EXPECT_EQ(c.matches(), 10u);
+    EXPECT_EQ(c.mismatches(), 2u);
+    EXPECT_EQ(c.gap_runs(), 2u);
+    EXPECT_EQ(c.gap_bases(), 7u);
+}
+
+TEST(Cigar, AppendAndReverse)
+{
+    Cigar a;
+    a.push(EditOp::Match, 2);
+    a.push(EditOp::Delete, 1);
+    Cigar b;
+    b.push(EditOp::Delete, 2);
+    b.push(EditOp::Match, 1);
+    a.append(b);
+    EXPECT_EQ(a.to_string(), "2=3D1=");
+    a.reverse();
+    EXPECT_EQ(a.to_string(), "1=3D2=");
+}
+
+TEST(Cigar, ScoreRecompute)
+{
+    const auto scoring = ScoringParams::paper_defaults();
+    const auto t = encode_string("ACGTT");
+    const auto q = encode_string("ACTT");
+    Cigar c;
+    c.push(EditOp::Match, 2);   // AC / AC
+    c.push(EditOp::Delete, 1);  // G / -
+    c.push(EditOp::Match, 2);   // TT / TT
+    EXPECT_EQ(c.score({t.data(), t.size()}, {q.data(), q.size()}, scoring),
+              91 + 100 - 430 + 91 + 91);
+    EXPECT_TRUE(c.consistent_with({t.data(), t.size()},
+                                  {q.data(), q.size()}));
+}
+
+TEST(Cigar, ConsistencyDetectsLies)
+{
+    const auto t = encode_string("AAAA");
+    const auto q = encode_string("AATA");
+    Cigar c;
+    c.push(EditOp::Match, 4);  // claims all match, but position 2 differs
+    EXPECT_FALSE(c.consistent_with({t.data(), t.size()},
+                                   {q.data(), q.size()}));
+}
+
+TEST(Cigar, NNeverMatches)
+{
+    const auto t = encode_string("ANAA");
+    const auto q = encode_string("ANAA");
+    Cigar all_match;
+    all_match.push(EditOp::Match, 4);
+    EXPECT_FALSE(all_match.consistent_with({t.data(), t.size()},
+                                           {q.data(), q.size()}));
+    Cigar honest;
+    honest.push(EditOp::Match, 1);
+    honest.push(EditOp::Mismatch, 1);
+    honest.push(EditOp::Match, 2);
+    EXPECT_TRUE(honest.consistent_with({t.data(), t.size()},
+                                       {q.data(), q.size()}));
+}
+
+TEST(SmithWaterman, IdenticalSequences)
+{
+    const auto scoring = ScoringParams::unit(2, -3, 4, 1);
+    const auto t = encode_string("ACGTACGT");
+    const auto result = smith_waterman({t.data(), t.size()},
+                                       {t.data(), t.size()}, scoring);
+    EXPECT_EQ(result.score, 16);
+    EXPECT_EQ(result.cigar.to_string(), "8=");
+    EXPECT_EQ(result.target_start, 0u);
+    EXPECT_EQ(result.target_end, 8u);
+}
+
+TEST(SmithWaterman, FindsLocalIsland)
+{
+    const auto scoring = ScoringParams::unit(2, -3, 4, 1);
+    const auto t = encode_string("TTTTTACGTACGTTTTT");
+    const auto q = encode_string("GGGGGACGTACGGGGGG");
+    const auto result = smith_waterman({t.data(), t.size()},
+                                       {q.data(), q.size()}, scoring);
+    // The common island is "ACGTACG" (7 matches, score 14).
+    EXPECT_GE(result.score, 14);
+    EXPECT_GE(result.cigar.matches(), 7u);
+}
+
+TEST(SmithWaterman, GapPreferredOverMismatchRun)
+{
+    // Deleting 2 bases (cost 4+1=5 with unit(2,-3,4,1)) beats 2 mismatches
+    // (-6) when flanked by enough matches.
+    const auto scoring = ScoringParams::unit(2, -3, 4, 1);
+    const auto t = encode_string("AAAACCGGGG");
+    const auto q = encode_string("AAAAGGGG");
+    const auto result = smith_waterman({t.data(), t.size()},
+                                       {q.data(), q.size()}, scoring);
+    EXPECT_EQ(result.cigar.to_string(), "4=2D4=");
+    EXPECT_EQ(result.score, 16 - 5);
+}
+
+TEST(SmithWaterman, NoPositiveAlignment)
+{
+    const auto scoring = ScoringParams::unit(1, -1, 2, 1);
+    const auto t = encode_string("AAAA");
+    const auto q = encode_string("TTTT");
+    const auto result = smith_waterman({t.data(), t.size()},
+                                       {q.data(), q.size()}, scoring);
+    EXPECT_EQ(result.score, 0);
+    EXPECT_TRUE(result.cigar.empty());
+}
+
+TEST(SmithWaterman, EmptyInput)
+{
+    const auto scoring = ScoringParams::unit();
+    const std::vector<std::uint8_t> empty;
+    const auto t = encode_string("ACGT");
+    EXPECT_EQ(smith_waterman({empty.data(), 0},
+                             {t.data(), t.size()}, scoring).score, 0);
+    EXPECT_EQ(smith_waterman({t.data(), t.size()},
+                             {empty.data(), 0}, scoring).score, 0);
+}
+
+TEST(SmithWaterman, ScoreOnlyAgreesWithTraceback)
+{
+    Rng rng(31);
+    const auto scoring = ScoringParams::paper_defaults();
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto t = random_codes(60, rng);
+        const auto q = random_codes(60, rng);
+        const auto full = smith_waterman({t.data(), t.size()},
+                                         {q.data(), q.size()}, scoring);
+        const auto score_only = smith_waterman_score(
+            {t.data(), t.size()}, {q.data(), q.size()}, scoring);
+        EXPECT_EQ(full.score, score_only);
+    }
+}
+
+TEST(SmithWaterman, PropertyScoreMatchesCigar)
+{
+    Rng rng(32);
+    const auto scoring = ScoringParams::paper_defaults();
+    for (int trial = 0; trial < 30; ++trial) {
+        const auto t = random_codes(40 + rng.uniform(60), rng);
+        const auto q = random_codes(40 + rng.uniform(60), rng);
+        const auto result = smith_waterman({t.data(), t.size()},
+                                           {q.data(), q.size()}, scoring);
+        if (result.score == 0)
+            continue;
+        const std::span<const std::uint8_t> ts{
+            t.data() + result.target_start,
+            result.target_end - result.target_start};
+        const std::span<const std::uint8_t> qs{
+            q.data() + result.query_start,
+            result.query_end - result.query_start};
+        EXPECT_TRUE(result.cigar.consistent_with(ts, qs));
+        EXPECT_EQ(result.cigar.score(ts, qs, scoring), result.score);
+    }
+}
+
+TEST(NeedlemanWunsch, EqualStringsScoreSumOfMatches)
+{
+    const auto scoring = ScoringParams::unit(3, -2, 4, 1);
+    const auto t = encode_string("ACGTAC");
+    const auto result = needleman_wunsch({t.data(), t.size()},
+                                         {t.data(), t.size()}, scoring);
+    EXPECT_EQ(result.score, 18);
+    EXPECT_EQ(result.cigar.to_string(), "6=");
+}
+
+TEST(NeedlemanWunsch, GlobalConsumesEverything)
+{
+    Rng rng(33);
+    const auto scoring = ScoringParams::paper_defaults();
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto t = random_codes(10 + rng.uniform(50), rng);
+        const auto q = random_codes(10 + rng.uniform(50), rng);
+        const auto result = needleman_wunsch({t.data(), t.size()},
+                                             {q.data(), q.size()}, scoring);
+        EXPECT_EQ(result.cigar.target_consumed(), t.size());
+        EXPECT_EQ(result.cigar.query_consumed(), q.size());
+        EXPECT_EQ(result.cigar.score({t.data(), t.size()},
+                                     {q.data(), q.size()}, scoring),
+                  result.score);
+    }
+}
+
+TEST(NeedlemanWunsch, PureGapAlignment)
+{
+    const auto scoring = ScoringParams::paper_defaults();
+    const auto t = encode_string("ACGT");
+    const std::vector<std::uint8_t> empty;
+    const auto result = needleman_wunsch({t.data(), t.size()},
+                                         {empty.data(), 0}, scoring);
+    EXPECT_EQ(result.score, -(430 + 3 * 30));
+    EXPECT_EQ(result.cigar.to_string(), "4D");
+}
+
+TEST(NwExtendReference, StopsBeforeBadTail)
+{
+    const auto scoring = ScoringParams::unit(2, -3, 4, 1);
+    // Prefixes agree for 6 bases, then diverge completely.
+    const auto t = encode_string("ACGTACTTTTTTTT");
+    const auto q = encode_string("ACGTACGGGGGGGG");
+    const auto result = nw_extend_reference({t.data(), t.size()},
+                                            {q.data(), q.size()}, scoring);
+    EXPECT_EQ(result.max_score, 12);
+    EXPECT_EQ(result.target_max, 6u);
+    EXPECT_EQ(result.query_max, 6u);
+    EXPECT_EQ(result.cigar.to_string(), "6=");
+}
+
+TEST(NwExtendReference, MaxNeverBelowOrigin)
+{
+    Rng rng(34);
+    const auto scoring = ScoringParams::paper_defaults();
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto t = random_codes(30, rng);
+        const auto q = random_codes(30, rng);
+        const auto result = nw_extend_reference(
+            {t.data(), t.size()}, {q.data(), q.size()}, scoring);
+        EXPECT_GE(result.max_score, 0);
+        // Path score equals reported max.
+        if (!result.cigar.empty()) {
+            EXPECT_EQ(result.cigar.score(
+                          {t.data(), result.target_max},
+                          {q.data(), result.query_max}, scoring),
+                      result.max_score);
+        }
+    }
+}
+
+TEST(NwExtendReference, UpperBoundsSmithWatermanFromOrigin)
+{
+    // The extension max is at most the best local score (SW can start
+    // anywhere, extension must start at the origin).
+    Rng rng(35);
+    const auto scoring = ScoringParams::paper_defaults();
+    for (int trial = 0; trial < 20; ++trial) {
+        auto t = random_codes(50, rng);
+        auto q = t;  // identical prefix guaranteed
+        // mutate the tail of q
+        for (std::size_t i = 25; i < q.size(); ++i)
+            q[i] = static_cast<std::uint8_t>(rng.uniform(4));
+        const auto ext = nw_extend_reference(
+            {t.data(), t.size()}, {q.data(), q.size()}, scoring);
+        const auto sw = smith_waterman({t.data(), t.size()},
+                                       {q.data(), q.size()}, scoring);
+        EXPECT_LE(ext.max_score, sw.score);
+        EXPECT_GT(ext.max_score, 0);
+    }
+}
+
+}  // namespace
+}  // namespace darwin::align

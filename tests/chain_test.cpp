@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the chainer: gap cost schedule, chaining DP, best-first
+ * extraction, and metrics.
+ */
+#include <gtest/gtest.h>
+
+#include "chain/chain_metrics.h"
+#include "chain/chainer.h"
+
+namespace darwin::chain {
+namespace {
+
+/** Make a synthetic block with the given footprint and score. */
+align::Alignment
+block(std::uint64_t t0, std::uint64_t q0, std::uint64_t len,
+      align::Score score)
+{
+    align::Alignment a;
+    a.target_start = t0;
+    a.target_end = t0 + len;
+    a.query_start = q0;
+    a.query_end = q0 + len;
+    a.score = score;
+    a.cigar.push(align::EditOp::Match, static_cast<std::uint32_t>(len));
+    return a;
+}
+
+TEST(GapCostTable, ZeroGapIsFree)
+{
+    const auto table = GapCostTable::loose();
+    EXPECT_DOUBLE_EQ(table.cost(0, 0), 0.0);
+}
+
+TEST(GapCostTable, SingleSidedMatchesBreakpoints)
+{
+    const auto table = GapCostTable::loose();
+    EXPECT_DOUBLE_EQ(table.cost(1, 0), 325.0);
+    EXPECT_DOUBLE_EQ(table.cost(0, 1), 325.0);
+    EXPECT_DOUBLE_EQ(table.cost(3, 0), 400.0);
+    EXPECT_DOUBLE_EQ(table.cost(111, 0), 600.0);
+}
+
+TEST(GapCostTable, TwoSidedUsesBothTable)
+{
+    const auto table = GapCostTable::loose();
+    // dt=1, dq=1 -> bothGap at gap 2 = 660.
+    EXPECT_DOUBLE_EQ(table.cost(1, 1), 660.0);
+    EXPECT_GT(table.cost(50, 50), table.cost(100, 0));
+}
+
+TEST(GapCostTable, InterpolatesBetweenBreakpoints)
+{
+    const auto table = GapCostTable::loose();
+    // Between 11 (450) and 111 (600): 61 -> 450 + 150 * 50/100 = 525.
+    EXPECT_DOUBLE_EQ(table.cost(61, 0), 525.0);
+}
+
+TEST(GapCostTable, ExtrapolatesBeyondLastBreakpoint)
+{
+    const auto table = GapCostTable::loose();
+    const double at_252k = table.cost(252111, 0);
+    const double at_352k = table.cost(352111, 0);
+    EXPECT_DOUBLE_EQ(at_252k, 56600.0);
+    // Final slope: (56600-31600)/100000 = 0.25 per bp.
+    EXPECT_NEAR(at_352k, 56600.0 + 0.25 * 100000, 1.0);
+}
+
+TEST(GapCostTable, MonotoneNonDecreasing)
+{
+    const auto table = GapCostTable::loose();
+    double prev = 0.0;
+    for (std::uint64_t gap = 1; gap < 400000; gap = gap * 3 / 2 + 1) {
+        const double cost = table.cost(gap, 0);
+        EXPECT_GE(cost, prev);
+        prev = cost;
+    }
+}
+
+TEST(Chainer, JoinsCollinearBlocks)
+{
+    ChainParams params;
+    params.min_chain_score = 0.0;
+    std::vector<align::Alignment> blocks = {
+        block(0, 0, 100, 5000),
+        block(200, 210, 100, 5000),
+        block(400, 430, 100, 5000),
+    };
+    const auto chains = chain_alignments(blocks, params);
+    ASSERT_EQ(chains.size(), 1u);
+    EXPECT_EQ(chains[0].size(), 3u);
+    EXPECT_EQ(chains[0].target_start, 0u);
+    EXPECT_EQ(chains[0].target_end, 500u);
+    EXPECT_EQ(chains[0].matched_bases, 300u);
+    // Score = blocks - 2 joins (both two-sided gaps).
+    EXPECT_LT(chains[0].score, 15000.0);
+    EXPECT_GT(chains[0].score, 12000.0);
+}
+
+TEST(Chainer, DoesNotJoinCrossingBlocks)
+{
+    // Second block earlier in the query: collinearity violated.
+    ChainParams params;
+    params.min_chain_score = 0.0;
+    std::vector<align::Alignment> blocks = {
+        block(0, 1000, 100, 5000),
+        block(200, 100, 100, 5000),
+    };
+    const auto chains = chain_alignments(blocks, params);
+    ASSERT_EQ(chains.size(), 2u);
+    EXPECT_EQ(chains[0].size(), 1u);
+    EXPECT_EQ(chains[1].size(), 1u);
+}
+
+TEST(Chainer, DoesNotJoinOverlappingBlocks)
+{
+    ChainParams params;
+    params.min_chain_score = 0.0;
+    std::vector<align::Alignment> blocks = {
+        block(0, 0, 100, 5000),
+        block(50, 60, 100, 5000),  // overlaps the first in target
+    };
+    const auto chains = chain_alignments(blocks, params);
+    EXPECT_EQ(chains.size(), 2u);
+}
+
+TEST(Chainer, SkipsJoinWhenGapCostsMoreThanBlock)
+{
+    ChainParams params;
+    params.min_chain_score = 0.0;
+    params.max_join_gap = 1'000'000'000;
+    std::vector<align::Alignment> blocks = {
+        block(0, 0, 100, 1000),
+        // Tiny block far away: joining costs more than its score.
+        block(500000, 500000, 10, 400),
+    };
+    const auto chains = chain_alignments(blocks, params);
+    ASSERT_EQ(chains.size(), 2u);
+    EXPECT_DOUBLE_EQ(chains[0].score, 1000.0);
+    EXPECT_DOUBLE_EQ(chains[1].score, 400.0);
+}
+
+TEST(Chainer, MinScoreDropsWeakChains)
+{
+    ChainParams params;  // default min 1000
+    std::vector<align::Alignment> blocks = {
+        block(0, 0, 10, 500),
+        block(1000, 1000, 100, 8000),
+    };
+    const auto chains = chain_alignments(blocks, params);
+    // The weak singleton is dropped; the join also fails (gap cost beats
+    // the 500 score), leaving one chain.
+    ASSERT_GE(chains.size(), 1u);
+    for (const auto& c : chains)
+        EXPECT_GE(c.score, 1000.0);
+}
+
+TEST(Chainer, EachBlockInAtMostOneChain)
+{
+    ChainParams params;
+    params.min_chain_score = 0.0;
+    std::vector<align::Alignment> blocks;
+    for (int i = 0; i < 20; ++i)
+        blocks.push_back(block(i * 300, i * 300 + (i % 3) * 10, 100, 5000));
+    const auto chains = chain_alignments(blocks, params);
+    std::vector<bool> used(blocks.size(), false);
+    for (const auto& chain : chains) {
+        for (const auto idx : chain.members) {
+            EXPECT_FALSE(used[idx]);
+            used[idx] = true;
+        }
+    }
+}
+
+TEST(Chainer, BestFirstOrder)
+{
+    ChainParams params;
+    params.min_chain_score = 0.0;
+    std::vector<align::Alignment> blocks = {
+        block(0, 0, 100, 3000),
+        block(10000, 50000, 100, 9000),
+    };
+    const auto chains = chain_alignments(blocks, params);
+    ASSERT_EQ(chains.size(), 2u);
+    EXPECT_GE(chains[0].score, chains[1].score);
+    EXPECT_DOUBLE_EQ(chains[0].score, 9000.0);
+}
+
+TEST(Chainer, EmptyInput)
+{
+    EXPECT_TRUE(chain_alignments({}).empty());
+}
+
+TEST(Chainer, TruncatedSuffixChainScoresStandalone)
+{
+    // Blocks A -> B -> C all chain; the winning chain takes A,B,C. Add a
+    // second head D whose best predecessor is B (already used): the D
+    // chain must be truncated to D alone with its standalone score.
+    ChainParams params;
+    params.min_chain_score = 0.0;
+    std::vector<align::Alignment> blocks = {
+        block(0, 0, 100, 5000),        // A
+        block(200, 200, 100, 5000),    // B
+        block(400, 400, 100, 5000),    // C
+        block(400, 420, 100, 2000),    // D (competes with C for B)
+    };
+    const auto chains = chain_alignments(blocks, params);
+    double total_blocks = 0.0;
+    for (const auto& c : chains)
+        total_blocks += static_cast<double>(c.size());
+    EXPECT_DOUBLE_EQ(total_blocks, 4.0);
+    // D ends up alone with score 2000 (no double-counted prefix).
+    bool found_d = false;
+    for (const auto& c : chains) {
+        if (c.size() == 1 && c.members[0] == 3) {
+            found_d = true;
+            EXPECT_DOUBLE_EQ(c.score, 2000.0);
+        }
+    }
+    EXPECT_TRUE(found_d);
+}
+
+TEST(ChainMetrics, TopKAndTotals)
+{
+    std::vector<Chain> chains(3);
+    chains[0].score = 100;
+    chains[0].matched_bases = 1000;
+    chains[1].score = 50;
+    chains[1].matched_bases = 500;
+    chains[2].score = 10;
+    chains[2].matched_bases = 100;
+    const auto metrics = summarize_chains(chains, 2);
+    EXPECT_EQ(metrics.num_chains, 3u);
+    EXPECT_DOUBLE_EQ(metrics.top_k_score, 150.0);
+    EXPECT_EQ(metrics.top_k_matched_bases, 1500u);
+    EXPECT_EQ(metrics.total_matched_bases, 1600u);
+}
+
+TEST(ChainMetrics, EmptyChains)
+{
+    const auto metrics = summarize_chains({}, 10);
+    EXPECT_EQ(metrics.num_chains, 0u);
+    EXPECT_DOUBLE_EQ(metrics.top_k_score, 0.0);
+    EXPECT_EQ(metrics.total_matched_bases, 0u);
+}
+
+}  // namespace
+}  // namespace darwin::chain

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the hardware models: device configs, BSW array cycle-level
+ * simulation (validated against the software kernels), GACT-X array cycle
+ * accounting, DRAM model, performance model, and the Table IV power model.
+ */
+#include <gtest/gtest.h>
+
+#include "align/banded_sw.h"
+#include "align/smith_waterman.h"
+#include "hw/bsw_array.h"
+#include "hw/config.h"
+#include "hw/dram_model.h"
+#include "hw/gactx_array.h"
+#include "hw/perf_model.h"
+#include "hw/power_model.h"
+#include "util/rng.h"
+
+namespace darwin::hw {
+namespace {
+
+std::vector<std::uint8_t>
+random_codes(std::size_t len, Rng& rng)
+{
+    std::vector<std::uint8_t> codes(len);
+    for (auto& c : codes)
+        c = static_cast<std::uint8_t>(rng.uniform(4));
+    return codes;
+}
+
+std::vector<std::uint8_t>
+mutated_copy(const std::vector<std::uint8_t>& src, double sub_rate,
+             double indel_rate, Rng& rng)
+{
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        if (rng.chance(indel_rate)) {
+            if (rng.chance(0.5))
+                continue;
+            out.push_back(static_cast<std::uint8_t>(rng.uniform(4)));
+        }
+        std::uint8_t base = src[i];
+        if (rng.chance(sub_rate))
+            base = static_cast<std::uint8_t>(rng.uniform(4));
+        out.push_back(base);
+    }
+    return out;
+}
+
+std::span<const std::uint8_t>
+sp(const std::vector<std::uint8_t>& v)
+{
+    return {v.data(), v.size()};
+}
+
+TEST(DeviceConfig, PaperPlatforms)
+{
+    const auto fpga = DeviceConfig::fpga_f1_2xlarge();
+    EXPECT_EQ(fpga.bsw_arrays, 50u);
+    EXPECT_EQ(fpga.gactx_arrays, 2u);
+    EXPECT_EQ(fpga.bsw_pe, 32u);
+    EXPECT_DOUBLE_EQ(fpga.clock_hz, 150e6);
+
+    const auto asic = DeviceConfig::asic_40nm();
+    EXPECT_EQ(asic.bsw_arrays, 64u);
+    EXPECT_EQ(asic.gactx_arrays, 12u);
+    EXPECT_EQ(asic.gactx_pe, 64u);
+    EXPECT_DOUBLE_EQ(asic.clock_hz, 1e9);
+
+    const auto cpu = DeviceConfig::cpu_c4_8xlarge();
+    EXPECT_DOUBLE_EQ(cpu.power_w, 215.0);
+}
+
+TEST(BswArray, ScoreBoundsAgainstSoftwareKernels)
+{
+    // The hardware band is a stripe-granular superset of the per-row
+    // software band, so: sw banded <= hw <= full SW.
+    Rng rng(91);
+    BswArrayConfig config;
+    config.num_pe = 16;
+    config.band = 12;
+    const BswArrayModel array(config);
+    for (int trial = 0; trial < 15; ++trial) {
+        const auto t = random_codes(120, rng);
+        const auto q = mutated_copy(t, 0.2, 0.03, rng);
+        const auto hwr = array.run_tile(sp(t), sp(q));
+        const auto swb = align::banded_smith_waterman(sp(t), sp(q),
+                                                      config.scoring,
+                                                      config.band);
+        const auto full = align::smith_waterman_score(sp(t), sp(q),
+                                                      config.scoring);
+        EXPECT_GE(hwr.max_score, swb.max_score);
+        EXPECT_LE(hwr.max_score, full);
+    }
+}
+
+TEST(BswArray, WideBandEqualsFullSmithWaterman)
+{
+    Rng rng(92);
+    BswArrayConfig config;
+    config.num_pe = 8;
+    config.band = 200;  // wider than the tile: no clipping anywhere
+    const BswArrayModel array(config);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto t = random_codes(64, rng);
+        const auto q = mutated_copy(t, 0.25, 0.05, rng);
+        const auto hwr = array.run_tile(sp(t), sp(q));
+        const auto full = align::smith_waterman_score(sp(t), sp(q),
+                                                      config.scoring);
+        EXPECT_EQ(hwr.max_score, full);
+    }
+}
+
+TEST(BswArray, CycleCountMatchesGeometry)
+{
+    Rng rng(93);
+    BswArrayConfig config;
+    config.num_pe = 32;
+    config.band = 32;
+    const BswArrayModel array(config);
+    const auto t = random_codes(320, rng);
+    const auto q = random_codes(320, rng);
+    const auto sim = array.run_tile(sp(t), sp(q));
+    EXPECT_EQ(sim.cycles,
+              BswArrayModel::tile_cycles(320, 320, 32, 32));
+    // The paper's FPGA throughput implies ~1200 cycles for this tile.
+    EXPECT_GT(sim.cycles, 800u);
+    EXPECT_LT(sim.cycles, 2000u);
+}
+
+TEST(BswArray, PaperTileRateIsAbout125kPerArray)
+{
+    // 50 arrays at 150 MHz give 6.25M tiles/s in the paper: 125K/array,
+    // i.e. 1200 cycles/tile. Our model must land in the same decade.
+    const std::uint64_t cycles =
+        BswArrayModel::tile_cycles(320, 320, 32, 32);
+    const double rate = 150e6 / static_cast<double>(cycles);
+    EXPECT_GT(rate, 80e3);
+    EXPECT_LT(rate, 160e3);
+}
+
+TEST(GactXArray, CyclesTrackStripeColumns)
+{
+    Rng rng(94);
+    align::GactXParams params;
+    params.tile_size = 512;
+    params.num_pe = 32;
+    const GactXArrayModel array(params);
+    const auto t = random_codes(512, rng);
+    const auto q = mutated_copy(t, 0.1, 0.01, rng);
+    const auto sim = array.run_tile(sp(t), sp(q));
+    ASSERT_FALSE(sim.tile.stripe_columns.empty());
+    std::uint64_t expect = kTileSetupCycles + sim.tile.cigar.total_ops();
+    for (const auto c : sim.tile.stripe_columns)
+        expect += stripe_cycles(c, 32);
+    EXPECT_EQ(sim.cycles, expect);
+}
+
+TEST(GactXArray, WorkloadCyclesAggregatesStats)
+{
+    align::ExtensionStats stats;
+    stats.tiles = 10;
+    stats.stripes = 100;
+    stats.stripe_columns = 5000;
+    stats.traceback_ops = 2000;
+    const auto cycles = GactXArrayModel::workload_cycles(stats, 64);
+    EXPECT_EQ(cycles, 10 * kTileSetupCycles + 5000 +
+                          100 * (63 + kStripeTurnaroundCycles) + 2000);
+}
+
+TEST(DramModel, TransferAndRates)
+{
+    auto config = DeviceConfig::asic_40nm();
+    config.dram_efficiency = 0.5;
+    const DramModel dram(config);
+    EXPECT_DOUBLE_EQ(dram.achievable_bandwidth(), 4 * 19.2e9 * 0.5);
+    EXPECT_DOUBLE_EQ(dram.transfer_seconds(
+                         static_cast<std::uint64_t>(38.4e9)),
+                     1.0);
+    EXPECT_EQ(DramModel::bsw_tile_bytes(320), 640u);
+    EXPECT_EQ(DramModel::gactx_tile_bytes(1920, 4000), 3840u + 1000u);
+}
+
+TEST(PerfModel, AsicFilterIsDramBound)
+{
+    // The paper provisions 64 BSW arrays explicitly so that DRAM is the
+    // bottleneck (§VI-A); the model must reproduce that.
+    const PerfModel model(DeviceConfig::asic_40nm());
+    WorkloadCounts workload;
+    workload.filter_tiles = 100'000'000;
+    workload.extension.tiles = 10'000;
+    workload.extension.stripes = 10'000 * 30;
+    workload.extension.stripe_columns = 10'000 * 30 * 600;
+    workload.extension.traceback_ops = 10'000 * 2000;
+    const auto estimate = model.estimate(workload);
+    // The paper provisions the arrays so that DRAM is the bottleneck:
+    // compute and DRAM times must sit at the knee (within ~25% of each
+    // other), with neither side idle by a large factor.
+    const double ratio =
+        estimate.filter.dram_seconds / estimate.filter.compute_seconds;
+    EXPECT_GT(ratio, 0.75);
+    EXPECT_LT(ratio, 1.5);
+    // ASIC filter throughput lands near the paper's 70M tiles/s.
+    EXPECT_GT(estimate.filter_tiles_per_second, 3e7);
+    EXPECT_LT(estimate.filter_tiles_per_second, 1.5e8);
+}
+
+TEST(PerfModel, FpgaFilterIsComputeBound)
+{
+    const PerfModel model(DeviceConfig::fpga_f1_2xlarge());
+    WorkloadCounts workload;
+    workload.filter_tiles = 10'000'000;
+    workload.extension.tiles = 1000;
+    workload.extension.stripes = 1000 * 60;
+    workload.extension.stripe_columns = 1000 * 60 * 600;
+    workload.extension.traceback_ops = 1000 * 2000;
+    const auto estimate = model.estimate(workload);
+    EXPECT_FALSE(estimate.filter.dram_bound);
+    // ~6.25M tiles/s in the paper.
+    EXPECT_GT(estimate.filter_tiles_per_second, 3e6);
+    EXPECT_LT(estimate.filter_tiles_per_second, 1.2e7);
+}
+
+TEST(PerfModel, ImprovementMetrics)
+{
+    // 100x faster at the same price => 100x perf/$.
+    EXPECT_DOUBLE_EQ(
+        PerfModel::perf_per_dollar_improvement(1000, 1.59, 10, 1.59),
+        100.0);
+    // Same speed, half the power => 2x perf/W.
+    EXPECT_DOUBLE_EQ(
+        PerfModel::perf_per_watt_improvement(100, 200, 100, 100), 2.0);
+}
+
+TEST(PowerModel, ReproducesTableIV)
+{
+    const AsicPowerModel model;
+    const auto asic = DeviceConfig::asic_40nm();
+    const auto rows = model.breakdown(asic);
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_NEAR(rows[0].area_mm2, 16.6, 1e-9);
+    EXPECT_NEAR(rows[0].power_w, 25.6, 1e-9);
+    EXPECT_NEAR(rows[1].area_mm2, 4.2, 1e-9);
+    EXPECT_NEAR(rows[1].power_w, 6.72, 1e-9);
+    EXPECT_NEAR(rows[2].area_mm2, 15.12, 1e-9);
+    EXPECT_NEAR(rows[2].power_w, 7.92, 1e-9);
+    EXPECT_NEAR(rows[3].power_w, 3.10, 1e-9);
+    EXPECT_NEAR(model.total_area_mm2(asic), 35.92, 0.01);
+    EXPECT_NEAR(model.total_power_w(asic), 43.34, 0.01);
+}
+
+TEST(PowerModel, ScalesWithProvisioning)
+{
+    const AsicPowerModel model;
+    auto half = DeviceConfig::asic_40nm();
+    half.bsw_arrays = 32;
+    const auto rows = model.breakdown(half);
+    EXPECT_NEAR(rows[0].area_mm2, 16.6 / 2, 1e-9);
+    EXPECT_NEAR(rows[0].power_w, 25.6 / 2, 1e-9);
+}
+
+}  // namespace
+}  // namespace darwin::hw

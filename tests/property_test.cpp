@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Parameterized property sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P):
+ * cross-kernel invariants checked over grids of divergence, band widths,
+ * X-drop bounds, stripe heights, and D-SOFT geometries.
+ */
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "align/banded_sw.h"
+#include "align/gactx.h"
+#include "align/needleman_wunsch.h"
+#include "align/smith_waterman.h"
+#include "align/xdrop_reference.h"
+#include "chain/chainer.h"
+#include "seed/dsoft.h"
+#include "seq/shuffle.h"
+#include "util/rng.h"
+
+namespace darwin {
+namespace {
+
+std::vector<std::uint8_t>
+random_codes(std::size_t len, Rng& rng)
+{
+    std::vector<std::uint8_t> codes(len);
+    for (auto& c : codes)
+        c = static_cast<std::uint8_t>(rng.uniform(4));
+    return codes;
+}
+
+std::vector<std::uint8_t>
+mutated_copy(const std::vector<std::uint8_t>& src, double sub_rate,
+             double indel_rate, Rng& rng)
+{
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        if (rng.chance(indel_rate)) {
+            if (rng.chance(0.5))
+                continue;
+            out.push_back(static_cast<std::uint8_t>(rng.uniform(4)));
+        }
+        std::uint8_t base = src[i];
+        if (rng.chance(sub_rate))
+            base = static_cast<std::uint8_t>(rng.uniform(4));
+        out.push_back(base);
+    }
+    return out;
+}
+
+std::span<const std::uint8_t>
+sp(const std::vector<std::uint8_t>& v)
+{
+    return {v.data(), v.size()};
+}
+
+// ---------------------------------------------------------------------
+// Banded SW: 0 <= banded <= full SW, for every band and divergence.
+// ---------------------------------------------------------------------
+
+class BandedSwProperty
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(BandedSwProperty, BoundedByFullSmithWaterman)
+{
+    const auto [band, sub_rate, indel_rate] = GetParam();
+    Rng rng(1000 + static_cast<std::uint64_t>(band * 977) +
+            static_cast<std::uint64_t>(sub_rate * 1e4));
+    const auto scoring = align::ScoringParams::paper_defaults();
+    for (int trial = 0; trial < 5; ++trial) {
+        const auto t = random_codes(150, rng);
+        const auto q = mutated_copy(t, sub_rate, indel_rate, rng);
+        const auto banded = align::banded_smith_waterman(
+            sp(t), sp(q), scoring, static_cast<std::size_t>(band));
+        const auto full =
+            align::smith_waterman_score(sp(t), sp(q), scoring);
+        EXPECT_GE(banded.max_score, 0);
+        EXPECT_LE(banded.max_score, full);
+        // A wider band can only help.
+        const auto wider = align::banded_smith_waterman(
+            sp(t), sp(q), scoring, static_cast<std::size_t>(band) + 16);
+        EXPECT_GE(wider.max_score, banded.max_score);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bands, BandedSwProperty,
+    ::testing::Combine(::testing::Values(0, 4, 16, 32, 64),
+                       ::testing::Values(0.05, 0.25),
+                       ::testing::Values(0.0, 0.03)));
+
+// ---------------------------------------------------------------------
+// GACT-X: for every stripe height and Y, the stripe engine is bounded by
+// the row-granular reference from below and the full extension from
+// above; its path score always equals its reported max.
+// ---------------------------------------------------------------------
+
+class GactXProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GactXProperty, BoundedAndSelfConsistent)
+{
+    const auto [npe, ydrop] = GetParam();
+    align::GactXParams params;
+    params.num_pe = static_cast<std::size_t>(npe);
+    params.ydrop = ydrop;
+    params.tile_size = 400;
+    const align::GactXTileAligner aligner(params);
+    align::XDropConfig row_config;
+    row_config.ydrop = ydrop;
+
+    Rng rng(2000 + static_cast<std::uint64_t>(npe * 131 + ydrop));
+    for (int trial = 0; trial < 5; ++trial) {
+        const auto t = random_codes(250, rng);
+        const auto q = mutated_copy(t, 0.2, 0.03, rng);
+        const auto stripe = aligner.align_tile(sp(t), sp(q));
+        const auto row = align::xdrop_extend(sp(t), sp(q), row_config);
+        const auto full =
+            align::nw_extend_reference(sp(t), sp(q), params.scoring);
+        EXPECT_GE(stripe.max_score, row.max_score);
+        EXPECT_LE(stripe.max_score, full.max_score);
+        if (!stripe.cigar.empty()) {
+            EXPECT_TRUE(stripe.cigar.consistent_with(sp(t), sp(q)));
+            EXPECT_EQ(stripe.cigar.score({t.data(), stripe.target_max},
+                                         {q.data(), stripe.query_max},
+                                         params.scoring),
+                      stripe.max_score);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StripesAndBounds, GactXProperty,
+    ::testing::Combine(::testing::Values(1, 4, 32, 64),
+                       ::testing::Values(500, 3000, 9430)));
+
+// ---------------------------------------------------------------------
+// Smith-Waterman self-consistency across scoring schemes.
+// ---------------------------------------------------------------------
+
+class ScoringProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(ScoringProperty, TracebackScoreMatchesDp)
+{
+    const auto [match, mismatch, open, extend] = GetParam();
+    const auto scoring = align::ScoringParams::unit(
+        match, mismatch, open, extend);
+    Rng rng(3000 + static_cast<std::uint64_t>(match * 7 + open));
+    for (int trial = 0; trial < 5; ++trial) {
+        const auto t = random_codes(60, rng);
+        const auto q = mutated_copy(t, 0.3, 0.05, rng);
+        const auto result = align::smith_waterman(sp(t), sp(q), scoring);
+        if (result.score == 0)
+            continue;
+        const std::span<const std::uint8_t> ts{
+            t.data() + result.target_start,
+            result.target_end - result.target_start};
+        const std::span<const std::uint8_t> qs{
+            q.data() + result.query_start,
+            result.query_end - result.query_start};
+        EXPECT_EQ(result.cigar.score(ts, qs, scoring), result.score);
+        EXPECT_TRUE(result.cigar.consistent_with(ts, qs));
+        EXPECT_EQ(result.score,
+                  align::smith_waterman_score(sp(t), sp(q), scoring));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, ScoringProperty,
+    ::testing::Combine(::testing::Values(1, 5), ::testing::Values(-1, -4),
+                       ::testing::Values(4, 10),
+                       ::testing::Values(1, 3)));
+
+// ---------------------------------------------------------------------
+// D-SOFT: at most one candidate per diagonal band, for every geometry.
+// ---------------------------------------------------------------------
+
+class DsoftProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DsoftProperty, AtMostOneHitPerBand)
+{
+    const auto [chunk, bin] = GetParam();
+    Rng rng(4000 + static_cast<std::uint64_t>(chunk * 31 + bin));
+    seq::Sequence target("t", random_codes(3000, rng));
+    seq::Sequence query("q", random_codes(3000, rng));
+    // Plant a strong diagonal so bands actually fill.
+    for (std::size_t i = 0; i < 200; ++i)
+        query.codes()[1000 + i] = target.codes()[400 + i];
+
+    const seed::SeedPattern pattern("111111111");
+    const seed::SeedIndex index(target, pattern);
+    seed::DsoftParams params;
+    params.chunk_size = static_cast<std::size_t>(chunk);
+    params.bin_size = static_cast<std::size_t>(bin);
+    params.transitions = false;
+    const seed::DsoftSeeder seeder(index, params);
+    const auto hits = seeder.seed_all(query);
+
+    // No two candidates of the same chunk may project into one band.
+    std::set<std::pair<std::uint64_t, std::uint64_t>> bands;
+    for (const auto& hit : hits) {
+        const std::uint64_t chunk_id = hit.query_pos / params.chunk_size;
+        const std::uint64_t chunk_end =
+            std::min<std::uint64_t>((chunk_id + 1) * params.chunk_size,
+                                    query.size());
+        const std::uint64_t band =
+            (hit.target_pos + (chunk_end - hit.query_pos)) /
+            params.bin_size;
+        EXPECT_TRUE(bands.insert({chunk_id, band}).second)
+            << "two candidates in one diagonal band";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, DsoftProperty,
+                         ::testing::Combine(::testing::Values(32, 64, 256),
+                                            ::testing::Values(32, 64,
+                                                              256)));
+
+// ---------------------------------------------------------------------
+// Dinucleotide shuffle: exact 2-mer preservation across lengths/seeds.
+// ---------------------------------------------------------------------
+
+class ShuffleProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ShuffleProperty, PreservesDinucleotides)
+{
+    const auto [length, seed] = GetParam();
+    Rng gen(static_cast<std::uint64_t>(seed));
+    seq::Sequence s("x", random_codes(static_cast<std::size_t>(length),
+                                      gen));
+    Rng rng(static_cast<std::uint64_t>(seed) * 31 + 7);
+    const auto shuffled = seq::dinucleotide_shuffle(s, rng);
+    ASSERT_EQ(shuffled.size(), s.size());
+    std::map<std::pair<int, int>, int> before, after;
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+        ++before[{s[i], s[i + 1]}];
+        ++after[{shuffled[i], shuffled[i + 1]}];
+    }
+    EXPECT_EQ(before, after);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ShuffleProperty,
+                         ::testing::Combine(::testing::Values(10, 100,
+                                                              5000),
+                                            ::testing::Values(1, 2, 3)));
+
+// ---------------------------------------------------------------------
+// Chainer: chain score never exceeds the sum of member block scores and
+// the chain is collinear, for random block sets.
+// ---------------------------------------------------------------------
+
+class ChainProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainProperty, ChainsAreCollinearAndScoreBounded)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    std::vector<align::Alignment> blocks;
+    std::uint64_t t = 0;
+    for (int i = 0; i < 60; ++i) {
+        t += rng.uniform(3000);
+        const std::uint64_t q = t + rng.uniform(400);
+        const std::uint64_t len = 50 + rng.uniform(200);
+        align::Alignment a;
+        a.target_start = t;
+        a.target_end = t + len;
+        a.query_start = q;
+        a.query_end = q + len;
+        a.score = 2000 + static_cast<align::Score>(rng.uniform(9000));
+        a.cigar.push(align::EditOp::Match,
+                     static_cast<std::uint32_t>(len));
+        blocks.push_back(a);
+        t += len;
+    }
+    chain::ChainParams params;
+    params.min_chain_score = 0.0;
+    const auto chains = chain::chain_alignments(blocks, params);
+    for (const auto& chain : chains) {
+        double member_sum = 0.0;
+        for (std::size_t k = 0; k < chain.members.size(); ++k) {
+            const auto& cur = blocks[chain.members[k]];
+            member_sum += static_cast<double>(cur.score);
+            if (k > 0) {
+                const auto& prev = blocks[chain.members[k - 1]];
+                EXPECT_LT(prev.target_start, cur.target_start);
+                EXPECT_LT(prev.target_end, cur.target_end);
+                EXPECT_LT(prev.query_start, cur.query_start);
+                EXPECT_LT(prev.query_end, cur.query_end);
+            }
+        }
+        EXPECT_LE(chain.score, member_sum + 1e-9);
+        EXPECT_GT(chain.score, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace darwin

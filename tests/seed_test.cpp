@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests for the seed module: spaced seed patterns, transition
+ * neighborhoods, the position index, and D-SOFT banding.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "seed/dsoft.h"
+#include "seed/seed_index.h"
+#include "seed/seed_pattern.h"
+#include "seq/sequence.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace darwin::seed {
+namespace {
+
+seq::Sequence
+random_sequence(std::size_t len, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> codes(len);
+    for (auto& c : codes)
+        c = static_cast<std::uint8_t>(rng.uniform(4));
+    return seq::Sequence("rand", std::move(codes));
+}
+
+TEST(SeedPattern, LastzDefaultIs12of19)
+{
+    const auto pattern = SeedPattern::lastz_default();
+    EXPECT_EQ(pattern.span(), 19u);
+    EXPECT_EQ(pattern.weight(), 12u);
+    EXPECT_EQ(pattern.key_space(), 1ULL << 24);
+}
+
+TEST(SeedPattern, RejectsMalformed)
+{
+    EXPECT_THROW(SeedPattern(""), FatalError);
+    EXPECT_THROW(SeedPattern("11012"), FatalError);
+    EXPECT_THROW(SeedPattern("000"), FatalError);
+    EXPECT_THROW(SeedPattern(std::string(16, '1')), FatalError);
+}
+
+TEST(SeedPattern, KeyIgnoresDontCares)
+{
+    const SeedPattern pattern("101");
+    const auto a = seq::encode_string("AAA");
+    const auto b = seq::encode_string("ACA");
+    const auto c = seq::encode_string("AAG");
+    EXPECT_EQ(pattern.key_at({a.data(), a.size()}, 0),
+              pattern.key_at({b.data(), b.size()}, 0));
+    EXPECT_NE(pattern.key_at({a.data(), a.size()}, 0),
+              pattern.key_at({c.data(), c.size()}, 0));
+}
+
+TEST(SeedPattern, KeyRejectsNAndOverrun)
+{
+    const SeedPattern pattern("111");
+    const auto withn = seq::encode_string("ANA");
+    EXPECT_FALSE(pattern.key_at({withn.data(), withn.size()}, 0));
+    const auto ok = seq::encode_string("ACG");
+    EXPECT_TRUE(pattern.key_at({ok.data(), ok.size()}, 0));
+    EXPECT_FALSE(pattern.key_at({ok.data(), ok.size()}, 1));
+}
+
+TEST(SeedPattern, TransitionNeighborsMatchTransitionMutants)
+{
+    const SeedPattern pattern("111");
+    const auto base = seq::encode_string("ACG");
+    const auto key = *pattern.key_at({base.data(), base.size()}, 0);
+    const auto neighbors = pattern.transition_neighbors(key);
+    EXPECT_EQ(neighbors.size(), 3u);
+    // Transition mutants: GCG (A->G), ATG (C->T), ACA (G->A).
+    for (const std::string mutant : {"GCG", "ATG", "ACA"}) {
+        const auto codes = seq::encode_string(mutant);
+        const auto mkey = *pattern.key_at({codes.data(), codes.size()}, 0);
+        EXPECT_NE(std::find(neighbors.begin(), neighbors.end(), mkey),
+                  neighbors.end())
+            << "missing transition mutant " << mutant;
+    }
+    // A transversion mutant must NOT be in the neighborhood.
+    const auto tv = seq::encode_string("CCG");
+    const auto tvkey = *pattern.key_at({tv.data(), tv.size()}, 0);
+    EXPECT_EQ(std::find(neighbors.begin(), neighbors.end(), tvkey),
+              neighbors.end());
+}
+
+TEST(SeedIndex, FindsAllOccurrences)
+{
+    const SeedPattern pattern("1111");
+    const seq::Sequence target("t", "ACGTAACGTA");
+    const SeedIndex index(target, pattern);
+    const auto codes = seq::encode_string("ACGT");
+    const auto key = *pattern.key_at({codes.data(), codes.size()}, 0);
+    const auto hits = index.lookup(key);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0], 0u);
+    EXPECT_EQ(hits[1], 5u);
+}
+
+TEST(SeedIndex, SkipsWindowsWithN)
+{
+    const SeedPattern pattern("1111");
+    const seq::Sequence target("t", "ACGTNACGT");
+    const SeedIndex index(target, pattern);
+    // Windows at 1..4 contain the N.
+    EXPECT_GT(index.skipped_windows(), 0u);
+    const auto codes = seq::encode_string("ACGT");
+    const auto key = *pattern.key_at({codes.data(), codes.size()}, 0);
+    ASSERT_EQ(index.lookup(key).size(), 2u);
+}
+
+TEST(SeedIndex, TruncatesRepeatBuckets)
+{
+    const SeedPattern pattern("1111");
+    const seq::Sequence target("t", std::string(500, 'A'));
+    const SeedIndex index(target, pattern, /*max_bucket=*/16);
+    const auto codes = seq::encode_string("AAAA");
+    const auto key = *pattern.key_at({codes.data(), codes.size()}, 0);
+    EXPECT_EQ(index.lookup(key).size(), 16u);
+    EXPECT_TRUE(index.over_represented(key));
+    EXPECT_EQ(index.truncated_buckets(), 1u);
+}
+
+TEST(SeedIndex, SpacedPatternIndexesCorrectKey)
+{
+    const SeedPattern pattern("1011");
+    const seq::Sequence target("t", "AGCTA");
+    const SeedIndex index(target, pattern);
+    // Window 0: A?CT -> key from A,C,T. A query window "AACT" must match.
+    const auto probe = seq::encode_string("AACT");
+    const auto key = *pattern.key_at({probe.data(), probe.size()}, 0);
+    const auto hits = index.lookup(key);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0], 0u);
+}
+
+TEST(Dsoft, FindsPlantedMatchOncePerBand)
+{
+    // Target and query share one exact 40bp region; every seed position in
+    // it hits, but D-SOFT must emit a single candidate for the band.
+    Rng rng(71);
+    auto target = random_sequence(400, 72);
+    auto query = random_sequence(400, 73);
+    for (std::size_t i = 0; i < 40; ++i)
+        query.codes()[200 + i] = target.codes()[100 + i];
+
+    const SeedPattern pattern("11111111");
+    const SeedIndex index(target, pattern);
+    DsoftParams params;
+    params.chunk_size = 400;  // whole query in one chunk
+    params.bin_size = 128;
+    params.transitions = false;
+    const DsoftSeeder seeder(index, params);
+    SeedingStats stats;
+    const auto hits = seeder.seed_all(query, &stats);
+    ASSERT_GE(hits.size(), 1u);
+    // All hits on the planted diagonal are collapsed to one band; random
+    // 8-mers may add a few more elsewhere.
+    std::size_t planted = 0;
+    for (const auto& hit : hits) {
+        const std::int64_t diag = static_cast<std::int64_t>(hit.target_pos) -
+                                  static_cast<std::int64_t>(hit.query_pos);
+        if (diag == -100)
+            ++planted;
+    }
+    EXPECT_EQ(planted, 1u);
+    EXPECT_GT(stats.seed_hits, 20u);  // the raw hits were all enumerated
+    EXPECT_EQ(stats.candidates, hits.size());
+}
+
+TEST(Dsoft, ThresholdFiltersIsolatedHits)
+{
+    Rng rng(74);
+    auto target = random_sequence(2000, 75);
+    auto query = random_sequence(2000, 76);
+    for (std::size_t i = 0; i < 60; ++i)
+        query.codes()[1000 + i] = target.codes()[500 + i];
+
+    const SeedPattern pattern("111111111");
+    const SeedIndex index(target, pattern);
+    DsoftParams params;
+    params.chunk_size = 128;
+    params.bin_size = 128;
+    params.transitions = false;
+    params.min_hits_per_band = 4;
+    const DsoftSeeder seeder(index, params);
+    const auto hits = seeder.seed_all(query);
+    // Only the planted 60bp run produces >= 4 collinear hits per band.
+    ASSERT_GE(hits.size(), 1u);
+    for (const auto& hit : hits) {
+        const std::int64_t diag = static_cast<std::int64_t>(hit.target_pos) -
+                                  static_cast<std::int64_t>(hit.query_pos);
+        EXPECT_EQ(diag, -500);
+    }
+}
+
+TEST(Dsoft, TransitionsRecoverTransitionMutatedSeeds)
+{
+    // Mutate one seed position with a transition; exact seeding misses it,
+    // 1-transition seeding finds it.
+    Rng rng(77);
+    auto target = random_sequence(600, 78);
+    auto query = random_sequence(600, 79);
+    for (std::size_t i = 0; i < 19; ++i)
+        query.codes()[300 + i] = target.codes()[200 + i];
+    // Apply a transition at a match position of the 12of19 pattern (offset
+    // 0 is a '1' position).
+    query.codes()[300] = seq::transition_partner(query.codes()[300]);
+
+    const SeedPattern pattern = SeedPattern::lastz_default();
+    const SeedIndex index(target, pattern);
+
+    DsoftParams exact;
+    exact.chunk_size = 600;
+    exact.transitions = false;
+    const auto exact_hits = DsoftSeeder(index, exact).seed_all(query);
+    bool exact_found = false;
+    for (const auto& hit : exact_hits) {
+        if (hit.target_pos == 200 && hit.query_pos == 300)
+            exact_found = true;
+    }
+    EXPECT_FALSE(exact_found);
+
+    DsoftParams with_tr = exact;
+    with_tr.transitions = true;
+    const auto tr_hits = DsoftSeeder(index, with_tr).seed_all(query);
+    bool tr_found = false;
+    for (const auto& hit : tr_hits) {
+        if (hit.target_pos == 200 && hit.query_pos == 300)
+            tr_found = true;
+    }
+    EXPECT_TRUE(tr_found);
+}
+
+TEST(Dsoft, LookupCountsTransitionMultiplier)
+{
+    const SeedPattern pattern = SeedPattern::lastz_default();
+    auto target = random_sequence(500, 80);
+    auto query = random_sequence(500, 81);
+    const SeedIndex index(target, pattern);
+
+    DsoftParams params;
+    params.chunk_size = 500;
+    params.transitions = false;
+    SeedingStats without;
+    DsoftSeeder(index, params).seed_all(query, &without);
+
+    params.transitions = true;
+    SeedingStats with;
+    DsoftSeeder(index, params).seed_all(query, &with);
+
+    // (m+1) = 13 lookups per position with 1 transition allowed.
+    EXPECT_EQ(with.seed_lookups, without.seed_lookups * 13);
+}
+
+TEST(Dsoft, ParallelMatchesSerial)
+{
+    Rng rng(82);
+    auto target = random_sequence(3000, 83);
+    auto query = random_sequence(3000, 84);
+    for (std::size_t i = 0; i < 100; ++i)
+        query.codes()[700 + i] = target.codes()[1500 + i];
+    const SeedPattern pattern("1110110111");
+    const SeedIndex index(target, pattern);
+    DsoftParams params;
+    params.chunk_size = 64;
+    const DsoftSeeder seeder(index, params);
+    const auto serial = seeder.seed_all(query);
+    ThreadPool pool(4);
+    const auto parallel = seeder.seed_all(query, nullptr, &pool);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(Dsoft, StrideSkipsPositions)
+{
+    auto target = random_sequence(1000, 85);
+    const SeedPattern pattern("11111111");
+    const SeedIndex index(target, pattern);
+    DsoftParams params;
+    params.chunk_size = 1000;
+    params.transitions = false;
+    SeedingStats s1, s4;
+    DsoftSeeder(index, params).seed_all(target, &s1);
+    params.query_stride = 4;
+    DsoftSeeder(index, params).seed_all(target, &s4);
+    EXPECT_NEAR(static_cast<double>(s1.seed_lookups) / 4.0,
+                static_cast<double>(s4.seed_lookups),
+                static_cast<double>(s1.seed_lookups) * 0.01 + 2);
+}
+
+}  // namespace
+}  // namespace darwin::seed

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Reverse-strand alignment support: a planted inversion is invisible to
+ * the forward-only pipeline and recovered by the both-strands pipeline,
+ * with correct reverse-complement coordinate mapping in the MAF output.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.h"
+#include "wga/maf.h"
+#include "wga/pipeline.h"
+
+namespace darwin::wga {
+namespace {
+
+/** Target: noise + conserved block + noise. Query: the conserved block
+ *  reverse-complemented (an inversion), in fresh noise. */
+struct InversionCase {
+    seq::Genome target;
+    seq::Genome query;
+    std::size_t block_start = 0;  ///< in the target
+    std::size_t block_len = 0;
+};
+
+InversionCase
+make_inversion_case(std::uint64_t seed)
+{
+    Rng rng(seed);
+    auto random_seq = [&rng](std::size_t len) {
+        std::vector<std::uint8_t> codes(len);
+        for (auto& c : codes)
+            c = static_cast<std::uint8_t>(rng.uniform(4));
+        return codes;
+    };
+
+    InversionCase out;
+    const auto conserved = random_seq(1200);
+    auto t_codes = random_seq(2000);
+    out.block_start = t_codes.size();
+    out.block_len = conserved.size();
+    t_codes.insert(t_codes.end(), conserved.begin(), conserved.end());
+    const auto t_tail = random_seq(2000);
+    t_codes.insert(t_codes.end(), t_tail.begin(), t_tail.end());
+    out.target.set_name("t");
+    out.target.add_chromosome(seq::Sequence("t_chr1", std::move(t_codes)));
+
+    // Query holds the reverse complement of the conserved block.
+    seq::Sequence block("b", std::vector<std::uint8_t>(conserved));
+    const auto inverted = block.reverse_complement();
+    auto q_codes = random_seq(1500);
+    q_codes.insert(q_codes.end(), inverted.codes().begin(),
+                   inverted.codes().end());
+    const auto q_tail = random_seq(1500);
+    q_codes.insert(q_codes.end(), q_tail.begin(), q_tail.end());
+    out.query.set_name("q");
+    out.query.add_chromosome(seq::Sequence("q_chr1", std::move(q_codes)));
+    return out;
+}
+
+TEST(Strand, ForwardOnlyMissesInversion)
+{
+    const auto workload = make_inversion_case(31337);
+    const WgaPipeline forward_only(WgaParams::darwin_defaults());
+    const auto result = forward_only.run(workload.target, workload.query);
+    EXPECT_TRUE(result.alignments.empty());
+}
+
+TEST(Strand, BothStrandsRecoverInversion)
+{
+    const auto workload = make_inversion_case(31337);
+    auto params = WgaParams::darwin_defaults();
+    params.align_both_strands = true;
+    const WgaPipeline pipeline(params);
+    const auto result = pipeline.run(workload.target, workload.query);
+    ASSERT_FALSE(result.alignments.empty());
+
+    const auto& a = result.alignments.front();
+    EXPECT_EQ(a.query_strand, align::Strand::Reverse);
+    // The alignment covers most of the inverted block on the target.
+    EXPECT_LT(a.target_start,
+              workload.block_start + workload.block_len / 4);
+    EXPECT_GT(a.target_end,
+              workload.block_start + 3 * workload.block_len / 4);
+    EXPECT_GT(a.matched_bases(), workload.block_len * 3 / 4);
+
+    // MAF emits a '-' strand record with consistent gapped texts.
+    std::ostringstream out;
+    write_maf(out, result.alignments, workload.target, workload.query);
+    const std::string maf = out.str();
+    EXPECT_NE(maf.find(" - "), std::string::npos);
+    EXPECT_NE(maf.find("q_chr1"), std::string::npos);
+}
+
+TEST(Strand, BothStrandsKeepForwardAlignments)
+{
+    // A forward conserved block must still be found when the reverse
+    // pass is enabled.
+    Rng rng(101);
+    std::vector<std::uint8_t> block(1000);
+    for (auto& c : block)
+        c = static_cast<std::uint8_t>(rng.uniform(4));
+    std::vector<std::uint8_t> t_codes(block);
+    std::vector<std::uint8_t> q_codes(block);
+    seq::Genome target("t"), query("q");
+    target.add_chromosome(seq::Sequence("t_chr1", std::move(t_codes)));
+    query.add_chromosome(seq::Sequence("q_chr1", std::move(q_codes)));
+
+    auto params = WgaParams::darwin_defaults();
+    params.align_both_strands = true;
+    const WgaPipeline pipeline(params);
+    const auto result = pipeline.run(target, query);
+    ASSERT_FALSE(result.alignments.empty());
+    EXPECT_EQ(result.alignments.front().query_strand,
+              align::Strand::Forward);
+    EXPECT_GT(result.alignments.front().matched_bases(), 900u);
+}
+
+}  // namespace
+}  // namespace darwin::wga

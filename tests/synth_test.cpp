@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Unit tests for the synth module: Markov source, mutation model,
+ * genome-level evolution, species pairs, distance estimation.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synth/distance.h"
+#include "util/logging.h"
+#include "synth/evolver.h"
+#include "synth/markov_source.h"
+#include "synth/mutator.h"
+#include "synth/species.h"
+
+namespace darwin::synth {
+namespace {
+
+TEST(MarkovSource, GeneratesRequestedLength)
+{
+    Rng rng(1);
+    const auto s = MarkovSource::genome_like().generate(1000, rng);
+    EXPECT_EQ(s.size(), 1000u);
+    for (std::size_t i = 0; i < s.size(); ++i)
+        EXPECT_LT(s[i], seq::kNumBases);
+}
+
+TEST(MarkovSource, ZeroLength)
+{
+    Rng rng(1);
+    EXPECT_EQ(MarkovSource::uniform().generate(0, rng).size(), 0u);
+}
+
+TEST(MarkovSource, GenomeLikeDepletesCpG)
+{
+    Rng rng(2);
+    const auto s = MarkovSource::genome_like().generate(200000, rng);
+    std::uint64_t c_total = 0;
+    std::uint64_t cg = 0;
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+        if (s[i] == seq::BaseC) {
+            ++c_total;
+            if (s[i + 1] == seq::BaseG)
+                ++cg;
+        }
+    }
+    ASSERT_GT(c_total, 0u);
+    // The conditional P(G|C) = 0.06 is far below the ~0.21 marginal.
+    EXPECT_LT(static_cast<double>(cg) / c_total, 0.10);
+}
+
+TEST(MarkovSource, Deterministic)
+{
+    Rng a(7), b(7);
+    const auto s1 = MarkovSource::genome_like().generate(500, a);
+    const auto s2 = MarkovSource::genome_like().generate(500, b);
+    EXPECT_EQ(s1.to_string(), s2.to_string());
+}
+
+TEST(Mutator, ZeroRatesAreIdentity)
+{
+    BranchParams params;
+    params.substitutions_per_site = 0.0;
+    params.indel_rate_per_site = 0.0;
+    Mutator mutator(params);
+    Rng rng(3);
+    const seq::Sequence ancestor("a", "ACGTACGTACGTACGT");
+    const auto result = mutator.mutate(ancestor, {}, rng);
+    EXPECT_EQ(result.sequence.to_string(), ancestor.to_string());
+    EXPECT_EQ(result.substitutions, 0u);
+    EXPECT_EQ(result.insertion_events, 0u);
+    EXPECT_EQ(result.deletion_events, 0u);
+}
+
+TEST(Mutator, SubstitutionRateRoughlyMatches)
+{
+    BranchParams params;
+    params.substitutions_per_site = 0.1;
+    params.indel_rate_per_site = 0.0;
+    Mutator mutator(params);
+    Rng gen(11);
+    const auto ancestor = MarkovSource::uniform().generate(100000, gen);
+    Rng rng(4);
+    const auto result = mutator.mutate(ancestor, {}, rng);
+    ASSERT_EQ(result.sequence.size(), ancestor.size());
+    std::uint64_t diffs = 0;
+    for (std::size_t i = 0; i < ancestor.size(); ++i) {
+        if (result.sequence[i] != ancestor[i])
+            ++diffs;
+    }
+    const double observed = static_cast<double>(diffs) / ancestor.size();
+    // Expected observable fraction: 3/4 (1 - e^{-4/3 * 0.1}) ~ 0.0936,
+    // minus a little for mutations that picked the same base via the
+    // multi-hit model.
+    EXPECT_NEAR(observed, 0.093, 0.012);
+}
+
+TEST(Mutator, TransitionBiasHolds)
+{
+    BranchParams params;
+    params.substitutions_per_site = 0.2;
+    params.indel_rate_per_site = 0.0;
+    params.transition_fraction = 2.0 / 3.0;
+    Mutator mutator(params);
+    Rng gen(12);
+    const auto ancestor = MarkovSource::uniform().generate(100000, gen);
+    Rng rng(5);
+    const auto result = mutator.mutate(ancestor, {}, rng);
+    std::uint64_t transitions = 0;
+    std::uint64_t transversions = 0;
+    for (std::size_t i = 0; i < ancestor.size(); ++i) {
+        if (seq::is_transition(ancestor[i], result.sequence[i]))
+            ++transitions;
+        else if (seq::is_transversion(ancestor[i], result.sequence[i]))
+            ++transversions;
+    }
+    ASSERT_GT(transversions, 0u);
+    const double ratio =
+        static_cast<double>(transitions) / transversions;
+    EXPECT_NEAR(ratio, 2.0, 0.35);
+}
+
+TEST(Mutator, IndelsChangeLength)
+{
+    BranchParams params;
+    params.substitutions_per_site = 0.0;
+    params.indel_rate_per_site = 0.02;
+    Mutator mutator(params);
+    Rng gen(13);
+    const auto ancestor = MarkovSource::uniform().generate(50000, gen);
+    Rng rng(6);
+    const auto result = mutator.mutate(ancestor, {}, rng);
+    EXPECT_GT(result.insertion_events + result.deletion_events, 100u);
+    EXPECT_EQ(result.sequence.size(),
+              ancestor.size() + result.inserted_bases -
+                  result.deleted_bases);
+}
+
+TEST(Mutator, ConservedRegionsMutateLess)
+{
+    BranchParams params;
+    params.substitutions_per_site = 0.4;
+    params.indel_rate_per_site = 0.0;
+    params.conserved_sub_factor = 0.05;
+    Mutator mutator(params);
+    Rng gen(14);
+    const auto ancestor = MarkovSource::uniform().generate(60000, gen);
+    // One conserved segment covering the middle third.
+    std::vector<Annotation> anns = {{"exon", {20000, 40000}}};
+    Rng rng(7);
+    const auto result = mutator.mutate(ancestor, anns, rng);
+    ASSERT_EQ(result.sequence.size(), ancestor.size());
+    std::uint64_t diffs_in = 0, diffs_out = 0;
+    for (std::size_t i = 0; i < ancestor.size(); ++i) {
+        if (result.sequence[i] != ancestor[i]) {
+            if (i >= 20000 && i < 40000)
+                ++diffs_in;
+            else
+                ++diffs_out;
+        }
+    }
+    // Same number of sites in and out; conserved should be ~10x cleaner.
+    EXPECT_LT(diffs_in * 5, diffs_out);
+}
+
+TEST(Mutator, AnnotationCoordinatesTrackIndels)
+{
+    BranchParams params;
+    params.substitutions_per_site = 0.0;
+    params.indel_rate_per_site = 0.05;
+    params.conserved_indel_factor = 0.0;  // keep exons indel-free
+    Mutator mutator(params);
+    Rng gen(15);
+    const auto ancestor = MarkovSource::uniform().generate(20000, gen);
+    std::vector<Annotation> anns = {{"e1", {5000, 5200}},
+                                    {"e2", {12000, 12300}}};
+    Rng rng(8);
+    const auto result = mutator.mutate(ancestor, anns, rng);
+    ASSERT_EQ(result.annotations.size(), 2u);
+    // Indel-free exons keep their exact length and content.
+    for (std::size_t k = 0; k < anns.size(); ++k) {
+        const auto& mapped = result.annotations[k];
+        EXPECT_EQ(mapped.interval.length(), anns[k].interval.length());
+        for (std::size_t i = 0; i < mapped.interval.length(); ++i) {
+            EXPECT_EQ(result.sequence[mapped.interval.start + i],
+                      ancestor[anns[k].interval.start + i]);
+        }
+    }
+}
+
+TEST(Mutator, RejectsOverlappingAnnotations)
+{
+    Mutator mutator(BranchParams{});
+    Rng rng(9);
+    const seq::Sequence ancestor("a", std::string(100, 'A'));
+    std::vector<Annotation> anns = {{"a", {10, 50}}, {"b", {40, 60}}};
+    EXPECT_DEATH(mutator.mutate(ancestor, anns, rng), "sorted");
+}
+
+TEST(Evolver, AncestorHasRequestedShape)
+{
+    AncestorConfig config;
+    config.num_chromosomes = 3;
+    config.chromosome_length = 30000;
+    config.exons_per_chromosome = 20;
+    Rng rng(10);
+    const auto ancestor =
+        make_ancestor("anc", config, MarkovSource::genome_like(), rng);
+    EXPECT_EQ(ancestor.genome.num_chromosomes(), 3u);
+    EXPECT_EQ(ancestor.genome.total_length(), 90000u);
+    EXPECT_EQ(ancestor.annotations.size(), 3u);
+    for (const auto& anns : ancestor.annotations) {
+        EXPECT_GT(anns.size(), 15u);
+        for (std::size_t i = 1; i < anns.size(); ++i)
+            EXPECT_LE(anns[i - 1].interval.end, anns[i].interval.start);
+    }
+}
+
+TEST(Evolver, EvolveGenomePreservesAnnotationCount)
+{
+    AncestorConfig config;
+    config.num_chromosomes = 2;
+    config.chromosome_length = 20000;
+    config.exons_per_chromosome = 10;
+    Rng rng(11);
+    const auto ancestor =
+        make_ancestor("anc", config, MarkovSource::genome_like(), rng);
+    BranchParams branch;
+    branch.substitutions_per_site = 0.1;
+    branch.indel_rate_per_site = 0.01;
+    BranchStats stats;
+    Rng rng2(12);
+    const auto child =
+        evolve_genome(ancestor, "child", branch, rng2, &stats);
+    EXPECT_EQ(child.genome.num_chromosomes(), 2u);
+    EXPECT_EQ(child.total_exons(), ancestor.total_exons());
+    EXPECT_GT(stats.substitutions, 0u);
+}
+
+TEST(Species, PaperPairsPresent)
+{
+    const auto pairs = paper_species_pairs();
+    ASSERT_EQ(pairs.size(), 4u);
+    EXPECT_EQ(pairs[0].pair_name, "ce11-cb4");
+    EXPECT_EQ(pairs[3].pair_name, "dm6-droSim1");
+    // Distances strictly decrease from the most to the least diverged.
+    for (std::size_t i = 1; i < pairs.size(); ++i)
+        EXPECT_LT(pairs[i].distance, pairs[i - 1].distance);
+}
+
+TEST(Species, FindByNameAndUnknownFails)
+{
+    EXPECT_EQ(find_species_pair("dm6-dp4").query_name, "dp4s");
+    EXPECT_THROW(find_species_pair("hg38-mm10"), FatalError);
+}
+
+TEST(Species, MakePairIsDeterministic)
+{
+    AncestorConfig config;
+    config.num_chromosomes = 1;
+    config.chromosome_length = 5000;
+    config.exons_per_chromosome = 4;
+    const auto spec = find_species_pair("dm6-droSim1");
+    const auto p1 = make_species_pair(spec, config, 99);
+    const auto p2 = make_species_pair(spec, config, 99);
+    EXPECT_EQ(p1.target.genome.chromosome(0).to_string(),
+              p2.target.genome.chromosome(0).to_string());
+    EXPECT_EQ(p1.query.genome.chromosome(0).to_string(),
+              p2.query.genome.chromosome(0).to_string());
+}
+
+TEST(Species, DivergenceScalesWithDistance)
+{
+    AncestorConfig config;
+    config.num_chromosomes = 1;
+    config.chromosome_length = 50000;
+    config.exons_per_chromosome = 10;
+    const auto close_pair =
+        make_species_pair(find_species_pair("dm6-droSim1"), config, 5);
+    const auto far_pair =
+        make_species_pair(find_species_pair("ce11-cb4"), config, 5);
+    EXPECT_GT(far_pair.target_branch.substitutions,
+              close_pair.target_branch.substitutions * 2);
+    EXPECT_GT(far_pair.target_branch.insertion_events +
+                  far_pair.target_branch.deletion_events,
+              close_pair.target_branch.insertion_events +
+                  close_pair.target_branch.deletion_events);
+}
+
+TEST(Distance, JukesCantorBasics)
+{
+    EXPECT_DOUBLE_EQ(jukes_cantor_distance(0.0), 0.0);
+    // Small p: d ~ p.
+    EXPECT_NEAR(jukes_cantor_distance(0.01), 0.01, 0.001);
+    // Saturation.
+    EXPECT_TRUE(std::isinf(jukes_cantor_distance(0.80)));
+}
+
+TEST(Distance, InvertsTheMutationModel)
+{
+    // Mutate at a known branch length and check JC recovers ~2x branch.
+    BranchParams params;
+    params.substitutions_per_site = 0.15;
+    params.indel_rate_per_site = 0.0;
+    Mutator mutator(params);
+    Rng gen(20);
+    const auto ancestor = MarkovSource::uniform().generate(200000, gen);
+    Rng r1(21), r2(22);
+    const auto a = mutator.mutate(ancestor, {}, r1);
+    const auto b = mutator.mutate(ancestor, {}, r2);
+    AlignedColumnCounts counts;
+    for (std::size_t i = 0; i < ancestor.size(); ++i) {
+        if (a.sequence[i] == b.sequence[i])
+            ++counts.matches;
+        else
+            ++counts.mismatches;
+    }
+    EXPECT_NEAR(jukes_cantor_distance(counts), 0.30, 0.05);
+}
+
+TEST(Distance, CountsHelpers)
+{
+    AlignedColumnCounts counts{90, 10};
+    EXPECT_EQ(counts.total(), 100u);
+    EXPECT_DOUBLE_EQ(counts.mismatch_fraction(), 0.1);
+}
+
+}  // namespace
+}  // namespace darwin::synth
