@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_gact_vs_gactx.dir/fig10_gact_vs_gactx.cpp.o"
+  "CMakeFiles/fig10_gact_vs_gactx.dir/fig10_gact_vs_gactx.cpp.o.d"
+  "fig10_gact_vs_gactx"
+  "fig10_gact_vs_gactx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gact_vs_gactx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

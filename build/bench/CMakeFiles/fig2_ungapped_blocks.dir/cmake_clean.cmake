@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ungapped_blocks.dir/fig2_ungapped_blocks.cpp.o"
+  "CMakeFiles/fig2_ungapped_blocks.dir/fig2_ungapped_blocks.cpp.o.d"
+  "fig2_ungapped_blocks"
+  "fig2_ungapped_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ungapped_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

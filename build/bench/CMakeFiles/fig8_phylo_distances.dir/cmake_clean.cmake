@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_phylo_distances.dir/fig8_phylo_distances.cpp.o"
+  "CMakeFiles/fig8_phylo_distances.dir/fig8_phylo_distances.cpp.o.d"
+  "fig8_phylo_distances"
+  "fig8_phylo_distances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_phylo_distances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

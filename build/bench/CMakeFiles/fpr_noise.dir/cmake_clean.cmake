@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpr_noise.dir/fpr_noise.cpp.o"
+  "CMakeFiles/fpr_noise.dir/fpr_noise.cpp.o.d"
+  "fpr_noise"
+  "fpr_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpr_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_sensitivity.dir/table3_sensitivity.cpp.o"
+  "CMakeFiles/table3_sensitivity.dir/table3_sensitivity.cpp.o.d"
+  "table3_sensitivity"
+  "table3_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

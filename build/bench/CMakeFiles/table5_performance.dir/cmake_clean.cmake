@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_performance.dir/table5_performance.cpp.o"
+  "CMakeFiles/table5_performance.dir/table5_performance.cpp.o.d"
+  "table5_performance"
+  "table5_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

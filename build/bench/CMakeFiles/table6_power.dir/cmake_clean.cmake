@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_power.dir/table6_power.cpp.o"
+  "CMakeFiles/table6_power.dir/table6_power.cpp.o.d"
+  "table6_power"
+  "table6_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

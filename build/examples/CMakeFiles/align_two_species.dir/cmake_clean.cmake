@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_two_species.dir/align_two_species.cpp.o"
+  "CMakeFiles/align_two_species.dir/align_two_species.cpp.o.d"
+  "align_two_species"
+  "align_two_species.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_two_species.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

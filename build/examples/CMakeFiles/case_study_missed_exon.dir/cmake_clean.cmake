@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_study_missed_exon.dir/case_study_missed_exon.cpp.o"
+  "CMakeFiles/case_study_missed_exon.dir/case_study_missed_exon.cpp.o.d"
+  "case_study_missed_exon"
+  "case_study_missed_exon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study_missed_exon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

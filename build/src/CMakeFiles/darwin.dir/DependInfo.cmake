@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/alignment.cpp" "src/CMakeFiles/darwin.dir/align/alignment.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/align/alignment.cpp.o.d"
+  "/root/repo/src/align/banded_sw.cpp" "src/CMakeFiles/darwin.dir/align/banded_sw.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/align/banded_sw.cpp.o.d"
+  "/root/repo/src/align/cigar.cpp" "src/CMakeFiles/darwin.dir/align/cigar.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/align/cigar.cpp.o.d"
+  "/root/repo/src/align/extension.cpp" "src/CMakeFiles/darwin.dir/align/extension.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/align/extension.cpp.o.d"
+  "/root/repo/src/align/gact.cpp" "src/CMakeFiles/darwin.dir/align/gact.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/align/gact.cpp.o.d"
+  "/root/repo/src/align/gactx.cpp" "src/CMakeFiles/darwin.dir/align/gactx.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/align/gactx.cpp.o.d"
+  "/root/repo/src/align/needleman_wunsch.cpp" "src/CMakeFiles/darwin.dir/align/needleman_wunsch.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/align/needleman_wunsch.cpp.o.d"
+  "/root/repo/src/align/scoring.cpp" "src/CMakeFiles/darwin.dir/align/scoring.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/align/scoring.cpp.o.d"
+  "/root/repo/src/align/smith_waterman.cpp" "src/CMakeFiles/darwin.dir/align/smith_waterman.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/align/smith_waterman.cpp.o.d"
+  "/root/repo/src/align/ungapped_xdrop.cpp" "src/CMakeFiles/darwin.dir/align/ungapped_xdrop.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/align/ungapped_xdrop.cpp.o.d"
+  "/root/repo/src/align/xdrop_reference.cpp" "src/CMakeFiles/darwin.dir/align/xdrop_reference.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/align/xdrop_reference.cpp.o.d"
+  "/root/repo/src/chain/anchor.cpp" "src/CMakeFiles/darwin.dir/chain/anchor.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/chain/anchor.cpp.o.d"
+  "/root/repo/src/chain/chain_metrics.cpp" "src/CMakeFiles/darwin.dir/chain/chain_metrics.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/chain/chain_metrics.cpp.o.d"
+  "/root/repo/src/chain/chainer.cpp" "src/CMakeFiles/darwin.dir/chain/chainer.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/chain/chainer.cpp.o.d"
+  "/root/repo/src/eval/block_stats.cpp" "src/CMakeFiles/darwin.dir/eval/block_stats.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/eval/block_stats.cpp.o.d"
+  "/root/repo/src/eval/exon_eval.cpp" "src/CMakeFiles/darwin.dir/eval/exon_eval.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/eval/exon_eval.cpp.o.d"
+  "/root/repo/src/eval/fpr.cpp" "src/CMakeFiles/darwin.dir/eval/fpr.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/eval/fpr.cpp.o.d"
+  "/root/repo/src/eval/sensitivity.cpp" "src/CMakeFiles/darwin.dir/eval/sensitivity.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/eval/sensitivity.cpp.o.d"
+  "/root/repo/src/hw/bsw_array.cpp" "src/CMakeFiles/darwin.dir/hw/bsw_array.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/hw/bsw_array.cpp.o.d"
+  "/root/repo/src/hw/config.cpp" "src/CMakeFiles/darwin.dir/hw/config.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/hw/config.cpp.o.d"
+  "/root/repo/src/hw/dram_model.cpp" "src/CMakeFiles/darwin.dir/hw/dram_model.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/hw/dram_model.cpp.o.d"
+  "/root/repo/src/hw/gactx_array.cpp" "src/CMakeFiles/darwin.dir/hw/gactx_array.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/hw/gactx_array.cpp.o.d"
+  "/root/repo/src/hw/perf_model.cpp" "src/CMakeFiles/darwin.dir/hw/perf_model.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/hw/perf_model.cpp.o.d"
+  "/root/repo/src/hw/power_model.cpp" "src/CMakeFiles/darwin.dir/hw/power_model.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/hw/power_model.cpp.o.d"
+  "/root/repo/src/seed/dsoft.cpp" "src/CMakeFiles/darwin.dir/seed/dsoft.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/seed/dsoft.cpp.o.d"
+  "/root/repo/src/seed/seed_index.cpp" "src/CMakeFiles/darwin.dir/seed/seed_index.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/seed/seed_index.cpp.o.d"
+  "/root/repo/src/seed/seed_pattern.cpp" "src/CMakeFiles/darwin.dir/seed/seed_pattern.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/seed/seed_pattern.cpp.o.d"
+  "/root/repo/src/seq/alphabet.cpp" "src/CMakeFiles/darwin.dir/seq/alphabet.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/seq/alphabet.cpp.o.d"
+  "/root/repo/src/seq/fasta.cpp" "src/CMakeFiles/darwin.dir/seq/fasta.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/seq/fasta.cpp.o.d"
+  "/root/repo/src/seq/genome.cpp" "src/CMakeFiles/darwin.dir/seq/genome.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/seq/genome.cpp.o.d"
+  "/root/repo/src/seq/interval.cpp" "src/CMakeFiles/darwin.dir/seq/interval.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/seq/interval.cpp.o.d"
+  "/root/repo/src/seq/sequence.cpp" "src/CMakeFiles/darwin.dir/seq/sequence.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/seq/sequence.cpp.o.d"
+  "/root/repo/src/seq/shuffle.cpp" "src/CMakeFiles/darwin.dir/seq/shuffle.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/seq/shuffle.cpp.o.d"
+  "/root/repo/src/synth/distance.cpp" "src/CMakeFiles/darwin.dir/synth/distance.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/synth/distance.cpp.o.d"
+  "/root/repo/src/synth/evolver.cpp" "src/CMakeFiles/darwin.dir/synth/evolver.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/synth/evolver.cpp.o.d"
+  "/root/repo/src/synth/markov_source.cpp" "src/CMakeFiles/darwin.dir/synth/markov_source.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/synth/markov_source.cpp.o.d"
+  "/root/repo/src/synth/mutator.cpp" "src/CMakeFiles/darwin.dir/synth/mutator.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/synth/mutator.cpp.o.d"
+  "/root/repo/src/synth/species.cpp" "src/CMakeFiles/darwin.dir/synth/species.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/synth/species.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/darwin.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/darwin.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/darwin.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/darwin.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/darwin.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/darwin.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/wga/chain_io.cpp" "src/CMakeFiles/darwin.dir/wga/chain_io.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/wga/chain_io.cpp.o.d"
+  "/root/repo/src/wga/extend_stage.cpp" "src/CMakeFiles/darwin.dir/wga/extend_stage.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/wga/extend_stage.cpp.o.d"
+  "/root/repo/src/wga/filter_stage.cpp" "src/CMakeFiles/darwin.dir/wga/filter_stage.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/wga/filter_stage.cpp.o.d"
+  "/root/repo/src/wga/maf.cpp" "src/CMakeFiles/darwin.dir/wga/maf.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/wga/maf.cpp.o.d"
+  "/root/repo/src/wga/params.cpp" "src/CMakeFiles/darwin.dir/wga/params.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/wga/params.cpp.o.d"
+  "/root/repo/src/wga/pipeline.cpp" "src/CMakeFiles/darwin.dir/wga/pipeline.cpp.o" "gcc" "src/CMakeFiles/darwin.dir/wga/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

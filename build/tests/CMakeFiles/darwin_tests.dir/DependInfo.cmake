@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/align_core_test.cpp" "tests/CMakeFiles/darwin_tests.dir/align_core_test.cpp.o" "gcc" "tests/CMakeFiles/darwin_tests.dir/align_core_test.cpp.o.d"
+  "/root/repo/tests/align_kernels_test.cpp" "tests/CMakeFiles/darwin_tests.dir/align_kernels_test.cpp.o" "gcc" "tests/CMakeFiles/darwin_tests.dir/align_kernels_test.cpp.o.d"
+  "/root/repo/tests/chain_test.cpp" "tests/CMakeFiles/darwin_tests.dir/chain_test.cpp.o" "gcc" "tests/CMakeFiles/darwin_tests.dir/chain_test.cpp.o.d"
+  "/root/repo/tests/coverage_test.cpp" "tests/CMakeFiles/darwin_tests.dir/coverage_test.cpp.o" "gcc" "tests/CMakeFiles/darwin_tests.dir/coverage_test.cpp.o.d"
+  "/root/repo/tests/eval_test.cpp" "tests/CMakeFiles/darwin_tests.dir/eval_test.cpp.o" "gcc" "tests/CMakeFiles/darwin_tests.dir/eval_test.cpp.o.d"
+  "/root/repo/tests/hw_test.cpp" "tests/CMakeFiles/darwin_tests.dir/hw_test.cpp.o" "gcc" "tests/CMakeFiles/darwin_tests.dir/hw_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/darwin_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/darwin_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/seed_test.cpp" "tests/CMakeFiles/darwin_tests.dir/seed_test.cpp.o" "gcc" "tests/CMakeFiles/darwin_tests.dir/seed_test.cpp.o.d"
+  "/root/repo/tests/seq_test.cpp" "tests/CMakeFiles/darwin_tests.dir/seq_test.cpp.o" "gcc" "tests/CMakeFiles/darwin_tests.dir/seq_test.cpp.o.d"
+  "/root/repo/tests/strand_test.cpp" "tests/CMakeFiles/darwin_tests.dir/strand_test.cpp.o" "gcc" "tests/CMakeFiles/darwin_tests.dir/strand_test.cpp.o.d"
+  "/root/repo/tests/synth_test.cpp" "tests/CMakeFiles/darwin_tests.dir/synth_test.cpp.o" "gcc" "tests/CMakeFiles/darwin_tests.dir/synth_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/darwin_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/darwin_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/wga_test.cpp" "tests/CMakeFiles/darwin_tests.dir/wga_test.cpp.o" "gcc" "tests/CMakeFiles/darwin_tests.dir/wga_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/darwin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

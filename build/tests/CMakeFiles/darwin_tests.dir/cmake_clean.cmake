@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darwin_tests.dir/align_core_test.cpp.o"
+  "CMakeFiles/darwin_tests.dir/align_core_test.cpp.o.d"
+  "CMakeFiles/darwin_tests.dir/align_kernels_test.cpp.o"
+  "CMakeFiles/darwin_tests.dir/align_kernels_test.cpp.o.d"
+  "CMakeFiles/darwin_tests.dir/chain_test.cpp.o"
+  "CMakeFiles/darwin_tests.dir/chain_test.cpp.o.d"
+  "CMakeFiles/darwin_tests.dir/coverage_test.cpp.o"
+  "CMakeFiles/darwin_tests.dir/coverage_test.cpp.o.d"
+  "CMakeFiles/darwin_tests.dir/eval_test.cpp.o"
+  "CMakeFiles/darwin_tests.dir/eval_test.cpp.o.d"
+  "CMakeFiles/darwin_tests.dir/hw_test.cpp.o"
+  "CMakeFiles/darwin_tests.dir/hw_test.cpp.o.d"
+  "CMakeFiles/darwin_tests.dir/property_test.cpp.o"
+  "CMakeFiles/darwin_tests.dir/property_test.cpp.o.d"
+  "CMakeFiles/darwin_tests.dir/seed_test.cpp.o"
+  "CMakeFiles/darwin_tests.dir/seed_test.cpp.o.d"
+  "CMakeFiles/darwin_tests.dir/seq_test.cpp.o"
+  "CMakeFiles/darwin_tests.dir/seq_test.cpp.o.d"
+  "CMakeFiles/darwin_tests.dir/strand_test.cpp.o"
+  "CMakeFiles/darwin_tests.dir/strand_test.cpp.o.d"
+  "CMakeFiles/darwin_tests.dir/synth_test.cpp.o"
+  "CMakeFiles/darwin_tests.dir/synth_test.cpp.o.d"
+  "CMakeFiles/darwin_tests.dir/util_test.cpp.o"
+  "CMakeFiles/darwin_tests.dir/util_test.cpp.o.d"
+  "CMakeFiles/darwin_tests.dir/wga_test.cpp.o"
+  "CMakeFiles/darwin_tests.dir/wga_test.cpp.o.d"
+  "darwin_tests"
+  "darwin_tests.pdb"
+  "darwin_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darwin_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

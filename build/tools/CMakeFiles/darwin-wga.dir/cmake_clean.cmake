@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darwin-wga.dir/darwin_wga_cli.cpp.o"
+  "CMakeFiles/darwin-wga.dir/darwin_wga_cli.cpp.o.d"
+  "darwin-wga"
+  "darwin-wga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darwin-wga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
