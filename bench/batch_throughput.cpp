@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Batch-engine throughput: serial per-pair WgaPipeline::run vs the
+ * pipeline-parallel batch engine on a multi-pair manifest.
+ *
+ * The manifest defaults to the paper's four species pairs at two seeds
+ * each (8 pairs). The serial baseline runs each pair to completion with
+ * no thread pool — exactly what `darwin-wga align` does per invocation —
+ * and the batch engine runs the same manifest with --threads workers
+ * sharing one dataflow. Emits a JSON report (stdout or --json FILE) with
+ * both wall-clock times, the speedup, and the engine's per-stage
+ * metrics dump; results are asserted bit-identical before timing is
+ * reported. Wall-clock speedup is bounded by the host's core count
+ * (the JSON carries "host_cores" so the figure is interpretable):
+ * roughly min(threads, cores, pairs) when extension dominates, since
+ * each pair's extension is one task.
+ *
+ *   batch_throughput --threads 4 --size 60000
+ */
+#include "bench_common.h"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "batch/scheduler.h"
+#include "util/timer.h"
+
+using namespace darwin;
+
+namespace {
+
+/** Cheap structural identity check between two runs of the same pair. */
+bool
+same_result(const wga::WgaResult& a, const wga::WgaResult& b)
+{
+    if (a.alignments.size() != b.alignments.size() ||
+        a.chains.size() != b.chains.size())
+        return false;
+    for (std::size_t i = 0; i < a.alignments.size(); ++i) {
+        const auto& x = a.alignments[i];
+        const auto& y = b.alignments[i];
+        if (x.target_start != y.target_start || x.target_end != y.target_end ||
+            x.query_start != y.query_start || x.query_end != y.query_end ||
+            x.score != y.score || x.cigar.to_string() != y.cigar.to_string())
+            return false;
+    }
+    for (std::size_t i = 0; i < a.chains.size(); ++i) {
+        if (a.chains[i].score != b.chains[i].score ||
+            a.chains[i].members != b.chains[i].members)
+            return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    ArgParser args("Batch-engine throughput: serial per-pair pipeline vs "
+                   "the streaming batch engine.");
+    bench::add_workload_options(args);
+    args.add_option("threads", "4", "batch engine worker threads");
+    args.add_option("seeds-per-pair", "2",
+                    "manifest entries per species pair");
+    args.add_option("shard-bp", "16384", "query bp per batch work unit");
+    args.add_option("json", "", "also write the JSON report to this file");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    const auto threads = static_cast<std::size_t>(args.get_int("threads"));
+    const auto seeds_per_pair =
+        static_cast<std::size_t>(args.get_int("seeds-per-pair"));
+    const std::size_t host_cores =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    if (threads > host_cores) {
+        std::fprintf(stderr,
+                     "note: %zu threads on a %zu-core host; wall-clock "
+                     "speedup is bounded by the core count\n",
+                     threads, host_cores);
+    }
+
+    synth::AncestorConfig shape;
+    shape.num_chromosomes =
+        static_cast<std::size_t>(args.get_int("chromosomes"));
+    shape.chromosome_length = static_cast<std::size_t>(args.get_int("size"));
+    shape.exons_per_chromosome =
+        shape.chromosome_length /
+        static_cast<std::size_t>(args.get_int("exon-every"));
+
+    std::vector<synth::SpeciesPair> pairs;
+    std::vector<batch::BatchJob> jobs;
+    auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    for (const auto& spec : synth::paper_species_pairs())
+        for (std::size_t s = 0; s < seeds_per_pair; ++s)
+            pairs.push_back(synth::make_species_pair(spec, shape, seed++));
+    jobs.reserve(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        jobs.push_back({pairs[i].spec.pair_name + "#" + std::to_string(i),
+                        &pairs[i].target.genome, &pairs[i].query.genome});
+    }
+    std::fprintf(stderr, "manifest: %zu pairs x %lld bp\n", jobs.size(),
+                 static_cast<long long>(args.get_int("size")));
+
+    const auto params = wga::WgaParams::darwin_defaults();
+
+    // Serial baseline: one pair after another, no pool.
+    const wga::WgaPipeline pipeline(params);
+    std::vector<wga::WgaResult> serial;
+    serial.reserve(pairs.size());
+    Timer serial_timer;
+    for (const auto& pair : pairs)
+        serial.push_back(pipeline.run(pair.target.genome, pair.query.genome));
+    const double serial_seconds = serial_timer.seconds();
+    std::fprintf(stderr, "serial:  %.2fs\n", serial_seconds);
+
+    // Batch engine over the same manifest.
+    batch::BatchOptions options;
+    options.params = params;
+    options.num_threads = threads;
+    options.shard_length = static_cast<std::size_t>(args.get_int("shard-bp"));
+    batch::MetricsRegistry metrics;
+    batch::BatchScheduler scheduler(options, &metrics);
+    Timer batch_timer;
+    const auto batch_results = scheduler.run(jobs);
+    const double batch_seconds = batch_timer.seconds();
+    std::fprintf(stderr, "batch:   %.2fs (%zu threads)\n", batch_seconds,
+                 threads);
+
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        if (!same_result(serial[i], batch_results[i].result))
+            ++mismatches;
+    if (mismatches != 0) {
+        std::fprintf(stderr,
+                     "ERROR: %zu pairs differ between serial and batch\n",
+                     mismatches);
+        return 1;
+    }
+
+    const double speedup =
+        batch_seconds > 0.0 ? serial_seconds / batch_seconds : 0.0;
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"pairs\": " << jobs.size() << ",\n"
+         << "  \"threads\": " << threads << ",\n"
+         << "  \"host_cores\": " << host_cores << ",\n"
+         << "  \"genome_bp\": " << shape.chromosome_length << ",\n"
+         << "  \"shard_bp\": " << options.shard_length << ",\n"
+         << "  \"identical\": true,\n"
+         << "  \"serial_seconds\": " << strprintf("%.4f", serial_seconds)
+         << ",\n"
+         << "  \"batch_seconds\": " << strprintf("%.4f", batch_seconds)
+         << ",\n"
+         << "  \"speedup\": " << strprintf("%.3f", speedup) << ",\n"
+         << "  \"metrics\": " << metrics.to_json() << "\n"
+         << "}\n";
+    std::fputs(json.str().c_str(), stdout);
+    if (!args.get("json").empty()) {
+        std::ofstream out(args.get("json"));
+        out << json.str();
+    }
+    std::fprintf(stderr, "speedup: %.2fx at %zu threads\n", speedup, threads);
+    return 0;
+}

@@ -1,0 +1,167 @@
+#include "batch/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace darwin::batch {
+
+void
+Histogram::observe(double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    if (samples_.size() < kMaxSamples)
+        samples_.push_back(value);
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+double
+Histogram::sum() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sum_;
+}
+
+double
+Histogram::mean() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+Histogram::min() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return min_;
+}
+
+double
+Histogram::max() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (samples_.empty())
+        return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+namespace {
+
+/** Render a double as JSON (finite decimal; no NaN/Inf in output). */
+std::string
+json_number(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    return strprintf("%.9g", v);
+}
+
+}  // namespace
+
+void
+MetricsRegistry::write_json(std::ostream& out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    out << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, metric] : counters_) {
+        out << (first ? "" : ",") << "\n    \"" << name
+            << "\": " << metric->value();
+        first = false;
+    }
+    out << (counters_.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, metric] : gauges_) {
+        out << (first ? "" : ",") << "\n    \"" << name
+            << "\": {\"value\": " << metric->value()
+            << ", \"high_water\": " << metric->high_water() << "}";
+        first = false;
+    }
+    out << (gauges_.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, metric] : histograms_) {
+        out << (first ? "" : ",") << "\n    \"" << name << "\": {"
+            << "\"count\": " << metric->count()
+            << ", \"sum\": " << json_number(metric->sum())
+            << ", \"mean\": " << json_number(metric->mean())
+            << ", \"min\": " << json_number(metric->min())
+            << ", \"max\": " << json_number(metric->max())
+            << ", \"p50\": " << json_number(metric->quantile(0.50))
+            << ", \"p90\": " << json_number(metric->quantile(0.90))
+            << ", \"p99\": " << json_number(metric->quantile(0.99)) << "}";
+        first = false;
+    }
+    out << (histograms_.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string
+MetricsRegistry::to_json() const
+{
+    std::ostringstream out;
+    write_json(out);
+    return out.str();
+}
+
+}  // namespace darwin::batch

@@ -1,0 +1,494 @@
+#include "batch/scheduler.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "align/gactx.h"
+#include "batch/shard.h"
+#include "seed/dsoft.h"
+#include "seed/seed_index.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/timer.h"
+#include "util/work_queue.h"
+#include "wga/extend_stage.h"
+#include "wga/filter_stage.h"
+
+namespace darwin::batch {
+
+namespace {
+
+/** Work items flowing between the stages. */
+struct PrepareTask {
+    std::size_t pair = 0;
+};
+struct SeedTask {
+    std::size_t pair = 0;
+    std::size_t strand = 0;
+    std::size_t shard = 0;
+};
+struct FilterTask {
+    std::size_t pair = 0;
+    std::size_t strand = 0;
+    std::size_t shard = 0;
+    std::vector<seed::SeedHit> hits;
+};
+struct ExtendTask {
+    std::size_t pair = 0;
+    std::size_t strand = 0;
+};
+struct ChainTask {
+    std::size_t pair = 0;
+};
+
+/** Per-strand dataflow state of one pair. */
+struct StrandState {
+    const seq::Sequence* query = nullptr;  ///< oriented strand sequence
+    std::span<const std::uint8_t> query_span;
+    std::vector<Shard> shards;
+    std::unique_ptr<wga::FilterStage> filter;
+    /** Candidates per shard, merged canonically when the last shard
+     *  finishes filtering. */
+    std::vector<std::vector<wga::FilterCandidate>> shard_candidates;
+    std::atomic<std::size_t> shards_remaining{0};
+    std::vector<wga::FilterCandidate> candidates;
+    std::vector<align::Alignment> alignments;
+};
+
+/** Everything the engine tracks for one manifest entry. */
+struct PairState {
+    const BatchJob* job = nullptr;
+    const seq::Sequence* target_flat = nullptr;
+    std::span<const std::uint8_t> target_span;
+    seq::Sequence query_rc;  ///< owned reverse complement (both-strands)
+    std::unique_ptr<seed::SeedIndex> index;
+    std::unique_ptr<seed::DsoftSeeder> seeder;
+    std::array<StrandState, 2> strands;
+    std::size_t num_strands = 1;
+    std::atomic<std::size_t> strands_remaining{1};
+    std::mutex stats_mutex;
+    wga::WgaResult result;
+};
+
+/** The dataflow engine for one run() invocation. */
+class Engine {
+  public:
+    Engine(const BatchOptions& options, MetricsRegistry& metrics,
+           const std::vector<BatchJob>& jobs)
+        : options_(options), metrics_(metrics), jobs_(jobs),
+          prepare_queue_(std::max<std::size_t>(jobs.size(), 1)),
+          seed_queue_(options.queue_capacity),
+          filter_queue_(options.queue_capacity),
+          extend_queue_(options.queue_capacity),
+          chain_queue_(options.queue_capacity),
+          pairs_remaining_(jobs.size())
+    {
+        pairs_.reserve(jobs.size());
+        for (const BatchJob& job : jobs_) {
+            auto pair = std::make_unique<PairState>();
+            pair->job = &job;
+            pairs_.push_back(std::move(pair));
+        }
+    }
+
+    std::vector<BatchPairResult>
+    run()
+    {
+        if (jobs_.empty())
+            return {};
+        // Materialize lazily-built flattened genomes on this thread:
+        // jobs may share Genome objects, and Genome::flattened() is not
+        // safe to first-build concurrently.
+        for (const BatchJob& job : jobs_) {
+            require(job.target != nullptr && job.query != nullptr,
+                    "batch: job missing target/query genome");
+            job.target->flattened();
+            job.query->flattened();
+        }
+        metrics_.counter("batch.pairs").add(jobs_.size());
+
+        for (std::size_t p = 0; p < jobs_.size(); ++p) {
+            PrepareTask task{p};
+            push_task(prepare_queue_, task, "prepare", kPrepare);
+        }
+
+        std::size_t num_workers = options_.num_threads;
+        if (num_workers == 0) {
+            num_workers = std::max<std::size_t>(
+                1, std::thread::hardware_concurrency());
+        }
+        std::vector<std::thread> workers;
+        workers.reserve(num_workers);
+        for (std::size_t w = 0; w < num_workers; ++w)
+            workers.emplace_back([this] { worker_loop(); });
+        for (auto& worker : workers)
+            worker.join();
+        if (error_)
+            std::rethrow_exception(error_);
+
+        std::vector<BatchPairResult> out;
+        out.reserve(pairs_.size());
+        for (std::size_t p = 0; p < pairs_.size(); ++p) {
+            out.push_back(BatchPairResult{jobs_[p].name,
+                                          std::move(pairs_[p]->result)});
+        }
+        return out;
+    }
+
+  private:
+    /** Stage depth, deepest first; used to bound help-drain recursion. */
+    enum Stage : int {
+        kChain = 0,
+        kExtend = 1,
+        kFilter = 2,
+        kSeed = 3,
+        kPrepare = 4,
+    };
+
+    /**
+     * Push to a stage queue without ever blocking the pipeline: when the
+     * queue is full, help drain work at the target stage or deeper until
+     * space opens. Helping only downstream keeps the recursion bounded
+     * by the pipeline depth, and is what lets a single worker thread run
+     * the whole dataflow without deadlocking on backpressure.
+     */
+    template <typename Queue, typename Task>
+    void
+    push_task(Queue& queue, Task& task, const char* stage, int stage_level)
+    {
+        while (!queue.try_push(task)) {
+            if (done_.load(std::memory_order_acquire))
+                return;  // aborting; drop the task
+            if (!run_one(stage_level))
+                std::this_thread::yield();
+        }
+        metrics_.gauge(strprintf("batch.queue.%s.depth", stage))
+            .set(static_cast<std::int64_t>(queue.size()));
+        wake_.notify_one();
+    }
+
+    void
+    worker_loop()
+    {
+        while (!done_.load(std::memory_order_acquire)) {
+            if (run_one(kPrepare))
+                continue;
+            // Timed wait: a plain wait could miss a notify that raced
+            // with the queue polls; 1ms bounds the idle-retry latency.
+            std::unique_lock<std::mutex> lock(wake_mutex_);
+            wake_.wait_for(lock, std::chrono::milliseconds(1));
+        }
+    }
+
+    /** Run one task at `max_level` or deeper (deepest first). False
+     *  when those queues are all empty (work may still be in flight on
+     *  other workers). */
+    bool
+    run_one(int max_level)
+    {
+        try {
+            if (auto task = chain_queue_.try_pop()) {
+                after_pop("chain", chain_queue_);
+                do_chain(*task);
+                return true;
+            }
+            if (max_level >= kExtend) {
+                if (auto task = extend_queue_.try_pop()) {
+                    after_pop("extend", extend_queue_);
+                    do_extend(*task);
+                    return true;
+                }
+            }
+            if (max_level >= kFilter) {
+                if (auto task = filter_queue_.try_pop()) {
+                    after_pop("filter", filter_queue_);
+                    do_filter(*task);
+                    return true;
+                }
+            }
+            if (max_level >= kSeed) {
+                if (auto task = seed_queue_.try_pop()) {
+                    after_pop("seed", seed_queue_);
+                    do_seed(*task);
+                    return true;
+                }
+            }
+            if (max_level >= kPrepare) {
+                if (auto task = prepare_queue_.try_pop()) {
+                    after_pop("prepare", prepare_queue_);
+                    do_prepare(*task);
+                    return true;
+                }
+            }
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(error_mutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+            done_.store(true, std::memory_order_release);
+            wake_.notify_all();
+            return true;
+        }
+        return false;
+    }
+
+    template <typename Queue>
+    void
+    after_pop(const char* stage, Queue& queue)
+    {
+        metrics_.gauge(strprintf("batch.queue.%s.depth", stage))
+            .set(static_cast<std::int64_t>(queue.size()));
+    }
+
+    void
+    do_prepare(const PrepareTask& task)
+    {
+        Timer timer;
+        PairState& pair = *pairs_[task.pair];
+        const wga::WgaParams& params = options_.params;
+
+        pair.target_flat = &pair.job->target->flattened();
+        pair.target_span = {pair.target_flat->codes().data(),
+                            pair.target_flat->size()};
+        const seed::SeedPattern pattern(params.seed_pattern);
+        pair.index =
+            std::make_unique<seed::SeedIndex>(*pair.target_flat, pattern);
+        pair.seeder =
+            std::make_unique<seed::DsoftSeeder>(*pair.index, params.dsoft);
+
+        pair.num_strands = params.align_both_strands ? 2 : 1;
+        pair.strands_remaining.store(pair.num_strands);
+        const seq::Sequence& query_fwd = pair.job->query->flattened();
+        if (pair.num_strands == 2)
+            pair.query_rc = query_fwd.reverse_complement();
+
+        const std::size_t margin = default_shard_margin(params);
+        std::size_t total_shards = 0;
+        for (std::size_t s = 0; s < pair.num_strands; ++s) {
+            StrandState& strand = pair.strands[s];
+            strand.query = s == 0 ? &query_fwd : &pair.query_rc;
+            strand.query_span = {strand.query->codes().data(),
+                                 strand.query->size()};
+            strand.shards =
+                make_shards(strand.query->size(), options_.shard_length,
+                            params.dsoft.chunk_size, margin);
+            strand.shard_candidates.resize(strand.shards.size());
+            strand.shards_remaining.store(strand.shards.size());
+            strand.filter = std::make_unique<wga::FilterStage>(
+                params, pair.target_span, strand.query_span);
+            total_shards += strand.shards.size();
+        }
+        {
+            // Index construction is the serial pipeline's up-front
+            // seed_seconds; account it the same way.
+            std::lock_guard<std::mutex> lock(pair.stats_mutex);
+            pair.result.stats.seed_seconds += timer.seconds();
+        }
+        metrics_.counter("batch.shards").add(total_shards);
+        metrics_.histogram("batch.prepare.seconds").observe(timer.seconds());
+
+        for (std::size_t s = 0; s < pair.num_strands; ++s) {
+            StrandState& strand = pair.strands[s];
+            if (strand.shards.empty()) {
+                // Empty strand (zero-length query): complete it now.
+                ExtendTask extend{task.pair, s};
+                push_task(extend_queue_, extend, "extend", kExtend);
+                continue;
+            }
+            for (std::size_t shard = 0; shard < strand.shards.size();
+                 ++shard) {
+                SeedTask seed{task.pair, s, shard};
+                push_task(seed_queue_, seed, "seed", kSeed);
+            }
+        }
+    }
+
+    void
+    do_seed(const SeedTask& task)
+    {
+        Timer timer;
+        PairState& pair = *pairs_[task.pair];
+        StrandState& strand = pair.strands[task.strand];
+        const Shard& shard = strand.shards[task.shard];
+        const std::size_t chunk_size = options_.params.dsoft.chunk_size;
+
+        // Seed the shard chunk-by-chunk — the exact decomposition
+        // DsoftSeeder::seed_all uses, so the hit set is identical.
+        wga::PipelineStats local;
+        FilterTask filter{task.pair, task.strand, task.shard, {}};
+        for (std::size_t begin = shard.begin; begin < shard.end;
+             begin += chunk_size) {
+            const std::size_t end =
+                std::min(strand.query->size(), begin + chunk_size);
+            auto hits = pair.seeder->seed_chunk(strand.query_span, begin,
+                                                end, &local.seeding);
+            filter.hits.insert(filter.hits.end(),
+                               std::make_move_iterator(hits.begin()),
+                               std::make_move_iterator(hits.end()));
+        }
+        local.seed_seconds = timer.seconds();
+        {
+            std::lock_guard<std::mutex> lock(pair.stats_mutex);
+            pair.result.stats.merge(local);
+        }
+        metrics_.counter("batch.seed.tasks").add(1);
+        metrics_.counter("batch.seed.hits").add(filter.hits.size());
+        metrics_.histogram("batch.seed.seconds").observe(timer.seconds());
+        push_task(filter_queue_, filter, "filter", kFilter);
+    }
+
+    void
+    do_filter(FilterTask& task)
+    {
+        Timer timer;
+        PairState& pair = *pairs_[task.pair];
+        StrandState& strand = pair.strands[task.strand];
+
+        wga::PipelineStats local;
+        std::vector<wga::FilterCandidate> candidates;
+        for (const seed::SeedHit& hit : task.hits) {
+            if (auto candidate = strand.filter->filter(hit, &local.filter))
+                candidates.push_back(*candidate);
+        }
+        local.filter_seconds = timer.seconds();
+        metrics_.counter("batch.filter.tasks").add(1);
+        metrics_.counter("batch.filter.candidates").add(candidates.size());
+        metrics_.histogram("batch.filter.seconds").observe(timer.seconds());
+        strand.shard_candidates[task.shard] = std::move(candidates);
+        {
+            std::lock_guard<std::mutex> lock(pair.stats_mutex);
+            pair.result.stats.merge(local);
+        }
+
+        if (strand.shards_remaining.fetch_sub(1) == 1) {
+            // Last shard of this strand: merge in shard order and apply
+            // the canonical extension order (same sort as filter_all),
+            // making the candidate stream bit-identical to the serial
+            // pipeline's.
+            std::size_t total = 0;
+            for (const auto& shard_candidates : strand.shard_candidates)
+                total += shard_candidates.size();
+            strand.candidates.reserve(total);
+            for (auto& shard_candidates : strand.shard_candidates) {
+                strand.candidates.insert(strand.candidates.end(),
+                                         shard_candidates.begin(),
+                                         shard_candidates.end());
+                shard_candidates.clear();
+                shard_candidates.shrink_to_fit();
+            }
+            wga::sort_candidates(strand.candidates);
+            ExtendTask extend{task.pair, task.strand};
+            push_task(extend_queue_, extend, "extend", kExtend);
+        }
+    }
+
+    void
+    do_extend(const ExtendTask& task)
+    {
+        Timer timer;
+        PairState& pair = *pairs_[task.pair];
+        StrandState& strand = pair.strands[task.strand];
+        const wga::WgaParams& params = options_.params;
+
+        wga::PipelineStats local;
+        const align::GactXTileAligner aligner(params.gactx);
+        wga::ExtendStage stage(params, pair.target_span, strand.query_span);
+        strand.alignments =
+            stage.extend_all(strand.candidates, aligner, &local.extend);
+        strand.candidates.clear();
+        strand.candidates.shrink_to_fit();
+        const align::Strand orientation = task.strand == 0
+                                              ? align::Strand::Forward
+                                              : align::Strand::Reverse;
+        for (align::Alignment& alignment : strand.alignments)
+            alignment.query_strand = orientation;
+        local.extend_seconds = timer.seconds();
+        {
+            std::lock_guard<std::mutex> lock(pair.stats_mutex);
+            pair.result.stats.merge(local);
+        }
+        metrics_.counter("batch.extend.tasks").add(1);
+        metrics_.counter("batch.alignments").add(strand.alignments.size());
+        metrics_.histogram("batch.extend.seconds").observe(timer.seconds());
+
+        if (pair.strands_remaining.fetch_sub(1) == 1) {
+            ChainTask chain{task.pair};
+            push_task(chain_queue_, chain, "chain", kChain);
+        }
+    }
+
+    void
+    do_chain(const ChainTask& task)
+    {
+        Timer timer;
+        PairState& pair = *pairs_[task.pair];
+        // Forward alignments first, then reverse — the serial
+        // pipeline's concatenation order, which the chainer sees.
+        for (std::size_t s = 0; s < pair.num_strands; ++s) {
+            StrandState& strand = pair.strands[s];
+            pair.result.alignments.insert(
+                pair.result.alignments.end(),
+                std::make_move_iterator(strand.alignments.begin()),
+                std::make_move_iterator(strand.alignments.end()));
+            strand.alignments.clear();
+        }
+        pair.result.chains = chain::chain_alignments(
+            pair.result.alignments, options_.chain_params);
+        {
+            std::lock_guard<std::mutex> lock(pair.stats_mutex);
+            pair.result.stats.chain_seconds += timer.seconds();
+        }
+        metrics_.counter("batch.chain.tasks").add(1);
+        metrics_.counter("batch.chains").add(pair.result.chains.size());
+        metrics_.histogram("batch.chain.seconds").observe(timer.seconds());
+        metrics_.counter("batch.pairs_completed").add(1);
+
+        if (pairs_remaining_.fetch_sub(1) == 1) {
+            done_.store(true, std::memory_order_release);
+            wake_.notify_all();
+        }
+    }
+
+    const BatchOptions& options_;
+    MetricsRegistry& metrics_;
+    const std::vector<BatchJob>& jobs_;
+    std::vector<std::unique_ptr<PairState>> pairs_;
+
+    WorkQueue<PrepareTask> prepare_queue_;
+    WorkQueue<SeedTask> seed_queue_;
+    WorkQueue<FilterTask> filter_queue_;
+    WorkQueue<ExtendTask> extend_queue_;
+    WorkQueue<ChainTask> chain_queue_;
+
+    std::atomic<std::size_t> pairs_remaining_;
+    std::atomic<bool> done_{false};
+    std::mutex wake_mutex_;
+    std::condition_variable wake_;
+    std::mutex error_mutex_;
+    std::exception_ptr error_;
+};
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(BatchOptions options, MetricsRegistry* metrics)
+    : options_(std::move(options)),
+      metrics_(metrics != nullptr ? metrics : &fallback_metrics_)
+{
+}
+
+std::vector<BatchPairResult>
+BatchScheduler::run(const std::vector<BatchJob>& jobs)
+{
+    Engine engine(options_, *metrics_, jobs);
+    return engine.run();
+}
+
+}  // namespace darwin::batch

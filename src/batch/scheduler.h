@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Streaming batch-alignment engine: many (target, query) pairs driven
+ * through seed -> filter -> extend -> chain as a *dataflow* rather than
+ * a barrier pipeline.
+ *
+ * Each pair's query strand is cut into chunk-aligned shards (see
+ * batch/shard.h). Work units flow through bounded WorkQueues between
+ * stages, so filter candidates from shard i are being extended while
+ * shard i+1 is still seeding, and the forward and reverse strands of a
+ * pair are two independent streams instead of serial phases. A fixed
+ * set of stage-agnostic workers drains the queues downstream-first,
+ * which keeps the deepest pipeline stages hot and gives natural
+ * backpressure end to end.
+ *
+ * Determinism: results are bit-identical to running each pair through
+ * the serial WgaPipeline. Three structural properties guarantee this —
+ * shard boundaries are D-SOFT-chunk aligned (seeding is chunk-local, so
+ * the union of per-shard hits equals the serial hit set); per-shard
+ * filter candidates are merged and re-sorted with the same canonical
+ * order filter_all() uses; and each strand's extension runs as a single
+ * task over that canonical order, preserving the anchor-absorption
+ * semantics of the serial extension stage.
+ */
+#ifndef DARWIN_BATCH_SCHEDULER_H
+#define DARWIN_BATCH_SCHEDULER_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "batch/metrics.h"
+#include "chain/chainer.h"
+#include "seq/genome.h"
+#include "wga/pipeline.h"
+
+namespace darwin::batch {
+
+/** One (target, query) alignment job of a batch manifest. */
+struct BatchJob {
+    std::string name;  ///< label used for outputs/metrics, e.g. "ce11-cb4"
+    const seq::Genome* target = nullptr;
+    const seq::Genome* query = nullptr;
+};
+
+/** Engine configuration. */
+struct BatchOptions {
+    wga::WgaParams params;
+    chain::ChainParams chain_params;
+
+    /** Worker threads; 0 means hardware_concurrency(). */
+    std::size_t num_threads = 0;
+
+    /** Query bp per shard (rounded up to the D-SOFT chunk size). */
+    std::size_t shard_length = 1 << 18;
+
+    /** Capacity of each inter-stage queue (backpressure bound). */
+    std::size_t queue_capacity = 128;
+};
+
+/** Result for one manifest entry, in manifest order. */
+struct BatchPairResult {
+    std::string name;
+    wga::WgaResult result;
+};
+
+/** The batch engine. Construct once, run() one manifest at a time. */
+class BatchScheduler {
+  public:
+    /**
+     * @param metrics Optional registry for per-stage counters, queue
+     *        depths, and latency histograms ("batch.*" names); pass
+     *        nullptr to run unmetered (an internal registry is used).
+     */
+    explicit BatchScheduler(BatchOptions options,
+                            MetricsRegistry* metrics = nullptr);
+
+    const BatchOptions& options() const { return options_; }
+
+    /**
+     * Run every job in the manifest and return per-pair results in
+     * manifest order. Jobs may share Genome objects (their flattened
+     * forms are materialized up front, before workers start). Throws
+     * the first worker exception after the pipeline shuts down cleanly.
+     */
+    std::vector<BatchPairResult> run(const std::vector<BatchJob>& jobs);
+
+  private:
+    BatchOptions options_;
+    MetricsRegistry* metrics_;
+    MetricsRegistry fallback_metrics_;
+};
+
+}  // namespace darwin::batch
+
+#endif  // DARWIN_BATCH_SCHEDULER_H

@@ -1,0 +1,42 @@
+#include "batch/shard.h"
+
+#include <algorithm>
+
+#include "seed/seed_pattern.h"
+
+namespace darwin::batch {
+
+std::vector<Shard>
+make_shards(std::size_t sequence_length, std::size_t shard_length,
+            std::size_t alignment, std::size_t margin)
+{
+    std::vector<Shard> shards;
+    if (sequence_length == 0)
+        return shards;
+    if (alignment == 0)
+        alignment = 1;
+    // Round the shard size up to a whole number of aligned units.
+    std::size_t step =
+        std::max<std::size_t>(shard_length, alignment);
+    step = (step + alignment - 1) / alignment * alignment;
+
+    for (std::size_t begin = 0; begin < sequence_length; begin += step) {
+        Shard shard;
+        shard.index = shards.size();
+        shard.begin = begin;
+        shard.end = std::min(sequence_length, begin + step);
+        shard.margin_begin = begin > margin ? begin - margin : 0;
+        shard.margin_end = std::min(sequence_length, shard.end + margin);
+        shards.push_back(shard);
+    }
+    return shards;
+}
+
+std::size_t
+default_shard_margin(const wga::WgaParams& params)
+{
+    return seed::SeedPattern(params.seed_pattern).span() +
+           params.filter_tile;
+}
+
+}  // namespace darwin::batch

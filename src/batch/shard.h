@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Work-unit decomposition for the streaming batch-alignment engine.
+ *
+ * A shard is a contiguous slice of one query strand that flows through
+ * seed -> filter as an independent work unit. Two properties make shard
+ * boundaries lossless with respect to the serial pipeline:
+ *
+ *  1. Shard boundaries are aligned to the D-SOFT chunk size, so a shard
+ *     covers whole seeding chunks and the union of per-shard seed hits
+ *     equals the serial seed_all() hit set exactly (D-SOFT's diagonal
+ *     band accumulation is chunk-local by construction).
+ *  2. Each shard carries an *overlap margin* — [margin_begin, margin_end)
+ *     extends the owned range by the seed-pattern span plus the filter
+ *     tile, the furthest any seed window or filter tile rooted inside
+ *     the shard can read. Stages that materialize a shard's bytes (for
+ *     cache locality or accelerator DMA) must fetch the margin-extended
+ *     range; stages that hold the full sequence span simply read
+ *     through the boundary.
+ */
+#ifndef DARWIN_BATCH_SHARD_H
+#define DARWIN_BATCH_SHARD_H
+
+#include <cstddef>
+#include <vector>
+
+#include "wga/params.h"
+
+namespace darwin::batch {
+
+/** One query work unit. Positions are bp offsets into the strand. */
+struct Shard {
+    std::size_t index = 0;         ///< position in the shard plan
+    std::size_t begin = 0;         ///< first owned bp (chunk-aligned)
+    std::size_t end = 0;           ///< one past the last owned bp
+    std::size_t margin_begin = 0;  ///< begin minus overlap margin (clamped)
+    std::size_t margin_end = 0;    ///< end plus overlap margin (clamped)
+
+    std::size_t size() const { return end - begin; }
+
+    /** Owned range plus margins — what a fetch must cover. */
+    std::size_t fetch_size() const { return margin_end - margin_begin; }
+
+    bool operator==(const Shard&) const = default;
+};
+
+/**
+ * Cut [0, sequence_length) into shards of ~shard_length bp.
+ *
+ * @param sequence_length Strand length in bp.
+ * @param shard_length    Target shard size; rounded up to a multiple of
+ *                        `alignment` (minimum one aligned unit).
+ * @param alignment       Boundary alignment in bp (the D-SOFT chunk
+ *                        size); 0 is promoted to 1.
+ * @param margin          Overlap margin in bp added on both sides of the
+ *                        owned range, clamped to the sequence.
+ *
+ * The shards partition the sequence exactly: consecutive owned ranges
+ * abut and their union is [0, sequence_length). An empty sequence
+ * yields an empty plan.
+ */
+std::vector<Shard> make_shards(std::size_t sequence_length,
+                               std::size_t shard_length,
+                               std::size_t alignment, std::size_t margin);
+
+/**
+ * The margin the WGA stages need: the seed-pattern span (a seed window
+ * rooted at the last owned position reads this far) plus the filter
+ * tile (the banded-SW tile is centered on the seed and can extend a
+ * tile beyond it).
+ */
+std::size_t default_shard_margin(const wga::WgaParams& params);
+
+}  // namespace darwin::batch
+
+#endif  // DARWIN_BATCH_SHARD_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <memory>
 
 namespace darwin {
@@ -45,6 +46,18 @@ ThreadPool::wait_idle()
     idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+namespace {
+
+/** Completion state of one parallel_for call (not the whole pool). */
+struct ForState {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+};
+
+}  // namespace
+
 void
 ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t)>& body,
@@ -55,14 +68,72 @@ ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     const std::size_t n = end - begin;
     if (grain == 0)
         grain = std::max<std::size_t>(1, n / (size() * 8));
+
+    const auto state = std::make_shared<ForState>();
+    state->remaining = (n + grain - 1) / grain;
     for (std::size_t chunk = begin; chunk < end; chunk += grain) {
         const std::size_t chunk_end = std::min(end, chunk + grain);
-        submit([chunk, chunk_end, &body] {
-            for (std::size_t i = chunk; i < chunk_end; ++i)
-                body(i);
+        submit([chunk, chunk_end, &body, state] {
+            try {
+                for (std::size_t i = chunk; i < chunk_end; ++i)
+                    body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                if (!state->error)
+                    state->error = std::current_exception();
+            }
+            bool last = false;
+            {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                last = --state->remaining == 0;
+            }
+            if (last)
+                state->done.notify_all();
         });
     }
-    wait_idle();
+
+    // Wait for *this call's* grains, helping with queued work meanwhile.
+    // Helping is what makes nested parallel_for safe: a pool thread that
+    // issues an inner parallel_for keeps draining the shared queue
+    // instead of blocking on a completion that needs its own cycles.
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(state->mutex);
+            if (state->remaining == 0)
+                break;
+        }
+        if (!run_one_task()) {
+            // Queue empty: every outstanding grain is already running on
+            // some thread; sleep until the last one reports in.
+            std::unique_lock<std::mutex> lock(state->mutex);
+            state->done.wait(lock,
+                             [&] { return state->remaining == 0; });
+            break;
+        }
+    }
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+bool
+ThreadPool::run_one_task()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (tasks_.empty())
+            return false;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+    }
+    task();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --in_flight_;
+        if (in_flight_ == 0)
+            idle_.notify_all();
+    }
+    return true;
 }
 
 void

@@ -33,15 +33,26 @@ class ThreadPool {
     /** Number of worker threads. */
     std::size_t size() const { return workers_.size(); }
 
-    /** Enqueue a task; runs at some point on a worker thread. */
+    /**
+     * Enqueue a task; runs at some point on a worker thread (or on a
+     * thread helping inside parallel_for). Tasks must not throw — use
+     * parallel_for when exception propagation is needed.
+     */
     void submit(std::function<void()> task);
 
     /** Block until every submitted task has finished. */
     void wait_idle();
 
     /**
-     * Run body(i) for every i in [begin, end) across the pool and wait.
-     * Work is handed out in contiguous grains to limit queue contention.
+     * Run body(i) for every i in [begin, end) across the pool and wait
+     * for *this call's* work only. Work is handed out in contiguous
+     * grains to limit queue contention.
+     *
+     * While waiting, the calling thread helps execute queued tasks, so
+     * parallel_for may be nested (an outer parallel_for body may invoke
+     * an inner one on the same pool) without deadlock. The first
+     * exception thrown by `body` is rethrown on the calling thread after
+     * the remaining grains finish.
      */
     void parallel_for(std::size_t begin, std::size_t end,
                       const std::function<void(std::size_t)>& body,
@@ -49,6 +60,9 @@ class ThreadPool {
 
   private:
     void worker_loop();
+
+    /** Pop and run one queued task; false if the queue was empty. */
+    bool run_one_task();
 
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> tasks_;

@@ -92,7 +92,14 @@ FilterStage::filter_all(const std::vector<seed::SeedHit>& hits,
         if (slot)
             out.push_back(*slot);
     }
-    std::sort(out.begin(), out.end(),
+    sort_candidates(out);
+    return out;
+}
+
+void
+sort_candidates(std::vector<FilterCandidate>& candidates)
+{
+    std::sort(candidates.begin(), candidates.end(),
               [](const FilterCandidate& a, const FilterCandidate& b) {
                   if (a.filter_score != b.filter_score)
                       return a.filter_score > b.filter_score;
@@ -100,7 +107,6 @@ FilterStage::filter_all(const std::vector<seed::SeedHit>& hits,
                       return a.anchor_t < b.anchor_t;
                   return a.anchor_q < b.anchor_q;
               });
-    return out;
 }
 
 }  // namespace darwin::wga

@@ -44,6 +44,14 @@ struct FilterStats {
     }
 };
 
+/**
+ * Canonical extension order: descending filter score, ties broken by
+ * anchor position. filter_all and the batch engine's shard merge share
+ * this sort, so sharded filtering reproduces the serial candidate order
+ * (and therefore the extension stage's output) exactly.
+ */
+void sort_candidates(std::vector<FilterCandidate>& candidates);
+
 /** Filtering over one (target, query) span pair. */
 class FilterStage {
   public:

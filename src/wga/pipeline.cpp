@@ -7,6 +7,23 @@
 
 namespace darwin::wga {
 
+void
+PipelineStats::merge(const PipelineStats& other)
+{
+    seeding.merge(other.seeding);
+    filter.merge(other.filter);
+    extend.anchors_in += other.extend.anchors_in;
+    extend.absorbed += other.extend.absorbed;
+    extend.extended += other.extend.extended;
+    extend.duplicates += other.extend.duplicates;
+    extend.alignments_out += other.extend.alignments_out;
+    extend.extension.merge(other.extend.extension);
+    seed_seconds += other.seed_seconds;
+    filter_seconds += other.filter_seconds;
+    extend_seconds += other.extend_seconds;
+    chain_seconds += other.chain_seconds;
+}
+
 WgaPipeline::WgaPipeline(WgaParams params, chain::ChainParams chain_params)
     : params_(std::move(params)), chain_params_(std::move(chain_params))
 {
@@ -73,21 +90,36 @@ WgaPipeline::run_sequences(const seq::Sequence& target,
     const seed::SeedIndex index(target, pattern);
     result.stats.seed_seconds = timer.seconds();
 
-    result.alignments =
-        run_one_strand(params_, index, target_span, query,
-                       align::Strand::Forward, &result.stats, pool);
+    // Coordinates of the reverse pass stay in reverse-complement space
+    // (the MAF '-' strand convention).
+    const std::size_t num_strands = params_.align_both_strands ? 2 : 1;
+    seq::Sequence query_rc;
+    if (num_strands == 2)
+        query_rc = query.reverse_complement();
 
-    if (params_.align_both_strands) {
-        // Second pass over the reverse complement; coordinates stay in
-        // reverse-complement space (the MAF '-' strand convention).
-        const seq::Sequence query_rc = query.reverse_complement();
-        auto reverse_alignments =
-            run_one_strand(params_, index, target_span, query_rc,
-                           align::Strand::Reverse, &result.stats, pool);
+    std::vector<std::vector<align::Alignment>> per_strand(num_strands);
+    std::vector<PipelineStats> strand_stats(num_strands);
+    const auto run_strand = [&](std::size_t s) {
+        per_strand[s] = run_one_strand(
+            params_, index, target_span, s == 0 ? query : query_rc,
+            s == 0 ? align::Strand::Forward : align::Strand::Reverse,
+            &strand_stats[s], pool);
+    };
+    if (pool != nullptr && num_strands == 2) {
+        // The strand passes are independent: run them as two concurrent
+        // streams over the shared pool. Their inner parallel_for calls
+        // nest safely because waiting callers help drain the pool queue.
+        pool->parallel_for(0, num_strands, run_strand, 1);
+    } else {
+        for (std::size_t s = 0; s < num_strands; ++s)
+            run_strand(s);
+    }
+    for (std::size_t s = 0; s < num_strands; ++s) {
+        result.stats.merge(strand_stats[s]);
         result.alignments.insert(
             result.alignments.end(),
-            std::make_move_iterator(reverse_alignments.begin()),
-            std::make_move_iterator(reverse_alignments.end()));
+            std::make_move_iterator(per_strand[s].begin()),
+            std::make_move_iterator(per_strand[s].end()));
     }
 
     timer.reset();

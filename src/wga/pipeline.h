@@ -39,6 +39,14 @@ struct PipelineStats {
         return seed_seconds + filter_seconds + extend_seconds +
                chain_seconds;
     }
+
+    /**
+     * Accumulate another stats block (workload counters and stage
+     * seconds). Used to combine per-strand and per-shard accounting;
+     * note that when strands run concurrently the summed stage seconds
+     * are CPU-time-like rather than wall-clock.
+     */
+    void merge(const PipelineStats& other);
 };
 
 /** Everything a WGA run produces. */

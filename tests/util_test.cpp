@@ -1,12 +1,17 @@
 /**
  * @file
- * Unit tests for the util module: RNG, stats, strings, args, thread pool.
+ * Unit tests for the util module: RNG, stats, strings, args, thread
+ * pool, work queue.
  */
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <optional>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
 #include "util/args.h"
 #include "util/logging.h"
@@ -14,6 +19,7 @@
 #include "util/stats.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
+#include "util/work_queue.h"
 
 namespace darwin {
 namespace {
@@ -273,6 +279,162 @@ TEST(ThreadPool, EmptyRangeIsNoop)
 {
     ThreadPool pool(2);
     pool.parallel_for(5, 5, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ZeroThreadsFallsBackToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1u);
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallel_for(0, 100,
+                                   [](std::size_t i) {
+                                       if (i == 37)
+                                           throw std::runtime_error("bad");
+                                   },
+                                   1),
+                 std::runtime_error);
+    // The pool is still usable afterwards.
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelFor)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    pool.parallel_for(
+        0, 4,
+        [&](std::size_t) {
+            pool.parallel_for(0, 100,
+                              [&](std::size_t) { count.fetch_add(1); }, 8);
+        },
+        1);
+    EXPECT_EQ(count.load(), 400);
+}
+
+TEST(ThreadPool, SubmitFromInsideTask)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 4,
+                      [&](std::size_t) {
+                          pool.submit([&] { count.fetch_add(1); });
+                      },
+                      1);
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 4);
+}
+
+TEST(WorkQueue, PreservesFifoOrder)
+{
+    WorkQueue<int> queue(16);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(queue.push(i));
+    for (int i = 0; i < 10; ++i) {
+        const auto item = queue.pop();
+        ASSERT_TRUE(item.has_value());
+        EXPECT_EQ(*item, i);
+    }
+    EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(WorkQueue, TryPushFailsWhenFull)
+{
+    WorkQueue<int> queue(2);
+    int item = 1;
+    EXPECT_TRUE(queue.try_push(item));
+    item = 2;
+    EXPECT_TRUE(queue.try_push(item));
+    item = 3;
+    EXPECT_FALSE(queue.try_push(item));
+    EXPECT_EQ(item, 3);  // untouched on failure
+    EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(WorkQueue, PushBlocksUntilConsumerDrains)
+{
+    WorkQueue<int> queue(2);
+    EXPECT_TRUE(queue.push(1));
+    EXPECT_TRUE(queue.push(2));
+
+    std::atomic<bool> third_pushed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(queue.push(3));  // blocks until a pop frees a slot
+        third_pushed.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(third_pushed.load());
+
+    EXPECT_EQ(queue.pop().value(), 1);
+    producer.join();
+    EXPECT_TRUE(third_pushed.load());
+    EXPECT_EQ(queue.pop().value(), 2);
+    EXPECT_EQ(queue.pop().value(), 3);
+}
+
+TEST(WorkQueue, CloseDrainsPendingThenSignalsEnd)
+{
+    WorkQueue<int> queue(8);
+    queue.push(1);
+    queue.push(2);
+    queue.close();
+    EXPECT_TRUE(queue.closed());
+    EXPECT_FALSE(queue.push(3));  // rejected after close
+    EXPECT_EQ(queue.pop().value(), 1);
+    EXPECT_EQ(queue.pop().value(), 2);
+    EXPECT_FALSE(queue.pop().has_value());  // drained + closed
+}
+
+TEST(WorkQueue, CloseUnblocksWaitingConsumer)
+{
+    WorkQueue<int> queue(4);
+    std::optional<int> got = 42;
+    std::thread consumer([&] { got = queue.pop(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.close();
+    consumer.join();
+    EXPECT_FALSE(got.has_value());
+}
+
+TEST(WorkQueue, ManyProducersManyConsumers)
+{
+    WorkQueue<int> queue(4);  // small capacity: exercise backpressure
+    constexpr int kProducers = 4;
+    constexpr int kItemsEach = 500;
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&queue, p] {
+            for (int i = 0; i < kItemsEach; ++i)
+                ASSERT_TRUE(queue.push(p * kItemsEach + i));
+        });
+    }
+    std::atomic<int> popped{0};
+    std::atomic<long long> total{0};
+    for (int c = 0; c < 3; ++c) {
+        threads.emplace_back([&] {
+            while (auto item = queue.pop()) {
+                popped.fetch_add(1);
+                total.fetch_add(*item);
+            }
+        });
+    }
+    for (int p = 0; p < kProducers; ++p)
+        threads[static_cast<std::size_t>(p)].join();
+    queue.close();
+    for (std::size_t t = kProducers; t < threads.size(); ++t)
+        threads[t].join();
+    constexpr int kTotalItems = kProducers * kItemsEach;
+    EXPECT_EQ(popped.load(), kTotalItems);
+    EXPECT_EQ(total.load(),
+              static_cast<long long>(kTotalItems) * (kTotalItems - 1) / 2);
 }
 
 TEST(Logging, FatalThrows)
