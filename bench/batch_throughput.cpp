@@ -141,8 +141,15 @@ main(int argc, char** argv)
 
     const double speedup =
         batch_seconds > 0.0 ? serial_seconds / batch_seconds : 0.0;
+    // Per-stage breakdown: summed task seconds from the engine's latency
+    // histograms (CPU-time-like across workers, not wall-clock).
+    const auto stage_seconds = [&metrics](const char* name) {
+        const auto* hist = metrics.find_histogram(name);
+        return hist != nullptr ? hist->sum() : 0.0;
+    };
     std::ostringstream json;
     json << "{\n"
+         << "  " << bench::json_stamp() << ",\n"
          << "  \"pairs\": " << jobs.size() << ",\n"
          << "  \"threads\": " << threads << ",\n"
          << "  \"host_cores\": " << host_cores << ",\n"
@@ -154,6 +161,14 @@ main(int argc, char** argv)
          << "  \"batch_seconds\": " << strprintf("%.4f", batch_seconds)
          << ",\n"
          << "  \"speedup\": " << strprintf("%.3f", speedup) << ",\n"
+         << "  \"stage_seconds\": {"
+         << "\"seed\": " << strprintf("%.4f", stage_seconds("batch.seed.seconds"))
+         << ", \"filter\": "
+         << strprintf("%.4f", stage_seconds("batch.filter.seconds"))
+         << ", \"extend\": "
+         << strprintf("%.4f", stage_seconds("batch.extend.seconds"))
+         << ", \"chain\": "
+         << strprintf("%.4f", stage_seconds("batch.chain.seconds")) << "},\n"
          << "  \"metrics\": " << metrics.to_json() << "\n"
          << "}\n";
     std::fputs(json.str().c_str(), stdout);

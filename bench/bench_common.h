@@ -14,6 +14,7 @@
 #define DARWIN_BENCH_BENCH_COMMON_H
 
 #include <cstdio>
+#include <ctime>
 #include <string>
 
 #include "hw/perf_model.h"
@@ -87,6 +88,35 @@ rule(int width = 100)
     for (int i = 0; i < width; ++i)
         std::fputc('-', stdout);
     std::fputc('\n', stdout);
+}
+
+// Short git revision baked in by bench/CMakeLists.txt at configure time.
+#ifndef DARWIN_GIT_REV
+#define DARWIN_GIT_REV "unknown"
+#endif
+
+/** Current UTC time as ISO-8601 ("2026-08-07T12:34:56Z"). */
+inline std::string
+iso8601_utc_now()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+/**
+ * Provenance fragment every bench JSON report carries:
+ *   "timestamp": "<ISO-8601 UTC>", "git_rev": "<short rev>"
+ * (no surrounding braces — splice it into the report object).
+ */
+inline std::string
+json_stamp()
+{
+    return "\"timestamp\": \"" + iso8601_utc_now() +
+           "\", \"git_rev\": \"" DARWIN_GIT_REV "\"";
 }
 
 }  // namespace darwin::bench

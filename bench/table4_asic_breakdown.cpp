@@ -6,10 +6,13 @@
  * Paper values: 16.6/25.6, 4.2/6.72, 15.12/7.92, -/3.10; total
  * 35.92 mm^2 / 43.34 W. Also prints an ablation: how the breakdown
  * scales for half/double BSW provisioning (the paper's §VI-A discussion
- * of DRAM-bottleneck provisioning).
+ * of DRAM-bottleneck provisioning). --json FILE writes the main
+ * breakdown as a stamped JSON report.
  */
 #include <cstdio>
+#include <fstream>
 
+#include "bench_common.h"
 #include "hw/power_model.h"
 
 using namespace darwin;
@@ -32,11 +35,45 @@ print_breakdown(const char* title, const hw::DeviceConfig& config)
                 model.total_power_w(config));
 }
 
+void
+write_json(const std::string& path, const hw::DeviceConfig& config)
+{
+    const hw::AsicPowerModel model;
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    out << "{\n  " << bench::json_stamp() << ",\n"
+        << "  \"device\": " << json_quote(config.name) << ",\n"
+        << "  \"components\": [\n";
+    const auto rows = model.breakdown(config);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        out << "    {\"component\": " << json_quote(rows[i].component)
+            << ", \"configuration\": " << json_quote(rows[i].configuration)
+            << ", \"area_mm2\": " << strprintf("%.2f", rows[i].area_mm2)
+            << ", \"power_w\": " << strprintf("%.2f", rows[i].power_w)
+            << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"total_area_mm2\": "
+        << strprintf("%.2f", model.total_area_mm2(config)) << ",\n"
+        << "  \"total_power_w\": "
+        << strprintf("%.2f", model.total_power_w(config)) << "\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    ArgParser args("Table IV: Darwin-WGA ASIC area/power breakdown.");
+    args.add_option("json", "",
+                    "also write the main breakdown as JSON here");
+    if (!args.parse(argc, argv))
+        return 1;
+
     print_breakdown("Table IV: Darwin-WGA ASIC (TSMC 40nm @ 1.0 GHz)",
                     hw::DeviceConfig::asic_40nm());
     std::printf("paper: BSW 16.6/25.6, GACT-X 4.2/6.72, SRAM 15.12/7.92, "
@@ -50,5 +87,8 @@ main()
     big.gactx_arrays *= 2;
     print_breakdown("Ablation: double GACT-X provisioning (24 arrays)",
                     big);
+
+    if (!args.get("json").empty())
+        write_json(args.get("json"), hw::DeviceConfig::asic_40nm());
     return 0;
 }

@@ -17,6 +17,9 @@
  */
 #include "bench_common.h"
 
+#include <fstream>
+#include <sstream>
+
 #include "hw/power_model.h"
 
 using namespace darwin;
@@ -27,6 +30,8 @@ main(int argc, char** argv)
     ArgParser args("Table V: runtimes/workload of software and modeled "
                    "accelerators.");
     bench::add_workload_options(args);
+    args.add_option("json", "",
+                    "also write the per-pair rows as JSON here");
     if (!args.parse(argc, argv))
         return 1;
 
@@ -55,6 +60,12 @@ main(int argc, char** argv)
     double total_sw_filter = 0.0;
     double total_fpga_filter = 0.0;
     double total_asic_filter = 0.0;
+
+    // Modeled ASIC cycles / DRAM traffic accumulate here across pairs
+    // ("hw.*" counters; see DESIGN.md "Observability").
+    obs::MetricsRegistry hw_metrics;
+    std::ostringstream rows_json;
+    bool first_row = true;
 
     for (const auto& spec : synth::paper_species_pairs()) {
         const auto pair = bench::make_bench_pair(spec.pair_name, args);
@@ -85,6 +96,24 @@ main(int argc, char** argv)
             darwin_result.stats.filter_seconds);
         total_fpga_filter += fpga_est.filter.seconds();
         total_asic_filter += asic_est.filter.seconds();
+
+        hw::publish_device_estimate(hw_metrics, asic_est, "hw.asic");
+        hw::publish_device_estimate(hw_metrics, fpga_est, "hw.fpga");
+        rows_json << (first_row ? "" : ",") << "\n    {\"pair\": "
+                  << json_quote(spec.pair_name)
+                  << ", \"lastz_seconds\": "
+                  << strprintf("%.3f", lastz_seconds)
+                  << ", \"iso_sw_seconds\": "
+                  << strprintf("%.3f", iso_seconds)
+                  << ", \"fpga_seconds\": "
+                  << strprintf("%.4f", fpga_est.total_seconds)
+                  << ", \"asic_seconds\": "
+                  << strprintf("%.4f", asic_est.total_seconds)
+                  << ", \"perf_per_dollar\": "
+                  << strprintf("%.2f", perf_dollar)
+                  << ", \"perf_per_watt\": "
+                  << strprintf("%.1f", perf_watt) << "}";
+        first_row = false;
 
         std::printf("%-13s %9.1f | %9s %11s %11s | %9.1f %9.2f | %8.3f "
                     "%5.0fx %5.0fx\n",
@@ -131,5 +160,19 @@ main(int argc, char** argv)
     std::printf("paper factors: FPGA 19-24x perf/$, ASIC ~1500x perf/W "
                 "over iso-sensitive software (filter-dominated at 100 Mbp "
                 "scale)\n");
+
+    if (!args.get("json").empty()) {
+        std::ofstream out(args.get("json"));
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         args.get("json").c_str());
+            return 1;
+        }
+        out << "{\n  " << bench::json_stamp() << ",\n"
+            << "  \"genome_bp\": " << args.get_int("size") << ",\n"
+            << "  \"rows\": [" << rows_json.str() << "\n  ],\n"
+            << "  \"hw_metrics\": " << hw_metrics.to_json() << "\n}\n";
+        std::printf("wrote %s\n", args.get("json").c_str());
+    }
     return 0;
 }

@@ -7,7 +7,9 @@
  * ASIC (TSMC 40nm) 43 W.
  */
 #include <cstdio>
+#include <fstream>
 
+#include "bench_common.h"
 #include "hw/bsw_array.h"
 #include "hw/config.h"
 #include "hw/power_model.h"
@@ -15,8 +17,13 @@
 using namespace darwin;
 
 int
-main()
+main(int argc, char** argv)
 {
+    ArgParser args("Table VI: platform power and energy per filter tile.");
+    args.add_option("json", "", "also write the table as JSON here");
+    if (!args.parse(argc, argv))
+        return 1;
+
     const auto cpu = hw::DeviceConfig::cpu_c4_8xlarge();
     const auto fpga = hw::DeviceConfig::fpga_f1_2xlarge();
     const auto asic = hw::DeviceConfig::asic_40nm();
@@ -46,5 +53,31 @@ main()
                 fpga.power_w * 1e6 / fpga_rate);
     std::printf("  %-28s %10.3f J\n", asic.name.c_str(),
                 asic.power_w * 1e6 / asic_rate);
+
+    if (!args.get("json").empty()) {
+        std::ofstream out(args.get("json"));
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         args.get("json").c_str());
+            return 1;
+        }
+        out << "{\n  " << bench::json_stamp() << ",\n"
+            << "  \"platforms\": [\n";
+        const struct {
+            const hw::DeviceConfig* config;
+            double rate;
+        } rows[] = {{&cpu, sw_rate}, {&fpga, fpga_rate}, {&asic, asic_rate}};
+        for (std::size_t i = 0; i < 3; ++i) {
+            out << "    {\"platform\": " << json_quote(rows[i].config->name)
+                << ", \"power_w\": "
+                << strprintf("%.1f", rows[i].config->power_w)
+                << ", \"joules_per_1m_filter_tiles\": "
+                << strprintf("%.3f",
+                             rows[i].config->power_w * 1e6 / rows[i].rate)
+                << "}" << (i + 1 < 3 ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+        std::printf("wrote %s\n", args.get("json").c_str());
+    }
     return 0;
 }

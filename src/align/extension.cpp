@@ -100,8 +100,11 @@ extend_direction(std::size_t target_remaining, std::size_t query_remaining,
             {query_tile.data(), query_tile.size()});
         if (stats)
             stats->absorb(tile);
-        if (tile.max_score <= 0)
+        if (tile.max_score <= 0) {
+            if (stats)
+                ++stats->xdrop_terminations;
             break;
+        }
 
         // When the tile does not fill the nominal size (sequence end), the
         // overlap clipping still applies against the nominal boundary; a

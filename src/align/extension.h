@@ -27,6 +27,9 @@ struct ExtensionStats {
     std::uint64_t stripes = 0;
     /** Sum of per-stripe column counts (GACT-X only). */
     std::uint64_t stripe_columns = 0;
+    /** Directional extensions stopped by the X-drop rule (a tile whose
+     *  Vmax <= 0), as opposed to reaching a sequence end or stalling. */
+    std::uint64_t xdrop_terminations = 0;
 
     void
     absorb(const TileResult& tile)
@@ -47,6 +50,7 @@ struct ExtensionStats {
         traceback_ops += other.traceback_ops;
         stripes += other.stripes;
         stripe_columns += other.stripe_columns;
+        xdrop_terminations += other.xdrop_terminations;
     }
 };
 

@@ -1,136 +1,21 @@
 /**
  * @file
- * Lightweight metrics registry for the batch-alignment engine: named
- * counters, gauges (with high-water marks), and latency histograms,
- * dumped as JSON. The scheduler uses it to expose per-stage queue
- * depths, task counts, and stage seconds so a production deployment can
- * see where the dataflow is backed up.
- *
- * All mutation paths are thread-safe. Metric handles returned by the
- * registry are stable for the registry's lifetime, so hot paths look a
- * metric up once and then update it lock-free (counters/gauges) or under
- * a per-metric mutex (histograms).
+ * Compatibility header: the metrics registry moved to src/obs/ (it is
+ * shared by the batch engine, the serial pipeline, and the hw models).
+ * Existing includes of "batch/metrics.h" keep working via these
+ * aliases; new code should include "obs/metrics.h" directly.
  */
 #ifndef DARWIN_BATCH_METRICS_H
 #define DARWIN_BATCH_METRICS_H
 
-#include <atomic>
-#include <cstdint>
-#include <iosfwd>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <vector>
+#include "obs/metrics.h"
 
 namespace darwin::batch {
 
-/** Monotonically increasing event count. */
-class Counter {
-  public:
-    void
-    add(std::uint64_t n = 1)
-    {
-        value_.fetch_add(n, std::memory_order_relaxed);
-    }
-
-    std::uint64_t
-    value() const
-    {
-        return value_.load(std::memory_order_relaxed);
-    }
-
-  private:
-    std::atomic<std::uint64_t> value_{0};
-};
-
-/** Instantaneous level (e.g. queue depth) with a high-water mark. */
-class Gauge {
-  public:
-    void
-    set(std::int64_t v)
-    {
-        value_.store(v, std::memory_order_relaxed);
-        std::int64_t seen = high_water_.load(std::memory_order_relaxed);
-        while (v > seen &&
-               !high_water_.compare_exchange_weak(
-                   seen, v, std::memory_order_relaxed))
-            ;
-    }
-
-    std::int64_t
-    value() const
-    {
-        return value_.load(std::memory_order_relaxed);
-    }
-
-    std::int64_t
-    high_water() const
-    {
-        return high_water_.load(std::memory_order_relaxed);
-    }
-
-  private:
-    std::atomic<std::int64_t> value_{0};
-    std::atomic<std::int64_t> high_water_{0};
-};
-
-/**
- * Distribution of observed values (stage latencies in seconds).
- * Keeps exact count/sum/min/max plus a bounded sample buffer for
- * quantiles; observations past the buffer cap still update the exact
- * aggregates but no longer shift the quantile estimates.
- */
-class Histogram {
-  public:
-    void observe(double value);
-
-    std::uint64_t count() const;
-    double sum() const;
-    double mean() const;
-    double min() const;
-    double max() const;
-
-    /** Quantile over the retained samples, q in [0, 1]. */
-    double quantile(double q) const;
-
-    /** Samples retained for quantile estimation. */
-    static constexpr std::size_t kMaxSamples = 65536;
-
-  private:
-    mutable std::mutex mutex_;
-    std::uint64_t count_ = 0;
-    double sum_ = 0.0;
-    double min_ = 0.0;
-    double max_ = 0.0;
-    std::vector<double> samples_;
-};
-
-/** Name -> metric map with on-demand creation and a JSON dump. */
-class MetricsRegistry {
-  public:
-    /** Find or create; the returned reference stays valid. */
-    Counter& counter(const std::string& name);
-    Gauge& gauge(const std::string& name);
-    Histogram& histogram(const std::string& name);
-
-    /**
-     * Dump every metric as one JSON object:
-     *   {"counters": {name: value, ...},
-     *    "gauges": {name: {"value": v, "high_water": h}, ...},
-     *    "histograms": {name: {"count": n, "sum": s, "mean": m,
-     *                          "min": lo, "max": hi,
-     *                          "p50": a, "p90": b, "p99": c}, ...}}
-     */
-    void write_json(std::ostream& out) const;
-    std::string to_json() const;
-
-  private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-};
+using Counter = obs::Counter;
+using Gauge = obs::Gauge;
+using Histogram = obs::Histogram;
+using MetricsRegistry = obs::MetricsRegistry;
 
 }  // namespace darwin::batch
 

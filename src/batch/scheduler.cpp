@@ -12,6 +12,7 @@
 
 #include "align/gactx.h"
 #include "batch/shard.h"
+#include "obs/trace.h"
 #include "seed/dsoft.h"
 #include "seed/seed_index.h"
 #include "util/logging.h"
@@ -252,6 +253,8 @@ class Engine {
     do_prepare(const PrepareTask& task)
     {
         Timer timer;
+        obs::ScopedSpan span("prepare", "batch");
+        span.arg("pair", static_cast<std::int64_t>(task.pair));
         PairState& pair = *pairs_[task.pair];
         const wga::WgaParams& params = options_.params;
 
@@ -315,6 +318,10 @@ class Engine {
     do_seed(const SeedTask& task)
     {
         Timer timer;
+        obs::ScopedSpan span("seed", "batch");
+        span.arg("pair", static_cast<std::int64_t>(task.pair));
+        span.arg("strand", static_cast<std::int64_t>(task.strand));
+        span.arg("shard", static_cast<std::int64_t>(task.shard));
         PairState& pair = *pairs_[task.pair];
         StrandState& strand = pair.strands[task.strand];
         const Shard& shard = strand.shards[task.shard];
@@ -340,6 +347,8 @@ class Engine {
             pair.result.stats.merge(local);
         }
         metrics_.counter("batch.seed.tasks").add(1);
+        metrics_.counter("batch.seed.lookups").add(local.seeding.seed_lookups);
+        metrics_.counter("batch.seed.raw_hits").add(local.seeding.seed_hits);
         metrics_.counter("batch.seed.hits").add(filter.hits.size());
         metrics_.histogram("batch.seed.seconds").observe(timer.seconds());
         push_task(filter_queue_, filter, "filter", kFilter);
@@ -349,6 +358,10 @@ class Engine {
     do_filter(FilterTask& task)
     {
         Timer timer;
+        obs::ScopedSpan span("filter", "batch");
+        span.arg("pair", static_cast<std::int64_t>(task.pair));
+        span.arg("strand", static_cast<std::int64_t>(task.strand));
+        span.arg("shard", static_cast<std::int64_t>(task.shard));
         PairState& pair = *pairs_[task.pair];
         StrandState& strand = pair.strands[task.strand];
 
@@ -360,7 +373,11 @@ class Engine {
         }
         local.filter_seconds = timer.seconds();
         metrics_.counter("batch.filter.tasks").add(1);
+        metrics_.counter("batch.filter.hits_in").add(task.hits.size());
+        metrics_.counter("batch.filter.cells").add(local.filter.cells);
         metrics_.counter("batch.filter.candidates").add(candidates.size());
+        metrics_.counter("batch.filter.dropped")
+            .add(task.hits.size() - candidates.size());
         metrics_.histogram("batch.filter.seconds").observe(timer.seconds());
         strand.shard_candidates[task.shard] = std::move(candidates);
         {
@@ -394,6 +411,9 @@ class Engine {
     do_extend(const ExtendTask& task)
     {
         Timer timer;
+        obs::ScopedSpan span("extend", "batch");
+        span.arg("pair", static_cast<std::int64_t>(task.pair));
+        span.arg("strand", static_cast<std::int64_t>(task.strand));
         PairState& pair = *pairs_[task.pair];
         StrandState& strand = pair.strands[task.strand];
         const wga::WgaParams& params = options_.params;
@@ -416,6 +436,18 @@ class Engine {
             pair.result.stats.merge(local);
         }
         metrics_.counter("batch.extend.tasks").add(1);
+        metrics_.counter("batch.extend.anchors_in")
+            .add(local.extend.anchors_in);
+        metrics_.counter("batch.extend.absorbed").add(local.extend.absorbed);
+        metrics_.counter("batch.extend.extended").add(local.extend.extended);
+        metrics_.counter("batch.extend.duplicates")
+            .add(local.extend.duplicates);
+        metrics_.counter("batch.extend.tiles")
+            .add(local.extend.extension.tiles);
+        metrics_.counter("batch.extend.xdrop_terminations")
+            .add(local.extend.extension.xdrop_terminations);
+        metrics_.counter("batch.extend.matched_bases")
+            .add(local.extend.matched_bases);
         metrics_.counter("batch.alignments").add(strand.alignments.size());
         metrics_.histogram("batch.extend.seconds").observe(timer.seconds());
 
@@ -429,6 +461,8 @@ class Engine {
     do_chain(const ChainTask& task)
     {
         Timer timer;
+        obs::ScopedSpan span("chain", "batch");
+        span.arg("pair", static_cast<std::int64_t>(task.pair));
         PairState& pair = *pairs_[task.pair];
         // Forward alignments first, then reverse — the serial
         // pipeline's concatenation order, which the chainer sees.

@@ -27,9 +27,11 @@ PerfModel::estimate(const WorkloadCounts& workload) const
         static_cast<double>(config_.bsw_arrays);
     out.filter.compute_seconds =
         static_cast<double>(workload.filter_tiles) / filter_compute_rate;
-    out.filter.dram_seconds = dram_.transfer_seconds(
+    out.filter.cycles = bsw_cycles * workload.filter_tiles;
+    out.filter.dram_bytes =
         workload.filter_tiles *
-        DramModel::bsw_tile_bytes(workload.filter_tile_size));
+        DramModel::bsw_tile_bytes(workload.filter_tile_size);
+    out.filter.dram_seconds = dram_.transfer_seconds(out.filter.dram_bytes);
     out.filter.dram_bound =
         out.filter.dram_seconds > out.filter.compute_seconds;
 
@@ -39,10 +41,13 @@ PerfModel::estimate(const WorkloadCounts& workload) const
     out.extension.compute_seconds =
         static_cast<double>(gactx_cycles) /
         (config_.clock_hz * static_cast<double>(config_.gactx_arrays));
-    out.extension.dram_seconds = dram_.transfer_seconds(
+    out.extension.cycles = gactx_cycles;
+    out.extension.dram_bytes =
         workload.extension.tiles *
             2 * static_cast<std::uint64_t>(workload.extension_tile_size) +
-        (workload.extension.traceback_ops + 3) / 4);
+        (workload.extension.traceback_ops + 3) / 4;
+    out.extension.dram_seconds =
+        dram_.transfer_seconds(out.extension.dram_bytes);
     out.extension.dram_bound =
         out.extension.dram_seconds > out.extension.compute_seconds;
 
@@ -61,6 +66,29 @@ PerfModel::estimate(const WorkloadCounts& workload) const
             out.extension.seconds();
     }
     return out;
+}
+
+void
+publish_device_estimate(obs::MetricsRegistry& metrics,
+                        const DeviceEstimate& estimate,
+                        const std::string& prefix)
+{
+    const auto name = [&prefix](const char* leaf) { return prefix + leaf; };
+    metrics.counter(name(".filter.cycles")).add(estimate.filter.cycles);
+    metrics.counter(name(".filter.dram_bytes"))
+        .add(estimate.filter.dram_bytes);
+    metrics.counter(name(".extend.cycles")).add(estimate.extension.cycles);
+    metrics.counter(name(".extend.dram_bytes"))
+        .add(estimate.extension.dram_bytes);
+    const auto micros = [](double seconds) {
+        return static_cast<std::int64_t>(seconds * 1e6);
+    };
+    metrics.gauge(name(".seed.micros")).set(micros(estimate.seeding_seconds));
+    metrics.gauge(name(".filter.micros"))
+        .set(micros(estimate.filter.seconds()));
+    metrics.gauge(name(".extend.micros"))
+        .set(micros(estimate.extension.seconds()));
+    metrics.gauge(name(".total.micros")).set(micros(estimate.total_seconds));
 }
 
 double

@@ -13,10 +13,13 @@
 #ifndef DARWIN_HW_PERF_MODEL_H
 #define DARWIN_HW_PERF_MODEL_H
 
+#include <string>
+
 #include "align/extension.h"
 #include "hw/bsw_array.h"
 #include "hw/config.h"
 #include "hw/dram_model.h"
+#include "obs/metrics.h"
 
 namespace darwin::hw {
 
@@ -40,6 +43,10 @@ struct StageEstimate {
     double compute_seconds = 0.0;
     double dram_seconds = 0.0;
     bool dram_bound = false;
+    /** Total array-cycles the stage's workload costs on the device. */
+    std::uint64_t cycles = 0;
+    /** DRAM traffic the stage moves (the dram_seconds numerator). */
+    std::uint64_t dram_bytes = 0;
 
     double
     seconds() const
@@ -84,6 +91,17 @@ class PerfModel {
     DeviceConfig config_;
     DramModel dram_;
 };
+
+/**
+ * Publish a device estimate under `<prefix>.*` names: per-stage
+ * `{filter,extend}.{cycles,dram_bytes}` counters plus
+ * `{filter,extend,seed,total}.micros` gauges (modeled device time in
+ * microseconds, not host wall-clock). Counters add across calls, so
+ * publishing per pair accumulates device totals.
+ */
+void publish_device_estimate(obs::MetricsRegistry& metrics,
+                             const DeviceEstimate& estimate,
+                             const std::string& prefix = "hw");
 
 }  // namespace darwin::hw
 

@@ -1,13 +1,20 @@
-#include "batch/metrics.h"
+#include "obs/metrics.h"
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
 #include "util/strings.h"
 
-namespace darwin::batch {
+namespace darwin::obs {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
 
 void
 Histogram::observe(double value)
@@ -51,14 +58,14 @@ double
 Histogram::min() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return min_;
+    return count_ == 0 ? kNaN : min_;
 }
 
 double
 Histogram::max() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return max_;
+    return count_ == 0 ? kNaN : max_;
 }
 
 double
@@ -66,7 +73,7 @@ Histogram::quantile(double q) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     if (samples_.empty())
-        return 0.0;
+        return kNaN;
     std::vector<double> sorted(samples_);
     std::sort(sorted.begin(), sorted.end());
     q = std::clamp(q, 0.0, 1.0);
@@ -107,14 +114,50 @@ MetricsRegistry::histogram(const std::string& name)
     return *slot;
 }
 
+const Counter*
+MetricsRegistry::find_counter(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge*
+MetricsRegistry::find_gauge(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram*
+MetricsRegistry::find_histogram(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+MetricsRegistry::gauge_snapshot(const std::string& prefix) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, std::int64_t>> out;
+    for (const auto& [name, metric] : gauges_) {
+        if (starts_with(name, prefix))
+            out.emplace_back(name, metric->value());
+    }
+    return out;
+}
+
 namespace {
 
-/** Render a double as JSON (finite decimal; no NaN/Inf in output). */
+/** Render a double as JSON; non-finite values become null. */
 std::string
 json_number(double v)
 {
     if (!std::isfinite(v))
-        return "0";
+        return "null";
     return strprintf("%.9g", v);
 }
 
@@ -164,4 +207,4 @@ MetricsRegistry::to_json() const
     return out.str();
 }
 
-}  // namespace darwin::batch
+}  // namespace darwin::obs

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Pipeline-wide metrics registry: named counters, gauges (with
+ * high-water marks), and latency histograms, dumped as JSON.
+ *
+ * Promoted out of src/batch/ so every layer shares one vocabulary: the
+ * batch engine exposes per-stage queue depths and task latencies
+ * ("batch.*"), the serial WgaPipeline publishes its stage workload
+ * counters ("wga.*"), and the hw models publish modeled cycles and DRAM
+ * traffic ("hw.*"). See DESIGN.md "Observability" for the full metric
+ * name catalogue.
+ *
+ * All mutation paths are thread-safe. Metric handles returned by the
+ * registry are stable for the registry's lifetime, so hot paths look a
+ * metric up once and then update it lock-free (counters/gauges) or under
+ * a per-metric mutex (histograms).
+ */
+#ifndef DARWIN_OBS_METRICS_H
+#define DARWIN_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace darwin::obs {
+
+/** Monotonically increasing event count. */
+class Counter {
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Instantaneous level (e.g. queue depth) with a high-water mark. */
+class Gauge {
+  public:
+    void
+    set(std::int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+        std::int64_t seen = high_water_.load(std::memory_order_relaxed);
+        while (v > seen &&
+               !high_water_.compare_exchange_weak(
+                   seen, v, std::memory_order_relaxed))
+            ;
+    }
+
+    std::int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    high_water() const
+    {
+        return high_water_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+    std::atomic<std::int64_t> high_water_{0};
+};
+
+/**
+ * Distribution of observed values (stage latencies in seconds).
+ * Keeps exact count/sum/min/max plus a bounded sample buffer for
+ * quantiles; observations past the buffer cap still update the exact
+ * aggregates but no longer shift the quantile estimates.
+ *
+ * An *empty* histogram has no defined extrema: min(), max(), and
+ * quantile() return NaN until the first observe(). mean() of an empty
+ * histogram is 0.0 (sum over count conventions keep ratios additive).
+ * The JSON dump writes the NaN values as null.
+ */
+class Histogram {
+  public:
+    void observe(double value);
+
+    std::uint64_t count() const;
+    double sum() const;
+    double mean() const;
+
+    /** Smallest observed value; NaN when count() == 0. */
+    double min() const;
+
+    /** Largest observed value; NaN when count() == 0. */
+    double max() const;
+
+    /**
+     * Quantile over the retained samples, q clamped to [0, 1]; NaN when
+     * count() == 0.
+     */
+    double quantile(double q) const;
+
+    /** Samples retained for quantile estimation. */
+    static constexpr std::size_t kMaxSamples = 65536;
+
+  private:
+    mutable std::mutex mutex_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::vector<double> samples_;
+};
+
+/** Name -> metric map with on-demand creation and a JSON dump. */
+class MetricsRegistry {
+  public:
+    /** Find or create; the returned reference stays valid. */
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /** Read-only lookup; nullptr when the metric was never created. */
+    const Counter* find_counter(const std::string& name) const;
+    const Gauge* find_gauge(const std::string& name) const;
+    const Histogram* find_histogram(const std::string& name) const;
+
+    /**
+     * Current (name, value) of every gauge whose name starts with
+     * `prefix` (empty prefix = all), in name order. Used by the
+     * progress reporter to print queue depths without creating metrics.
+     */
+    std::vector<std::pair<std::string, std::int64_t>> gauge_snapshot(
+        const std::string& prefix = {}) const;
+
+    /**
+     * Dump every metric as one JSON object:
+     *   {"counters": {name: value, ...},
+     *    "gauges": {name: {"value": v, "high_water": h}, ...},
+     *    "histograms": {name: {"count": n, "sum": s, "mean": m,
+     *                          "min": lo, "max": hi,
+     *                          "p50": a, "p90": b, "p99": c}, ...}}
+     * Non-finite values (the empty-histogram NaNs) are emitted as null
+     * so the dump is always valid JSON.
+     */
+    void write_json(std::ostream& out) const;
+    std::string to_json() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace darwin::obs
+
+#endif  // DARWIN_OBS_METRICS_H

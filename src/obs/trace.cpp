@@ -1,0 +1,422 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace darwin::obs {
+
+namespace {
+
+std::atomic<TraceSession*> g_session{nullptr};
+
+}  // namespace
+
+TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::int64_t
+TraceSession::now_us() const
+{
+    const auto dt = std::chrono::steady_clock::now() - epoch_;
+    return std::chrono::duration_cast<std::chrono::microseconds>(dt).count();
+}
+
+void
+TraceSession::record(TraceEvent event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent>
+TraceSession::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+void
+TraceSession::write_chrome_json(std::ostream& out) const
+{
+    const std::vector<TraceEvent> events = snapshot();
+    std::set<std::uint32_t> tids;
+    for (const TraceEvent& event : events)
+        tids.insert(event.tid);
+
+    out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    for (const std::uint32_t tid : tids) {
+        out << (first ? "" : ",") << "\n"
+            << "{\"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
+            << ", \"name\": \"thread_name\", \"args\": {\"name\": "
+            << json_quote(strprintf("thread-%u", tid)) << "}}";
+        first = false;
+    }
+    for (const TraceEvent& event : events) {
+        out << (first ? "" : ",") << "\n"
+            << "{\"ph\": \"X\", \"pid\": 1, \"tid\": " << event.tid
+            << ", \"name\": " << json_quote(event.name)
+            << ", \"cat\": " << json_quote(event.category)
+            << ", \"ts\": " << event.start_us
+            << ", \"dur\": " << event.duration_us;
+        if (!event.args.empty()) {
+            out << ", \"args\": {";
+            for (std::size_t i = 0; i < event.args.size(); ++i) {
+                out << (i == 0 ? "" : ", ")
+                    << json_quote(event.args[i].key) << ": "
+                    << event.args[i].value;
+            }
+            out << "}";
+        }
+        out << "}";
+        first = false;
+    }
+    out << "\n]}\n";
+}
+
+std::string
+TraceSession::to_json() const
+{
+    std::ostringstream out;
+    write_chrome_json(out);
+    return out.str();
+}
+
+void
+TraceSession::install(TraceSession* session)
+{
+    g_session.store(session, std::memory_order_release);
+}
+
+TraceSession*
+TraceSession::current()
+{
+    return g_session.load(std::memory_order_acquire);
+}
+
+ManualSpan::ManualSpan(ManualSpan&& other) noexcept
+    : session_(other.session_), event_(std::move(other.event_))
+{
+    other.session_ = nullptr;
+}
+
+ManualSpan&
+ManualSpan::operator=(ManualSpan&& other) noexcept
+{
+    if (this != &other) {
+        end();
+        session_ = other.session_;
+        event_ = std::move(other.event_);
+        other.session_ = nullptr;
+    }
+    return *this;
+}
+
+ManualSpan
+ManualSpan::begin(const char* name, const char* category)
+{
+    return begin(TraceSession::current(), name, category);
+}
+
+ManualSpan
+ManualSpan::begin(TraceSession* session, const char* name,
+                  const char* category)
+{
+    ManualSpan span;
+    if (session == nullptr)
+        return span;
+    span.session_ = session;
+    span.event_.name = name;
+    span.event_.category = category;
+    span.event_.tid = current_thread_index();
+    span.event_.start_us = session->now_us();
+    return span;
+}
+
+void
+ManualSpan::arg(const char* key, std::int64_t value)
+{
+    if (session_ != nullptr)
+        event_.args.push_back(TraceArg{key, value});
+}
+
+void
+ManualSpan::end()
+{
+    if (session_ == nullptr)
+        return;
+    event_.duration_us = session_->now_us() - event_.start_us;
+    session_->record(std::move(event_));
+    session_ = nullptr;
+    event_ = TraceEvent{};
+}
+
+ManualSpan::~ManualSpan()
+{
+    end();
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader for the writer's output subset (objects, arrays,
+// strings with backslash escapes, integer/float numbers, literals).
+
+namespace {
+
+struct JsonValue {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> members;
+};
+
+class JsonReader {
+  public:
+    explicit JsonReader(const std::string& text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue value = parse_value();
+        skip_space();
+        if (pos_ != text_.size())
+            fail("trailing content");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char* what) const
+    {
+        fatal(strprintf("trace JSON parse error at offset %zu: %s", pos_,
+                        what));
+    }
+
+    void
+    skip_space()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skip_space();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    JsonValue
+    parse_value()
+    {
+        switch (peek()) {
+          case '{': return parse_object();
+          case '[': return parse_array();
+          case '"': return parse_string();
+          case 't':
+          case 'f':
+          case 'n': return parse_literal();
+          default:  return parse_number();
+        }
+    }
+
+    JsonValue
+    parse_object()
+    {
+        expect('{');
+        JsonValue out;
+        out.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return out;
+        }
+        while (true) {
+            JsonValue key = parse_string();
+            expect(':');
+            out.members[key.text] = parse_value();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return out;
+        }
+    }
+
+    JsonValue
+    parse_array()
+    {
+        expect('[');
+        JsonValue out;
+        out.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return out;
+        }
+        while (true) {
+            out.items.push_back(parse_value());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return out;
+        }
+    }
+
+    JsonValue
+    parse_string()
+    {
+        expect('"');
+        JsonValue out;
+        out.kind = JsonValue::Kind::String;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.text.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':  out.text.push_back('"'); break;
+              case '\\': out.text.push_back('\\'); break;
+              case '/':  out.text.push_back('/'); break;
+              case 'n':  out.text.push_back('\n'); break;
+              case 't':  out.text.push_back('\t'); break;
+              case 'r':  out.text.push_back('\r'); break;
+              case 'b':  out.text.push_back('\b'); break;
+              case 'f':  out.text.push_back('\f'); break;
+              case 'u':
+                // The writer only emits \u00XX control escapes.
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                out.text.push_back(static_cast<char>(
+                    std::stoi(text_.substr(pos_, 4), nullptr, 16)));
+                pos_ += 4;
+                break;
+              default: fail("unsupported escape");
+            }
+        }
+    }
+
+    JsonValue
+    parse_literal()
+    {
+        JsonValue out;
+        auto match = [&](const char* word) {
+            const std::size_t n = std::string(word).size();
+            if (text_.compare(pos_, n, word) != 0)
+                fail("bad literal");
+            pos_ += n;
+        };
+        if (text_[pos_] == 't') {
+            match("true");
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+        } else if (text_[pos_] == 'f') {
+            match("false");
+            out.kind = JsonValue::Kind::Bool;
+        } else {
+            match("null");
+        }
+        return out;
+    }
+
+    JsonValue
+    parse_number()
+    {
+        const std::size_t begin = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (begin == pos_)
+            fail("expected a number");
+        JsonValue out;
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::stod(text_.substr(begin, pos_ - begin));
+        return out;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+const JsonValue*
+find_member(const JsonValue& object, const std::string& key)
+{
+    const auto it = object.members.find(key);
+    return it == object.members.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+std::vector<TraceEvent>
+parse_trace_events(const std::string& json)
+{
+    const JsonValue root = JsonReader(json).parse();
+    if (root.kind != JsonValue::Kind::Object)
+        fatal("trace JSON: root is not an object");
+    const JsonValue* events = find_member(root, "traceEvents");
+    if (events == nullptr || events->kind != JsonValue::Kind::Array)
+        fatal("trace JSON: missing traceEvents array");
+
+    std::vector<TraceEvent> out;
+    for (const JsonValue& item : events->items) {
+        if (item.kind != JsonValue::Kind::Object)
+            fatal("trace JSON: event is not an object");
+        const JsonValue* ph = find_member(item, "ph");
+        if (ph == nullptr || ph->text != "X")
+            continue;  // metadata or non-span record
+        TraceEvent event;
+        if (const JsonValue* v = find_member(item, "name"))
+            event.name = v->text;
+        if (const JsonValue* v = find_member(item, "cat"))
+            event.category = v->text;
+        if (const JsonValue* v = find_member(item, "tid"))
+            event.tid = static_cast<std::uint32_t>(v->number);
+        if (const JsonValue* v = find_member(item, "ts"))
+            event.start_us = static_cast<std::int64_t>(v->number);
+        if (const JsonValue* v = find_member(item, "dur"))
+            event.duration_us = static_cast<std::int64_t>(v->number);
+        if (const JsonValue* args = find_member(item, "args")) {
+            for (const auto& [key, value] : args->members) {
+                event.args.push_back(TraceArg{
+                    key, static_cast<std::int64_t>(value.number)});
+            }
+        }
+        out.push_back(std::move(event));
+    }
+    return out;
+}
+
+}  // namespace darwin::obs

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Stage tracing: a thread-safe span recorder that serializes to the
+ * Chrome/Perfetto `trace_event` JSON format, so loading the file in
+ * chrome://tracing or ui.perfetto.dev shows the seed -> filter -> extend
+ * dataflow per worker thread over time.
+ *
+ * Usage has two forms:
+ *  - RAII, for synchronous scopes:
+ *        obs::ScopedSpan span("filter", "batch");
+ *        span.arg("pair", pair_index);
+ *  - explicit begin/end, for async stages whose lifetime does not match
+ *    a C++ scope:
+ *        auto span = obs::ManualSpan::begin("extend", "batch");
+ *        ...
+ *        span.end();
+ *
+ * Both record into the *installed* session (TraceSession::install) and
+ * are no-ops when none is installed, so instrumentation can live in
+ * library code unconditionally: when the user did not pass --trace-out,
+ * the cost is one relaxed atomic load per span. Span timestamps are
+ * microseconds from the session epoch; thread attribution uses the
+ * process-wide small thread index (util/logging.h) that the structured
+ * logger also reports, so log lines and trace rows correlate.
+ */
+#ifndef DARWIN_OBS_TRACE_H
+#define DARWIN_OBS_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace darwin::obs {
+
+/** One numeric span annotation (JSON "args" entry). */
+struct TraceArg {
+    std::string key;
+    std::int64_t value = 0;
+};
+
+/** A completed span. */
+struct TraceEvent {
+    std::string name;      ///< e.g. "seed"
+    std::string category;  ///< e.g. "batch", "wga"
+    std::uint32_t tid = 0; ///< small per-thread index (begin thread)
+    std::int64_t start_us = 0;
+    std::int64_t duration_us = 0;
+    std::vector<TraceArg> args;
+};
+
+/** Span collector for one run. All methods are thread-safe. */
+class TraceSession {
+  public:
+    /** The epoch (time zero of span timestamps) is construction time. */
+    TraceSession();
+
+    /** Microseconds elapsed since the session epoch. */
+    std::int64_t now_us() const;
+
+    /** Append a completed span. */
+    void record(TraceEvent event);
+
+    /** Copy of the spans recorded so far, in record order. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /**
+     * Serialize as `{"displayTimeUnit": "ms", "traceEvents": [...]}`:
+     * one thread_name metadata record per thread seen, then every span
+     * as a complete ("ph":"X") event with ts/dur in microseconds.
+     */
+    void write_chrome_json(std::ostream& out) const;
+    std::string to_json() const;
+
+    /**
+     * Install the process-global session that ScopedSpan / ManualSpan
+     * default to (nullptr uninstalls). Not reference-counted: the caller
+     * keeps the session alive until after uninstalling.
+     */
+    static void install(TraceSession* session);
+    static TraceSession* current();
+
+  private:
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * A span begun explicitly and ended with end() — possibly on another
+ * thread (attribution stays with the begin thread). Movable, inert when
+ * default-constructed or when no session is installed.
+ */
+class ManualSpan {
+  public:
+    ManualSpan() = default;
+    ManualSpan(ManualSpan&& other) noexcept;
+    ManualSpan& operator=(ManualSpan&& other) noexcept;
+    ManualSpan(const ManualSpan&) = delete;
+    ManualSpan& operator=(const ManualSpan&) = delete;
+
+    /** Begin on the installed session (inert if none). */
+    static ManualSpan begin(const char* name, const char* category);
+
+    /** Begin on an explicit session (inert if nullptr). */
+    static ManualSpan begin(TraceSession* session, const char* name,
+                            const char* category);
+
+    /** Attach a numeric annotation (no-op when inert). */
+    void arg(const char* key, std::int64_t value);
+
+    /** Record the span; further end() calls are no-ops. */
+    void end();
+
+    /** Ends the span if still open. */
+    ~ManualSpan();
+
+  private:
+    TraceSession* session_ = nullptr;
+    TraceEvent event_;
+};
+
+/** RAII span: begins at construction, records at scope exit. */
+class ScopedSpan {
+  public:
+    ScopedSpan(const char* name, const char* category)
+        : span_(ManualSpan::begin(name, category))
+    {
+    }
+
+    ScopedSpan(TraceSession* session, const char* name, const char* category)
+        : span_(ManualSpan::begin(session, name, category))
+    {
+    }
+
+    void
+    arg(const char* key, std::int64_t value)
+    {
+        span_.arg(key, value);
+    }
+
+  private:
+    ManualSpan span_;
+};
+
+/**
+ * Parse a trace produced by write_chrome_json back into spans (metadata
+ * records are skipped). Understands the subset of JSON the writer emits;
+ * throws FatalError on malformed input. Used by tests and by external
+ * tooling that post-processes traces.
+ */
+std::vector<TraceEvent> parse_trace_events(const std::string& json);
+
+}  // namespace darwin::obs
+
+#endif  // DARWIN_OBS_TRACE_H

@@ -101,6 +101,36 @@ si_magnitude(double value)
 }
 
 std::string
+json_quote(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out.push_back('"');
+    for (const char c : text) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
 strprintf(const char* fmt, ...)
 {
     va_list args;

@@ -38,6 +38,13 @@ std::string si_magnitude(double value);
 std::string strprintf(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/**
+ * Quote text as a JSON string literal: wraps in double quotes and
+ * escapes quotes, backslashes, and control characters. Shared by the
+ * trace writer, the JSON log sink, and the metrics dump.
+ */
+std::string json_quote(const std::string& text);
+
 }  // namespace darwin
 
 #endif  // DARWIN_UTIL_STRINGS_H

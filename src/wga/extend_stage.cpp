@@ -138,6 +138,7 @@ ExtendStage::extend_all(const std::vector<FilterCandidate>& candidates,
             }
             covered_cells_.insert(cells.begin(), cells.end());
             ++local.alignments_out;
+            local.matched_bases += alignment.matched_bases();
             out.push_back(std::move(alignment));
         }
     }
@@ -147,6 +148,7 @@ ExtendStage::extend_all(const std::vector<FilterCandidate>& candidates,
         stats->extended += local.extended;
         stats->duplicates += local.duplicates;
         stats->alignments_out += local.alignments_out;
+        stats->matched_bases += local.matched_bases;
         stats->extension.merge(local.extension);
     }
     return out;

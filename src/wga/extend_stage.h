@@ -32,6 +32,8 @@ struct ExtendStats {
      *  alignment (convergent duplicates, e.g. via tandem repeats). */
     std::uint64_t duplicates = 0;
     std::uint64_t alignments_out = 0;
+    /** Total bases in matched blocks of the alignments kept. */
+    std::uint64_t matched_bases = 0;
     align::ExtensionStats extension;
 };
 

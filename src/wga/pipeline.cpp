@@ -1,5 +1,6 @@
 #include "wga/pipeline.h"
 
+#include "obs/trace.h"
 #include "seed/seed_index.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -17,11 +18,55 @@ PipelineStats::merge(const PipelineStats& other)
     extend.extended += other.extend.extended;
     extend.duplicates += other.extend.duplicates;
     extend.alignments_out += other.extend.alignments_out;
+    extend.matched_bases += other.extend.matched_bases;
     extend.extension.merge(other.extend.extension);
     seed_seconds += other.seed_seconds;
     filter_seconds += other.filter_seconds;
     extend_seconds += other.extend_seconds;
     chain_seconds += other.chain_seconds;
+}
+
+void
+publish_pipeline_stats(obs::MetricsRegistry& metrics,
+                       const PipelineStats& stats,
+                       const std::string& prefix)
+{
+    const auto name = [&prefix](const char* leaf) { return prefix + leaf; };
+    metrics.counter(name(".seed.lookups")).add(stats.seeding.seed_lookups);
+    metrics.counter(name(".seed.hits")).add(stats.seeding.seed_hits);
+    metrics.counter(name(".seed.candidates")).add(stats.seeding.candidates);
+    metrics.counter(name(".filter.tiles")).add(stats.filter.tiles);
+    metrics.counter(name(".filter.cells")).add(stats.filter.cells);
+    metrics.counter(name(".filter.passed")).add(stats.filter.passed);
+    metrics.counter(name(".filter.dropped"))
+        .add(stats.filter.tiles - stats.filter.passed);
+    metrics.counter(name(".extend.anchors_in")).add(stats.extend.anchors_in);
+    metrics.counter(name(".extend.absorbed")).add(stats.extend.absorbed);
+    metrics.counter(name(".extend.extended")).add(stats.extend.extended);
+    metrics.counter(name(".extend.duplicates")).add(stats.extend.duplicates);
+    metrics.counter(name(".extend.alignments"))
+        .add(stats.extend.alignments_out);
+    metrics.counter(name(".extend.matched_bases"))
+        .add(stats.extend.matched_bases);
+    metrics.counter(name(".extend.tiles")).add(stats.extend.extension.tiles);
+    metrics.counter(name(".extend.cells")).add(stats.extend.extension.cells);
+    metrics.counter(name(".extend.traceback_ops"))
+        .add(stats.extend.extension.traceback_ops);
+    metrics.counter(name(".extend.stripes"))
+        .add(stats.extend.extension.stripes);
+    metrics.counter(name(".extend.xdrop_terminations"))
+        .add(stats.extend.extension.xdrop_terminations);
+    if (stats.seed_seconds > 0.0)
+        metrics.histogram(name(".seed.seconds")).observe(stats.seed_seconds);
+    if (stats.filter_seconds > 0.0)
+        metrics.histogram(name(".filter.seconds"))
+            .observe(stats.filter_seconds);
+    if (stats.extend_seconds > 0.0)
+        metrics.histogram(name(".extend.seconds"))
+            .observe(stats.extend_seconds);
+    if (stats.chain_seconds > 0.0)
+        metrics.histogram(name(".chain.seconds"))
+            .observe(stats.chain_seconds);
 }
 
 WgaPipeline::WgaPipeline(WgaParams params, chain::ChainParams chain_params)
@@ -31,43 +76,79 @@ WgaPipeline::WgaPipeline(WgaParams params, chain::ChainParams chain_params)
 
 WgaResult
 WgaPipeline::run(const seq::Genome& target, const seq::Genome& query,
-                 ThreadPool* pool) const
+                 ThreadPool* pool, obs::MetricsRegistry* metrics) const
 {
-    return run_sequences(target.flattened(), query.flattened(), pool);
+    return run_sequences(target.flattened(), query.flattened(), pool,
+                         metrics);
 }
 
 namespace {
 
-/** Seed -> filter -> extend one query orientation against the index. */
+/** Seed -> filter -> extend one query orientation against the index.
+ *  Each stage merges its stats fragment into *stats as it completes and
+ *  (when a registry is given) publishes it, so a progress reporter
+ *  watching the registry sees per-stage movement mid-run. */
 std::vector<align::Alignment>
 run_one_strand(const WgaParams& params, const seed::SeedIndex& index,
                std::span<const std::uint8_t> target_span,
                const seq::Sequence& query, align::Strand strand,
-               PipelineStats* stats, ThreadPool* pool)
+               PipelineStats* stats, ThreadPool* pool,
+               obs::MetricsRegistry* metrics)
 {
     const std::span<const std::uint8_t> query_span{query.codes().data(),
                                                    query.size()};
+    const std::int64_t strand_arg =
+        strand == align::Strand::Reverse ? 1 : 0;
     Timer timer;
-    const seed::DsoftSeeder seeder(index, params.dsoft);
-    const std::vector<seed::SeedHit> hits =
-        seeder.seed_all(query, &stats->seeding, pool);
-    stats->seed_seconds += timer.seconds();
+
+    std::vector<seed::SeedHit> hits;
+    {
+        obs::ScopedSpan span("seed", "wga");
+        span.arg("strand", strand_arg);
+        PipelineStats stage;
+        const seed::DsoftSeeder seeder(index, params.dsoft);
+        hits = seeder.seed_all(query, &stage.seeding, pool);
+        stage.seed_seconds = timer.seconds();
+        span.arg("hits", static_cast<std::int64_t>(hits.size()));
+        stats->merge(stage);
+        if (metrics)
+            publish_pipeline_stats(*metrics, stage);
+    }
     debug(strprintf("seeding(%s): %zu candidate hits",
                     strand == align::Strand::Reverse ? "-" : "+",
                     hits.size()));
 
     timer.reset();
-    const FilterStage filter(params, target_span, query_span);
-    const std::vector<FilterCandidate> candidates =
-        filter.filter_all(hits, &stats->filter, pool);
-    stats->filter_seconds += timer.seconds();
+    std::vector<FilterCandidate> candidates;
+    {
+        obs::ScopedSpan span("filter", "wga");
+        span.arg("strand", strand_arg);
+        PipelineStats stage;
+        const FilterStage filter(params, target_span, query_span);
+        candidates = filter.filter_all(hits, &stage.filter, pool);
+        stage.filter_seconds = timer.seconds();
+        span.arg("candidates", static_cast<std::int64_t>(candidates.size()));
+        stats->merge(stage);
+        if (metrics)
+            publish_pipeline_stats(*metrics, stage);
+    }
 
     timer.reset();
-    const align::GactXTileAligner aligner(params.gactx);
-    ExtendStage extend(params, target_span, query_span);
-    std::vector<align::Alignment> alignments =
-        extend.extend_all(candidates, aligner, &stats->extend, pool);
-    stats->extend_seconds += timer.seconds();
+    std::vector<align::Alignment> alignments;
+    {
+        obs::ScopedSpan span("extend", "wga");
+        span.arg("strand", strand_arg);
+        PipelineStats stage;
+        const align::GactXTileAligner aligner(params.gactx);
+        ExtendStage extend(params, target_span, query_span);
+        alignments =
+            extend.extend_all(candidates, aligner, &stage.extend, pool);
+        stage.extend_seconds = timer.seconds();
+        span.arg("alignments", static_cast<std::int64_t>(alignments.size()));
+        stats->merge(stage);
+        if (metrics)
+            publish_pipeline_stats(*metrics, stage);
+    }
 
     for (auto& alignment : alignments)
         alignment.query_strand = strand;
@@ -78,17 +159,26 @@ run_one_strand(const WgaParams& params, const seed::SeedIndex& index,
 
 WgaResult
 WgaPipeline::run_sequences(const seq::Sequence& target,
-                           const seq::Sequence& query,
-                           ThreadPool* pool) const
+                           const seq::Sequence& query, ThreadPool* pool,
+                           obs::MetricsRegistry* metrics) const
 {
     WgaResult result;
     const std::span<const std::uint8_t> target_span{target.codes().data(),
                                                     target.size()};
 
     Timer timer;
-    const seed::SeedPattern pattern(params_.seed_pattern);
-    const seed::SeedIndex index(target, pattern);
-    result.stats.seed_seconds = timer.seconds();
+    std::unique_ptr<seed::SeedIndex> index;
+    {
+        obs::ScopedSpan span("index", "wga");
+        const seed::SeedPattern pattern(params_.seed_pattern);
+        index = std::make_unique<seed::SeedIndex>(target, pattern);
+        // Index construction is accounted as seeding time (Table V).
+        PipelineStats stage;
+        stage.seed_seconds = timer.seconds();
+        result.stats.merge(stage);
+        if (metrics)
+            publish_pipeline_stats(*metrics, stage);
+    }
 
     // Coordinates of the reverse pass stay in reverse-complement space
     // (the MAF '-' strand convention).
@@ -101,9 +191,9 @@ WgaPipeline::run_sequences(const seq::Sequence& target,
     std::vector<PipelineStats> strand_stats(num_strands);
     const auto run_strand = [&](std::size_t s) {
         per_strand[s] = run_one_strand(
-            params_, index, target_span, s == 0 ? query : query_rc,
+            params_, *index, target_span, s == 0 ? query : query_rc,
             s == 0 ? align::Strand::Forward : align::Strand::Reverse,
-            &strand_stats[s], pool);
+            &strand_stats[s], pool, metrics);
     };
     if (pool != nullptr && num_strands == 2) {
         // The strand passes are independent: run them as two concurrent
@@ -123,9 +213,17 @@ WgaPipeline::run_sequences(const seq::Sequence& target,
     }
 
     timer.reset();
-    result.chains = chain::chain_alignments(result.alignments,
-                                            chain_params_);
-    result.stats.chain_seconds = timer.seconds();
+    {
+        obs::ScopedSpan span("chain", "wga");
+        result.chains = chain::chain_alignments(result.alignments,
+                                                chain_params_);
+        PipelineStats stage;
+        stage.chain_seconds = timer.seconds();
+        result.stats.chain_seconds = stage.chain_seconds;
+        span.arg("chains", static_cast<std::int64_t>(result.chains.size()));
+        if (metrics)
+            publish_pipeline_stats(*metrics, stage);
+    }
     return result;
 }
 

@@ -15,6 +15,7 @@
 
 #include "align/gactx.h"
 #include "chain/chainer.h"
+#include "obs/metrics.h"
 #include "seq/genome.h"
 #include "util/thread_pool.h"
 #include "wga/extend_stage.h"
@@ -70,20 +71,44 @@ class WgaPipeline {
      * Align query against target. Coordinates in the result refer to the
      * flattened() sequences of the two genomes.
      *
-     * @param pool Optional thread pool for the seed and filter stages.
+     * @param pool    Optional thread pool for the seed and filter stages.
+     * @param metrics Optional registry: each stage publishes its
+     *        workload counters and stage-seconds histograms under
+     *        "wga.*" names as it completes (see DESIGN.md
+     *        "Observability"). Purely additive — results are
+     *        bit-identical with or without a registry.
+     *
+     * When a trace session is installed (obs::TraceSession::install),
+     * the run also records "index"/"seed"/"filter"/"extend"/"chain"
+     * spans in the "wga" category.
      */
     WgaResult run(const seq::Genome& target, const seq::Genome& query,
-                  ThreadPool* pool = nullptr) const;
+                  ThreadPool* pool = nullptr,
+                  obs::MetricsRegistry* metrics = nullptr) const;
 
     /** Span-level entry point used by tests and small tools. */
     WgaResult run_sequences(const seq::Sequence& target,
                             const seq::Sequence& query,
-                            ThreadPool* pool = nullptr) const;
+                            ThreadPool* pool = nullptr,
+                            obs::MetricsRegistry* metrics = nullptr) const;
 
   private:
     WgaParams params_;
     chain::ChainParams chain_params_;
 };
+
+/**
+ * Publish a stats block into a registry under `<prefix>.*` names —
+ * counters for the stage workload (seed lookups/hits/candidates, filter
+ * tiles/cells/passed/dropped, extension anchors/tiles/terminations/
+ * matched bases) and one histogram observation per non-zero stage
+ * seconds. Counters add, so publishing per stage or per strand
+ * accumulates to the run totals. Used with prefix "wga" by the serial
+ * pipeline; reused by anything that holds a PipelineStats.
+ */
+void publish_pipeline_stats(obs::MetricsRegistry& metrics,
+                            const PipelineStats& stats,
+                            const std::string& prefix = "wga");
 
 }  // namespace darwin::wga
 

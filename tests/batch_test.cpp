@@ -299,6 +299,38 @@ TEST(BatchEngine, EmptyManifestIsEmptyResult)
     EXPECT_TRUE(scheduler.run({}).empty());
 }
 
+TEST(BatchEngine, StageCountersReconcile)
+{
+    const auto& fixture = forward_fixture();
+    BatchOptions options;
+    options.params = wga::WgaParams::darwin_defaults();
+    options.num_threads = 4;
+    options.shard_length = 2'048;
+    MetricsRegistry metrics;
+    BatchScheduler scheduler(options, &metrics);
+    scheduler.run(fixture.jobs);
+
+    const auto count = [&metrics](const char* name) {
+        return metrics.counter(name).value();
+    };
+    // Every seed hit enters the filter, where it is either kept as a
+    // candidate anchor or dropped.
+    EXPECT_GT(count("batch.seed.hits"), 0u);
+    EXPECT_EQ(count("batch.seed.hits"), count("batch.filter.hits_in"));
+    EXPECT_EQ(count("batch.filter.hits_in"),
+              count("batch.filter.candidates") +
+                  count("batch.filter.dropped"));
+    // Every surviving candidate reaches extension as an anchor, where it
+    // is either absorbed by an existing alignment or extended.
+    EXPECT_GT(count("batch.filter.candidates"), 0u);
+    EXPECT_EQ(count("batch.filter.candidates"),
+              count("batch.extend.anchors_in"));
+    EXPECT_EQ(count("batch.extend.anchors_in"),
+              count("batch.extend.absorbed") +
+                  count("batch.extend.extended"));
+    EXPECT_GT(count("batch.extend.matched_bases"), 0u);
+}
+
 TEST(BatchEngine, MetricsExposeStageLatenciesAndDepths)
 {
     const auto& fixture = forward_fixture();

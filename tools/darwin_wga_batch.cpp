@@ -29,6 +29,7 @@
 
 #include "batch/scheduler.h"
 #include "chain/chain_metrics.h"
+#include "obs_support.h"
 #include "seq/fasta.h"
 #include "synth/species.h"
 #include "util/args.h"
@@ -135,9 +136,11 @@ main(int argc, char** argv)
                     "parameter preset: darwin | lastz");
     args.add_flag("both-strands", "also align the reverse complement");
     args.add_flag("no-transitions", "disable 1-transition seeds");
+    tools::add_obs_options(args);
     if (!args.parse(argc, argv))
         return 1;
 
+    init_log_level_from_env();
     try {
         std::vector<ManifestEntry> entries;
         if (!args.get("manifest").empty())
@@ -168,14 +171,26 @@ main(int argc, char** argv)
         inform(strprintf("batch: %zu pairs, %zu bp shards",
                          jobs.size(), options.shard_length));
 
+        // Create the output directory up front so --metrics-out /
+        // --trace-out / --log-json paths inside it open cleanly.
+        const std::filesystem::path outdir(args.get("outdir"));
+        std::filesystem::create_directories(outdir);
+
         batch::MetricsRegistry metrics;
+        tools::ObsSetup obs_setup(args, metrics);
+        obs::ProgressOptions progress;
+        progress.done_counter = "batch.pairs_completed";
+        progress.total_counter = "batch.pairs";
+        progress.queue_gauge_prefix = "batch.queue.";
+        progress.label = "batch";
+        obs_setup.start_progress(progress);
+
         batch::BatchScheduler scheduler(options, &metrics);
         Timer timer;
         const auto results = scheduler.run(jobs);
         const double seconds = timer.seconds();
+        obs_setup.finish();
 
-        const std::filesystem::path outdir(args.get("outdir"));
-        std::filesystem::create_directories(outdir);
         for (std::size_t i = 0; i < results.size(); ++i) {
             const auto& pair_result = results[i];
             const auto& entry = entries[i];

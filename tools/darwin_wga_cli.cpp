@@ -17,6 +17,7 @@
 #include <fstream>
 
 #include "chain/chain_metrics.h"
+#include "obs_support.h"
 #include "wga/chain_io.h"
 #include "seq/fasta.h"
 #include "seq/shuffle.h"
@@ -50,6 +51,7 @@ cmd_align(int argc, char** argv)
     args.add_option("band", "0", "override filter band B (0 = preset)");
     args.add_option("threads", "0", "worker threads (0 = all cores)");
     args.add_flag("no-transitions", "disable 1-transition seeds");
+    tools::add_obs_options(args);
     if (!args.parse(argc, argv))
         return 1;
     if (args.get("target").empty() || args.get("query").empty()) {
@@ -78,9 +80,18 @@ cmd_align(int argc, char** argv)
     inform(strprintf("query:  %zu chromosomes, %zu bp",
                      query.num_chromosomes(), query.total_length()));
 
+    obs::MetricsRegistry metrics_registry;
+    tools::ObsSetup obs_setup(args, metrics_registry);
+    obs::ProgressOptions progress;
+    progress.done_counter = "wga.extend.alignments";
+    progress.label = "align";
+    obs_setup.start_progress(progress);
+
     ThreadPool pool(static_cast<std::size_t>(args.get_int("threads")));
     const wga::WgaPipeline pipeline(params);
-    const auto result = pipeline.run(target, query, &pool);
+    const auto result = pipeline.run(target, query, &pool,
+                                     &metrics_registry);
+    obs_setup.finish();
 
     wga::write_maf_file(args.get("out"), result.alignments, target, query);
     if (!args.get("chains").empty()) {
@@ -198,6 +209,7 @@ main(int argc, char** argv)
         return 1;
     }
     const std::string command = argv[1];
+    init_log_level_from_env();
     try {
         if (command == "align")
             return cmd_align(argc - 1, argv + 1);

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared observability flag surface for the CLI tools: both `darwin-wga`
+ * and `darwin-wga-batch` accept
+ *
+ *   --metrics-out FILE       final metrics registry dump (JSON)
+ *   --trace-out FILE         Chrome/Perfetto trace_event JSON
+ *   --progress-interval SEC  heartbeat progress log (0 = off)
+ *   --log-json FILE          mirror log records as JSON lines
+ *
+ * ObsSetup owns the lifecycle: it installs the trace session and JSON
+ * log sink when the flags ask for them, and finish() writes the output
+ * files and uninstalls everything. Observability is purely additive —
+ * alignment output is bit-identical with or without these flags.
+ */
+#ifndef DARWIN_TOOLS_OBS_SUPPORT_H
+#define DARWIN_TOOLS_OBS_SUPPORT_H
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
+#include "util/args.h"
+#include "util/logging.h"
+
+namespace darwin::tools {
+
+inline void
+add_obs_options(ArgParser& args)
+{
+    args.add_option("metrics-out", "",
+                    "write the final metrics registry as JSON here");
+    args.add_option("trace-out", "",
+                    "write a Chrome/Perfetto trace_event JSON here");
+    args.add_option("progress-interval", "0",
+                    "log a progress heartbeat every N seconds (0 = off)");
+    args.add_option("log-json", "",
+                    "also write log records as JSON lines to this file");
+}
+
+/** Flag-driven observability lifecycle for one CLI run. */
+class ObsSetup {
+  public:
+    ObsSetup(const ArgParser& args, obs::MetricsRegistry& registry)
+        : registry_(registry),
+          metrics_path_(args.get("metrics-out")),
+          trace_path_(args.get("trace-out")),
+          progress_interval_(args.get_double("progress-interval"))
+    {
+        const std::string log_json = args.get("log-json");
+        if (!log_json.empty())
+            add_log_sink(std::make_shared<JsonLinesSink>(log_json));
+        if (!trace_path_.empty()) {
+            trace_ = std::make_unique<obs::TraceSession>();
+            obs::TraceSession::install(trace_.get());
+        }
+    }
+
+    ~ObsSetup()
+    {
+        finish();
+        clear_log_sinks();
+    }
+
+    ObsSetup(const ObsSetup&) = delete;
+    ObsSetup& operator=(const ObsSetup&) = delete;
+
+    /** Begin heartbeats if --progress-interval asked for them. */
+    void
+    start_progress(obs::ProgressOptions options)
+    {
+        if (progress_interval_ <= 0.0)
+            return;
+        options.interval_seconds = progress_interval_;
+        progress_ = std::make_unique<obs::ProgressReporter>(
+            registry_, std::move(options));
+        progress_->start();
+    }
+
+    /**
+     * Stop the heartbeat, uninstall the trace session, and write the
+     * requested output files. Idempotent; also runs at destruction so
+     * error paths still flush what was collected.
+     */
+    void
+    finish()
+    {
+        if (progress_) {
+            progress_->stop();
+            progress_.reset();
+        }
+        if (trace_) {
+            obs::TraceSession::install(nullptr);
+            std::ofstream out(trace_path_);
+            if (!out)
+                fatal("cannot write trace to " + trace_path_);
+            trace_->write_chrome_json(out);
+            inform("wrote trace " + trace_path_);
+            trace_.reset();
+        }
+        if (!metrics_path_.empty()) {
+            std::ofstream out(metrics_path_);
+            if (!out)
+                fatal("cannot write metrics to " + metrics_path_);
+            registry_.write_json(out);
+            inform("wrote metrics " + metrics_path_);
+            metrics_path_.clear();
+        }
+    }
+
+  private:
+    obs::MetricsRegistry& registry_;
+    std::string metrics_path_;
+    std::string trace_path_;
+    double progress_interval_ = 0.0;
+    std::unique_ptr<obs::TraceSession> trace_;
+    std::unique_ptr<obs::ProgressReporter> progress_;
+};
+
+}  // namespace darwin::tools
+
+#endif  // DARWIN_TOOLS_OBS_SUPPORT_H
