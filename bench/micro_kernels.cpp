@@ -1,17 +1,37 @@
 /**
  * @file
- * google-benchmark microbenches of the computational kernels (§VI-C
- * context: software BSW throughput defines the iso-sensitive baseline —
- * the paper measured 225K tiles/s on 36 threads with Parasail; the
- * per-tile software cost here is our equivalent).
+ * Microbenches of the computational kernels (§VI-C context: software BSW
+ * throughput defines the iso-sensitive baseline — the paper measured
+ * 225K tiles/s on 36 threads with Parasail; the per-tile software cost
+ * here is our equivalent).
+ *
+ * Two modes:
+ *  - default: the google-benchmark suite (BM_* below);
+ *  - `--json`: a self-timed comparison of every usable filter-kernel
+ *    implementation (scalar wavefront, sse42, avx2 — see
+ *    src/align/kernels/) against the seed row-major kernel, printed as a
+ *    BENCH-stamped JSON report. `--check-speedup X` additionally exits
+ *    non-zero when the best vectorized BSW kernel is slower than X times
+ *    the seed kernel — the CI smoke gate uses X=1.0 (vectorized must
+ *    never lose to scalar); the paper-reproduction target is >= 2.0.
  */
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "align/banded_sw.h"
 #include "align/gactx.h"
+#include "align/kernels/bsw_kernels.h"
+#include "align/kernels/kernel_registry.h"
 #include "align/needleman_wunsch.h"
 #include "align/smith_waterman.h"
 #include "align/ungapped_xdrop.h"
+#include "bench_common.h"
 #include "chain/chainer.h"
 #include "seed/seed_index.h"
 #include "seq/shuffle.h"
@@ -50,6 +70,10 @@ mutated_copy(const std::vector<std::uint8_t>& src, double sub_rate,
     }
     return out;
 }
+
+// ---------------------------------------------------------------------
+// google-benchmark suite (default mode)
+// ---------------------------------------------------------------------
 
 void
 BM_BswFilterTile(benchmark::State& state)
@@ -180,6 +204,266 @@ BM_ChainDP(benchmark::State& state)
 }
 BENCHMARK(BM_ChainDP);
 
+// ---------------------------------------------------------------------
+// --json mode: kernel-vs-kernel comparison with the speedup gate
+// ---------------------------------------------------------------------
+
+constexpr std::size_t kTileSize = 320;
+constexpr std::size_t kBand = 32;
+constexpr std::size_t kNumPairs = 64;
+constexpr double kMinSeconds = 0.25;
+
+struct TilePair {
+    std::vector<std::uint8_t> target;
+    std::vector<std::uint8_t> query;
+};
+
+std::vector<TilePair>
+make_tile_pool()
+{
+    // Fig. 8 context: mid-distance pair divergence (15% substitutions,
+    // 1% indels) — the regime the filter stage spends its time in.
+    std::vector<TilePair> pool;
+    pool.reserve(kNumPairs);
+    for (std::size_t p = 0; p < kNumPairs; ++p) {
+        TilePair pair;
+        pair.target = random_codes(kTileSize, 100 + 2 * p);
+        pair.query = mutated_copy(pair.target, 0.15, 0.01, 101 + 2 * p);
+        pair.query.resize(std::min(pair.query.size(), kTileSize));
+        pool.push_back(std::move(pair));
+    }
+    return pool;
+}
+
+struct BswTiming {
+    double seconds_per_tile = 0.0;
+    double cells_per_second = 0.0;
+    std::uint64_t checksum = 0;  ///< bit-identity guard across kernels
+};
+
+BswTiming
+time_bsw(align::kernels::BswKernelFn kernel,
+         const std::vector<TilePair>& pool,
+         const align::ScoringParams& scoring)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto run_pool = [&](std::uint64_t* checksum,
+                              std::uint64_t* cells) {
+        for (const TilePair& pair : pool) {
+            const auto r = kernel(
+                {pair.target.data(), pair.target.size()},
+                {pair.query.data(), pair.query.size()}, scoring, kBand);
+            *checksum = *checksum * 1000003u +
+                        static_cast<std::uint64_t>(r.max_score) * 31u +
+                        r.target_max * 7u + r.query_max;
+            *cells += r.cells_computed;
+        }
+    };
+
+    BswTiming timing;
+    std::uint64_t cells = 0;
+    run_pool(&timing.checksum, &cells);  // warmup + checksum
+
+    std::uint64_t tiles = 0;
+    std::uint64_t dummy = 0;
+    cells = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+        run_pool(&dummy, &cells);
+        tiles += pool.size();
+        elapsed = std::chrono::duration<double>(Clock::now() - start)
+                      .count();
+    } while (elapsed < kMinSeconds);
+    benchmark::DoNotOptimize(dummy);
+    timing.seconds_per_tile = elapsed / static_cast<double>(tiles);
+    timing.cells_per_second = static_cast<double>(cells) / elapsed;
+    return timing;
+}
+
+struct UngappedWorkload {
+    std::vector<std::uint8_t> target;
+    std::vector<std::uint8_t> query;
+};
+
+double
+time_ungapped(align::kernels::UngappedKernelFn kernel,
+              const UngappedWorkload& w,
+              const align::ScoringParams& scoring, std::uint64_t* checksum)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto run_once = [&](std::uint64_t* sum) {
+        for (std::size_t s = 1000; s + 1000 < w.target.size(); s += 97) {
+            const auto r = kernel({w.target.data(), w.target.size()},
+                                  {w.query.data(), w.query.size()}, s, s,
+                                  19, scoring, 910);
+            *sum = *sum * 1000003u +
+                   static_cast<std::uint64_t>(r.score) * 31u +
+                   r.target_hi * 7u + r.target_lo * 3u + r.cells_computed;
+        }
+    };
+    run_once(checksum);  // warmup + checksum
+
+    std::uint64_t dummy = 0;
+    std::uint64_t reps = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+        run_once(&dummy);
+        ++reps;
+        elapsed = std::chrono::duration<double>(Clock::now() - start)
+                      .count();
+    } while (elapsed < kMinSeconds);
+    benchmark::DoNotOptimize(dummy);
+    return elapsed / static_cast<double>(reps);
+}
+
+int
+run_kernel_comparison(bool emit_json, double check_speedup)
+{
+    using namespace align::kernels;
+    const auto scoring = align::ScoringParams::paper_defaults();
+    const auto pool = make_tile_pool();
+
+    // Seed baseline: the row-major kernel this repo shipped with before
+    // the wavefront rewrite (kept as the differential reference).
+    const BswTiming baseline =
+        time_bsw(&bsw_rowmajor_reference, pool, scoring);
+
+    struct Row {
+        const char* name;
+        int id;
+        BswTiming timing;
+        double speedup;
+    };
+    std::vector<Row> rows;
+    bool identical = true;
+    for (const KernelImpl& k : KernelRegistry::instance().kernels()) {
+        if (!k.usable())
+            continue;
+        Row row{k.name, k.id, time_bsw(k.bsw, pool, scoring), 0.0};
+        row.speedup = baseline.seconds_per_tile /
+                      row.timing.seconds_per_tile;
+        if (row.timing.checksum != baseline.checksum)
+            identical = false;
+        rows.push_back(row);
+    }
+
+    double best_vectorized = 0.0;
+    for (const Row& row : rows)
+        if (row.id > 0 && row.speedup > best_vectorized)
+            best_vectorized = row.speedup;
+
+    // Ungapped x-drop: scalar vs any kernel with a dedicated
+    // implementation (sse42 shares the scalar one — skip duplicates).
+    UngappedWorkload uw;
+    uw.target = random_codes(16000, 500);
+    uw.query = mutated_copy(uw.target, 0.12, 0.0, 501);
+    uw.query.resize(uw.target.size(),
+                    0);  // keep seed coordinates in range
+    std::uint64_t ungapped_ref_sum = 0;
+    const double ungapped_scalar_s = time_ungapped(
+        &ungapped_xdrop_scalar, uw, scoring, &ungapped_ref_sum);
+    struct URow {
+        const char* name;
+        double seconds;
+        double speedup;
+    };
+    std::vector<URow> urows{{"scalar", ungapped_scalar_s, 1.0}};
+    for (const KernelImpl& k : KernelRegistry::instance().kernels()) {
+        if (!k.usable() || k.ungapped == nullptr ||
+            k.ungapped == &ungapped_xdrop_scalar)
+            continue;
+        std::uint64_t sum = 0;
+        const double s = time_ungapped(k.ungapped, uw, scoring, &sum);
+        if (sum != ungapped_ref_sum)
+            identical = false;
+        urows.push_back({k.name, s, ungapped_scalar_s / s});
+    }
+
+    if (emit_json) {
+        std::printf("{\n  %s,\n", bench::json_stamp().c_str());
+        std::printf("  \"bench\": \"micro_kernels\",\n");
+        std::printf("  \"tile_size\": %zu, \"band\": %zu, \"pairs\": %zu,\n",
+                    kTileSize, kBand, kNumPairs);
+        std::printf("  \"bit_identical\": %s,\n",
+                    identical ? "true" : "false");
+        std::printf("  \"bsw\": {\n");
+        std::printf("    \"baseline_rowmajor\": {\"seconds_per_tile\": "
+                    "%.9f, \"cells_per_second\": %.0f},\n",
+                    baseline.seconds_per_tile, baseline.cells_per_second);
+        std::printf("    \"kernels\": [\n");
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            std::printf("      {\"name\": \"%s\", \"id\": %d, "
+                        "\"seconds_per_tile\": %.9f, \"cells_per_second\": "
+                        "%.0f, \"speedup_vs_seed\": %.3f}%s\n",
+                        rows[i].name, rows[i].id,
+                        rows[i].timing.seconds_per_tile,
+                        rows[i].timing.cells_per_second, rows[i].speedup,
+                        i + 1 < rows.size() ? "," : "");
+        std::printf("    ],\n");
+        std::printf("    \"best_vectorized_speedup\": %.3f\n  },\n",
+                    best_vectorized);
+        std::printf("  \"ungapped\": [\n");
+        for (std::size_t i = 0; i < urows.size(); ++i)
+            std::printf("    {\"name\": \"%s\", \"seconds_per_call\": "
+                        "%.9f, \"speedup_vs_scalar\": %.3f}%s\n",
+                        urows[i].name, urows[i].seconds, urows[i].speedup,
+                        i + 1 < urows.size() ? "," : "");
+        std::printf("  ]\n}\n");
+    }
+
+    if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: kernel results are not bit-identical\n");
+        return 1;
+    }
+    if (check_speedup >= 0.0) {
+        if (best_vectorized == 0.0) {
+            std::fprintf(stderr,
+                         "note: no vectorized kernel usable on this "
+                         "build/CPU; speedup gate skipped\n");
+            return 0;
+        }
+        if (best_vectorized < check_speedup) {
+            std::fprintf(stderr,
+                         "FAIL: best vectorized BSW speedup %.3fx < "
+                         "required %.3fx\n",
+                         best_vectorized, check_speedup);
+            return 1;
+        }
+        std::fprintf(stderr, "speedup gate ok: %.3fx >= %.3fx\n",
+                     best_vectorized, check_speedup);
+    }
+    return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    bool json = false;
+    double check_speedup = -1.0;
+    std::vector<char*> passthrough{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+        } else if (std::strcmp(argv[i], "--check-speedup") == 0 &&
+                   i + 1 < argc) {
+            check_speedup = std::atof(argv[++i]);
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    if (json || check_speedup >= 0.0)
+        return run_kernel_comparison(json, check_speedup);
+
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,7 +1,6 @@
 #include "align/banded_sw.h"
 
-#include <algorithm>
-#include <vector>
+#include "align/kernels/kernel_registry.h"
 
 namespace darwin::align {
 
@@ -10,107 +9,11 @@ banded_smith_waterman(std::span<const std::uint8_t> target,
                       std::span<const std::uint8_t> query,
                       const ScoringParams& scoring, std::size_t band)
 {
-    const std::size_t n = target.size();
-    const std::size_t m = query.size();
-    BswResult out;
-    if (n == 0 || m == 0)
-        return out;
-
-    // Band-relative indexing: for row i, column j maps to
-    // k = j - (i - B) in [0, 2B]. Row i-1's value for column j lives at
-    // k+1, and for column j-1 at k.
-    const std::size_t width = 2 * band + 1;
-    std::vector<Score> v_prev(width + 1, 0);
-    std::vector<Score> g_prev(width + 1, kScoreNegInf);
-    std::vector<Score> v_cur(width + 1, 0);
-    std::vector<Score> g_cur(width + 1, kScoreNegInf);
-
-    // Row 0 of a local alignment is all zeros; out-of-band cells are -inf.
-    // v_prev[k] corresponds to V(0, j) where j = k - B (for i = 1 the
-    // mapping is k = j - (1 - B) - 1 ... handled uniformly below by
-    // rebuilding row 0 in band coordinates of row 1.
-    //
-    // Simpler: iterate rows and maintain v_prev in the coordinates of the
-    // *previous* row. For row 1, the previous row is row 0 whose V is 0
-    // for every in-range column and -inf outside [0, n].
-    const auto band_lo = [&](std::size_t i) -> std::size_t {
-        return i > band ? i - band : 1;
-    };
-    const auto band_hi = [&](std::size_t i) -> std::size_t {
-        return std::min(n, i + band);
-    };
-
-    // Initialize v_prev for "row 0": k = j - (0 - B) ... we store row 0 in
-    // the coordinate frame it will be *read* from by row 1: reads use
-    // prev[k] = V(0, j-1) with k = j - (1 - B). So prev[k] holds
-    // V(0, k + 1 - B - 1 + ...) — rather than juggle the algebra, store
-    // row 0 as: prev[k] = V(0, j0 + k) where j0 = 0 - band ... Row i has
-    // frame base f(i) = i - band (column of k = 0, as a signed value).
-    // Reads: V(i-1, j) = prev[j - f(i-1)] = prev[k + 1];
-    //        V(i-1, j-1) = prev[k]; V(i, j-1) = cur[k - 1].
-    // Row 0 frame base is f(0) = -band, so V(0, j) sits at j + band.
-    for (std::size_t k = 0; k <= width; ++k) {
-        // j = k - band (signed); valid when 0 <= j <= n.
-        const std::int64_t j = static_cast<std::int64_t>(k) -
-                               static_cast<std::int64_t>(band);
-        v_prev[k] = (j >= 0 && j <= static_cast<std::int64_t>(n))
-                        ? 0 : kScoreNegInf;
-        g_prev[k] = kScoreNegInf;
-    }
-
-    for (std::size_t i = 1; i <= m; ++i) {
-        const std::int64_t frame =
-            static_cast<std::int64_t>(i) - static_cast<std::int64_t>(band);
-        const std::size_t j_lo = band_lo(i);
-        const std::size_t j_hi = band_hi(i);
-        std::fill(v_cur.begin(), v_cur.end(), kScoreNegInf);
-        std::fill(g_cur.begin(), g_cur.end(), kScoreNegInf);
-        if (j_lo > j_hi) {
-            std::swap(v_prev, v_cur);
-            std::swap(g_prev, g_cur);
-            continue;
-        }
-        Score h = kScoreNegInf;  // running H-gap within the row
-        // Left edge of the band: V(i, j_lo - 1) is out of band unless
-        // j_lo - 1 == 0, where a local alignment may start (score 0).
-        Score v_left = (j_lo == 1) ? 0 : kScoreNegInf;
-        for (std::size_t j = j_lo; j <= j_hi; ++j) {
-            const std::size_t k =
-                static_cast<std::size_t>(static_cast<std::int64_t>(j) -
-                                         frame);
-            const Score diag_prev = (k <= width) ? v_prev[k] : kScoreNegInf;
-            const Score up_prev =
-                (k + 1 <= width) ? v_prev[k + 1] : kScoreNegInf;
-            const Score g_up =
-                (k + 1 <= width) ? g_prev[k + 1] : kScoreNegInf;
-
-            h = std::max(v_left - scoring.gap_open,
-                         h - scoring.gap_extend);
-            const Score g = std::max(up_prev - scoring.gap_open,
-                                     g_up - scoring.gap_extend);
-            const Score diag =
-                diag_prev +
-                scoring.substitution(target[j - 1], query[i - 1]);
-
-            Score val = std::max<Score>(0, diag);
-            val = std::max(val, h);
-            val = std::max(val, g);
-
-            v_cur[k] = val;
-            g_cur[k] = g;
-            v_left = val;
-            ++out.cells_computed;
-
-            if (val > out.max_score) {
-                out.max_score = val;
-                out.target_max = j;
-                out.query_max = i;
-            }
-        }
-        std::swap(v_prev, v_cur);
-        std::swap(g_prev, g_cur);
-    }
-    return out;
+    // Thin façade: dispatch to the active registry kernel. Every kernel
+    // is bit-identical (tests/kernel_diff_test.cpp), so callers never
+    // observe which implementation ran.
+    return kernels::KernelRegistry::instance().active().bsw(
+        target, query, scoring, band);
 }
 
 }  // namespace darwin::align

@@ -1,0 +1,102 @@
+/**
+ * Row-major banded Smith-Waterman — the original (seed) kernel layout,
+ * kept as the baseline for bench/micro_kernels and as a second reference
+ * in the differential tests. One fix over the seed version: the diagonal
+ * read of a column-1 cell now sees the V(i-1, 0) = 0 boundary instead of
+ * -inf, per the boundary semantics documented in banded_sw.h.
+ */
+#include <algorithm>
+#include <vector>
+
+#include "align/kernels/bsw_kernels.h"
+
+namespace darwin::align::kernels {
+
+BswResult
+bsw_rowmajor_reference(std::span<const std::uint8_t> target,
+                       std::span<const std::uint8_t> query,
+                       const ScoringParams& scoring, std::size_t band)
+{
+    const std::size_t n = target.size();
+    const std::size_t m = query.size();
+    BswResult out;
+    if (n == 0 || m == 0)
+        return out;
+
+    // Band-relative indexing: row i has frame base f(i) = i - band (the
+    // column of slot k = 0, as a signed value). Reads:
+    //   V(i-1, j)   = prev[k + 1];  V(i-1, j-1) = prev[k];
+    // with k = j - f(i). Row 0 (frame base -band) holds V(0, j) = 0 for
+    // 0 <= j <= n and -inf outside.
+    const std::size_t width = 2 * band + 1;
+    std::vector<Score> v_prev(width + 1, 0);
+    std::vector<Score> g_prev(width + 1, kScoreNegInf);
+    std::vector<Score> v_cur(width + 1, 0);
+    std::vector<Score> g_cur(width + 1, kScoreNegInf);
+
+    for (std::size_t k = 0; k <= width; ++k) {
+        const std::int64_t j = static_cast<std::int64_t>(k) -
+                               static_cast<std::int64_t>(band);
+        v_prev[k] = (j >= 0 && j <= static_cast<std::int64_t>(n))
+                        ? 0 : kScoreNegInf;
+        g_prev[k] = kScoreNegInf;
+    }
+
+    for (std::size_t i = 1; i <= m; ++i) {
+        const std::int64_t frame =
+            static_cast<std::int64_t>(i) - static_cast<std::int64_t>(band);
+        const std::size_t j_lo = i > band ? i - band : 1;
+        const std::size_t j_hi = std::min(n, i + band);
+        std::fill(v_cur.begin(), v_cur.end(), kScoreNegInf);
+        std::fill(g_cur.begin(), g_cur.end(), kScoreNegInf);
+        if (j_lo > j_hi) {
+            std::swap(v_prev, v_cur);
+            std::swap(g_prev, g_cur);
+            continue;
+        }
+        Score h = kScoreNegInf;  // running H-gap within the row
+        // Column 0 is the alignment-start boundary: V(i, 0) = 0.
+        Score v_left = (j_lo == 1) ? 0 : kScoreNegInf;
+        for (std::size_t j = j_lo; j <= j_hi; ++j) {
+            const std::size_t k =
+                static_cast<std::size_t>(static_cast<std::int64_t>(j) -
+                                         frame);
+            // j == 1 reads the V(i-1, 0) = 0 boundary, which row i-1
+            // never wrote into its band buffer.
+            const Score diag_prev =
+                (j == 1) ? 0 : ((k <= width) ? v_prev[k] : kScoreNegInf);
+            const Score up_prev =
+                (k + 1 <= width) ? v_prev[k + 1] : kScoreNegInf;
+            const Score g_up =
+                (k + 1 <= width) ? g_prev[k + 1] : kScoreNegInf;
+
+            h = std::max(v_left - scoring.gap_open,
+                         h - scoring.gap_extend);
+            const Score g = std::max(up_prev - scoring.gap_open,
+                                     g_up - scoring.gap_extend);
+            const Score diag =
+                diag_prev +
+                scoring.substitution(target[j - 1], query[i - 1]);
+
+            Score val = std::max<Score>(0, diag);
+            val = std::max(val, h);
+            val = std::max(val, g);
+
+            v_cur[k] = val;
+            g_cur[k] = g;
+            v_left = val;
+            ++out.cells_computed;
+
+            if (val > out.max_score) {
+                out.max_score = val;
+                out.target_max = j;
+                out.query_max = i;
+            }
+        }
+        std::swap(v_prev, v_cur);
+        std::swap(g_prev, g_cur);
+    }
+    return out;
+}
+
+}  // namespace darwin::align::kernels

@@ -1,0 +1,133 @@
+/**
+ * Anti-diagonal (wavefront) banded Smith-Waterman, scalar variant, plus
+ * the per-thread scratch shared with the SIMD variants.
+ *
+ * Layout (see bsw_kernels.h): cells of diagonal d = i + j are stored at
+ * slot i of the diagonal's buffer. The recurrences then read
+ *
+ *   left (i, j-1):  Vd1[i],   Hd1[i]      (diagonal d-1)
+ *   up   (i-1, j):  Vd1[i-1], Gd1[i-1]    (diagonal d-1)
+ *   diag (i-1,j-1): Vd2[i-1]              (diagonal d-2)
+ *
+ * all of which are contiguous in i — the property the SIMD kernels
+ * exploit. Out-of-band neighbours are provided by -inf edge sentinels
+ * written one slot beyond each diagonal's computed range (the range
+ * moves by at most one slot per diagonal), and the alignment-start
+ * boundaries V(0, *) = V(*, 0) = 0 live at slot 0 (row 0, permanent)
+ * and slot d (column 0 of diagonal d, written when d <= m).
+ */
+#include "align/kernels/bsw_kernels.h"
+
+namespace darwin::align::kernels {
+
+WavefrontScratch& wavefront_scratch() {
+    thread_local WavefrontScratch scratch;
+    return scratch;
+}
+
+void WavefrontScratch::prepare(std::size_t m) {
+    const std::size_t len = m + 2;
+    for (std::vector<Score>* vec : {&v0, &v1, &v2, &g0, &g1, &h0, &h1})
+        if (vec->size() < len)
+            vec->resize(len, kScoreNegInf);
+    // Initial state for the d = 2 iteration. Roles: v0 = diagonal 0,
+    // v1 = diagonal 1, v2 = current; g0/h0 = diagonal 1, g1/h1 = current.
+    v0[0] = 0;           // V(0, 0)
+    v1[0] = 0;           // V(0, 1)
+    v1[1] = 0;           // V(1, 0)
+    v2[0] = 0;           // row-0 slot is permanently 0 in every V buffer
+    g0[0] = g0[1] = kScoreNegInf;
+    h0[0] = h0[1] = kScoreNegInf;
+    g1[0] = kScoreNegInf;  // row-0 slot is permanently -inf in G/H
+    h1[0] = kScoreNegInf;
+}
+
+BswResult
+bsw_wavefront_scalar(std::span<const std::uint8_t> target,
+                     std::span<const std::uint8_t> query,
+                     const ScoringParams& scoring, std::size_t band)
+{
+    const std::size_t n = target.size();
+    const std::size_t m = query.size();
+    BswResult out;
+    if (n == 0 || m == 0)
+        return out;
+
+    WavefrontScratch& ws = wavefront_scratch();
+    ws.prepare(m);
+    Score* vd2 = ws.v0.data();
+    Score* vd1 = ws.v1.data();
+    Score* vcur = ws.v2.data();
+    Score* gd1 = ws.g0.data();
+    Score* gcur = ws.g1.data();
+    Score* hd1 = ws.h0.data();
+    Score* hcur = ws.h1.data();
+
+    const Score open = scoring.gap_open;
+    const Score extend = scoring.gap_extend;
+    const Score* sub = scoring.matrix.front().data();  // flat [t*5 + q]
+    const std::uint8_t* t = target.data();
+    const std::uint8_t* q = query.data();
+
+    BswBest best;
+    for (std::size_t d = 2; d <= m + n; ++d) {
+        const auto [lo, hi] = bsw_diagonal_range(d, n, m, band);
+        if (lo > hi) {  // band == 0 parity gap: keep invariants, move on
+            bsw_write_empty_diagonal(d, n, m, band, vcur, gcur, hcur);
+            Score* vtmp = vd2;
+            vd2 = vd1;
+            vd1 = vcur;
+            vcur = vtmp;
+            std::swap(gd1, gcur);
+            std::swap(hd1, hcur);
+            continue;
+        }
+        for (std::size_t i = lo; i <= hi; ++i) {
+            const std::size_t j = d - i;
+            const Score h =
+                std::max(vd1[i] - open, hd1[i] - extend);
+            const Score g =
+                std::max(vd1[i - 1] - open, gd1[i - 1] - extend);
+            Score val =
+                vd2[i - 1] + sub[t[j - 1] * seq::kNumCodes + q[i - 1]];
+            if (val < 0) val = 0;
+            if (h > val) val = h;
+            if (g > val) val = g;
+            vcur[i] = val;
+            gcur[i] = g;
+            hcur[i] = h;
+            best.consider(val, i, j);
+        }
+        out.cells_computed += hi - lo + 1;
+
+        // Edge sentinels (skip slot 0: it is the permanent row-0
+        // boundary), then the column-0 boundary of this diagonal.
+        if (lo > 1) {
+            vcur[lo - 1] = kScoreNegInf;
+            gcur[lo - 1] = kScoreNegInf;
+            hcur[lo - 1] = kScoreNegInf;
+        }
+        vcur[hi + 1] = kScoreNegInf;
+        gcur[hi + 1] = kScoreNegInf;
+        hcur[hi + 1] = kScoreNegInf;
+        if (d <= m) {
+            vcur[d] = 0;  // V(d, 0)
+            gcur[d] = kScoreNegInf;
+            hcur[d] = kScoreNegInf;
+        }
+
+        Score* vtmp = vd2;
+        vd2 = vd1;
+        vd1 = vcur;
+        vcur = vtmp;
+        std::swap(gd1, gcur);
+        std::swap(hd1, hcur);
+    }
+
+    out.max_score = best.score;
+    out.query_max = best.i;
+    out.target_max = best.j;
+    return out;
+}
+
+}  // namespace darwin::align::kernels

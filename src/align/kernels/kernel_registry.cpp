@@ -1,0 +1,87 @@
+#include "align/kernels/kernel_registry.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "align/kernels/bsw_kernels.h"
+#include "align/kernels/cpu_features.h"
+#include "util/logging.h"
+
+namespace darwin::align::kernels {
+
+KernelRegistry& KernelRegistry::instance() {
+    static KernelRegistry registry;
+    return registry;
+}
+
+KernelRegistry::KernelRegistry() {
+    const CpuFeatures cpu = probe_cpu_features();
+
+    // The table is explicit (no static self-registration: static-library
+    // linking silently drops unreferenced registrars). Ids are stable —
+    // they are published as the wga.filter.kernel gauge value.
+    kernels_.push_back(KernelImpl{/*id=*/0, "scalar", /*compiled=*/true,
+                                  /*cpu_ok=*/true, &bsw_wavefront_scalar,
+                                  &ungapped_xdrop_scalar});
+
+    const KernelOps* sse42 = sse42_kernel_ops();
+    kernels_.push_back(KernelImpl{
+        /*id=*/1, "sse42", sse42 != nullptr, cpu.sse42,
+        sse42 != nullptr ? sse42->bsw : nullptr,
+        sse42 != nullptr && sse42->ungapped != nullptr ? sse42->ungapped
+                                                       : &ungapped_xdrop_scalar});
+
+    const KernelOps* avx2 = avx2_kernel_ops();
+    kernels_.push_back(KernelImpl{
+        /*id=*/2, "avx2", avx2 != nullptr, cpu.avx2,
+        avx2 != nullptr ? avx2->bsw : nullptr,
+        avx2 != nullptr && avx2->ungapped != nullptr ? avx2->ungapped
+                                                     : &ungapped_xdrop_scalar});
+
+    active_.store(&best_usable(), std::memory_order_release);
+
+    if (const char* env = std::getenv(kEnvVar); env != nullptr && *env != '\0')
+        select(env);
+}
+
+const KernelImpl& KernelRegistry::best_usable() const {
+    const KernelImpl* best = &kernels_.front();  // scalar is always usable
+    for (const KernelImpl& k : kernels_)
+        if (k.usable() && k.id > best->id)
+            best = &k;
+    return *best;
+}
+
+const KernelImpl* KernelRegistry::find(const std::string& name) const {
+    for (const KernelImpl& k : kernels_)
+        if (name == k.name)
+            return &k;
+    return nullptr;
+}
+
+void KernelRegistry::select(const std::string& name) {
+    if (name == "auto") {
+        active_.store(&best_usable(), std::memory_order_release);
+        return;
+    }
+    const KernelImpl* k = find(name);
+    if (k == nullptr) {
+        std::ostringstream msg;
+        msg << "DARWIN_KERNEL/--kernel: unknown kernel '" << name
+            << "' (valid: auto";
+        for (const KernelImpl& cand : kernels_)
+            msg << ", " << cand.name;
+        msg << ")";
+        fatal(msg.str());
+    }
+    if (!k->usable()) {
+        std::ostringstream msg;
+        msg << "DARWIN_KERNEL/--kernel: kernel '" << name << "' is "
+            << (!k->compiled ? "not compiled into this build"
+                             : "not supported by this CPU");
+        fatal(msg.str());
+    }
+    active_.store(k, std::memory_order_release);
+}
+
+}  // namespace darwin::align::kernels

@@ -1,0 +1,205 @@
+/**
+ * SSE4.2 filter kernels (4 x int32 lanes). Compiled with -msse4.2 when
+ * the compiler supports it (see src/CMakeLists.txt); otherwise the stub
+ * at the bottom reports the ISA as uncompiled and the registry skips it.
+ *
+ * The banded-SW kernel is the wavefront layout of bsw_wavefront.cpp
+ * with the inner diagonal loop vectorized: full 4-lane blocks first,
+ * then a scalar tail that shares the exact per-cell arithmetic.
+ * Substitution scores are gathered scalar-wise (SSE has no gather); the
+ * DP arithmetic and the max-cell reduction are vectorized. Integer ops
+ * are exact, so results are bit-identical to the scalar kernel.
+ */
+#include "align/kernels/bsw_kernels.h"
+#include "align/kernels/kernel_registry.h"
+
+#if defined(__SSE4_2__)
+
+#include <nmmintrin.h>
+
+#include <cstring>
+
+namespace darwin::align::kernels {
+namespace {
+
+inline Score hmax4(__m128i v) {
+    __m128i m = _mm_max_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2)));
+    m = _mm_max_epi32(m, _mm_shuffle_epi32(m, _MM_SHUFFLE(2, 3, 0, 1)));
+    return _mm_cvtsi128_si32(m);
+}
+
+inline int movemask32(__m128i v) {
+    return _mm_movemask_ps(_mm_castsi128_ps(v));
+}
+
+BswResult
+bsw_sse42(std::span<const std::uint8_t> target,
+          std::span<const std::uint8_t> query,
+          const ScoringParams& scoring, std::size_t band)
+{
+    const std::size_t n = target.size();
+    const std::size_t m = query.size();
+    BswResult out;
+    if (n == 0 || m == 0)
+        return out;
+
+    WavefrontScratch& ws = wavefront_scratch();
+    ws.prepare(m);
+    Score* vd2 = ws.v0.data();
+    Score* vd1 = ws.v1.data();
+    Score* vcur = ws.v2.data();
+    Score* gd1 = ws.g0.data();
+    Score* gcur = ws.g1.data();
+    Score* hd1 = ws.h0.data();
+    Score* hcur = ws.h1.data();
+
+    const Score open = scoring.gap_open;
+    const Score extend = scoring.gap_extend;
+    const Score* sub = scoring.matrix.front().data();
+    const std::uint8_t* t = target.data();
+    const std::uint8_t* q = query.data();
+
+    const __m128i vopen = _mm_set1_epi32(open);
+    const __m128i vext = _mm_set1_epi32(extend);
+    const __m128i vzero = _mm_setzero_si128();
+
+    BswBest best;
+    __m128i bestv = vzero;
+    for (std::size_t d = 2; d <= m + n; ++d) {
+        const auto [lo, hi] = bsw_diagonal_range(d, n, m, band);
+        if (lo > hi) {  // band == 0 parity gap: keep invariants, move on
+            bsw_write_empty_diagonal(d, n, m, band, vcur, gcur, hcur);
+            Score* vtmp = vd2;
+            vd2 = vd1;
+            vd1 = vcur;
+            vcur = vtmp;
+            std::swap(gd1, gcur);
+            std::swap(hd1, hcur);
+            continue;
+        }
+        std::size_t i = lo;
+        for (; i + 3 <= hi; i += 4) {
+            const __m128i left_v =
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(vd1 + i));
+            const __m128i left_h =
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(hd1 + i));
+            const __m128i up_v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(vd1 + i - 1));
+            const __m128i up_g = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(gd1 + i - 1));
+            const __m128i diag_v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(vd2 + i - 1));
+
+            alignas(16) Score subs[4];
+            const std::uint8_t* tp = t + (d - i - 1);
+            const std::uint8_t* qp = q + (i - 1);
+            subs[0] = sub[tp[0] * seq::kNumCodes + qp[0]];
+            subs[1] = sub[tp[-1] * seq::kNumCodes + qp[1]];
+            subs[2] = sub[tp[-2] * seq::kNumCodes + qp[2]];
+            subs[3] = sub[tp[-3] * seq::kNumCodes + qp[3]];
+            const __m128i subv =
+                _mm_load_si128(reinterpret_cast<const __m128i*>(subs));
+
+            const __m128i h = _mm_max_epi32(_mm_sub_epi32(left_v, vopen),
+                                            _mm_sub_epi32(left_h, vext));
+            const __m128i g = _mm_max_epi32(_mm_sub_epi32(up_v, vopen),
+                                            _mm_sub_epi32(up_g, vext));
+            __m128i val =
+                _mm_max_epi32(_mm_add_epi32(diag_v, subv), vzero);
+            val = _mm_max_epi32(val, _mm_max_epi32(h, g));
+
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(vcur + i), val);
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(gcur + i), g);
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(hcur + i), h);
+
+            // Row-major-first max reduction (see BswBest::consider).
+            if (movemask32(_mm_cmpgt_epi32(val, bestv)) != 0) {
+                const Score dmax = hmax4(val);
+                const int eqm = movemask32(
+                    _mm_cmpeq_epi32(val, _mm_set1_epi32(dmax)));
+                best.score = dmax;
+                best.i = i + static_cast<std::size_t>(__builtin_ctz(
+                                 static_cast<unsigned>(eqm)));
+                best.j = d - best.i;
+                bestv = _mm_set1_epi32(dmax);
+            } else if (best.score > 0 && best.i > i) {
+                const int eqm = movemask32(_mm_cmpeq_epi32(val, bestv));
+                if (eqm != 0) {
+                    const std::size_t ci =
+                        i + static_cast<std::size_t>(__builtin_ctz(
+                                static_cast<unsigned>(eqm)));
+                    if (ci < best.i) {
+                        best.i = ci;
+                        best.j = d - ci;
+                    }
+                }
+            }
+        }
+        for (; i <= hi; ++i) {
+            const std::size_t j = d - i;
+            const Score h = std::max(vd1[i] - open, hd1[i] - extend);
+            const Score g =
+                std::max(vd1[i - 1] - open, gd1[i - 1] - extend);
+            Score val =
+                vd2[i - 1] + sub[t[j - 1] * seq::kNumCodes + q[i - 1]];
+            if (val < 0) val = 0;
+            if (h > val) val = h;
+            if (g > val) val = g;
+            vcur[i] = val;
+            gcur[i] = g;
+            hcur[i] = h;
+            const Score prev_best = best.score;
+            best.consider(val, i, j);
+            if (best.score != prev_best)
+                bestv = _mm_set1_epi32(best.score);
+        }
+        out.cells_computed += hi - lo + 1;
+
+        if (lo > 1) {
+            vcur[lo - 1] = kScoreNegInf;
+            gcur[lo - 1] = kScoreNegInf;
+            hcur[lo - 1] = kScoreNegInf;
+        }
+        vcur[hi + 1] = kScoreNegInf;
+        gcur[hi + 1] = kScoreNegInf;
+        hcur[hi + 1] = kScoreNegInf;
+        if (d <= m) {
+            vcur[d] = 0;
+            gcur[d] = kScoreNegInf;
+            hcur[d] = kScoreNegInf;
+        }
+
+        Score* vtmp = vd2;
+        vd2 = vd1;
+        vd1 = vcur;
+        vcur = vtmp;
+        std::swap(gd1, gcur);
+        std::swap(hd1, hcur);
+    }
+
+    out.max_score = best.score;
+    out.query_max = best.i;
+    out.target_max = best.j;
+    return out;
+}
+
+}  // namespace
+
+const KernelOps* sse42_kernel_ops() {
+    // No dedicated ungapped kernel: without a hardware gather the block
+    // formulation is a wash, so the registry falls back to scalar.
+    static const KernelOps ops{&bsw_sse42, nullptr};
+    return &ops;
+}
+
+}  // namespace darwin::align::kernels
+
+#else  // !defined(__SSE4_2__)
+
+namespace darwin::align::kernels {
+
+const KernelOps* sse42_kernel_ops() { return nullptr; }
+
+}  // namespace darwin::align::kernels
+
+#endif

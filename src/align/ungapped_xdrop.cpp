@@ -1,8 +1,6 @@
 #include "align/ungapped_xdrop.h"
 
-#include <algorithm>
-
-#include "util/logging.h"
+#include "align/kernels/kernel_registry.h"
 
 namespace darwin::align {
 
@@ -13,72 +11,10 @@ ungapped_xdrop_extend(std::span<const std::uint8_t> target,
                       std::size_t seed_len, const ScoringParams& scoring,
                       Score xdrop)
 {
-    require(seed_t + seed_len <= target.size() &&
-            seed_q + seed_len <= query.size(),
-            "ungapped_xdrop_extend: seed outside spans");
-
-    UngappedResult out;
-
-    // Score the seed span itself.
-    Score seed_score = 0;
-    for (std::size_t k = 0; k < seed_len; ++k) {
-        seed_score +=
-            scoring.substitution(target[seed_t + k], query[seed_q + k]);
-        ++out.cells_computed;
-    }
-
-    // Right extension from the seed end.
-    Score run = 0;
-    Score best_right = 0;
-    std::size_t best_right_len = 0;
-    {
-        std::size_t t = seed_t + seed_len;
-        std::size_t q = seed_q + seed_len;
-        std::size_t len = 0;
-        while (t < target.size() && q < query.size()) {
-            run += scoring.substitution(target[t], query[q]);
-            ++t;
-            ++q;
-            ++len;
-            ++out.cells_computed;
-            if (run > best_right) {
-                best_right = run;
-                best_right_len = len;
-            }
-            if (run < best_right - xdrop)
-                break;
-        }
-    }
-
-    // Left extension from the seed start.
-    run = 0;
-    Score best_left = 0;
-    std::size_t best_left_len = 0;
-    {
-        std::size_t len = 0;
-        while (len < seed_t && len < seed_q) {
-            const std::size_t t = seed_t - len - 1;
-            const std::size_t q = seed_q - len - 1;
-            run += scoring.substitution(target[t], query[q]);
-            ++len;
-            ++out.cells_computed;
-            if (run > best_left) {
-                best_left = run;
-                best_left_len = len;
-            }
-            if (run < best_left - xdrop)
-                break;
-        }
-    }
-
-    out.score = seed_score + best_right + best_left;
-    out.target_lo = seed_t - best_left_len;
-    out.target_hi = seed_t + seed_len + best_right_len;
-    out.query_lo = seed_q - best_left_len;
-    const std::size_t mid = (out.target_hi - out.target_lo) / 2;
-    out.anchor_t = out.target_lo + mid;
-    out.anchor_q = out.query_lo + mid;
-    return out;
+    // Thin façade: dispatch to the active registry kernel (bit-identical
+    // across implementations, see tests/kernel_diff_test.cpp).
+    return kernels::KernelRegistry::instance().active().ungapped(
+        target, query, seed_t, seed_q, seed_len, scoring, xdrop);
 }
 
 }  // namespace darwin::align

@@ -34,10 +34,18 @@ struct UngappedResult {
     std::size_t anchor_t = 0;
     std::size_t anchor_q = 0;
     std::uint64_t cells_computed = 0;
+
+    /// Kernels are bit-identical, so whole-result comparison is meaningful.
+    bool operator==(const UngappedResult&) const = default;
 };
 
 /**
  * Ungapped X-drop extension of a seed hit.
+ *
+ * Façade over the kernel dispatch registry
+ * (align/kernels/kernel_registry.h); all registered implementations are
+ * bit-identical, including `cells_computed` (the exact early-break
+ * semantics of the scalar kernel are preserved).
  *
  * @param target  Full target span.
  * @param query   Full query span.

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "align/gactx.h"
+#include "align/kernels/kernel_registry.h"
 #include "batch/shard.h"
 #include "obs/trace.h"
 #include "seed/dsoft.h"
@@ -114,6 +115,11 @@ class Engine {
             job.query->flattened();
         }
         metrics_.counter("batch.pairs").add(jobs_.size());
+        // Which BSW/ungapped implementation the filter stage dispatches
+        // to (id: 0 scalar, 1 sse42, 2 avx2) — same gauge the serial
+        // pipeline publishes, so batch and serial runs stay comparable.
+        metrics_.gauge("wga.filter.kernel")
+            .set(align::kernels::KernelRegistry::instance().active().id);
 
         for (std::size_t p = 0; p < jobs_.size(); ++p) {
             PrepareTask task{p};

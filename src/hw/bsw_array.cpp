@@ -78,9 +78,12 @@ BswArrayModel::run_tile(std::span<const std::uint8_t> target,
                 } else {
                     up = col_v[r - 1];
                     g_up = col_g[r - 1];
-                    diag_v = prev_col_v[r - 1];
+                    // DP column 1 reads the V(i-1, 0) = 0 alignment-start
+                    // boundary (banded_sw.h "Boundary semantics"), which
+                    // is never stored in prev_col.
+                    diag_v = (j == 1) ? 0 : prev_col_v[r - 1];
                 }
-                const Score left_v = prev_col_v[r];
+                const Score left_v = (j == 1) ? 0 : prev_col_v[r];
 
                 const Score h = std::max(left_v - scoring.gap_open,
                                          col_h[r] - scoring.gap_extend);

@@ -1,5 +1,6 @@
 #include "wga/pipeline.h"
 
+#include "align/kernels/kernel_registry.h"
 #include "obs/trace.h"
 #include "seed/seed_index.h"
 #include "util/logging.h"
@@ -165,6 +166,13 @@ WgaPipeline::run_sequences(const seq::Sequence& target,
     WgaResult result;
     const std::span<const std::uint8_t> target_span{target.codes().data(),
                                                     target.size()};
+    if (metrics != nullptr) {
+        // Which BSW/ungapped implementation the filter stage dispatches
+        // to (id: 0 scalar, 1 sse42, 2 avx2). All kernels are
+        // bit-identical, so every other wga.* value is kernel-invariant.
+        metrics->gauge("wga.filter.kernel")
+            .set(align::kernels::KernelRegistry::instance().active().id);
+    }
 
     Timer timer;
     std::unique_ptr<seed::SeedIndex> index;

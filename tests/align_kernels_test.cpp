@@ -142,6 +142,62 @@ TEST(BandedSw, EmptyInputs)
               0);
 }
 
+TEST(BandedSw, EmptySpansReturnAllZeroResult)
+{
+    // Documented boundary semantics (banded_sw.h): empty target and/or
+    // query yields the default BswResult, cells_computed included.
+    const auto scoring = ScoringParams::paper_defaults();
+    const std::vector<std::uint8_t> empty;
+    const auto t = encode_string("ACGT");
+    for (const std::size_t band : {0u, 4u, 64u}) {
+        for (const auto& [tgt, qry] :
+             {std::pair{sp(empty), sp(t)}, std::pair{sp(t), sp(empty)},
+              std::pair{sp(empty), sp(empty)}}) {
+            const auto r = banded_smith_waterman(tgt, qry, scoring, band);
+            EXPECT_EQ(r, BswResult{}) << "band=" << band;
+        }
+    }
+}
+
+TEST(BandedSw, ColumnZeroDiagonalBoundary)
+{
+    // The cell (i=2, j=1) reaches its match diagonally from the
+    // V(1, 0) = 0 alignment-start boundary in column 0. The seed kernel
+    // read -inf there and scored 0; the documented semantics (full SW
+    // restricted to the band) require the match to score.
+    const auto scoring = ScoringParams::unit(1, -1, 2, 1);
+    const auto t = encode_string("A");
+    const auto q = encode_string("CA");
+    for (const std::size_t band : {1u, 2u, 8u}) {
+        const auto r = banded_smith_waterman(
+            {t.data(), t.size()}, {q.data(), q.size()}, scoring, band);
+        EXPECT_EQ(r.max_score, 1) << "band=" << band;
+        EXPECT_EQ(r.target_max, 1u) << "band=" << band;
+        EXPECT_EQ(r.query_max, 2u) << "band=" << band;
+    }
+}
+
+TEST(BandedSw, ZeroBandCountsOnlyDiagonalCells)
+{
+    // band == 0 degenerates to an ungapped main-diagonal scan: exactly
+    // min(n, m) cells, even when the query is much longer.
+    const auto scoring = ScoringParams::unit(1, -1, 2, 1);
+    Rng rng(45);
+    const auto t = random_codes(4, rng);
+    const auto q = random_codes(100, rng);
+    const auto r = banded_smith_waterman(sp(t), sp(q), scoring, 0);
+    EXPECT_EQ(r.cells_computed, 4u);
+
+    const auto single = encode_string("G");
+    const auto r1 = banded_smith_waterman(
+        {single.data(), single.size()}, {single.data(), single.size()},
+        scoring, 0);
+    EXPECT_EQ(r1.cells_computed, 1u);
+    EXPECT_EQ(r1.max_score, 1);
+    EXPECT_EQ(r1.target_max, 1u);
+    EXPECT_EQ(r1.query_max, 1u);
+}
+
 TEST(UngappedXdrop, PerfectSeedExtendsFully)
 {
     Rng rng(45);

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Property tests for the kernel dispatch registry: DARWIN_KERNEL /
+ * --kernel parsing, selection state, and the end-to-end guarantee that a
+ * forced-scalar WgaPipeline run and an auto (vectorized) run produce
+ * byte-identical MAF output with reconciling wga.filter.* counters.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "align/kernels/bsw_kernels.h"
+#include "align/kernels/kernel_registry.h"
+#include "obs/metrics.h"
+#include "synth/species.h"
+#include "util/logging.h"
+#include "wga/maf.h"
+#include "wga/params.h"
+#include "wga/pipeline.h"
+
+namespace darwin::align::kernels {
+namespace {
+
+/** Restore "auto" selection however a test exits. */
+struct SelectionGuard {
+    ~SelectionGuard() { KernelRegistry::instance().select("auto"); }
+};
+
+TEST(KernelRegistry, TableIsStable)
+{
+    const auto& kernels = KernelRegistry::instance().kernels();
+    ASSERT_EQ(kernels.size(), 3u);
+    EXPECT_EQ(kernels[0].id, 0);
+    EXPECT_STREQ(kernels[0].name, "scalar");
+    EXPECT_TRUE(kernels[0].usable());
+    EXPECT_EQ(kernels[1].id, 1);
+    EXPECT_STREQ(kernels[1].name, "sse42");
+    EXPECT_EQ(kernels[2].id, 2);
+    EXPECT_STREQ(kernels[2].name, "avx2");
+}
+
+TEST(KernelRegistry, SelectByNameAndAuto)
+{
+    SelectionGuard guard;
+    auto& registry = KernelRegistry::instance();
+    registry.select("scalar");
+    EXPECT_STREQ(registry.active().name, "scalar");
+    EXPECT_EQ(registry.active().id, 0);
+
+    registry.select("auto");
+    // Auto picks the highest-id usable kernel.
+    int best = 0;
+    for (const KernelImpl& k : registry.kernels())
+        if (k.usable())
+            best = std::max(best, k.id);
+    EXPECT_EQ(registry.active().id, best);
+}
+
+TEST(KernelRegistry, BadNameIsClearFatal)
+{
+    SelectionGuard guard;
+    auto& registry = KernelRegistry::instance();
+    const KernelImpl& before = registry.active();
+    try {
+        registry.select("sse999");  // same path DARWIN_KERNEL takes
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown kernel 'sse999'"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("DARWIN_KERNEL"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("scalar"), std::string::npos) << msg;
+    }
+    // A failed selection must not change the active kernel.
+    EXPECT_EQ(registry.active().id, before.id);
+}
+
+TEST(KernelRegistry, UnusableKernelIsFatalNotCrash)
+{
+    SelectionGuard guard;
+    auto& registry = KernelRegistry::instance();
+    for (const KernelImpl& k : registry.kernels()) {
+        if (k.usable())
+            continue;
+        EXPECT_THROW(registry.select(k.name), FatalError) << k.name;
+    }
+}
+
+TEST(KernelDispatch, ForcedScalarAndAutoProduceIdenticalMaf)
+{
+    SelectionGuard guard;
+    auto& registry = KernelRegistry::instance();
+
+    synth::AncestorConfig config;
+    config.num_chromosomes = 1;
+    config.chromosome_length = 15000;
+    config.exons_per_chromosome = 10;
+    const auto pair = synth::make_species_pair(
+        synth::find_species_pair("dm6-droSim1"), config, 4242);
+
+    const wga::WgaPipeline pipeline(wga::WgaParams::darwin_defaults());
+
+    const auto run_with = [&](const std::string& kernel,
+                              obs::MetricsRegistry& metrics) {
+        registry.select(kernel);
+        const auto result = pipeline.run(pair.target.genome,
+                                         pair.query.genome, nullptr,
+                                         &metrics);
+        std::ostringstream maf;
+        wga::write_maf(maf, result.alignments, pair.target.genome,
+                       pair.query.genome);
+        return maf.str();
+    };
+
+    obs::MetricsRegistry scalar_metrics, auto_metrics;
+    const std::string scalar_maf = run_with("scalar", scalar_metrics);
+    const std::string auto_maf = run_with("auto", auto_metrics);
+
+    // Byte-identical alignment output regardless of kernel.
+    EXPECT_EQ(scalar_maf, auto_maf);
+    EXPECT_FALSE(scalar_maf.empty());
+
+    // The filter counters must reconcile exactly: same tiles, same DP
+    // cells (cells_computed is part of the bit-identity contract), same
+    // pass/drop split.
+    for (const char* name :
+         {"wga.filter.tiles", "wga.filter.cells", "wga.filter.passed",
+          "wga.filter.dropped"}) {
+        const auto* s = scalar_metrics.find_counter(name);
+        const auto* a = auto_metrics.find_counter(name);
+        ASSERT_NE(s, nullptr) << name;
+        ASSERT_NE(a, nullptr) << name;
+        EXPECT_EQ(s->value(), a->value()) << name;
+        EXPECT_GT(s->value(), 0) << name;
+    }
+
+    // The gauge records which kernel each run dispatched to.
+    const auto* scalar_gauge =
+        scalar_metrics.find_gauge("wga.filter.kernel");
+    const auto* auto_gauge = auto_metrics.find_gauge("wga.filter.kernel");
+    ASSERT_NE(scalar_gauge, nullptr);
+    ASSERT_NE(auto_gauge, nullptr);
+    EXPECT_EQ(scalar_gauge->value(), 0);
+    EXPECT_EQ(auto_gauge->value(), registry.active().id);
+}
+
+}  // namespace
+}  // namespace darwin::align::kernels
