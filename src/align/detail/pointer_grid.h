@@ -1,11 +1,18 @@
 /**
  * @file
- * Internal: sparse per-row traceback-pointer storage and the shared
- * traceback walker used by the X-drop reference engine and GACT-X.
+ * Internal: packed per-row traceback-pointer storage and the shared
+ * traceback walker used by the X-drop reference engine and the GACT-X
+ * kernels.
  *
- * Rows store only their computed column window (4-bit pointers, one byte
- * per cell in memory for simplicity; the *accounted* traceback footprint
- * uses the packed 4-bit size, matching the hardware BRAM budget).
+ * Rows store only their computed column window, two 4-bit pointers per
+ * byte in row-major order (low nibble = even in-row index). The stored
+ * footprint therefore *equals* the accounted `traceback_bytes`
+ * ((len + 1) / 2 per row) and the hardware BRAM budget — the seed
+ * engine's one-byte-per-cell `Pointer` records and the per-stripe
+ * transpose are gone; engines either append a pre-packed row directly
+ * (the wavefront kernels write nibbles in row-major order as the
+ * anti-diagonal sweeps) or hand over one code byte per cell and let
+ * `add_row_codes` pack.
  */
 #ifndef DARWIN_ALIGN_DETAIL_POINTER_GRID_H
 #define DARWIN_ALIGN_DETAIL_POINTER_GRID_H
@@ -27,42 +34,76 @@ enum VDir : std::uint8_t {
     kVGap = 3,  ///< gap consuming query (Insert)
 };
 
-/** One packed direction pointer. */
+/** One direction pointer, unpacked for the traceback walker. */
 struct Pointer {
     std::uint8_t vdir : 2;
     std::uint8_t hopen : 1;
     std::uint8_t vopen : 1;
 };
 
-/** Computed column window and pointers of one DP row. */
-struct PointerRow {
-    std::size_t start = 0;  ///< first stored column index (j)
-    std::vector<Pointer> ptrs;
+/** 4-bit wire form: vdir in bits 0-1, hopen bit 2, vopen bit 3. */
+inline std::uint8_t
+pack_pointer(std::uint8_t vdir, bool hopen, bool vopen)
+{
+    return static_cast<std::uint8_t>(
+        vdir | (hopen ? 0x4u : 0u) | (vopen ? 0x8u : 0u));
+}
 
-    bool
-    contains(std::size_t j) const
-    {
-        return j >= start && j - start < ptrs.size();
-    }
+inline Pointer
+unpack_pointer(std::uint8_t code)
+{
+    Pointer p;
+    p.vdir = code & 0x3u;
+    p.hopen = (code >> 2) & 0x1u;
+    p.vopen = (code >> 3) & 0x1u;
+    return p;
+}
 
-    Pointer
-    at(std::size_t j) const
-    {
-        require(contains(j), "PointerRow: traceback outside stored window");
-        return ptrs[j - start];
-    }
-};
-
-/** Rows 1..m of pointers (row 0 and column 0 are implicit boundaries). */
+/**
+ * Rows 1..m of packed pointers (row 0 and column 0 are implicit
+ * boundaries). One contiguous byte pool holds every row back to back,
+ * each row byte-aligned, so `packed_bytes()` is exact.
+ */
 class PointerGrid {
   public:
+    /**
+     * Append the next row (rows arrive in increasing i): `len` cells
+     * starting at column `start`, already packed two-per-byte in
+     * `packed[0 .. (len + 1) / 2)`. A trailing padding nibble is
+     * ignored (never read back).
+     */
     void
-    add_row(PointerRow row)
+    add_packed_row(std::size_t start, const std::uint8_t* packed,
+                   std::size_t len)
     {
-        rows_.push_back(std::move(row));
+        rows_.push_back(RowRef{start, bytes_.size(), len});
+        bytes_.insert(bytes_.end(), packed, packed + (len + 1) / 2);
+    }
+
+    /** Append the next row from one pointer code per byte, packing. */
+    void
+    add_row_codes(std::size_t start, const std::uint8_t* codes,
+                  std::size_t len)
+    {
+        rows_.push_back(RowRef{start, bytes_.size(), len});
+        for (std::size_t c = 0; c + 1 < len; c += 2)
+            bytes_.push_back(static_cast<std::uint8_t>(
+                codes[c] | (codes[c + 1] << 4)));
+        if (len % 2 != 0)
+            bytes_.push_back(codes[len - 1]);
     }
 
     std::size_t num_rows() const { return rows_.size(); }
+
+    /** True when DP cell (i, j) is inside row i's stored window. */
+    bool
+    contains(std::size_t i, std::size_t j) const
+    {
+        if (i < 1 || i > rows_.size())
+            return false;
+        const RowRef& row = rows_[i - 1];
+        return j >= row.start && j - row.start < row.len;
+    }
 
     /** Pointer at DP cell (i, j), i >= 1, j >= 1. */
     Pointer
@@ -70,21 +111,27 @@ class PointerGrid {
     {
         require(i >= 1 && i <= rows_.size(),
                 "PointerGrid: traceback row out of range");
-        return rows_[i - 1].at(j);
+        const RowRef& row = rows_[i - 1];
+        require(j >= row.start && j - row.start < row.len,
+                "PointerGrid: traceback outside stored window");
+        const std::size_t nib = j - row.start;
+        const std::uint8_t byte = bytes_[row.offset + nib / 2];
+        return unpack_pointer((nib % 2 != 0) ? (byte >> 4)
+                                             : (byte & 0x0Fu));
     }
 
     /** Packed (4-bit) byte footprint across all stored rows. */
-    std::uint64_t
-    packed_bytes() const
-    {
-        std::uint64_t total = 0;
-        for (const auto& row : rows_)
-            total += (row.ptrs.size() + 1) / 2;
-        return total;
-    }
+    std::uint64_t packed_bytes() const { return bytes_.size(); }
 
   private:
-    std::vector<PointerRow> rows_;
+    struct RowRef {
+        std::size_t start;   ///< first stored column index (j)
+        std::size_t offset;  ///< byte offset of the row in the pool
+        std::size_t len;     ///< stored cells
+    };
+
+    std::vector<RowRef> rows_;
+    std::vector<std::uint8_t> bytes_;
 };
 
 /**

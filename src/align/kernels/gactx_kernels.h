@@ -1,0 +1,87 @@
+/**
+ * @file
+ * GACT-X extension-kernel implementations behind the dispatch registry.
+ *
+ * The seed stripe engine marches each stripe column by column with a
+ * lane-serial dependency chain (`up = val`, `g_up = g`, `diag_carry`)
+ * that mirrors the systolic array but defeats SIMD. The registered
+ * kernels instead sweep each stripe along anti-diagonals: within a
+ * stripe of `num_pe` rows, cell (r, c) on diagonal d = r + c depends
+ * only on diagonals d-1 (left and up neighbours, plus the running gap
+ * rows) and d-2 (diagonal neighbour), so all lanes of a diagonal update
+ * independently and vectorize. Column-granular state — the per-column
+ * best (for Vmax and the X-drop stripe termination) and the stripe's
+ * last-row V/G frontier — is committed when a column *completes*, i.e.
+ * when its last lane computes it at diagonal c + rows - 1; columns the
+ * wavefront had started beyond a terminating column are discarded, so
+ * the column walk (vmax updates, termination point, cells_computed,
+ * stripe_columns) replays the seed engine's sequential order exactly.
+ *
+ * Bit-identity contract: every kernel must return *exactly* the same
+ * TileResult as `gactx_reference_align` (the seed engine) for every
+ * input — max_score, the (target_max, query_max) tie-break (first
+ * strictly-greater column, smallest row within a column),
+ * cells_computed, stripe_columns, traceback_bytes, and the CIGAR — so
+ * the hw/gactx_array cycle model stays valid under dispatch.
+ * tests/kernel_diff_test.cpp enforces the contract field-for-field.
+ */
+#ifndef DARWIN_ALIGN_KERNELS_GACTX_KERNELS_H
+#define DARWIN_ALIGN_KERNELS_GACTX_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/gactx.h"
+
+namespace darwin::align::kernels {
+
+using GactXKernelFn = TileResult (*)(std::span<const std::uint8_t> target,
+                                     std::span<const std::uint8_t> query,
+                                     const GactXParams& params);
+
+/**
+ * The seed column-serial stripe engine. Kept unregistered as the
+ * micro-benchmark baseline and as the oracle for the differential
+ * tests; the registry dispatches the wavefront kernels below.
+ */
+TileResult gactx_reference_align(std::span<const std::uint8_t> target,
+                                 std::span<const std::uint8_t> query,
+                                 const GactXParams& params);
+
+/** Anti-diagonal stripe wavefront, tuned scalar (`scalar` entry). */
+TileResult gactx_wavefront_scalar(std::span<const std::uint8_t> target,
+                                  std::span<const std::uint8_t> query,
+                                  const GactXParams& params);
+
+/**
+ * Reusable per-thread buffers for the wavefront kernels.
+ *
+ * The frontier ("BRAM") arrays are indexed by target column; the lane
+ * arrays by slot r + 1 (slot 0 carries the previous stripe's frontier
+ * values for lane 0, mirroring the systolic array's BRAM port). The
+ * kernels maintain the invariant that every slot a later diagonal (or
+ * stripe) reads was written earlier in the same call, so none of the
+ * buffers is ever cleared — `prepare` only grows capacity.
+ */
+struct GactXScratch {
+    std::vector<Score> bram_v, bram_g;  ///< previous stripe's last row
+    std::vector<Score> next_v, next_g;  ///< frontier being produced
+    std::vector<Score> v0, v1, v2;      ///< lane V: diag d-2, d-1, current
+    std::vector<Score> g0, g1;          ///< lane G: diag d-1, current
+    std::vector<Score> h0, h1;          ///< lane H: diag d-1, current
+    std::vector<Score> init_left;       ///< column-0 boundary per lane
+    std::vector<Score> colmax;          ///< per-column running best
+    std::vector<std::int32_t> colbest;  ///< its smallest-row lane
+    std::vector<std::uint8_t> ptr_rows; ///< packed stripe traceback rows
+
+    void prepare(std::size_t n, std::size_t npe);
+};
+
+/** Per-thread scratch instance (kernels may run on pool threads). */
+GactXScratch& gactx_scratch();
+
+}  // namespace darwin::align::kernels
+
+#endif  // DARWIN_ALIGN_KERNELS_GACTX_KERNELS_H

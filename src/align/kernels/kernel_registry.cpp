@@ -22,21 +22,26 @@ KernelRegistry::KernelRegistry() {
     // they are published as the wga.filter.kernel gauge value.
     kernels_.push_back(KernelImpl{/*id=*/0, "scalar", /*compiled=*/true,
                                   /*cpu_ok=*/true, &bsw_wavefront_scalar,
-                                  &ungapped_xdrop_scalar});
+                                  &ungapped_xdrop_scalar,
+                                  &gactx_wavefront_scalar});
 
     const KernelOps* sse42 = sse42_kernel_ops();
     kernels_.push_back(KernelImpl{
         /*id=*/1, "sse42", sse42 != nullptr, cpu.sse42,
         sse42 != nullptr ? sse42->bsw : nullptr,
         sse42 != nullptr && sse42->ungapped != nullptr ? sse42->ungapped
-                                                       : &ungapped_xdrop_scalar});
+                                                       : &ungapped_xdrop_scalar,
+        sse42 != nullptr && sse42->gactx != nullptr ? sse42->gactx
+                                                    : &gactx_wavefront_scalar});
 
     const KernelOps* avx2 = avx2_kernel_ops();
     kernels_.push_back(KernelImpl{
         /*id=*/2, "avx2", avx2 != nullptr, cpu.avx2,
         avx2 != nullptr ? avx2->bsw : nullptr,
         avx2 != nullptr && avx2->ungapped != nullptr ? avx2->ungapped
-                                                     : &ungapped_xdrop_scalar});
+                                                     : &ungapped_xdrop_scalar,
+        avx2 != nullptr && avx2->gactx != nullptr ? avx2->gactx
+                                                  : &gactx_wavefront_scalar});
 
     active_.store(&best_usable(), std::memory_order_release);
 

@@ -1,19 +1,22 @@
 /**
  * @file
- * Runtime dispatch registry for the filter kernels.
+ * Runtime dispatch registry for the filter and extension kernels.
  *
- * All implementations of the two filter kernels (banded Smith-Waterman
- * and ungapped x-drop extension, see bsw_kernels.h) are listed in a
+ * All implementations of the three alignment kernels (banded
+ * Smith-Waterman and ungapped x-drop extension, see bsw_kernels.h; the
+ * GACT-X tile extension engine, see gactx_kernels.h) are listed in a
  * fixed table with stable ids. At startup the registry probes the CPU
  * (cpu_features.h) and selects the fastest usable entry; the selection
  * can be overridden with the `DARWIN_KERNEL` environment variable or the
  * `--kernel` CLI flag (tools/obs_support.h), both taking
  * `auto|scalar|sse42|avx2`.
  *
- * `banded_smith_waterman()` and `ungapped_xdrop_extend()` are thin
- * façades over the active entry, so every caller (wga/filter_stage, the
- * batch scheduler, benches) transparently picks up the fast path. The
- * active id is published as the `wga.filter.kernel` gauge.
+ * `banded_smith_waterman()`, `ungapped_xdrop_extend()` and
+ * `GactXTileAligner::align_tile()` are thin façades over the active
+ * entry, so every caller (wga/filter_stage, wga/extend_stage, the batch
+ * scheduler, benches) transparently picks up the fast path. The active
+ * id is published as the `wga.filter.kernel` and `wga.extend.kernel`
+ * gauges.
  */
 #ifndef DARWIN_ALIGN_KERNELS_KERNEL_REGISTRY_H
 #define DARWIN_ALIGN_KERNELS_KERNEL_REGISTRY_H
@@ -23,6 +26,7 @@
 #include <vector>
 
 #include "align/banded_sw.h"
+#include "align/kernels/gactx_kernels.h"
 #include "align/ungapped_xdrop.h"
 
 namespace darwin::align::kernels {
@@ -38,7 +42,7 @@ using UngappedKernelFn = UngappedResult (*)(
     std::size_t seed_q, std::size_t seed_len, const ScoringParams& scoring,
     Score xdrop);
 
-/** One registered implementation of both filter kernels. */
+/** One registered implementation of the filter + extension kernels. */
 struct KernelImpl {
     int id = 0;              ///< stable: 0 scalar, 1 sse42, 2 avx2
     const char* name = "";   ///< the DARWIN_KERNEL spelling
@@ -46,6 +50,7 @@ struct KernelImpl {
     bool cpu_ok = false;     ///< running CPU supports the ISA
     BswKernelFn bsw = nullptr;
     UngappedKernelFn ungapped = nullptr;
+    GactXKernelFn gactx = nullptr;
 
     bool usable() const { return compiled && cpu_ok && bsw != nullptr; }
 };
@@ -59,6 +64,7 @@ struct KernelImpl {
 struct KernelOps {
     BswKernelFn bsw = nullptr;
     UngappedKernelFn ungapped = nullptr;  ///< nullptr: fall back to scalar
+    GactXKernelFn gactx = nullptr;        ///< nullptr: fall back to scalar
 };
 const KernelOps* sse42_kernel_ops();
 const KernelOps* avx2_kernel_ops();

@@ -19,6 +19,7 @@
  * All integer ops are exact, so results are bit-identical.
  */
 #include "align/kernels/bsw_kernels.h"
+#include "align/kernels/gactx_wavefront.h"
 #include "align/kernels/kernel_registry.h"
 
 #if defined(__AVX2__)
@@ -395,10 +396,137 @@ ungapped_avx2(std::span<const std::uint8_t> target,
     return out;
 }
 
+/**
+ * GACT-X stripe diagonals in 8-lane blocks (see gactx_wavefront.h for
+ * the dataflow). Lane k of a block handles stripe row r + k and target
+ * column fdc + dd - r - k: neighbour loads are contiguous in the
+ * slot-indexed lane buffers, query codes load forward, target codes are
+ * a lane-reversed 8-byte load, and the per-column best fold hits
+ * colmax[dd-r-7 .. dd-r] with the value vector reversed (strict
+ * compare keeps the smallest-row winner the column walk demands).
+ * Pointer nibbles alternate parity lane to lane, so the packed codes
+ * are spilled once and stored with eight scalar byte ops.
+ */
+struct GactXAvx2Policy {
+    __m256i vopen_, vext_, krev_, iota_;
+    __m256i kdiag_, khgap_, kvgap_, khopen_, kvopen_;
+
+    explicit GactXAvx2Policy(const GactXDiagCtx& ctx)
+        : vopen_(_mm256_set1_epi32(ctx.open)),
+          vext_(_mm256_set1_epi32(ctx.extend)),
+          krev_(_mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0)),
+          iota_(_mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7)),
+          kdiag_(_mm256_set1_epi32(detail::kDiag)),
+          khgap_(_mm256_set1_epi32(detail::kHGap)),
+          kvgap_(_mm256_set1_epi32(detail::kVGap)),
+          khopen_(_mm256_set1_epi32(0x4)),
+          kvopen_(_mm256_set1_epi32(0x8))
+    {
+    }
+
+    void
+    diagonal(const GactXDiagCtx& c, std::size_t dd, std::size_t rlo,
+             std::size_t rhi) const
+    {
+        std::size_t r = rlo;
+        for (; r + 7 <= rhi; r += 8) {
+            const std::size_t s = r + 1;
+            const __m256i left_v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(c.vd1 + s));
+            const __m256i left_h = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(c.hd1 + s));
+            const __m256i up_v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(c.vd1 + s - 1));
+            const __m256i up_g = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(c.gd1 + s - 1));
+            const __m256i diag_v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(c.vd2 + s - 1));
+
+            const __m256i qc = load_codes8(c.q + r);
+            const __m256i tc = _mm256_permutevar8x32_epi32(
+                load_codes8(c.t + (c.fdc + dd - r - 8)), krev_);
+            const __m256i subv = gather_subs(c.sub, tc, qc);
+
+            const __m256i h_open = _mm256_sub_epi32(left_v, vopen_);
+            const __m256i h_ext = _mm256_sub_epi32(left_h, vext_);
+            const __m256i not_hopen = _mm256_cmpgt_epi32(h_ext, h_open);
+            const __m256i h = _mm256_max_epi32(h_open, h_ext);
+
+            const __m256i g_open = _mm256_sub_epi32(up_v, vopen_);
+            const __m256i g_ext = _mm256_sub_epi32(up_g, vext_);
+            const __m256i not_vopen = _mm256_cmpgt_epi32(g_ext, g_open);
+            const __m256i g = _mm256_max_epi32(g_open, g_ext);
+
+            const __m256i dval = _mm256_add_epi32(diag_v, subv);
+            const __m256i mh = _mm256_cmpgt_epi32(h, dval);
+            const __m256i vh = _mm256_max_epi32(dval, h);
+            const __m256i mg = _mm256_cmpgt_epi32(g, vh);
+            const __m256i val = _mm256_max_epi32(vh, g);
+
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(c.vcur + s),
+                                val);
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(c.gcur + s),
+                                g);
+            _mm256_storeu_si256(reinterpret_cast<__m256i*>(c.hcur + s),
+                                h);
+
+            __m256i code = _mm256_blendv_epi8(kdiag_, khgap_, mh);
+            code = _mm256_blendv_epi8(code, kvgap_, mg);
+            code = _mm256_or_si256(
+                code, _mm256_andnot_si256(not_hopen, khopen_));
+            code = _mm256_or_si256(
+                code, _mm256_andnot_si256(not_vopen, kvopen_));
+
+            const std::size_t cbase = dd - r - 7;
+            const __m256i valrev =
+                _mm256_permutevar8x32_epi32(val, krev_);
+            const __m256i cm = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(c.colmax + cbase));
+            const __m256i upd = _mm256_cmpgt_epi32(valrev, cm);
+            if (movemask32(upd) != 0) {
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(c.colmax + cbase),
+                    _mm256_max_epi32(cm, valrev));
+                const __m256i cb = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(c.colbest + cbase));
+                const __m256i rrev = _mm256_sub_epi32(
+                    _mm256_set1_epi32(static_cast<int>(r + 7)), iota_);
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i*>(c.colbest + cbase),
+                    _mm256_blendv_epi8(cb, rrev, upd));
+            }
+
+            alignas(32) std::int32_t codes[8];
+            _mm256_store_si256(reinterpret_cast<__m256i*>(codes), code);
+            std::size_t nib = c.base + dd - r;
+            std::uint8_t* row = c.ptr_rows + r * c.stride;
+            for (int k = 0; k < 8; ++k) {
+                std::uint8_t* byte = row + (nib >> 1);
+                const std::uint8_t cd = static_cast<std::uint8_t>(codes[k]);
+                if ((nib & 1) != 0)
+                    *byte = static_cast<std::uint8_t>(*byte | (cd << 4));
+                else
+                    *byte = cd;
+                --nib;
+                row += c.stride;
+            }
+        }
+        for (; r <= rhi; ++r)
+            gactx_cell(c, dd, r);
+    }
+};
+
+TileResult
+gactx_avx2(std::span<const std::uint8_t> target,
+           std::span<const std::uint8_t> query, const GactXParams& params)
+{
+    return gactx_align_wavefront<GactXAvx2Policy>(target, query, params);
+}
+
 }  // namespace
 
 const KernelOps* avx2_kernel_ops() {
-    static const KernelOps ops{&bsw_avx2, &ungapped_avx2};
+    static const KernelOps ops{&bsw_avx2, &ungapped_avx2, &gactx_avx2};
     return &ops;
 }
 

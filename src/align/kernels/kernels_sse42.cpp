@@ -11,6 +11,7 @@
  * are exact, so results are bit-identical to the scalar kernel.
  */
 #include "align/kernels/bsw_kernels.h"
+#include "align/kernels/gactx_wavefront.h"
 #include "align/kernels/kernel_registry.h"
 
 #if defined(__SSE4_2__)
@@ -183,12 +184,136 @@ bsw_sse42(std::span<const std::uint8_t> target,
     return out;
 }
 
+/**
+ * GACT-X stripe diagonals in 4-lane blocks — the AVX2 policy's layout
+ * (see kernels_avx2.cpp and gactx_wavefront.h) at half width, with the
+ * substitution scores gathered scalar-wise (SSE has no gather). All
+ * integer ops are exact, so results are bit-identical to scalar.
+ */
+struct GactXSse42Policy {
+    __m128i vopen_, vext_, iota_;
+    __m128i kdiag_, khgap_, kvgap_, khopen_, kvopen_;
+
+    explicit GactXSse42Policy(const GactXDiagCtx& ctx)
+        : vopen_(_mm_set1_epi32(ctx.open)),
+          vext_(_mm_set1_epi32(ctx.extend)),
+          iota_(_mm_setr_epi32(0, 1, 2, 3)),
+          kdiag_(_mm_set1_epi32(detail::kDiag)),
+          khgap_(_mm_set1_epi32(detail::kHGap)),
+          kvgap_(_mm_set1_epi32(detail::kVGap)),
+          khopen_(_mm_set1_epi32(0x4)),
+          kvopen_(_mm_set1_epi32(0x8))
+    {
+    }
+
+    void
+    diagonal(const GactXDiagCtx& c, std::size_t dd, std::size_t rlo,
+             std::size_t rhi) const
+    {
+        std::size_t r = rlo;
+        for (; r + 3 <= rhi; r += 4) {
+            const std::size_t s = r + 1;
+            const __m128i left_v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(c.vd1 + s));
+            const __m128i left_h = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(c.hd1 + s));
+            const __m128i up_v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(c.vd1 + s - 1));
+            const __m128i up_g = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(c.gd1 + s - 1));
+            const __m128i diag_v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(c.vd2 + s - 1));
+
+            // Lane k: stripe row r + k, target column fdc + dd - r - k.
+            alignas(16) Score subs[4];
+            const std::uint8_t* tp = c.t + (c.fdc + dd - r - 1);
+            const std::uint8_t* qp = c.q + r;
+            subs[0] = c.sub[tp[0] * seq::kNumCodes + qp[0]];
+            subs[1] = c.sub[tp[-1] * seq::kNumCodes + qp[1]];
+            subs[2] = c.sub[tp[-2] * seq::kNumCodes + qp[2]];
+            subs[3] = c.sub[tp[-3] * seq::kNumCodes + qp[3]];
+            const __m128i subv =
+                _mm_load_si128(reinterpret_cast<const __m128i*>(subs));
+
+            const __m128i h_open = _mm_sub_epi32(left_v, vopen_);
+            const __m128i h_ext = _mm_sub_epi32(left_h, vext_);
+            const __m128i not_hopen = _mm_cmpgt_epi32(h_ext, h_open);
+            const __m128i h = _mm_max_epi32(h_open, h_ext);
+
+            const __m128i g_open = _mm_sub_epi32(up_v, vopen_);
+            const __m128i g_ext = _mm_sub_epi32(up_g, vext_);
+            const __m128i not_vopen = _mm_cmpgt_epi32(g_ext, g_open);
+            const __m128i g = _mm_max_epi32(g_open, g_ext);
+
+            const __m128i dval = _mm_add_epi32(diag_v, subv);
+            const __m128i mh = _mm_cmpgt_epi32(h, dval);
+            const __m128i vh = _mm_max_epi32(dval, h);
+            const __m128i mg = _mm_cmpgt_epi32(g, vh);
+            const __m128i val = _mm_max_epi32(vh, g);
+
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(c.vcur + s), val);
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(c.gcur + s), g);
+            _mm_storeu_si128(reinterpret_cast<__m128i*>(c.hcur + s), h);
+
+            __m128i code = _mm_blendv_epi8(kdiag_, khgap_, mh);
+            code = _mm_blendv_epi8(code, kvgap_, mg);
+            code = _mm_or_si128(code, _mm_andnot_si128(not_hopen, khopen_));
+            code = _mm_or_si128(code, _mm_andnot_si128(not_vopen, kvopen_));
+
+            // Column-best fold over colmax[dd-r-3 .. dd-r], values
+            // lane-reversed; strict compare keeps the smallest row.
+            const std::size_t cbase = dd - r - 3;
+            const __m128i valrev =
+                _mm_shuffle_epi32(val, _MM_SHUFFLE(0, 1, 2, 3));
+            const __m128i cm = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(c.colmax + cbase));
+            const __m128i upd = _mm_cmpgt_epi32(valrev, cm);
+            if (movemask32(upd) != 0) {
+                _mm_storeu_si128(
+                    reinterpret_cast<__m128i*>(c.colmax + cbase),
+                    _mm_max_epi32(cm, valrev));
+                const __m128i cb = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(c.colbest + cbase));
+                const __m128i rrev = _mm_sub_epi32(
+                    _mm_set1_epi32(static_cast<int>(r + 3)), iota_);
+                _mm_storeu_si128(
+                    reinterpret_cast<__m128i*>(c.colbest + cbase),
+                    _mm_blendv_epi8(cb, rrev, upd));
+            }
+
+            alignas(16) std::int32_t codes[4];
+            _mm_store_si128(reinterpret_cast<__m128i*>(codes), code);
+            std::size_t nib = c.base + dd - r;
+            std::uint8_t* row = c.ptr_rows + r * c.stride;
+            for (int k = 0; k < 4; ++k) {
+                std::uint8_t* byte = row + (nib >> 1);
+                const std::uint8_t cd = static_cast<std::uint8_t>(codes[k]);
+                if ((nib & 1) != 0)
+                    *byte = static_cast<std::uint8_t>(*byte | (cd << 4));
+                else
+                    *byte = cd;
+                --nib;
+                row += c.stride;
+            }
+        }
+        for (; r <= rhi; ++r)
+            gactx_cell(c, dd, r);
+    }
+};
+
+TileResult
+gactx_sse42(std::span<const std::uint8_t> target,
+            std::span<const std::uint8_t> query, const GactXParams& params)
+{
+    return gactx_align_wavefront<GactXSse42Policy>(target, query, params);
+}
+
 }  // namespace
 
 const KernelOps* sse42_kernel_ops() {
     // No dedicated ungapped kernel: without a hardware gather the block
     // formulation is a wash, so the registry falls back to scalar.
-    static const KernelOps ops{&bsw_sse42, nullptr};
+    static const KernelOps ops{&bsw_sse42, nullptr, &gactx_sse42};
     return &ops;
 }
 

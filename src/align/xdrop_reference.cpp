@@ -10,11 +10,9 @@ namespace darwin::align {
 
 using detail::kDiag;
 using detail::kHGap;
-using detail::kOrigin;
 using detail::kVGap;
-using detail::Pointer;
+using detail::pack_pointer;
 using detail::PointerGrid;
-using detail::PointerRow;
 
 TileResult
 xdrop_extend(std::span<const std::uint8_t> target,
@@ -56,6 +54,7 @@ xdrop_extend(std::span<const std::uint8_t> target,
     std::uint64_t traceback_bytes = 0;
     bool truncated = false;
 
+    std::vector<std::uint8_t> row_codes;  // one pointer code per cell
     for (std::size_t i = 1; i <= m && !truncated; ++i) {
         const Score threshold = vmax - ydrop;
         const std::size_t row_start = prev_start;
@@ -70,8 +69,7 @@ xdrop_extend(std::span<const std::uint8_t> target,
                           std::min(n, prev_end + 2)) + 1,
                   kScoreNegInf);
 
-        PointerRow row;
-        row.start = row_start;
+        row_codes.clear();
 
         Score h = kScoreNegInf;
         std::size_t alive_first = n + 1;
@@ -84,7 +82,7 @@ xdrop_extend(std::span<const std::uint8_t> target,
             const bool alive = val >= threshold;
             v_cur[0] = alive ? val : kScoreNegInf;
             g_cur[0] = v_cur[0];
-            row.ptrs.push_back(Pointer{kVGap, 0, i == 1});
+            row_codes.push_back(pack_pointer(kVGap, false, i == 1));
             if (alive) {
                 alive_first = 0;
                 alive_last = 0;
@@ -107,20 +105,19 @@ xdrop_extend(std::span<const std::uint8_t> target,
                 (j >= prev_start && j <= prev_end) ? g_prev[j]
                                                    : kScoreNegInf;
 
-            Pointer p{kOrigin, 0, 0};
-            const Score left_v = (j - 1 >= row.start) ? v_cur[j - 1]
+            const Score left_v = (j - 1 >= row_start) ? v_cur[j - 1]
                                                       : kScoreNegInf;
             const Score h_open = left_v - scoring.gap_open;
             const Score h_ext = h - scoring.gap_extend;
             h = std::max(h_open, h_ext);
-            p.hopen = h_open >= h_ext;
+            const bool hopen = h_open >= h_ext;
             if (h < threshold)
                 h = kScoreNegInf;
 
             Score g = std::max(up - scoring.gap_open,
                                g_up - scoring.gap_extend);
-            p.vopen = (up - scoring.gap_open) >=
-                      (g_up - scoring.gap_extend);
+            const bool vopen = (up - scoring.gap_open) >=
+                               (g_up - scoring.gap_extend);
             if (g < threshold)
                 g = kScoreNegInf;
 
@@ -128,21 +125,21 @@ xdrop_extend(std::span<const std::uint8_t> target,
                 diag_v + scoring.substitution(target[j - 1], query[i - 1]);
 
             Score val = diag;
-            p.vdir = kDiag;
+            std::uint8_t vdir = kDiag;
             if (h > val) {
                 val = h;
-                p.vdir = kHGap;
+                vdir = kHGap;
             }
             if (g > val) {
                 val = g;
-                p.vdir = kVGap;
+                vdir = kVGap;
             }
             if (val < threshold)
                 val = kScoreNegInf;
 
             v_cur[j] = val;
             g_cur[j] = g;
-            row.ptrs.push_back(p);
+            row_codes.push_back(pack_pointer(vdir, hopen, vopen));
             ++out.cells_computed;
 
             if (val > vmax) {
@@ -160,8 +157,8 @@ xdrop_extend(std::span<const std::uint8_t> target,
                 break;
         }
 
-        traceback_bytes += (row.ptrs.size() + 1) / 2;
-        grid.add_row(std::move(row));
+        traceback_bytes += (row_codes.size() + 1) / 2;
+        grid.add_row_codes(row_start, row_codes.data(), row_codes.size());
         if (traceback_bytes > config.traceback_limit_bytes)
             truncated = true;
 

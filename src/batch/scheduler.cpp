@@ -115,11 +115,14 @@ class Engine {
             job.query->flattened();
         }
         metrics_.counter("batch.pairs").add(jobs_.size());
-        // Which BSW/ungapped implementation the filter stage dispatches
-        // to (id: 0 scalar, 1 sse42, 2 avx2) — same gauge the serial
-        // pipeline publishes, so batch and serial runs stay comparable.
-        metrics_.gauge("wga.filter.kernel")
-            .set(align::kernels::KernelRegistry::instance().active().id);
+        // Which kernel implementation the filter and extension stages
+        // dispatch to (id: 0 scalar, 1 sse42, 2 avx2) — same gauges the
+        // serial pipeline publishes, so batch and serial runs stay
+        // comparable.
+        const int kernel_id =
+            align::kernels::KernelRegistry::instance().active().id;
+        metrics_.gauge("wga.filter.kernel").set(kernel_id);
+        metrics_.gauge("wga.extend.kernel").set(kernel_id);
 
         for (std::size_t p = 0; p < jobs_.size(); ++p) {
             PrepareTask task{p};

@@ -7,7 +7,10 @@
  * hardware wavefront sweeps, so the array's cycle count is derived
  * directly from a TileResult — wavefront cycles per stripe plus the
  * traceback walk (1 step/cycle from the max cell to the origin) and the
- * fixed tile setup.
+ * fixed tile setup. align_tile() dispatches to a runtime-selected
+ * extension kernel (align/kernels/), all of which are bit-identical in
+ * every TileResult field including stripe_columns — so the cycle counts
+ * derived here are invariant under DARWIN_KERNEL/--kernel.
  */
 #ifndef DARWIN_HW_GACTX_ARRAY_H
 #define DARWIN_HW_GACTX_ARRAY_H

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <mutex>
-#include <unordered_map>
 
 #include "util/logging.h"
 
@@ -10,11 +9,97 @@ namespace darwin::seed {
 
 namespace {
 
+/// Band ids fit comfortably below 2^33 (a 32-bit target position plus the
+/// chunk span, divided by the bin size), so all-ones is a safe sentinel.
+constexpr std::uint64_t kEmptyKey = ~0ull;
+
 /** Per-band accumulator: hit count plus the first hit seen. */
-struct BandState {
+struct BandSlot {
+    std::uint64_t key = kEmptyKey;
     std::uint32_t hits = 0;
     SeedHit first;
 };
+
+/**
+ * Flat open-addressing band table (linear probing, power-of-two
+ * capacity). seed_chunk is the hottest seeding loop and the band map is
+ * its only allocation; an unordered_map pays a node allocation plus a
+ * pointer chase per band, while this table is two cache lines per probe
+ * and is reused across chunks via per-thread scratch.
+ */
+class BandTable {
+public:
+    /** Size for a chunk expected to perform ~`lookups` index lookups and
+     *  clear whatever the previous chunk left behind. */
+    void prepare(std::size_t lookups) {
+        std::size_t cap = 64;
+        while (cap < lookups * 2)
+            cap <<= 1;
+        if (cap > slots_.size()) {
+            slots_.assign(cap, BandSlot{});
+        } else {
+            for (const std::uint32_t idx : used_)
+                slots_[idx] = BandSlot{};
+        }
+        used_.clear();
+    }
+
+    BandSlot& find_or_insert(std::uint64_t key) {
+        if ((used_.size() + 1) * 10 >= slots_.size() * 7)
+            grow();  // keep load factor under 0.7
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i = hash(key) & mask;
+        while (true) {
+            BandSlot& slot = slots_[i];
+            if (slot.key == key)
+                return slot;
+            if (slot.key == kEmptyKey) {
+                slot.key = key;
+                used_.push_back(static_cast<std::uint32_t>(i));
+                return slot;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    template <class Fn>
+    void for_each(Fn&& fn) const {
+        for (const std::uint32_t idx : used_)
+            fn(slots_[idx]);
+    }
+
+private:
+    static std::size_t hash(std::uint64_t key) {
+        key *= 0x9e3779b97f4a7c15ull;  // Fibonacci multiplicative hash
+        return static_cast<std::size_t>(key >> 29);
+    }
+
+    void grow() {
+        std::vector<BandSlot> old = std::move(slots_);
+        std::vector<std::uint32_t> old_used = std::move(used_);
+        slots_.assign(old.size() * 2, BandSlot{});
+        used_.clear();
+        const std::size_t mask = slots_.size() - 1;
+        for (const std::uint32_t idx : old_used) {
+            const BandSlot& src = old[idx];
+            std::size_t i = hash(src.key) & mask;
+            while (slots_[i].key != kEmptyKey)
+                i = (i + 1) & mask;
+            slots_[i] = src;
+            used_.push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+
+    std::vector<BandSlot> slots_;
+    std::vector<std::uint32_t> used_;  ///< occupied slot indices
+};
+
+BandTable&
+band_scratch()
+{
+    thread_local BandTable table;
+    return table;
+}
 
 }  // namespace
 
@@ -36,8 +121,10 @@ DsoftSeeder::seed_chunk(std::span<const std::uint8_t> query,
     SeedingStats local;
     // Diagonal band id -> accumulated state. Hits are projected along
     // their diagonal to the chunk end so that a run of collinear hits
-    // inside the chunk lands in one band.
-    std::unordered_map<std::uint64_t, BandState> bands;
+    // inside the chunk lands in one band. Sized from the chunk's lookup
+    // budget (one probe position per stride step).
+    BandTable& bands = band_scratch();
+    bands.prepare((chunk_end - chunk_begin) / params_.query_stride + 1);
 
     auto record_hits = [&](std::span<const std::uint32_t> hits,
                            std::size_t q) {
@@ -47,7 +134,7 @@ DsoftSeeder::seed_chunk(std::span<const std::uint8_t> query,
             const std::uint64_t projected =
                 static_cast<std::uint64_t>(t) + (chunk_end - q);
             const std::uint64_t band = projected / params_.bin_size;
-            BandState& state = bands[band];
+            BandSlot& state = bands.find_or_insert(band);
             if (state.hits == 0)
                 state.first = SeedHit{t, q};
             ++state.hits;
@@ -70,12 +157,12 @@ DsoftSeeder::seed_chunk(std::span<const std::uint8_t> query,
     }
 
     std::vector<SeedHit> out;
-    for (const auto& [band, state] : bands) {
+    bands.for_each([&](const BandSlot& state) {
         if (state.hits >= params_.min_hits_per_band) {
             out.push_back(state.first);
             ++local.candidates;
         }
-    }
+    });
     std::sort(out.begin(), out.end(), [](const SeedHit& a, const SeedHit& b) {
         return a.query_pos != b.query_pos ? a.query_pos < b.query_pos
                                           : a.target_pos < b.target_pos;

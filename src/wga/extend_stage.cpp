@@ -32,11 +32,17 @@ ExtendStage::absorbed(std::uint64_t anchor_t, std::uint64_t anchor_q) const
     return covered_cells_.count(cell_key(tc + 1, qc + 1)) > 0;
 }
 
-std::vector<std::uint64_t>
-ExtendStage::path_cells(const align::Alignment& alignment) const
+std::span<const std::uint64_t>
+ExtendStage::path_cells(const align::Alignment& alignment)
 {
     const std::uint64_t cell = params_.absorb_cell;
-    std::vector<std::uint64_t> cells;
+    std::vector<std::uint64_t>& cells = path_scratch_;
+    cells.clear();
+    // One sample per started cell-width per run, plus the start cell.
+    std::size_t samples = 1;
+    for (const auto& run : alignment.cigar.runs())
+        samples += (run.length + cell - 1) / cell;
+    cells.reserve(samples);
     std::uint64_t t = alignment.target_start;
     std::uint64_t q = alignment.query_start;
     cells.push_back(cell_key(t / cell, q / cell));
@@ -68,8 +74,7 @@ ExtendStage::path_cells(const align::Alignment& alignment) const
 }
 
 double
-ExtendStage::covered_fraction(
-    const std::vector<std::uint64_t>& cells) const
+ExtendStage::covered_fraction(std::span<const std::uint64_t> cells) const
 {
     if (cells.empty())
         return 0.0;

@@ -13,6 +13,7 @@
 #ifndef DARWIN_WGA_EXTEND_STAGE_H
 #define DARWIN_WGA_EXTEND_STAGE_H
 
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -67,12 +68,15 @@ class ExtendStage {
     /** True if the anchor's grid neighborhood is already covered. */
     bool absorbed(std::uint64_t anchor_t, std::uint64_t anchor_q) const;
 
-    /** Grid cells an alignment's path passes through (sampled). */
-    std::vector<std::uint64_t> path_cells(
-        const align::Alignment& alignment) const;
+    /** Grid cells an alignment's path passes through (sampled). The
+     *  returned span aliases path_scratch_ and is valid until the next
+     *  call — the merge loop consumes each path before requesting the
+     *  next one. */
+    std::span<const std::uint64_t> path_cells(
+        const align::Alignment& alignment);
 
     /** Fraction of the given cells already on the absorption grid. */
-    double covered_fraction(const std::vector<std::uint64_t>& cells) const;
+    double covered_fraction(std::span<const std::uint64_t> cells) const;
 
     std::uint64_t
     cell_key(std::uint64_t t_cell, std::uint64_t q_cell) const
@@ -84,6 +88,8 @@ class ExtendStage {
     std::span<const std::uint8_t> target_;
     std::span<const std::uint8_t> query_;
     std::unordered_set<std::uint64_t> covered_cells_;
+    /** Scratch for path_cells, reused across the merge loop. */
+    std::vector<std::uint64_t> path_scratch_;
 };
 
 }  // namespace darwin::wga

@@ -167,11 +167,13 @@ WgaPipeline::run_sequences(const seq::Sequence& target,
     const std::span<const std::uint8_t> target_span{target.codes().data(),
                                                     target.size()};
     if (metrics != nullptr) {
-        // Which BSW/ungapped implementation the filter stage dispatches
-        // to (id: 0 scalar, 1 sse42, 2 avx2). All kernels are
+        // Which kernel implementation the filter and extension stages
+        // dispatch to (id: 0 scalar, 1 sse42, 2 avx2). All kernels are
         // bit-identical, so every other wga.* value is kernel-invariant.
-        metrics->gauge("wga.filter.kernel")
-            .set(align::kernels::KernelRegistry::instance().active().id);
+        const int kernel_id =
+            align::kernels::KernelRegistry::instance().active().id;
+        metrics->gauge("wga.filter.kernel").set(kernel_id);
+        metrics->gauge("wga.extend.kernel").set(kernel_id);
     }
 
     Timer timer;

@@ -14,6 +14,15 @@
  * (max score, xmax cell, cells_computed) matches the naive matrix.
  * The ungapped x-drop kernels are diffed against the scalar kernel the
  * same way.
+ *
+ * The GACT-X extension kernels get the same treatment: the seed
+ * column-serial stripe engine survives as `gactx_reference_align`, and
+ * thousands of seeded tiles (random, related, synth-evolved; num_pe in
+ * {1, 7, 32, 64}; ydrop sweeps; degenerate/empty spans; traceback-OOM
+ * budgets) are swept through every registered wavefront kernel,
+ * asserting the *entire* TileResult — max score, the (target_max,
+ * query_max) tie-break, cells_computed, stripe_columns,
+ * traceback_bytes, and the CIGAR — matches the seed engine exactly.
  */
 #include <gtest/gtest.h>
 
@@ -22,6 +31,7 @@
 
 #include "align/banded_sw.h"
 #include "align/kernels/bsw_kernels.h"
+#include "align/kernels/gactx_kernels.h"
 #include "align/kernels/kernel_registry.h"
 #include "align/scoring.h"
 #include "synth/species.h"
@@ -292,9 +302,219 @@ TEST(KernelDiff, VectorKernelsActuallyRegistered)
     EXPECT_TRUE(kernels[0].usable());  // scalar, always
     EXPECT_TRUE(kernels[1].compiled);
     EXPECT_TRUE(kernels[2].compiled);
+    for (const KernelImpl& k : kernels) {
+        if (k.usable()) {
+            EXPECT_NE(k.gactx, nullptr) << k.name;
+        }
+    }
 #else
     GTEST_SKIP() << "non-x86 host: only the scalar kernel is expected";
 #endif
+}
+
+// ---------------------------------------------------------------------------
+// GACT-X extension kernels vs the seed column-serial stripe engine.
+// ---------------------------------------------------------------------------
+
+/** Every GACT-X implementation that must match the seed engine. */
+std::vector<std::pair<std::string, kernels::GactXKernelFn>>
+gactx_contenders()
+{
+    std::vector<std::pair<std::string, kernels::GactXKernelFn>> out;
+    for (const KernelImpl& k : KernelRegistry::instance().kernels())
+        if (k.usable())
+            out.emplace_back(k.name, k.gactx);
+    return out;
+}
+
+int
+expect_gactx_identical(std::span<const std::uint8_t> t,
+                       std::span<const std::uint8_t> q,
+                       const GactXParams& params,
+                       const std::string& context)
+{
+    const TileResult ref = kernels::gactx_reference_align(t, q, params);
+    int checked = 0;
+    for (const auto& [name, fn] : gactx_contenders()) {
+        const TileResult got = fn(t, q, params);
+        const std::string what = name + " " + context +
+                                 " npe=" + std::to_string(params.num_pe) +
+                                 " ydrop=" + std::to_string(params.ydrop);
+        EXPECT_EQ(got.max_score, ref.max_score) << what;
+        EXPECT_EQ(got.target_max, ref.target_max) << what;
+        EXPECT_EQ(got.query_max, ref.query_max) << what;
+        EXPECT_EQ(got.cells_computed, ref.cells_computed) << what;
+        EXPECT_EQ(got.traceback_bytes, ref.traceback_bytes) << what;
+        EXPECT_EQ(got.stripe_columns, ref.stripe_columns) << what;
+        EXPECT_EQ(got.cigar.to_string(), ref.cigar.to_string()) << what;
+        ++checked;
+        if (got.max_score != ref.max_score ||
+            got.cigar.to_string() != ref.cigar.to_string())
+            return checked;  // one detailed failure is enough
+    }
+    return checked;
+}
+
+TEST(GactXKernelDiff, RandomTileSweep)
+{
+    auto params = GactXParams{};
+    const std::size_t npes[] = {1, 7, 32, 64};
+    const Score ydrops[] = {30, 500, 9430};
+    const std::size_t sizes[] = {0, 1, 3, 17, 64, 129};
+    Rng rng(6006);
+    int tiles = 0;
+    for (const std::uint32_t alphabet : {2u, 4u}) {
+        for (const std::size_t n : sizes) {
+            for (const std::size_t m : sizes) {
+                for (const std::size_t npe : npes) {
+                    for (const Score ydrop : ydrops) {
+                        const auto t = random_codes(n, alphabet, rng);
+                        const auto q = random_codes(m, alphabet, rng);
+                        params.num_pe = npe;
+                        params.ydrop = ydrop;
+                        expect_gactx_identical(
+                            sp(t), sp(q), params,
+                            "random a" + std::to_string(alphabet) +
+                                " n=" + std::to_string(n) +
+                                " m=" + std::to_string(m));
+                        ++tiles;
+                    }
+                }
+            }
+        }
+    }
+    EXPECT_GT(tiles, 800);
+}
+
+TEST(GactXKernelDiff, RelatedPairSweep)
+{
+    // Mutated copies keep the DP path near the main diagonal — the
+    // regime the X-drop bound and the stripe jstart scan are tuned for.
+    auto params = GactXParams{};
+    const double sub_rates[] = {0.05, 0.15, 0.30, 0.50};
+    const Score ydrops[] = {100, 1000, 9430};
+    Rng rng(7007);
+    for (const double sub_rate : sub_rates) {
+        for (const Score ydrop : ydrops) {
+            for (const std::size_t npe : {1u, 7u, 32u, 64u}) {
+                for (int rep = 0; rep < 6; ++rep) {
+                    const auto t = random_codes(193, 4, rng);  // odd
+                    const auto q = mutated_copy(t, sub_rate, 0.03, rng);
+                    params.num_pe = npe;
+                    params.ydrop = ydrop;
+                    expect_gactx_identical(sp(t), sp(q), params,
+                                           "related sub=" +
+                                               std::to_string(sub_rate));
+                }
+            }
+        }
+    }
+}
+
+TEST(GactXKernelDiff, UnitScoringTieBreakSweep)
+{
+    // Unit scoring over a 2-letter alphabet maximizes score ties: the
+    // global best must still be the first strictly-greater column with
+    // the smallest row inside it, in stripe order.
+    auto params = GactXParams{};
+    params.scoring = ScoringParams::unit(1, -1, 2, 1);
+    Rng rng(8008);
+    for (const std::size_t npe : {1u, 2u, 7u, 32u}) {
+        for (const Score ydrop : {5, 25, 200}) {
+            for (int rep = 0; rep < 25; ++rep) {
+                const auto t = random_codes(77, 2, rng);
+                const auto q = random_codes(75, 2, rng);
+                params.num_pe = npe;
+                params.ydrop = ydrop;
+                expect_gactx_identical(sp(t), sp(q), params, "unit2");
+            }
+        }
+    }
+}
+
+TEST(GactXKernelDiff, TracebackMemoryLimitSweep)
+{
+    // Tiny traceback budgets hit the OOM path mid-tile: the kernels
+    // must stop after the same stripe with the same accounted bytes.
+    auto params = GactXParams{};
+    Rng rng(9009);
+    const std::uint64_t budgets[] = {1, 16, 64, 257, 1024};
+    for (const std::uint64_t budget : budgets) {
+        for (const std::size_t npe : {1u, 7u, 32u}) {
+            for (int rep = 0; rep < 8; ++rep) {
+                const auto t = random_codes(160, 4, rng);
+                const auto q = mutated_copy(t, 0.1, 0.02, rng);
+                params.num_pe = npe;
+                params.ydrop = 9430;
+                params.traceback_bytes = budget;
+                expect_gactx_identical(sp(t), sp(q), params,
+                                       "oom budget=" +
+                                           std::to_string(budget));
+            }
+        }
+    }
+}
+
+TEST(GactXKernelDiff, SynthEvolvedTileSweep)
+{
+    // Tiles cut from whole synthetic genomes of the paper's four species
+    // pairs, at aligned offsets — realistic indel structure drives the
+    // stripe window walk (jstart advancing, frontiers narrowing).
+    auto params = GactXParams{};
+    synth::AncestorConfig config;
+    config.num_chromosomes = 1;
+    config.chromosome_length = 6000;
+    config.exons_per_chromosome = 5;
+    Rng rng(1010);
+    int checked = 0;
+    for (const auto& spec : synth::paper_species_pairs()) {
+        const auto pair = synth::make_species_pair(spec, config, 78);
+        const auto& t = pair.target.genome.chromosome(0).codes();
+        const auto& q = pair.query.genome.chromosome(0).codes();
+        const std::size_t tile = 384;
+        const std::size_t lim = std::min(t.size(), q.size()) - tile;
+        for (int rep = 0; rep < 10; ++rep) {
+            const std::size_t off =
+                rng.uniform(static_cast<std::uint32_t>(lim));
+            const std::vector<std::uint8_t> tt(t.begin() + off,
+                                               t.begin() + off + tile);
+            const std::vector<std::uint8_t> qq(q.begin() + off,
+                                               q.begin() + off + tile);
+            for (const std::size_t npe : {7u, 32u, 64u}) {
+                for (const Score ydrop : {500, 9430}) {
+                    params.num_pe = npe;
+                    params.ydrop = ydrop;
+                    checked += expect_gactx_identical(
+                        sp(tt), sp(qq), params,
+                        "evolved " + spec.pair_name);
+                }
+            }
+        }
+    }
+    EXPECT_GT(checked, 0);
+}
+
+TEST(GactXKernelDiff, DegenerateSpans)
+{
+    // Empty/one-base spans on either side, and a tile whose row-0
+    // boundary dies immediately under a minimal ydrop.
+    auto params = GactXParams{};
+    Rng rng(1111);
+    const auto t = random_codes(50, 4, rng);
+    const auto q = random_codes(50, 4, rng);
+    const std::vector<std::uint8_t> empty;
+    const std::vector<std::uint8_t> one = {2};
+    for (const std::size_t npe : {1u, 32u}) {
+        params.num_pe = npe;
+        params.ydrop = 9430;
+        expect_gactx_identical(sp(empty), sp(q), params, "empty target");
+        expect_gactx_identical(sp(t), sp(empty), params, "empty query");
+        expect_gactx_identical(sp(empty), sp(empty), params, "both empty");
+        expect_gactx_identical(sp(one), sp(q), params, "one-base target");
+        expect_gactx_identical(sp(t), sp(one), params, "one-base query");
+        params.ydrop = 1;  // boundary row dies at the first gap column
+        expect_gactx_identical(sp(t), sp(q), params, "ydrop=1");
+    }
 }
 
 }  // namespace

@@ -3,7 +3,8 @@
  * Property tests for the kernel dispatch registry: DARWIN_KERNEL /
  * --kernel parsing, selection state, and the end-to-end guarantee that a
  * forced-scalar WgaPipeline run and an auto (vectorized) run produce
- * byte-identical MAF output with reconciling wga.filter.* counters.
+ * byte-identical MAF output with reconciling wga.filter.* and
+ * wga.extend.* counters.
  */
 #include <gtest/gtest.h>
 
@@ -121,12 +122,15 @@ TEST(KernelDispatch, ForcedScalarAndAutoProduceIdenticalMaf)
     EXPECT_EQ(scalar_maf, auto_maf);
     EXPECT_FALSE(scalar_maf.empty());
 
-    // The filter counters must reconcile exactly: same tiles, same DP
-    // cells (cells_computed is part of the bit-identity contract), same
-    // pass/drop split.
+    // The filter and extension counters must reconcile exactly: same
+    // tiles, same DP cells (cells_computed is part of the bit-identity
+    // contract for both the BSW and GACT-X kernels), same pass/drop
+    // split, same stripe/traceback accounting.
     for (const char* name :
          {"wga.filter.tiles", "wga.filter.cells", "wga.filter.passed",
-          "wga.filter.dropped"}) {
+          "wga.filter.dropped", "wga.extend.tiles", "wga.extend.cells",
+          "wga.extend.stripes", "wga.extend.traceback_ops",
+          "wga.extend.alignments", "wga.extend.matched_bases"}) {
         const auto* s = scalar_metrics.find_counter(name);
         const auto* a = auto_metrics.find_counter(name);
         ASSERT_NE(s, nullptr) << name;
@@ -135,14 +139,16 @@ TEST(KernelDispatch, ForcedScalarAndAutoProduceIdenticalMaf)
         EXPECT_GT(s->value(), 0) << name;
     }
 
-    // The gauge records which kernel each run dispatched to.
-    const auto* scalar_gauge =
-        scalar_metrics.find_gauge("wga.filter.kernel");
-    const auto* auto_gauge = auto_metrics.find_gauge("wga.filter.kernel");
-    ASSERT_NE(scalar_gauge, nullptr);
-    ASSERT_NE(auto_gauge, nullptr);
-    EXPECT_EQ(scalar_gauge->value(), 0);
-    EXPECT_EQ(auto_gauge->value(), registry.active().id);
+    // The gauges record which kernel each run dispatched to — the filter
+    // and extension stages always share the registry's active entry.
+    for (const char* name : {"wga.filter.kernel", "wga.extend.kernel"}) {
+        const auto* scalar_gauge = scalar_metrics.find_gauge(name);
+        const auto* auto_gauge = auto_metrics.find_gauge(name);
+        ASSERT_NE(scalar_gauge, nullptr) << name;
+        ASSERT_NE(auto_gauge, nullptr) << name;
+        EXPECT_EQ(scalar_gauge->value(), 0) << name;
+        EXPECT_EQ(auto_gauge->value(), registry.active().id) << name;
+    }
 }
 
 }  // namespace
