@@ -1,6 +1,7 @@
 #include "align/banded_sw.h"
 
 #include "align/kernels/kernel_registry.h"
+#include "fault/cancel.h"
 
 namespace darwin::align {
 
@@ -9,11 +10,17 @@ banded_smith_waterman(std::span<const std::uint8_t> target,
                       std::span<const std::uint8_t> query,
                       const ScoringParams& scoring, std::size_t band)
 {
+    // Budget probe per tile: a filter tile is bounded work (tile bp x
+    // band width), so per-tile polling keeps cancellation latency small
+    // without touching the kernels' inner loops.
+    fault::poll("filter.tile");
     // Thin façade: dispatch to the active registry kernel. Every kernel
     // is bit-identical (tests/kernel_diff_test.cpp), so callers never
     // observe which implementation ran.
-    return kernels::KernelRegistry::instance().active().bsw(
+    auto result = kernels::KernelRegistry::instance().active().bsw(
         target, query, scoring, band);
+    fault::charge_cells(result.cells_computed);
+    return result;
 }
 
 }  // namespace darwin::align

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "fault/cancel.h"
 #include "util/logging.h"
 
 namespace darwin::align {
@@ -89,6 +90,7 @@ extend_direction(std::size_t target_remaining, std::size_t query_remaining,
     std::size_t pos_t = 0;
     std::size_t pos_q = 0;
     while (pos_t < target_remaining && pos_q < query_remaining) {
+        fault::poll("extend.tile");
         const std::size_t rlen =
             std::min(tile_size, target_remaining - pos_t);
         const std::size_t qlen =

@@ -38,6 +38,7 @@
 
 #include "align/detail/pointer_grid.h"
 #include "align/kernels/gactx_kernels.h"
+#include "fault/cancel.h"
 #include "seq/alphabet.h"
 
 namespace darwin::align::kernels {
@@ -175,6 +176,12 @@ gactx_align_wavefront(std::span<const std::uint8_t> target,
     Policy pol(ctx);
 
     for (std::size_t i0 = 1; i0 <= m && !out_of_memory; i0 += npe) {
+        // Budget/injection probe once per stripe: the cooperative
+        // cancellation granularity for every kernel variant (a stripe is
+        // at most npe * n cells). Polling never alters any DP state, so
+        // results stay bit-identical whether or not a token is armed.
+        fault::poll("extend.stripe");
+        const std::uint64_t stripe_cells_before = out.cells_computed;
         const std::size_t i1 = std::min(m, i0 + npe - 1);
         const std::size_t rows = i1 - i0 + 1;
         const Score stripe_threshold = vmax - ydrop;
@@ -326,6 +333,7 @@ gactx_align_wavefront(std::span<const std::uint8_t> target,
             static_cast<std::uint64_t>(data_columns) * rows;
 
         const std::size_t row_len = base + data_columns;
+        const std::uint64_t traceback_before = traceback_bytes;
         for (std::size_t r = 0; r < rows; ++r) {
             traceback_bytes += (row_len + 1) / 2;
             grid.add_packed_row(jstart, ws.ptr_rows.data() + r * stride,
@@ -333,6 +341,8 @@ gactx_align_wavefront(std::span<const std::uint8_t> target,
         }
         if (traceback_bytes > params.traceback_bytes)
             out_of_memory = true;
+        fault::charge_cells(out.cells_computed - stripe_cells_before);
+        fault::charge_heap_bytes(traceback_bytes - traceback_before);
 
         // Publish the stripe's last row as the next BRAM row. Every
         // column of the new window [jstart, last_col] was written (the

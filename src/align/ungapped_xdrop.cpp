@@ -1,6 +1,7 @@
 #include "align/ungapped_xdrop.h"
 
 #include "align/kernels/kernel_registry.h"
+#include "fault/cancel.h"
 
 namespace darwin::align {
 
@@ -11,10 +12,15 @@ ungapped_xdrop_extend(std::span<const std::uint8_t> target,
                       std::size_t seed_len, const ScoringParams& scoring,
                       Score xdrop)
 {
+    // Budget probe per extension: X-drop bounds each call, so per-call
+    // polling is fine-grained enough for cancellation.
+    fault::poll("filter.ungapped");
     // Thin façade: dispatch to the active registry kernel (bit-identical
     // across implementations, see tests/kernel_diff_test.cpp).
-    return kernels::KernelRegistry::instance().active().ungapped(
+    auto result = kernels::KernelRegistry::instance().active().ungapped(
         target, query, seed_t, seed_q, seed_len, scoring, xdrop);
+    fault::charge_cells(result.cells_computed);
+    return result;
 }
 
 }  // namespace darwin::align

@@ -1,0 +1,175 @@
+#include "batch/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace darwin::batch {
+
+namespace {
+
+/**
+ * Extract the string value of `"key":"..."` from a journal line. The
+ * journal only ever holds strings we wrote with json_quote over names
+ * validated to exclude quotes/backslashes, so a non-escaping scan is
+ * exact for this format.
+ */
+std::string
+json_field(const std::string& line, const std::string& key)
+{
+    const std::string needle = "\"" + key + "\":\"";
+    const auto at = line.find(needle);
+    if (at == std::string::npos)
+        return "";
+    const auto begin = at + needle.size();
+    const auto end = line.find('"', begin);
+    if (end == std::string::npos)
+        return "";
+    return line.substr(begin, end - begin);
+}
+
+fault::PairStatus
+parse_status(const std::string& text, const std::string& path)
+{
+    if (text == "clean")
+        return fault::PairStatus::Clean;
+    if (text == "degraded")
+        return fault::PairStatus::Degraded;
+    if (text == "quarantined")
+        return fault::PairStatus::Quarantined;
+    fatal(strprintf("%s: unknown journal status '%s'", path.c_str(),
+                    text.c_str()));
+}
+
+}  // namespace
+
+std::string
+config_fingerprint(const std::string& canonical_config)
+{
+    return strprintf("%016llx", static_cast<unsigned long long>(
+                                    fnv1a64(canonical_config)));
+}
+
+void
+write_file_atomic(const std::string& path, const std::string& content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+        if (!out)
+            fatal(strprintf("cannot write %s", tmp.c_str()));
+        out << content;
+        out.flush();
+        if (!out)
+            fatal(strprintf("error writing %s", tmp.c_str()));
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        fatal(strprintf("cannot rename %s -> %s: %s", tmp.c_str(),
+                        path.c_str(), ec.message().c_str()));
+    }
+}
+
+CheckpointJournal
+CheckpointJournal::create(const std::string& path,
+                          const std::string& fingerprint)
+{
+    CheckpointJournal journal;
+    journal.path_ = path;
+    journal.out_.open(path, std::ios::trunc);
+    if (!journal.out_)
+        fatal(strprintf("cannot write journal: %s", path.c_str()));
+    journal.out_ << strprintf(
+        "{\"journal\":\"darwin-wga-batch\",\"version\":1,"
+        "\"config\":\"%s\"}\n",
+        fingerprint.c_str());
+    journal.out_.flush();
+    return journal;
+}
+
+CheckpointJournal
+CheckpointJournal::resume(const std::string& path,
+                          const std::string& fingerprint)
+{
+    std::ifstream in(path);
+    if (!in) {
+        fatal(strprintf("--resume: no journal at %s (run without --resume "
+                        "to start fresh)",
+                        path.c_str()));
+    }
+    std::string line;
+    if (!std::getline(in, line) || json_field(line, "journal").empty())
+        fatal(strprintf("--resume: %s is not a batch journal",
+                        path.c_str()));
+    const std::string recorded = json_field(line, "config");
+    if (recorded != fingerprint) {
+        fatal(strprintf("--resume: journal %s was written by an "
+                        "incompatible config (journal %s, current %s); "
+                        "rerun without --resume or restore the original "
+                        "flags",
+                        path.c_str(), recorded.c_str(),
+                        fingerprint.c_str()));
+    }
+
+    CheckpointJournal journal;
+    journal.path_ = path;
+    while (std::getline(in, line)) {
+        if (trim(line).empty())
+            continue;
+        JournalEntry entry;
+        entry.pair = json_field(line, "pair");
+        if (entry.pair.empty())
+            fatal(strprintf("%s: journal line without a pair id: %s",
+                            path.c_str(), line.c_str()));
+        entry.status = parse_status(json_field(line, "status"), path);
+        entry.reason = json_field(line, "reason");
+        entry.output = json_field(line, "output");
+        journal.completed_[entry.pair] = entry.status;
+        journal.resumed_.push_back(std::move(entry));
+    }
+    in.close();
+
+    journal.out_.open(path, std::ios::app);
+    if (!journal.out_)
+        fatal(strprintf("cannot append to journal: %s", path.c_str()));
+    return journal;
+}
+
+bool
+CheckpointJournal::completed(const std::string& pair) const
+{
+    return completed_.count(pair) != 0;
+}
+
+void
+CheckpointJournal::record(const JournalEntry& entry)
+{
+    std::lock_guard<std::mutex> lock(*mutex_);
+    if (!out_.is_open())
+        return;
+    std::string line = strprintf(
+        "{\"pair\":%s,\"status\":\"%s\"",
+        json_quote(entry.pair).c_str(),
+        fault::pair_status_name(entry.status));
+    if (!entry.reason.empty())
+        line += strprintf(",\"reason\":%s", json_quote(entry.reason).c_str());
+    if (!entry.output.empty())
+        line += strprintf(",\"output\":%s", json_quote(entry.output).c_str());
+    line += "}\n";
+    out_ << line;
+    out_.flush();
+    completed_[entry.pair] = entry.status;
+}
+
+void
+CheckpointJournal::close()
+{
+    std::lock_guard<std::mutex> lock(*mutex_);
+    if (out_.is_open())
+        out_.close();
+}
+
+}  // namespace darwin::batch

@@ -1,0 +1,98 @@
+#include "batch/manifest.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace darwin::batch {
+
+bool
+valid_pair_name(const std::string& name)
+{
+    if (name.empty())
+        return false;
+    for (const char c : name) {
+        const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                        c == '.' || c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::vector<ManifestPair>
+parse_manifest(const std::string& text, const std::string& path)
+{
+    std::vector<ManifestPair> pairs;
+    std::unordered_set<std::string> seen;
+    std::istringstream in(text);
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        const std::string body = trim(line);
+        if (body.empty() || body[0] == '#')
+            continue;
+        std::istringstream fields(body);
+        ManifestPair pair;
+        pair.line = line_number;
+        std::string extra;
+        if (!(fields >> pair.name >> pair.target_path >> pair.query_path)) {
+            fatal(strprintf("%s:%zu: manifest line needs "
+                            "'name target.fa query.fa', got '%s'",
+                            path.c_str(), line_number, body.c_str()));
+        }
+        if (fields >> extra) {
+            fatal(strprintf("%s:%zu: unexpected extra field '%s' "
+                            "(manifest lines are 'name target.fa "
+                            "query.fa')",
+                            path.c_str(), line_number, extra.c_str()));
+        }
+        if (!valid_pair_name(pair.name)) {
+            fatal(strprintf("%s:%zu: pair name '%s' is not usable as an "
+                            "output filename (use only letters, digits, "
+                            "'.', '_', '-')",
+                            path.c_str(), line_number, pair.name.c_str()));
+        }
+        if (!seen.insert(pair.name).second) {
+            fatal(strprintf("%s:%zu: duplicate pair name '%s' (pair names "
+                            "key the checkpoint journal and output files)",
+                            path.c_str(), line_number, pair.name.c_str()));
+        }
+        pairs.push_back(std::move(pair));
+    }
+    if (pairs.empty())
+        fatal(strprintf("%s: manifest has no entries", path.c_str()));
+    return pairs;
+}
+
+std::vector<ManifestPair>
+read_manifest_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal(strprintf("cannot read manifest %s", path.c_str()));
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse_manifest(buffer.str(), path);
+}
+
+void
+validate_pair_genomes(const ManifestPair& pair, const seq::Genome& target,
+                      const seq::Genome& query)
+{
+    if (target.total_length() == 0) {
+        fatal(strprintf("pair '%s': target %s has no sequence data",
+                        pair.name.c_str(), pair.target_path.c_str()));
+    }
+    if (query.total_length() == 0) {
+        fatal(strprintf("pair '%s': query %s has no sequence data",
+                        pair.name.c_str(), pair.query_path.c_str()));
+    }
+}
+
+}  // namespace darwin::batch

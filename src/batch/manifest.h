@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Hardened manifest parsing for `darwin-wga-batch`.
+ *
+ * A manifest is one pair per line, `name target.fa query.fa`
+ * (whitespace-separated; '#' starts a comment). Parsing is strict:
+ * wrong field counts, duplicate pair names, and names unusable as
+ * output filenames all produce one FatalError naming the file and line
+ * — never a silent skip. Parsing is split from genome loading so
+ * `--resume` can skip completed pairs without paying their FASTA I/O.
+ */
+#ifndef DARWIN_BATCH_MANIFEST_H
+#define DARWIN_BATCH_MANIFEST_H
+
+#include <string>
+#include <vector>
+
+#include "seq/genome.h"
+
+namespace darwin::batch {
+
+/** One manifest line, before genome loading. */
+struct ManifestPair {
+    std::string name;
+    std::string target_path;
+    std::string query_path;
+    std::size_t line = 0;  ///< 1-based manifest line, for diagnostics
+};
+
+/**
+ * True when `name` is safe as a pair id: non-empty, and only
+ * [A-Za-z0-9._-] so `<name>.maf` is a plain filename on any filesystem.
+ */
+bool valid_pair_name(const std::string& name);
+
+/**
+ * Parse manifest text. `path` is used only for diagnostics. FatalError
+ * on: a line without exactly three fields, an invalid or duplicate pair
+ * name, or no entries at all.
+ */
+std::vector<ManifestPair> parse_manifest(const std::string& text,
+                                         const std::string& path);
+
+/** Read and parse a manifest file; FatalError when unreadable. */
+std::vector<ManifestPair> read_manifest_file(const std::string& path);
+
+/**
+ * Check a loaded pair's genomes before admitting it to the batch:
+ * FatalError (naming the pair and the offending file) when either
+ * genome has no sequence data.
+ */
+void validate_pair_genomes(const ManifestPair& pair,
+                           const seq::Genome& target,
+                           const seq::Genome& query);
+
+}  // namespace darwin::batch
+
+#endif  // DARWIN_BATCH_MANIFEST_H

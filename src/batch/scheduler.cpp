@@ -8,11 +8,13 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <thread>
 
 #include "align/gactx.h"
 #include "align/kernels/kernel_registry.h"
 #include "batch/shard.h"
+#include "fault/fault_plan.h"
 #include "obs/trace.h"
 #include "seed/dsoft.h"
 #include "seed/seed_index.h"
@@ -62,11 +64,29 @@ struct StrandState {
     std::atomic<std::size_t> shards_remaining{0};
     std::vector<wga::FilterCandidate> candidates;
     std::vector<align::Alignment> alignments;
+
+    void
+    reset()
+    {
+        query = nullptr;
+        query_span = {};
+        shards.clear();
+        filter.reset();
+        shard_candidates.clear();
+        shards_remaining.store(0);
+        candidates.clear();
+        alignments.clear();
+    }
 };
 
 /** Everything the engine tracks for one manifest entry. */
 struct PairState {
     const BatchJob* job = nullptr;
+    std::size_t pair_index = 0;
+    /** This pair's parameters — a copy of the run's params that the
+     *  degraded retry narrows. Stages reference it, so it only changes
+     *  between attempts (when no task of the pair is running). */
+    wga::WgaParams params;
     const seq::Sequence* target_flat = nullptr;
     std::span<const std::uint8_t> target_span;
     seq::Sequence query_rc;  ///< owned reverse complement (both-strands)
@@ -77,6 +97,25 @@ struct PairState {
     std::atomic<std::size_t> strands_remaining{1};
     std::mutex stats_mutex;
     wga::WgaResult result;
+
+    // --- fault-tolerance state ---
+    fault::CancelToken token;
+    /** Tasks enqueued but not yet finished (incremented before every
+     *  push, decremented when the task completes or is dropped). A
+     *  failed pair settles — retries or quarantines — only when this
+     *  drains to zero, so no stale task of the old attempt can touch
+     *  the new attempt's state. */
+    std::atomic<std::size_t> inflight{0};
+    std::atomic<bool> failed{false};
+    std::atomic<bool> terminal{false};
+    std::mutex fail_mutex;
+    std::string fail_stage;
+    fault::FailReason fail_reason = fault::FailReason::None;
+    std::string fail_message;
+    std::uint32_t attempts = 0;
+    bool degraded = false;
+    double work_seconds = 0.0;  ///< guarded by stats_mutex
+    BatchPairResult out;        ///< filled at finalize
 };
 
 /** The dataflow engine for one run() invocation. */
@@ -93,9 +132,11 @@ class Engine {
           pairs_remaining_(jobs.size())
     {
         pairs_.reserve(jobs.size());
-        for (const BatchJob& job : jobs_) {
+        for (std::size_t p = 0; p < jobs_.size(); ++p) {
             auto pair = std::make_unique<PairState>();
-            pair->job = &job;
+            pair->job = &jobs_[p];
+            pair->pair_index = p;
+            pair->params = options_.params;
             pairs_.push_back(std::move(pair));
         }
     }
@@ -126,7 +167,7 @@ class Engine {
 
         for (std::size_t p = 0; p < jobs_.size(); ++p) {
             PrepareTask task{p};
-            push_task(prepare_queue_, task, "prepare", kPrepare);
+            enqueue(prepare_queue_, task, "prepare", kPrepare, p);
         }
 
         std::size_t num_workers = options_.num_threads;
@@ -140,15 +181,20 @@ class Engine {
             workers.emplace_back([this] { worker_loop(); });
         for (auto& worker : workers)
             worker.join();
-        if (error_)
-            std::rethrow_exception(error_);
+
+        // The run is over: every stage queue is drained (or abandoned on
+        // a fatal abort), so the depth gauges must read zero again.
+        for (const char* stage :
+             {"prepare", "seed", "filter", "extend", "chain"})
+            metrics_.gauge(strprintf("batch.queue.%s.depth", stage)).set(0);
+
+        if (fatal_)
+            std::rethrow_exception(fatal_);
 
         std::vector<BatchPairResult> out;
         out.reserve(pairs_.size());
-        for (std::size_t p = 0; p < pairs_.size(); ++p) {
-            out.push_back(BatchPairResult{jobs_[p].name,
-                                          std::move(pairs_[p]->result)});
-        }
+        for (auto& pair : pairs_)
+            out.push_back(std::move(pair->out));
         return out;
     }
 
@@ -162,6 +208,18 @@ class Engine {
         kPrepare = 4,
     };
 
+    /** Register a task with its pair's inflight count, then push. The
+     *  increment happens before the push so the pair can never settle
+     *  (retry/quarantine) while this task is still queued. */
+    template <typename Queue, typename Task>
+    void
+    enqueue(Queue& queue, Task& task, const char* stage, int stage_level,
+            std::size_t pair)
+    {
+        pairs_[pair]->inflight.fetch_add(1, std::memory_order_acq_rel);
+        push_task(queue, task, stage, stage_level);
+    }
+
     /**
      * Push to a stage queue without ever blocking the pipeline: when the
      * queue is full, help drain work at the target stage or deeper until
@@ -174,8 +232,13 @@ class Engine {
     push_task(Queue& queue, Task& task, const char* stage, int stage_level)
     {
         while (!queue.try_push(task)) {
-            if (done_.load(std::memory_order_acquire))
-                return;  // aborting; drop the task
+            if (done_.load(std::memory_order_acquire)) {
+                // Aborting; drop the task but keep the inflight count
+                // honest (nothing settles after done_, run() rethrows).
+                pair_of(task)->inflight.fetch_sub(
+                    1, std::memory_order_acq_rel);
+                return;
+            }
             if (!run_one(stage_level))
                 std::this_thread::yield();
         }
@@ -184,10 +247,19 @@ class Engine {
         wake_.notify_one();
     }
 
+    template <typename Task>
+    PairState*
+    pair_of(const Task& task)
+    {
+        return pairs_[task.pair].get();
+    }
+
     void
     worker_loop()
     {
         while (!done_.load(std::memory_order_acquire)) {
+            if (fault::shutdown_requested())
+                handle_shutdown();
             if (run_one(kPrepare))
                 continue;
             // Timed wait: a plain wait could miss a notify that raced
@@ -203,51 +275,297 @@ class Engine {
     bool
     run_one(int max_level)
     {
-        try {
-            if (auto task = chain_queue_.try_pop()) {
-                after_pop("chain", chain_queue_);
-                do_chain(*task);
-                return true;
-            }
-            if (max_level >= kExtend) {
-                if (auto task = extend_queue_.try_pop()) {
-                    after_pop("extend", extend_queue_);
-                    do_extend(*task);
-                    return true;
-                }
-            }
-            if (max_level >= kFilter) {
-                if (auto task = filter_queue_.try_pop()) {
-                    after_pop("filter", filter_queue_);
-                    do_filter(*task);
-                    return true;
-                }
-            }
-            if (max_level >= kSeed) {
-                if (auto task = seed_queue_.try_pop()) {
-                    after_pop("seed", seed_queue_);
-                    do_seed(*task);
-                    return true;
-                }
-            }
-            if (max_level >= kPrepare) {
-                if (auto task = prepare_queue_.try_pop()) {
-                    after_pop("prepare", prepare_queue_);
-                    do_prepare(*task);
-                    return true;
-                }
-            }
-        } catch (...) {
-            {
-                std::lock_guard<std::mutex> lock(error_mutex_);
-                if (!error_)
-                    error_ = std::current_exception();
-            }
-            done_.store(true, std::memory_order_release);
-            wake_.notify_all();
+        if (auto task = chain_queue_.try_pop()) {
+            after_pop("chain", chain_queue_);
+            run_pair_task(task->pair, "chain", "batch.chain", false,
+                          [&] { do_chain(*task); });
             return true;
         }
+        if (max_level >= kExtend) {
+            if (auto task = extend_queue_.try_pop()) {
+                after_pop("extend", extend_queue_);
+                run_pair_task(task->pair, "extend", "batch.extend", false,
+                              [&] { do_extend(*task); });
+                return true;
+            }
+        }
+        if (max_level >= kFilter) {
+            if (auto task = filter_queue_.try_pop()) {
+                after_pop("filter", filter_queue_);
+                run_pair_task(task->pair, "filter", "batch.filter", false,
+                              [&] { do_filter(*task); });
+                return true;
+            }
+        }
+        if (max_level >= kSeed) {
+            if (auto task = seed_queue_.try_pop()) {
+                after_pop("seed", seed_queue_);
+                run_pair_task(task->pair, "seed", "batch.seed", false,
+                              [&] { do_seed(*task); });
+                return true;
+            }
+        }
+        if (max_level >= kPrepare) {
+            if (auto task = prepare_queue_.try_pop()) {
+                after_pop("prepare", prepare_queue_);
+                run_pair_task(task->pair, "prepare", "batch.prepare", true,
+                              [&] { do_prepare(*task); });
+                return true;
+            }
+        }
         return false;
+    }
+
+    /**
+     * The per-pair isolation boundary every stage task runs inside. The
+     * pair's CancelToken is installed for the calling thread (so kernel
+     * probes charge and poll it), and the exception ladder routes each
+     * failure class: FatalError aborts the whole run with pair+stage
+     * context, everything else fails only this pair. Tasks of an
+     * already-failed pair are dropped here, which is how a poisoned
+     * pair's queued work drains without executing.
+     */
+    template <typename Fn>
+    void
+    run_pair_task(std::size_t idx, const char* stage, const char* probe,
+                  bool first_task_of_attempt, Fn&& fn)
+    {
+        PairState& pair = *pairs_[idx];
+        if (fault::shutdown_requested()) {
+            handle_shutdown();
+            fail_pair(idx, stage, fault::FailReason::Interrupted,
+                      "run interrupted by shutdown request");
+        }
+        if (pair.failed.load(std::memory_order_acquire) ||
+            pair.terminal.load(std::memory_order_acquire)) {
+            task_done(pair);
+            return;
+        }
+        if (first_task_of_attempt) {
+            // Arm here — when the pair *starts executing* — so pairs
+            // queued behind a deep manifest don't burn wall budget
+            // while waiting.
+            pair.token.arm(options_.pair_budget);
+            ++pair.attempts;
+        }
+        Timer timer;
+        fault::ContextScope scope(&pair.token, idx);
+        try {
+            fault::poll(probe);
+            fn();
+        } catch (const FatalError&) {
+            fatal_abort(idx, stage, std::current_exception());
+            return;
+        } catch (const fault::CancelledError& error) {
+            fail_pair(idx, stage,
+                      fault::fail_reason_from_cancel(error.reason()),
+                      error.what());
+        } catch (const fault::InjectedFault& error) {
+            fail_pair(idx, stage, fault::FailReason::Injected, error.what());
+        } catch (const std::bad_alloc& error) {
+            fail_pair(idx, stage, fault::FailReason::OutOfMemory,
+                      error.what());
+        } catch (const std::exception& error) {
+            fail_pair(idx, stage, fault::FailReason::Exception, error.what());
+        }
+        {
+            std::lock_guard<std::mutex> lock(pair.stats_mutex);
+            pair.work_seconds += timer.seconds();
+        }
+        task_done(pair);
+    }
+
+    /** First failure wins; later failures of the same pair are noise
+     *  from tasks that were already in flight. */
+    void
+    fail_pair(std::size_t idx, const char* stage, fault::FailReason reason,
+              const std::string& message)
+    {
+        PairState& pair = *pairs_[idx];
+        std::lock_guard<std::mutex> lock(pair.fail_mutex);
+        if (pair.terminal.load(std::memory_order_acquire) ||
+            pair.failed.load(std::memory_order_acquire))
+            return;
+        pair.fail_stage = stage;
+        pair.fail_reason = reason;
+        pair.fail_message = message;
+        pair.failed.store(true, std::memory_order_release);
+        // Stop the pair's other in-flight tasks at their next poll.
+        pair.token.cancel(fault::CancelReason::External);
+        if (reason == fault::FailReason::Injected)
+            metrics_.counter("batch.fault.injected").add(1);
+        if (fault::is_budget_overrun(reason))
+            metrics_.counter("batch.fault.budget_overruns").add(1);
+    }
+
+    void
+    task_done(PairState& pair)
+    {
+        if (pair.inflight.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+            pair.failed.load(std::memory_order_acquire) &&
+            !done_.load(std::memory_order_acquire))
+            settle_failed(pair);
+    }
+
+    /** All tasks of a failed pair have drained: decide its fate. Runs
+     *  on exactly one thread (the one that drained the last task). */
+    void
+    settle_failed(PairState& pair)
+    {
+        if (pair.terminal.load(std::memory_order_acquire))
+            return;
+        if (pair.fail_reason == fault::FailReason::Interrupted) {
+            finalize_pair(pair, fault::PairStatus::Interrupted);
+            return;
+        }
+        if (fault::is_budget_overrun(pair.fail_reason) &&
+            options_.degraded_retry && !pair.degraded) {
+            restart_degraded(pair);
+            return;
+        }
+        quarantine_pair(pair);
+    }
+
+    void
+    restart_degraded(PairState& pair)
+    {
+        obs::ScopedSpan span("degraded_retry", "batch.fault");
+        span.arg("pair", static_cast<std::int64_t>(pair.pair_index));
+        metrics_.counter("batch.fault.retries").add(1);
+        warn(strprintf("batch: pair '%s' hit its %s budget in the %s "
+                       "stage; retrying with degraded parameters",
+                       pair.job->name.c_str(),
+                       fault::fail_reason_name(pair.fail_reason),
+                       pair.fail_stage.c_str()));
+        pair.degraded = true;
+        pair.params = apply_degrade(options_.params, options_.degrade);
+        // Reset everything the failed attempt touched. No other task of
+        // this pair exists (inflight == 0), so plain writes are safe.
+        pair.result = wga::WgaResult{};
+        pair.query_rc = seq::Sequence{};
+        pair.index.reset();
+        pair.seeder.reset();
+        for (StrandState& strand : pair.strands)
+            strand.reset();
+        pair.num_strands = 1;
+        pair.strands_remaining.store(1);
+        pair.failed.store(false, std::memory_order_release);
+        PrepareTask task{pair.pair_index};
+        enqueue(prepare_queue_, task, "prepare", kPrepare, pair.pair_index);
+    }
+
+    void
+    quarantine_pair(PairState& pair)
+    {
+        obs::ScopedSpan span("quarantine", "batch.fault");
+        span.arg("pair", static_cast<std::int64_t>(pair.pair_index));
+        fault::QuarantineRecord record;
+        record.pair_index = pair.pair_index;
+        record.name = pair.job->name;
+        record.stage = pair.fail_stage;
+        record.reason = pair.fail_reason;
+        record.message = pair.fail_message;
+        record.attempts = pair.attempts;
+        {
+            std::lock_guard<std::mutex> lock(pair.stats_mutex);
+            record.elapsed_seconds = pair.work_seconds;
+        }
+        record.cells_charged = pair.token.cells_charged();
+        record.heap_bytes_charged = pair.token.heap_bytes_charged();
+        pair.out.quarantine = record;
+        warn(strprintf("batch: quarantined pair '%s' (%s in the %s stage "
+                       "after %u attempt%s): %s",
+                       record.name.c_str(),
+                       fault::fail_reason_name(record.reason),
+                       record.stage.c_str(), record.attempts,
+                       record.attempts == 1 ? "" : "s",
+                       record.message.c_str()));
+        finalize_pair(pair, fault::PairStatus::Quarantined);
+    }
+
+    /** The single exit point to a terminal status: fills the pair's
+     *  BatchPairResult, bumps the reconciliation counters, streams the
+     *  result to the runner's callback, and retires the pair. */
+    void
+    finalize_pair(PairState& pair, fault::PairStatus status)
+    {
+        if (pair.terminal.exchange(true, std::memory_order_acq_rel))
+            return;
+        pair.out.name = pair.job->name;
+        pair.out.status = status;
+        pair.out.attempts = pair.attempts;
+        if (status == fault::PairStatus::Clean ||
+            status == fault::PairStatus::Degraded)
+            pair.out.result = std::move(pair.result);
+        if (status == fault::PairStatus::Interrupted) {
+            pair.out.quarantine.pair_index = pair.pair_index;
+            pair.out.quarantine.name = pair.job->name;
+            pair.out.quarantine.stage = pair.fail_stage;
+            pair.out.quarantine.reason = fault::FailReason::Interrupted;
+            pair.out.quarantine.message = pair.fail_message;
+            pair.out.quarantine.attempts = pair.attempts;
+        }
+        metrics_
+            .counter(strprintf("batch.fault.%s",
+                               fault::pair_status_name(status)))
+            .add(1);
+        metrics_.counter("batch.pairs_completed").add(1);
+        if (options_.on_pair_complete) {
+            try {
+                options_.on_pair_complete(pair.out);
+            } catch (...) {
+                fatal_abort(pair.pair_index, "on_pair_complete",
+                            std::current_exception());
+                return;
+            }
+        }
+        if (pairs_remaining_.fetch_sub(1) == 1) {
+            done_.store(true, std::memory_order_release);
+            wake_.notify_all();
+        }
+    }
+
+    /** A FatalError escapes pair isolation and aborts the run; run()
+     *  rethrows it with the pair and stage attached. */
+    void
+    fatal_abort(std::size_t idx, const char* stage,
+                std::exception_ptr error)
+    {
+        {
+            std::lock_guard<std::mutex> lock(fatal_mutex_);
+            if (!fatal_) {
+                try {
+                    std::rethrow_exception(error);
+                } catch (const FatalError& fatal_error) {
+                    fatal_ = std::make_exception_ptr(FatalError(strprintf(
+                        "pair '%s' (%s stage): %s",
+                        jobs_[idx].name.c_str(), stage,
+                        fatal_error.what())));
+                } catch (...) {
+                    fatal_ = std::current_exception();
+                }
+            }
+        }
+        done_.store(true, std::memory_order_release);
+        wake_.notify_all();
+    }
+
+    /** First sighting of the process shutdown flag: cancel every live
+     *  pair so in-flight kernels stop at their next poll. Queued tasks
+     *  of those pairs then drain as drops and each pair finalizes as
+     *  Interrupted — which is what lets the runner flush a consistent
+     *  checkpoint before exiting. */
+    void
+    handle_shutdown()
+    {
+        if (shutdown_handled_.exchange(true, std::memory_order_acq_rel))
+            return;
+        inform("batch: shutdown requested; cancelling in-flight pairs");
+        for (std::size_t p = 0; p < pairs_.size(); ++p) {
+            if (!pairs_[p]->terminal.load(std::memory_order_acquire))
+                fail_pair(p, "shutdown", fault::FailReason::Interrupted,
+                          "run interrupted by shutdown request");
+        }
     }
 
     template <typename Queue>
@@ -265,7 +583,7 @@ class Engine {
         obs::ScopedSpan span("prepare", "batch");
         span.arg("pair", static_cast<std::int64_t>(task.pair));
         PairState& pair = *pairs_[task.pair];
-        const wga::WgaParams& params = options_.params;
+        const wga::WgaParams& params = pair.params;
 
         pair.target_flat = &pair.job->target->flattened();
         pair.target_span = {pair.target_flat->codes().data(),
@@ -312,13 +630,13 @@ class Engine {
             if (strand.shards.empty()) {
                 // Empty strand (zero-length query): complete it now.
                 ExtendTask extend{task.pair, s};
-                push_task(extend_queue_, extend, "extend", kExtend);
+                enqueue(extend_queue_, extend, "extend", kExtend, task.pair);
                 continue;
             }
             for (std::size_t shard = 0; shard < strand.shards.size();
                  ++shard) {
                 SeedTask seed{task.pair, s, shard};
-                push_task(seed_queue_, seed, "seed", kSeed);
+                enqueue(seed_queue_, seed, "seed", kSeed, task.pair);
             }
         }
     }
@@ -334,7 +652,7 @@ class Engine {
         PairState& pair = *pairs_[task.pair];
         StrandState& strand = pair.strands[task.strand];
         const Shard& shard = strand.shards[task.shard];
-        const std::size_t chunk_size = options_.params.dsoft.chunk_size;
+        const std::size_t chunk_size = pair.params.dsoft.chunk_size;
 
         // Seed the shard chunk-by-chunk — the exact decomposition
         // DsoftSeeder::seed_all uses, so the hit set is identical.
@@ -360,7 +678,7 @@ class Engine {
         metrics_.counter("batch.seed.raw_hits").add(local.seeding.seed_hits);
         metrics_.counter("batch.seed.hits").add(filter.hits.size());
         metrics_.histogram("batch.seed.seconds").observe(timer.seconds());
-        push_task(filter_queue_, filter, "filter", kFilter);
+        enqueue(filter_queue_, filter, "filter", kFilter, task.pair);
     }
 
     void
@@ -412,7 +730,7 @@ class Engine {
             }
             wga::sort_candidates(strand.candidates);
             ExtendTask extend{task.pair, task.strand};
-            push_task(extend_queue_, extend, "extend", kExtend);
+            enqueue(extend_queue_, extend, "extend", kExtend, task.pair);
         }
     }
 
@@ -425,7 +743,7 @@ class Engine {
         span.arg("strand", static_cast<std::int64_t>(task.strand));
         PairState& pair = *pairs_[task.pair];
         StrandState& strand = pair.strands[task.strand];
-        const wga::WgaParams& params = options_.params;
+        const wga::WgaParams& params = pair.params;
 
         wga::PipelineStats local;
         const align::GactXTileAligner aligner(params.gactx);
@@ -462,7 +780,7 @@ class Engine {
 
         if (pair.strands_remaining.fetch_sub(1) == 1) {
             ChainTask chain{task.pair};
-            push_task(chain_queue_, chain, "chain", kChain);
+            enqueue(chain_queue_, chain, "chain", kChain, task.pair);
         }
     }
 
@@ -492,12 +810,9 @@ class Engine {
         metrics_.counter("batch.chain.tasks").add(1);
         metrics_.counter("batch.chains").add(pair.result.chains.size());
         metrics_.histogram("batch.chain.seconds").observe(timer.seconds());
-        metrics_.counter("batch.pairs_completed").add(1);
 
-        if (pairs_remaining_.fetch_sub(1) == 1) {
-            done_.store(true, std::memory_order_release);
-            wake_.notify_all();
-        }
+        finalize_pair(pair, pair.degraded ? fault::PairStatus::Degraded
+                                          : fault::PairStatus::Clean);
     }
 
     const BatchOptions& options_;
@@ -513,10 +828,11 @@ class Engine {
 
     std::atomic<std::size_t> pairs_remaining_;
     std::atomic<bool> done_{false};
+    std::atomic<bool> shutdown_handled_{false};
     std::mutex wake_mutex_;
     std::condition_variable wake_;
-    std::mutex error_mutex_;
-    std::exception_ptr error_;
+    std::mutex fatal_mutex_;
+    std::exception_ptr fatal_;
 };
 
 }  // namespace

@@ -21,16 +21,31 @@
  * order filter_all() uses; and each strand's extension runs as a single
  * task over that canonical order, preserving the anchor-absorption
  * semantics of the serial extension stage.
+ *
+ * Fault tolerance (see DESIGN.md "Fault tolerance & degradation"):
+ * every pair runs under its own fault::CancelToken. An exception or
+ * budget overrun in any stage fails only that pair — its remaining
+ * tasks drain and are dropped while the rest of the batch proceeds. A
+ * budget overrun earns one *degraded* retry (apply_degrade'd
+ * parameters) before the pair is quarantined with a machine-readable
+ * QuarantineRecord; a FatalError anywhere aborts the whole run, and
+ * run() rethrows it with the pair id and stage attached. A
+ * fault::request_shutdown() cancels every in-flight pair (status
+ * Interrupted) so the CLI can checkpoint and exit.
  */
 #ifndef DARWIN_BATCH_SCHEDULER_H
 #define DARWIN_BATCH_SCHEDULER_H
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "batch/degrade.h"
 #include "batch/metrics.h"
 #include "chain/chainer.h"
+#include "fault/cancel.h"
+#include "fault/quarantine.h"
 #include "seq/genome.h"
 #include "wga/pipeline.h"
 
@@ -41,6 +56,17 @@ struct BatchJob {
     std::string name;  ///< label used for outputs/metrics, e.g. "ce11-cb4"
     const seq::Genome* target = nullptr;
     const seq::Genome* query = nullptr;
+};
+
+/** Result for one manifest entry, in manifest order. */
+struct BatchPairResult {
+    std::string name;
+    fault::PairStatus status = fault::PairStatus::Clean;
+    /** Attempts consumed (2 when the degraded retry ran). */
+    std::uint32_t attempts = 0;
+    wga::WgaResult result;  ///< empty for quarantined/interrupted pairs
+    /** Failure details; reason == None for clean pairs. */
+    fault::QuarantineRecord quarantine;
 };
 
 /** Engine configuration. */
@@ -56,12 +82,24 @@ struct BatchOptions {
 
     /** Capacity of each inter-stage queue (backpressure bound). */
     std::size_t queue_capacity = 128;
-};
 
-/** Result for one manifest entry, in manifest order. */
-struct BatchPairResult {
-    std::string name;
-    wga::WgaResult result;
+    /** Per-pair budgets; default unlimited. The wall clock starts when
+     *  the pair's first task begins executing, not when it is queued. */
+    fault::Budget pair_budget;
+
+    /** Give a budget-overrun pair one degraded retry before
+     *  quarantining it. */
+    bool degraded_retry = true;
+    DegradePolicy degrade;
+
+    /**
+     * Called once per pair, from a worker thread, the moment the pair
+     * reaches a terminal status — so the runner can stream outputs and
+     * journal entries instead of waiting for the whole batch. The
+     * referenced result is the same object later returned by run().
+     * A FatalError thrown by the callback aborts the run.
+     */
+    std::function<void(const BatchPairResult&)> on_pair_complete;
 };
 
 /** The batch engine. Construct once, run() one manifest at a time. */
@@ -80,8 +118,10 @@ class BatchScheduler {
     /**
      * Run every job in the manifest and return per-pair results in
      * manifest order. Jobs may share Genome objects (their flattened
-     * forms are materialized up front, before workers start). Throws
-     * the first worker exception after the pipeline shuts down cleanly.
+     * forms are materialized up front, before workers start). Per-pair
+     * failures never throw — they surface as PairStatus in the results;
+     * only a FatalError (annotated with pair and stage when one was
+     * active) propagates, after the pipeline shuts down cleanly.
      */
     std::vector<BatchPairResult> run(const std::vector<BatchJob>& jobs);
 

@@ -1,0 +1,225 @@
+#include "fault/fault_plan.h"
+
+#include <cstdlib>
+#include <new>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace darwin::fault {
+
+namespace {
+
+std::atomic<const FaultPlan*> g_plan{nullptr};
+
+/** splitmix64 — decorrelates the (seed, probe, pair, visit) tuple. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+bool
+probe_matches(const std::string& pattern, const char* probe)
+{
+    if (!pattern.empty() && pattern.back() == '*')
+        return std::string_view(probe).starts_with(
+            std::string_view(pattern).substr(0, pattern.size() - 1));
+    return pattern == probe;
+}
+
+std::uint64_t
+parse_u64(const std::string& value, const std::string& entry_text)
+{
+    try {
+        std::size_t used = 0;
+        const unsigned long long parsed = std::stoull(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception&) {
+        fatal(strprintf("fault: bad numeric value '%s' in entry '%s'",
+                        value.c_str(), entry_text.c_str()));
+    }
+}
+
+}  // namespace
+
+const char*
+fault_kind_name(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Throw: return "throw";
+      case FaultKind::Stall: return "stall";
+      case FaultKind::Oom: return "oom";
+    }
+    return "unknown";
+}
+
+FaultPlan
+FaultPlan::parse(const std::string& spec)
+{
+    FaultPlan plan;
+    for (const std::string& entry_text : split(spec, ';')) {
+        const std::string text = trim(entry_text);
+        if (text.empty())
+            continue;
+        const auto fields = split(text, ':');
+        if (fields.size() < 2) {
+            fatal(strprintf("fault: entry '%s' needs 'probe:kind[:...]'",
+                            text.c_str()));
+        }
+        FaultSpec spec_out;
+        spec_out.probe = trim(fields[0]);
+        if (spec_out.probe.empty())
+            fatal(strprintf("fault: empty probe in entry '%s'",
+                            text.c_str()));
+        const std::string kind = trim(fields[1]);
+        if (kind == "throw") {
+            spec_out.kind = FaultKind::Throw;
+        } else if (kind == "stall") {
+            spec_out.kind = FaultKind::Stall;
+        } else if (kind == "oom") {
+            spec_out.kind = FaultKind::Oom;
+        } else {
+            fatal(strprintf("fault: unknown kind '%s' in entry '%s' "
+                            "(throw|stall|oom)",
+                            kind.c_str(), text.c_str()));
+        }
+        for (std::size_t f = 2; f < fields.size(); ++f) {
+            const std::string field = trim(fields[f]);
+            const auto eq = field.find('=');
+            if (eq == std::string::npos) {
+                fatal(strprintf("fault: expected key=value, got '%s' in "
+                                "entry '%s'",
+                                field.c_str(), text.c_str()));
+            }
+            const std::string key = field.substr(0, eq);
+            const std::string value = field.substr(eq + 1);
+            if (key == "pair") {
+                spec_out.pair =
+                    static_cast<std::size_t>(parse_u64(value, text));
+            } else if (key == "after") {
+                spec_out.after = parse_u64(value, text);
+            } else if (key == "count") {
+                spec_out.count = parse_u64(value, text);
+            } else if (key == "ms") {
+                spec_out.stall_ms =
+                    static_cast<std::uint32_t>(parse_u64(value, text));
+            } else if (key == "p") {
+                try {
+                    spec_out.probability = std::stod(value);
+                } catch (const std::exception&) {
+                    fatal(strprintf("fault: bad probability '%s' in "
+                                    "entry '%s'",
+                                    value.c_str(), text.c_str()));
+                }
+                if (spec_out.probability < 0.0 ||
+                    spec_out.probability > 1.0) {
+                    fatal(strprintf("fault: probability %s out of [0,1] "
+                                    "in entry '%s'",
+                                    value.c_str(), text.c_str()));
+                }
+            } else if (key == "seed") {
+                spec_out.seed = parse_u64(value, text);
+            } else {
+                fatal(strprintf("fault: unknown key '%s' in entry '%s'",
+                                key.c_str(), text.c_str()));
+            }
+        }
+        auto entry = std::make_unique<Entry>();
+        entry->spec = spec_out;
+        plan.entries_.push_back(std::move(entry));
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::from_env()
+{
+    const char* spec = std::getenv("DARWIN_FAULT");
+    return parse(spec != nullptr ? spec : "");
+}
+
+const std::vector<FaultSpec>
+FaultPlan::specs() const
+{
+    std::vector<FaultSpec> out;
+    out.reserve(entries_.size());
+    for (const auto& entry : entries_)
+        out.push_back(entry->spec);
+    return out;
+}
+
+std::uint64_t
+FaultPlan::injected() const
+{
+    return injected_.load(std::memory_order_relaxed);
+}
+
+void
+FaultPlan::fire(const char* probe, std::size_t pair) const
+{
+    for (const auto& entry : entries_) {
+        const FaultSpec& spec = entry->spec;
+        if (!probe_matches(spec.probe, probe))
+            continue;
+        if (spec.pair != kNoPair && spec.pair != pair)
+            continue;
+        bool fires = false;
+        {
+            std::lock_guard<std::mutex> lock(entry->mutex);
+            auto& [visits, fired] = entry->state[pair];
+            ++visits;
+            if (visits <= spec.after)
+                continue;
+            if (spec.count != 0 && fired >= spec.count)
+                continue;
+            if (spec.probability < 1.0) {
+                const std::uint64_t h = mix64(
+                    mix64(spec.seed ^ fnv1a64(spec.probe)) ^
+                    mix64(static_cast<std::uint64_t>(pair) * 0x9e37ULL +
+                          visits));
+                const double u = static_cast<double>(h >> 11) *
+                                 (1.0 / 9007199254740992.0);  // 2^-53
+                if (u >= spec.probability)
+                    continue;
+            }
+            ++fired;
+            fires = true;
+        }
+        if (!fires)
+            continue;
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        switch (spec.kind) {
+          case FaultKind::Throw:
+            throw InjectedFault(
+                probe, strprintf("injected fault at %s (pair %zu)", probe,
+                                 pair));
+          case FaultKind::Oom:
+            throw std::bad_alloc();
+          case FaultKind::Stall:
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(spec.stall_ms));
+            break;
+        }
+    }
+}
+
+void
+install_fault_plan(const FaultPlan* plan)
+{
+    g_plan.store(plan, std::memory_order_release);
+}
+
+const FaultPlan*
+active_fault_plan()
+{
+    return g_plan.load(std::memory_order_acquire);
+}
+
+}  // namespace darwin::fault

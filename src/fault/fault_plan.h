@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Deterministic fault injection for chaos testing.
+ *
+ * A FaultPlan is a list of entries parsed from a compact spec string
+ * (the `DARWIN_FAULT` environment variable or `--fault-inject`):
+ *
+ *     spec    := entry (';' entry)*
+ *     entry   := probe ':' kind (':' key '=' value)*
+ *     kind    := throw | stall | oom
+ *     probe   := exact probe name, or a prefix ending in '*'
+ *     keys    := pair=N    only fire for pair index N (default: any)
+ *                after=N   skip the first N matching visits (default 0)
+ *                count=N   fire at most N times per pair (default 1,
+ *                          0 = every visit)
+ *                ms=N      stall duration in milliseconds (default 50)
+ *                p=F       fire with probability F per eligible visit,
+ *                          decided by a deterministic hash of
+ *                          (seed, probe, pair, visit)
+ *                seed=N    seed for the p= hash (default 0)
+ *
+ * Example: `filter.tile:throw:pair=3;extend.stripe:stall:ms=100:count=0`
+ * throws an InjectedFault at pair 3's first filter tile and stalls every
+ * GACT-X stripe of every pair for 100 ms.
+ *
+ * Firing is deterministic: visit counters are kept per (entry, pair), so
+ * the same plan over the same input faults the same probe visits
+ * regardless of thread count or scheduling. The three kinds model the
+ * three failure classes the batch engine isolates: `throw` is a stage
+ * bug (InjectedFault), `oom` is an allocation failure (std::bad_alloc),
+ * and `stall` is a slow/overweight pair (sleeps, so a wall budget
+ * trips).
+ *
+ * Probes fire through fault::poll (cancel.h). Installation is global
+ * (install_fault_plan); the caller keeps the plan alive until it
+ * uninstalls it.
+ */
+#ifndef DARWIN_FAULT_FAULT_PLAN_H
+#define DARWIN_FAULT_FAULT_PLAN_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/cancel.h"
+
+namespace darwin::fault {
+
+/** What an entry does when it fires. */
+enum class FaultKind { Throw, Stall, Oom };
+
+const char* fault_kind_name(FaultKind kind);
+
+/** Thrown by `throw`-kind entries. */
+class InjectedFault : public std::runtime_error {
+  public:
+    InjectedFault(std::string probe, const std::string& message)
+        : std::runtime_error(message), probe_(std::move(probe))
+    {
+    }
+
+    const std::string& probe() const { return probe_; }
+
+  private:
+    std::string probe_;
+};
+
+/** One parsed spec entry. */
+struct FaultSpec {
+    std::string probe;          ///< exact name, or prefix ending in '*'
+    FaultKind kind = FaultKind::Throw;
+    std::size_t pair = kNoPair; ///< kNoPair = any pair (incl. no scope)
+    std::uint64_t after = 0;
+    std::uint64_t count = 1;    ///< 0 = unlimited
+    std::uint32_t stall_ms = 50;
+    double probability = 1.0;
+    std::uint64_t seed = 0;
+};
+
+/** A set of injection entries with per-(entry, pair) visit state. */
+class FaultPlan {
+  public:
+    FaultPlan() = default;
+    // The fired-count atomic is not movable; carry its value across.
+    FaultPlan(FaultPlan&& other) noexcept
+        : entries_(std::move(other.entries_)),
+          injected_(other.injected_.load())
+    {
+    }
+    FaultPlan&
+    operator=(FaultPlan&& other) noexcept
+    {
+        entries_ = std::move(other.entries_);
+        injected_.store(other.injected_.load());
+        return *this;
+    }
+
+    /** Parse a spec string; FatalError with the offending entry on any
+     *  syntax error. An empty spec parses to an empty plan. */
+    static FaultPlan parse(const std::string& spec);
+
+    /** Parse the DARWIN_FAULT environment variable (empty plan when
+     *  unset). */
+    static FaultPlan from_env();
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t num_entries() const { return entries_.size(); }
+    const std::vector<FaultSpec> specs() const;
+
+    /** Total faults fired so far (all entries). */
+    std::uint64_t injected() const;
+
+    /**
+     * Called by fault::poll for every probe visit: applies each matching
+     * entry's visit bookkeeping and acts (throws InjectedFault, throws
+     * std::bad_alloc, or sleeps) when one fires.
+     */
+    void fire(const char* probe, std::size_t pair) const;
+
+  private:
+    struct Entry {
+        FaultSpec spec;
+        mutable std::mutex mutex;
+        /** pair index -> {visits, fires} (kNoPair buckets scopeless
+         *  visits). */
+        mutable std::unordered_map<std::size_t,
+                                   std::pair<std::uint64_t, std::uint64_t>>
+            state;
+    };
+
+    std::vector<std::unique_ptr<Entry>> entries_;
+    mutable std::atomic<std::uint64_t> injected_{0};
+};
+
+/**
+ * Install the process-global plan that fault::poll consults (nullptr
+ * uninstalls). Not reference-counted: keep the plan alive while
+ * installed.
+ */
+void install_fault_plan(const FaultPlan* plan);
+const FaultPlan* active_fault_plan();
+
+}  // namespace darwin::fault
+
+#endif  // DARWIN_FAULT_FAULT_PLAN_H

@@ -1,0 +1,95 @@
+#include "fault/quarantine.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace darwin::fault {
+
+const char*
+pair_status_name(PairStatus status)
+{
+    switch (status) {
+      case PairStatus::Clean: return "clean";
+      case PairStatus::Degraded: return "degraded";
+      case PairStatus::Quarantined: return "quarantined";
+      case PairStatus::Interrupted: return "interrupted";
+    }
+    return "unknown";
+}
+
+const char*
+fail_reason_name(FailReason reason)
+{
+    switch (reason) {
+      case FailReason::None: return "none";
+      case FailReason::WallTime: return "walltime";
+      case FailReason::Cells: return "cells";
+      case FailReason::HeapBytes: return "heapbytes";
+      case FailReason::OutOfMemory: return "oom";
+      case FailReason::Injected: return "injected";
+      case FailReason::Exception: return "exception";
+      case FailReason::Interrupted: return "interrupted";
+    }
+    return "unknown";
+}
+
+FailReason
+fail_reason_from_cancel(CancelReason reason)
+{
+    switch (reason) {
+      case CancelReason::WallTime: return FailReason::WallTime;
+      case CancelReason::Cells: return FailReason::Cells;
+      case CancelReason::HeapBytes: return FailReason::HeapBytes;
+      case CancelReason::External: return FailReason::Interrupted;
+      case CancelReason::None: break;
+    }
+    return FailReason::None;
+}
+
+bool
+is_budget_overrun(FailReason reason)
+{
+    return reason == FailReason::WallTime || reason == FailReason::Cells ||
+           reason == FailReason::HeapBytes;
+}
+
+std::string
+quarantine_report_json(const std::vector<QuarantineRecord>& records)
+{
+    std::string out = "[\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const QuarantineRecord& r = records[i];
+        out += strprintf(
+            "  {\"pair\": %zu, \"name\": %s, \"stage\": %s, "
+            "\"reason\": %s, \"message\": %s, \"attempts\": %u, "
+            "\"elapsed_seconds\": %.6f, \"cells\": %llu, "
+            "\"heap_bytes\": %llu}%s\n",
+            r.pair_index, json_quote(r.name).c_str(),
+            json_quote(r.stage).c_str(),
+            json_quote(fail_reason_name(r.reason)).c_str(),
+            json_quote(r.message).c_str(), r.attempts, r.elapsed_seconds,
+            static_cast<unsigned long long>(r.cells_charged),
+            static_cast<unsigned long long>(r.heap_bytes_charged),
+            i + 1 < records.size() ? "," : "");
+    }
+    out += "]\n";
+    return out;
+}
+
+void
+write_quarantine_json(const std::string& path,
+                      const std::vector<QuarantineRecord>& records)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        fatal(strprintf("cannot write quarantine report: %s",
+                        path.c_str()));
+    out << quarantine_report_json(records);
+    if (!out)
+        fatal(strprintf("error writing quarantine report: %s",
+                        path.c_str()));
+}
+
+}  // namespace darwin::fault

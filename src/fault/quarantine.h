@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Terminal per-pair outcomes for the fault-tolerant batch engine, plus
+ * the machine-readable quarantine report.
+ *
+ * Every pair a batch run admits ends in exactly one PairStatus; the
+ * `batch.fault.*` counters reconcile against it (clean + degraded +
+ * quarantined + interrupted = pairs admitted). Quarantined pairs carry a
+ * QuarantineRecord naming the stage and reason so an operator can
+ * triage a poison pair without re-running the batch.
+ */
+#ifndef DARWIN_FAULT_QUARANTINE_H
+#define DARWIN_FAULT_QUARANTINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/cancel.h"
+
+namespace darwin::fault {
+
+/** Terminal outcome of one batch pair. */
+enum class PairStatus {
+    Clean,        ///< full-parameter result
+    Degraded,     ///< result from the degraded (narrow-budget) retry
+    Quarantined,  ///< no result; see the QuarantineRecord
+    Interrupted,  ///< run shut down before the pair finished
+};
+
+const char* pair_status_name(PairStatus status);
+
+/** Why a pair failed an attempt (or was quarantined). */
+enum class FailReason {
+    None,
+    WallTime,     ///< wall budget exceeded
+    Cells,        ///< DP-cell budget exceeded
+    HeapBytes,    ///< heap-estimate budget exceeded
+    OutOfMemory,  ///< std::bad_alloc from a stage
+    Injected,     ///< fault_plan.h InjectedFault
+    Exception,    ///< any other std::exception from a stage
+    Interrupted,  ///< external cancellation (shutdown)
+};
+
+const char* fail_reason_name(FailReason reason);
+
+/** Map a CancelledError's reason onto the failure taxonomy. */
+FailReason fail_reason_from_cancel(CancelReason reason);
+
+/** Budget overruns earn one degraded retry; other failures do not. */
+bool is_budget_overrun(FailReason reason);
+
+/** One quarantined pair, as written to the quarantine report. */
+struct QuarantineRecord {
+    std::size_t pair_index = 0;
+    std::string name;
+    std::string stage;    ///< batch stage active at failure
+    FailReason reason = FailReason::None;
+    std::string message;  ///< what() of the failing exception
+    std::uint32_t attempts = 0;  ///< attempts consumed (1 or 2)
+    double elapsed_seconds = 0.0;
+    std::uint64_t cells_charged = 0;
+    std::uint64_t heap_bytes_charged = 0;
+};
+
+/** Serialize records as a JSON array (stable key order). */
+std::string quarantine_report_json(
+    const std::vector<QuarantineRecord>& records);
+
+/** Write the report to a file; FatalError when the file can't be
+ *  written. */
+void write_quarantine_json(const std::string& path,
+                           const std::vector<QuarantineRecord>& records);
+
+}  // namespace darwin::fault
+
+#endif  // DARWIN_FAULT_QUARANTINE_H

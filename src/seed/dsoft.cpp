@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "fault/cancel.h"
 #include "util/logging.h"
 
 namespace darwin::seed {
@@ -117,6 +118,7 @@ DsoftSeeder::seed_chunk(std::span<const std::uint8_t> query,
                         std::size_t chunk_begin, std::size_t chunk_end,
                         SeedingStats* stats) const
 {
+    fault::poll("seed.chunk");
     const SeedPattern& pattern = index_.pattern();
     SeedingStats local;
     // Diagonal band id -> accumulated state. Hits are projected along
@@ -167,8 +169,14 @@ DsoftSeeder::seed_chunk(std::span<const std::uint8_t> query,
         return a.query_pos != b.query_pos ? a.query_pos < b.query_pos
                                           : a.target_pos < b.target_pos;
     });
+    if (params_.max_hits_per_chunk != 0 &&
+        out.size() > params_.max_hits_per_chunk) {
+        out.resize(params_.max_hits_per_chunk);
+        local.candidates = out.size();
+    }
     if (stats)
         stats->merge(local);
+    fault::charge_heap_bytes(out.size() * sizeof(SeedHit));
     return out;
 }
 

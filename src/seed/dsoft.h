@@ -39,6 +39,14 @@ struct DsoftParams {
 
     /** Step between query seed positions (1 = every position). */
     std::size_t query_stride = 1;
+
+    /**
+     * Cap on candidates emitted per query chunk (0 = unlimited). Applied
+     * after the deterministic (query, target) sort, so the survivors are
+     * the same regardless of threading. Used by the batch engine's
+     * degraded retry to bound filter work on repeat-dense pairs.
+     */
+    std::size_t max_hits_per_chunk = 0;
 };
 
 /** A candidate seed hit forwarded to filtering. */

@@ -20,6 +20,22 @@ encode_base(char c)
     }
 }
 
+bool
+is_iupac(char c)
+{
+    switch (c) {
+      case 'A': case 'a': case 'C': case 'c': case 'G': case 'g':
+      case 'T': case 't': case 'U': case 'u': case 'N': case 'n':
+      case 'R': case 'r': case 'Y': case 'y': case 'S': case 's':
+      case 'W': case 'w': case 'K': case 'k': case 'M': case 'm':
+      case 'B': case 'b': case 'D': case 'd': case 'H': case 'h':
+      case 'V': case 'v':
+        return true;
+      default:
+        return false;
+    }
+}
+
 char
 decode_base(std::uint8_t code)
 {

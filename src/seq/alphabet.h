@@ -33,6 +33,14 @@ inline constexpr int kNumCodes = 5;
 /** Encode an ASCII base (case-insensitive); anything unknown becomes N. */
 std::uint8_t encode_base(char c);
 
+/**
+ * True for letters the FASTA parser accepts: the IUPAC nucleotide codes
+ * ACGTUN plus the ambiguity letters RYSWKMBDHV (case-insensitive). All
+ * non-ACGT letters still encode to N; this only gates what counts as a
+ * legal input byte versus file corruption.
+ */
+bool is_iupac(char c);
+
 /** Decode a base code to an upper-case ASCII letter. */
 char decode_base(std::uint8_t code);
 

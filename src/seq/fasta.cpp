@@ -11,18 +11,26 @@
 namespace darwin::seq {
 
 std::vector<Sequence>
-read_fasta(std::istream& in)
+read_fasta(std::istream& in, const std::string& source)
 {
+    const std::string where = source.empty() ? "fasta" : source;
     std::vector<Sequence> records;
     std::string line;
     std::string name;
     std::vector<std::uint8_t> codes;
     bool in_record = false;
     std::size_t line_no = 0;
+    std::size_t header_line = 0;
 
     auto flush = [&] {
-        if (in_record)
-            records.emplace_back(name, std::move(codes));
+        if (!in_record)
+            return;
+        if (codes.empty()) {
+            fatal(strprintf("%s:%zu: record '%s' has no sequence data "
+                            "(empty or truncated record)",
+                            where.c_str(), header_line, name.c_str()));
+        }
+        records.emplace_back(name, std::move(codes));
         codes = {};
     };
 
@@ -40,24 +48,34 @@ read_fasta(std::istream& in)
             if (space != std::string::npos)
                 name = name.substr(0, space);
             if (name.empty())
-                fatal(strprintf("fasta: empty record name at line %zu",
-                                line_no));
+                fatal(strprintf("%s:%zu: empty record name",
+                                where.c_str(), line_no));
+            header_line = line_no;
             in_record = true;
             continue;
         }
         if (!in_record) {
-            fatal(strprintf("fasta: sequence data before first '>' header "
-                            "at line %zu", line_no));
+            fatal(strprintf("%s:%zu: sequence data before first '>' header",
+                            where.c_str(), line_no));
         }
         for (char c : line) {
             if (std::isspace(static_cast<unsigned char>(c)))
                 continue;
             if (!std::isalpha(static_cast<unsigned char>(c))) {
-                fatal(strprintf("fasta: invalid character '%c' at line %zu",
-                                c, line_no));
+                fatal(strprintf("%s:%zu: invalid character '%c'",
+                                where.c_str(), line_no, c));
+            }
+            if (!is_iupac(c)) {
+                fatal(strprintf("%s:%zu: '%c' is not an IUPAC nucleotide "
+                                "code (corrupt or non-DNA file?)",
+                                where.c_str(), line_no, c));
             }
             codes.push_back(encode_base(c));
         }
+    }
+    if (in.bad()) {
+        fatal(strprintf("%s:%zu: read error (truncated file?)",
+                        where.c_str(), line_no));
     }
     flush();
     return records;
@@ -69,7 +87,7 @@ read_fasta_file(const std::string& path)
     std::ifstream in(path);
     if (!in)
         fatal("fasta: cannot open file: " + path);
-    return read_fasta(in);
+    return read_fasta(in, path);
 }
 
 Genome

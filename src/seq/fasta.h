@@ -17,8 +17,10 @@
 
 namespace darwin::seq {
 
-/** Parse every record from a FASTA stream. */
-std::vector<Sequence> read_fasta(std::istream& in);
+/** Parse every record from a FASTA stream. `source` names the stream in
+ *  diagnostics (the file path when reading from disk). */
+std::vector<Sequence> read_fasta(std::istream& in,
+                                 const std::string& source = "");
 
 /** Parse every record from a FASTA file. */
 std::vector<Sequence> read_fasta_file(const std::string& path);

@@ -130,6 +130,23 @@ json_quote(const std::string& text)
     return out;
 }
 
+std::uint64_t
+fnv1a64(const std::string& text, std::uint64_t seed)
+{
+    std::uint64_t hash = seed;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1a64(const std::string& text)
+{
+    return fnv1a64(text, 0xcbf29ce484222325ULL);
+}
+
 std::string
 strprintf(const char* fmt, ...)
 {

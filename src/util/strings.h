@@ -45,6 +45,14 @@ std::string strprintf(const char* fmt, ...)
  */
 std::string json_quote(const std::string& text);
 
+/**
+ * FNV-1a 64-bit hash. Stable across platforms and runs — used for the
+ * checkpoint journal's config fingerprint and the fault plan's
+ * deterministic probability draws, so never change the constants.
+ */
+std::uint64_t fnv1a64(const std::string& text);
+std::uint64_t fnv1a64(const std::string& text, std::uint64_t seed);
+
 }  // namespace darwin
 
 #endif  // DARWIN_UTIL_STRINGS_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/cancel.h"
 #include "util/logging.h"
 
 namespace darwin::wga {
@@ -96,6 +97,7 @@ ExtendStage::extend_all(const std::vector<FilterCandidate>& candidates,
     ExtendStats local;
     std::size_t next = 0;
     while (next < candidates.size()) {
+        fault::poll("extend.anchor");
         // Select the next wave of unabsorbed anchors.
         std::vector<const FilterCandidate*> wave;
         while (next < candidates.size() && wave.size() < kWave) {

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "align/ungapped_xdrop.h"
+#include "fault/cancel.h"
 #include "seed/seed_pattern.h"
 #include "util/logging.h"
 
@@ -20,6 +21,7 @@ FilterStage::FilterStage(const WgaParams& params,
 std::optional<FilterCandidate>
 FilterStage::filter(const seed::SeedHit& hit, FilterStats* stats) const
 {
+    fault::poll("filter.hit");
     FilterStats local;
     std::optional<FilterCandidate> out;
     ++local.tiles;

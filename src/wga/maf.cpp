@@ -49,7 +49,8 @@ gapped_text(const align::Alignment& alignment, const seq::Sequence& flat,
 void
 write_maf(std::ostream& out,
           const std::vector<align::Alignment>& alignments,
-          const seq::Genome& target, const seq::Genome& query)
+          const seq::Genome& target, const seq::Genome& query,
+          const std::string& comment)
 {
     // Reverse-strand alignments carry coordinates in the space of the
     // reverse-complemented flattened query; materialize it on demand.
@@ -57,6 +58,8 @@ write_maf(std::ostream& out,
     bool have_rc = false;
 
     out << "##maf version=1 scoring=darwin-wga\n";
+    if (!comment.empty())
+        out << "# " << comment << "\n";
     for (const auto& alignment : alignments) {
         const bool reverse =
             alignment.query_strand == align::Strand::Reverse;
@@ -121,12 +124,13 @@ write_maf(std::ostream& out,
 void
 write_maf_file(const std::string& path,
                const std::vector<align::Alignment>& alignments,
-               const seq::Genome& target, const seq::Genome& query)
+               const seq::Genome& target, const seq::Genome& query,
+               const std::string& comment)
 {
     std::ofstream out(path);
     if (!out)
         fatal("maf: cannot write file: " + path);
-    write_maf(out, alignments, target, query);
+    write_maf(out, alignments, target, query, comment);
 }
 
 }  // namespace darwin::wga

@@ -19,15 +19,21 @@ namespace darwin::wga {
  * chromosome names/offsets; alignments spanning a chromosome separator
  * are skipped with a warning (they cannot occur for real pipeline output
  * because separators never align).
+ *
+ * A non-empty `comment` is emitted as a `# comment` line right after the
+ * `##maf` header — the batch runner uses it to flag pairs aligned with
+ * degraded (retry) parameters.
  */
 void write_maf(std::ostream& out,
                const std::vector<align::Alignment>& alignments,
-               const seq::Genome& target, const seq::Genome& query);
+               const seq::Genome& target, const seq::Genome& query,
+               const std::string& comment = "");
 
 /** Convenience: write to a file path. */
 void write_maf_file(const std::string& path,
                     const std::vector<align::Alignment>& alignments,
-                    const seq::Genome& target, const seq::Genome& query);
+                    const seq::Genome& target, const seq::Genome& query,
+                    const std::string& comment = "");
 
 }  // namespace darwin::wga
 

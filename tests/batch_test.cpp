@@ -15,6 +15,7 @@
 #include "batch/metrics.h"
 #include "batch/scheduler.h"
 #include "batch/shard.h"
+#include "fault/fault_plan.h"
 #include "synth/species.h"
 #include "wga/pipeline.h"
 
@@ -291,6 +292,38 @@ TEST(BatchEngine, MatchesSerialBothStrands)
     // Separate, smaller fixture: both strand streams double the work.
     static const ManifestFixture fixture(true);
     run_and_compare(fixture, true, 4);
+}
+
+TEST(BatchEngine, MatchesSerialWithFaultLayerArmed)
+{
+    // The fault layer at full strength — budgets armed, a (harmless)
+    // fault plan installed, probes firing in every kernel — must not
+    // perturb a single bit of a healthy run.
+    const auto plan =
+        fault::FaultPlan::parse("batch.chain:stall:ms=1:count=0");
+    fault::install_fault_plan(&plan);
+    const auto& fixture = forward_fixture();
+    BatchOptions options;
+    options.params = wga::WgaParams::darwin_defaults();
+    options.num_threads = 4;
+    options.shard_length = 2'048;
+    options.queue_capacity = 4;
+    options.pair_budget = {3'600.0, 1ull << 40, 1ull << 40};
+
+    MetricsRegistry metrics;
+    BatchScheduler scheduler(options, &metrics);
+    const auto results = scheduler.run(fixture.jobs);
+    fault::install_fault_plan(nullptr);
+
+    ASSERT_EQ(results.size(), fixture.jobs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].status, fault::PairStatus::Clean);
+        expect_identical(fixture.serial[i], results[i].result,
+                         fixture.jobs[i].name + " (fault layer armed)");
+    }
+    EXPECT_EQ(metrics.counter("batch.fault.clean").value(),
+              fixture.jobs.size());
+    EXPECT_EQ(metrics.counter("batch.fault.quarantined").value(), 0u);
 }
 
 TEST(BatchEngine, EmptyManifestIsEmptyResult)

@@ -18,19 +18,36 @@
  *   darwin-wga-batch --pairs ce11-cb4,dm6-dp4,dm6-droYak2,dm6-droSim1 \
  *       --size 200000 --outdir sweep
  *
+ * Fault tolerance (see DESIGN.md "Fault tolerance & degradation"):
+ * a crash or budget overrun in one pair quarantines only that pair;
+ * --pair-timeout/--pair-max-cells/--pair-max-heap-mb bound each pair,
+ * with one degraded retry before quarantine (disable with --no-retry).
+ * Every terminal pair is journaled to <outdir>/journal.jsonl, outputs
+ * are written atomically, and --resume skips already-finished pairs.
+ * --fault-inject (or the DARWIN_FAULT env var) deterministically
+ * injects faults at named probe points for chaos testing. SIGINT/
+ * SIGTERM shut the run down cooperatively so the journal, metrics, and
+ * trace all land on disk.
+ *
  * Outputs per pair: <outdir>/<name>.maf and <outdir>/<name>.chain, plus
- * <outdir>/metrics.json with the engine's per-stage metrics (queue
- * depths, task latencies, stage seconds).
+ * <outdir>/metrics.json, and <outdir>/quarantine.json describing any
+ * quarantined pairs.
  */
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
+#include "batch/checkpoint.h"
+#include "batch/manifest.h"
 #include "batch/scheduler.h"
 #include "chain/chain_metrics.h"
+#include "fault/fault_plan.h"
 #include "obs_support.h"
 #include "seq/fasta.h"
+#include "signal_support.h"
 #include "synth/species.h"
 #include "util/args.h"
 #include "util/logging.h"
@@ -50,66 +67,135 @@ struct ManifestEntry {
     seq::Genome query;
 };
 
-std::vector<ManifestEntry>
-load_manifest(const std::string& path)
+/** Pending pair names (resume-filtered), before any genome I/O. */
+struct PendingPlan {
+    std::vector<batch::ManifestPair> manifest;  ///< empty in --pairs mode
+    std::vector<std::string> synth_names;       ///< empty in manifest mode
+    std::size_t skipped = 0;  ///< journaled pairs we will not rerun
+};
+
+/**
+ * The canonical config string behind the journal fingerprint: exactly
+ * the knobs that shape output bytes (preset, strands, seeds, budgets,
+ * fault plan, and the pair list itself). Scheduling knobs — threads,
+ * shard size, queue capacity — are deliberately excluded, so a resume
+ * may use a different machine shape.
+ */
+std::string
+canonical_config(const ArgParser& args)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("batch: cannot read manifest " + path);
-    std::vector<ManifestEntry> entries;
-    std::string line;
-    std::size_t line_number = 0;
-    while (std::getline(in, line)) {
-        ++line_number;
-        const std::string text = trim(line);
-        if (text.empty() || text[0] == '#')
-            continue;
-        std::istringstream fields(text);
-        std::string name, target_path, query_path;
-        if (!(fields >> name >> target_path >> query_path)) {
-            fatal(strprintf("batch: manifest line %zu needs "
-                            "'name target.fa query.fa'",
-                            line_number));
+    std::string out = strprintf(
+        "v1;preset=%s;both-strands=%d;no-transitions=%d;"
+        "timeout=%s;max-cells=%lld;max-heap-mb=%lld;retry=%d;fault=%s",
+        args.get("preset").c_str(), args.get_flag("both-strands") ? 1 : 0,
+        args.get_flag("no-transitions") ? 1 : 0,
+        args.get("pair-timeout").c_str(),
+        static_cast<long long>(args.get_int("pair-max-cells")),
+        static_cast<long long>(args.get_int("pair-max-heap-mb")),
+        args.get_flag("no-retry") ? 0 : 1,
+        args.get("fault-inject").c_str());
+    if (!args.get("manifest").empty()) {
+        out += ";manifest=";
+        for (const auto& pair :
+             batch::read_manifest_file(args.get("manifest"))) {
+            out += strprintf("%s,%s,%s|", pair.name.c_str(),
+                             pair.target_path.c_str(),
+                             pair.query_path.c_str());
         }
+    } else {
+        out += strprintf(";synth=%s;size=%lld;chromosomes=%lld;"
+                         "exon-every=%lld;seed=%lld",
+                         args.get("pairs").c_str(),
+                         static_cast<long long>(args.get_int("size")),
+                         static_cast<long long>(args.get_int("chromosomes")),
+                         static_cast<long long>(args.get_int("exon-every")),
+                         static_cast<long long>(args.get_int("seed")));
+    }
+    return out;
+}
+
+/** Decide what still needs to run, before paying any FASTA/synth cost. */
+PendingPlan
+plan_pending(const ArgParser& args, const batch::CheckpointJournal& journal)
+{
+    PendingPlan plan;
+    if (!args.get("manifest").empty()) {
+        for (auto& pair : batch::read_manifest_file(args.get("manifest"))) {
+            if (journal.completed(pair.name))
+                ++plan.skipped;
+            else
+                plan.manifest.push_back(std::move(pair));
+        }
+        return plan;
+    }
+    if (args.get("pairs").empty())
+        fatal("batch: provide --manifest or --pairs");
+    std::size_t listed = 0;
+    for (const std::string& raw : split(args.get("pairs"), ',')) {
+        const std::string name = trim(raw);
+        if (name.empty())
+            continue;
+        ++listed;
+        if (journal.completed(name))
+            ++plan.skipped;
+        else
+            plan.synth_names.push_back(name);
+    }
+    if (listed == 0)
+        fatal("batch: --pairs produced no entries");
+    return plan;
+}
+
+/** Load/synthesize genomes for the pending pairs only. */
+std::vector<ManifestEntry>
+load_pending(const ArgParser& args, const PendingPlan& plan)
+{
+    std::vector<ManifestEntry> entries;
+    for (const batch::ManifestPair& pair : plan.manifest) {
         ManifestEntry entry;
-        entry.name = name;
-        entry.target = seq::read_genome(target_path);
-        entry.query = seq::read_genome(query_path);
+        entry.name = pair.name;
+        entry.target = seq::read_genome(pair.target_path);
+        entry.query = seq::read_genome(pair.query_path);
+        batch::validate_pair_genomes(pair, entry.target, entry.query);
         entries.push_back(std::move(entry));
     }
-    if (entries.empty())
-        fatal("batch: manifest " + path + " has no entries");
+    if (!plan.synth_names.empty()) {
+        synth::AncestorConfig shape;
+        shape.num_chromosomes =
+            static_cast<std::size_t>(args.get_int("chromosomes"));
+        shape.chromosome_length =
+            static_cast<std::size_t>(args.get_int("size"));
+        shape.exons_per_chromosome =
+            shape.chromosome_length /
+            static_cast<std::size_t>(args.get_int("exon-every"));
+        const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+        for (const std::string& name : plan.synth_names) {
+            auto pair = synth::make_species_pair(
+                synth::find_species_pair(name), shape, seed);
+            ManifestEntry entry;
+            entry.name = name;
+            entry.target = std::move(pair.target.genome);
+            entry.query = std::move(pair.query.genome);
+            entries.push_back(std::move(entry));
+        }
+    }
     return entries;
 }
 
-std::vector<ManifestEntry>
-synthesize_manifest(const ArgParser& args)
+const char*
+status_tag(fault::PairStatus status)
 {
-    synth::AncestorConfig shape;
-    shape.num_chromosomes =
-        static_cast<std::size_t>(args.get_int("chromosomes"));
-    shape.chromosome_length = static_cast<std::size_t>(args.get_int("size"));
-    shape.exons_per_chromosome =
-        shape.chromosome_length /
-        static_cast<std::size_t>(args.get_int("exon-every"));
-
-    std::vector<ManifestEntry> entries;
-    const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-    for (const std::string& name : split(args.get("pairs"), ',')) {
-        const std::string pair_name = trim(name);
-        if (pair_name.empty())
-            continue;
-        auto pair = synth::make_species_pair(
-            synth::find_species_pair(pair_name), shape, seed);
-        ManifestEntry entry;
-        entry.name = pair_name;
-        entry.target = std::move(pair.target.genome);
-        entry.query = std::move(pair.query.genome);
-        entries.push_back(std::move(entry));
+    switch (status) {
+      case fault::PairStatus::Clean:
+        return "";
+      case fault::PairStatus::Degraded:
+        return "  [degraded]";
+      case fault::PairStatus::Quarantined:
+        return "  [QUARANTINED]";
+      case fault::PairStatus::Interrupted:
+        return "  [interrupted]";
     }
-    if (entries.empty())
-        fatal("batch: --pairs produced no entries");
-    return entries;
+    return "";
 }
 
 }  // namespace
@@ -136,19 +222,63 @@ main(int argc, char** argv)
                     "parameter preset: darwin | lastz");
     args.add_flag("both-strands", "also align the reverse complement");
     args.add_flag("no-transitions", "disable 1-transition seeds");
+    args.add_option("pair-timeout", "0",
+                    "wall-clock budget per pair in seconds (0 = unlimited)");
+    args.add_option("pair-max-cells", "0",
+                    "DP-cell budget per pair (0 = unlimited)");
+    args.add_option("pair-max-heap-mb", "0",
+                    "estimated heap budget per pair in MiB (0 = unlimited)");
+    args.add_flag("no-retry",
+                  "quarantine budget overruns immediately instead of "
+                  "retrying once with degraded parameters");
+    args.add_option("fault-inject", "",
+                    "deterministic fault-injection spec (see DESIGN.md; "
+                    "overrides $DARWIN_FAULT)");
+    args.add_flag("resume",
+                  "skip pairs already journaled in <outdir>/journal.jsonl "
+                  "(refuses a journal from an incompatible config)");
     tools::add_obs_options(args);
     if (!args.parse(argc, argv))
         return 1;
 
     init_log_level_from_env();
     try {
-        std::vector<ManifestEntry> entries;
-        if (!args.get("manifest").empty())
-            entries = load_manifest(args.get("manifest"));
-        else if (!args.get("pairs").empty())
-            entries = synthesize_manifest(args);
-        else
-            fatal("batch: provide --manifest or --pairs");
+        const std::filesystem::path outdir(args.get("outdir"));
+        std::filesystem::create_directories(outdir);
+
+        const std::string fingerprint =
+            batch::config_fingerprint(canonical_config(args));
+        const std::string journal_path =
+            (outdir / "journal.jsonl").string();
+        batch::CheckpointJournal journal =
+            args.get_flag("resume")
+                ? batch::CheckpointJournal::resume(journal_path, fingerprint)
+                : batch::CheckpointJournal::create(journal_path,
+                                                   fingerprint);
+        const PendingPlan plan = plan_pending(args, journal);
+        if (plan.skipped > 0) {
+            inform(strprintf("resume: skipping %zu completed pair%s from %s",
+                             plan.skipped, plan.skipped == 1 ? "" : "s",
+                             journal_path.c_str()));
+        }
+        const std::vector<ManifestEntry> entries = load_pending(args, plan);
+        if (entries.empty()) {
+            std::printf("all %zu pairs already completed; nothing to do\n",
+                        plan.skipped);
+            return 0;
+        }
+
+        // Fault injection: --fault-inject wins over $DARWIN_FAULT.
+        fault::FaultPlan fault_plan =
+            !args.get("fault-inject").empty()
+                ? fault::FaultPlan::parse(args.get("fault-inject"))
+                : fault::FaultPlan::from_env();
+        if (!fault_plan.empty()) {
+            warn(strprintf("fault injection active: %zu entr%s",
+                           fault_plan.num_entries(),
+                           fault_plan.num_entries() == 1 ? "y" : "ies"));
+            fault::install_fault_plan(&fault_plan);
+        }
 
         batch::BatchOptions options;
         options.params = args.get("preset") == "lastz"
@@ -163,18 +293,23 @@ main(int argc, char** argv)
             static_cast<std::size_t>(args.get_int("shard-bp"));
         options.queue_capacity =
             static_cast<std::size_t>(args.get_int("queue-cap"));
+        options.pair_budget.wall_seconds = args.get_double("pair-timeout");
+        options.pair_budget.max_cells =
+            static_cast<std::uint64_t>(args.get_int("pair-max-cells"));
+        options.pair_budget.max_heap_bytes =
+            static_cast<std::uint64_t>(args.get_int("pair-max-heap-mb")) *
+            (1ull << 20);
+        options.degraded_retry = !args.get_flag("no-retry");
 
         std::vector<batch::BatchJob> jobs;
+        std::unordered_map<std::string, const ManifestEntry*> by_name;
         jobs.reserve(entries.size());
-        for (const ManifestEntry& entry : entries)
+        for (const ManifestEntry& entry : entries) {
             jobs.push_back({entry.name, &entry.target, &entry.query});
+            by_name[entry.name] = &entry;
+        }
         inform(strprintf("batch: %zu pairs, %zu bp shards",
                          jobs.size(), options.shard_length));
-
-        // Create the output directory up front so --metrics-out /
-        // --trace-out / --log-json paths inside it open cleanly.
-        const std::filesystem::path outdir(args.get("outdir"));
-        std::filesystem::create_directories(outdir);
 
         batch::MetricsRegistry metrics;
         tools::ObsSetup obs_setup(args, metrics);
@@ -185,39 +320,125 @@ main(int argc, char** argv)
         progress.label = "batch";
         obs_setup.start_progress(progress);
 
+        // Stream outputs as pairs finish: atomic write, then journal —
+        // so a journaled pair always has its final bytes on disk.
+        options.on_pair_complete =
+            [&](const batch::BatchPairResult& pair_result) {
+                batch::JournalEntry entry;
+                entry.pair = pair_result.name;
+                entry.status = pair_result.status;
+                switch (pair_result.status) {
+                  case fault::PairStatus::Clean:
+                  case fault::PairStatus::Degraded: {
+                    const ManifestEntry& genomes =
+                        *by_name.at(pair_result.name);
+                    const std::string comment =
+                        pair_result.status == fault::PairStatus::Degraded
+                            ? strprintf("degraded=true attempts=%u "
+                                        "(budget-overrun retry with "
+                                        "narrowed parameters)",
+                                        pair_result.attempts)
+                            : "";
+                    std::ostringstream maf;
+                    wga::write_maf(maf, pair_result.result.alignments,
+                                   genomes.target, genomes.query, comment);
+                    batch::write_file_atomic(
+                        (outdir / (pair_result.name + ".maf")).string(),
+                        maf.str());
+                    std::ostringstream chains;
+                    wga::write_chains(chains, pair_result.result,
+                                      genomes.target, genomes.query);
+                    batch::write_file_atomic(
+                        (outdir / (pair_result.name + ".chain")).string(),
+                        chains.str());
+                    entry.output = pair_result.name + ".maf";
+                    journal.record(entry);
+                    break;
+                  }
+                  case fault::PairStatus::Quarantined:
+                    entry.reason =
+                        fault::fail_reason_name(pair_result.quarantine.reason);
+                    journal.record(entry);
+                    break;
+                  case fault::PairStatus::Interrupted:
+                    // Not journaled: the pair reruns on --resume.
+                    break;
+                }
+            };
+
+        // Ctrl-C / SIGTERM: flip the cooperative shutdown flag; if the
+        // pipeline doesn't unwind within the grace period, the watchdog
+        // flushes observability + journal state and exits 130.
+        tools::SignalGuard signals([&] {
+            obs_setup.finish();
+            journal.close();
+            std::ofstream metrics_out(outdir / "metrics.json");
+            if (metrics_out)
+                metrics.write_json(metrics_out);
+        });
+
         batch::BatchScheduler scheduler(options, &metrics);
         Timer timer;
         const auto results = scheduler.run(jobs);
         const double seconds = timer.seconds();
         obs_setup.finish();
 
-        for (std::size_t i = 0; i < results.size(); ++i) {
-            const auto& pair_result = results[i];
-            const auto& entry = entries[i];
-            wga::write_maf_file((outdir / (pair_result.name + ".maf"))
-                                    .string(),
-                                pair_result.result.alignments, entry.target,
-                                entry.query);
-            wga::write_chains_file((outdir / (pair_result.name + ".chain"))
-                                       .string(),
-                                   pair_result.result, entry.target,
-                                   entry.query);
-            const auto summary =
-                chain::summarize_chains(pair_result.result.chains);
-            std::printf("%-16s alignments %6zu  chains %5zu  "
-                        "matched bp %s\n",
-                        pair_result.name.c_str(),
-                        pair_result.result.alignments.size(),
-                        pair_result.result.chains.size(),
-                        with_commas(summary.total_matched_bases).c_str());
+        std::vector<fault::QuarantineRecord> quarantined;
+        std::size_t clean = 0, degraded = 0, interrupted = 0;
+        for (const auto& pair_result : results) {
+            switch (pair_result.status) {
+              case fault::PairStatus::Clean:
+                ++clean;
+                break;
+              case fault::PairStatus::Degraded:
+                ++degraded;
+                break;
+              case fault::PairStatus::Quarantined:
+                quarantined.push_back(pair_result.quarantine);
+                break;
+              case fault::PairStatus::Interrupted:
+                ++interrupted;
+                break;
+            }
+            if (pair_result.status == fault::PairStatus::Clean ||
+                pair_result.status == fault::PairStatus::Degraded) {
+                const auto summary =
+                    chain::summarize_chains(pair_result.result.chains);
+                std::printf("%-16s alignments %6zu  chains %5zu  "
+                            "matched bp %s%s\n",
+                            pair_result.name.c_str(),
+                            pair_result.result.alignments.size(),
+                            pair_result.result.chains.size(),
+                            with_commas(summary.total_matched_bases).c_str(),
+                            status_tag(pair_result.status));
+            } else {
+                std::printf("%-16s %s: %s (%s stage)\n",
+                            pair_result.name.c_str(),
+                            fault::pair_status_name(pair_result.status),
+                            fault::fail_reason_name(
+                                pair_result.quarantine.reason),
+                            pair_result.quarantine.stage.c_str());
+            }
         }
+        fault::write_quarantine_json((outdir / "quarantine.json").string(),
+                                     quarantined);
 
         std::ofstream metrics_out(outdir / "metrics.json");
         metrics.write_json(metrics_out);
-        std::printf("aligned %zu pairs in %.2fs; wrote %s/*.maf, "
-                    "*.chain, metrics.json\n",
-                    results.size(), seconds,
+        journal.close();
+        fault::install_fault_plan(nullptr);
+        std::printf("finished %zu pairs in %.2fs (%zu clean, %zu degraded, "
+                    "%zu quarantined, %zu interrupted); wrote %s/*.maf, "
+                    "*.chain, journal.jsonl, metrics.json\n",
+                    results.size(), seconds, clean, degraded,
+                    quarantined.size(), interrupted,
                     outdir.string().c_str());
+        if (signals.interrupted() || interrupted > 0) {
+            std::fprintf(stderr,
+                         "interrupted: rerun with --resume to finish the "
+                         "remaining pairs\n");
+            return 130;
+        }
         return 0;
     } catch (const FatalError& error) {
         std::fprintf(stderr, "error: %s\n", error.what());

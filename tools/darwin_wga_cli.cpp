@@ -18,6 +18,7 @@
 
 #include "chain/chain_metrics.h"
 #include "obs_support.h"
+#include "signal_support.h"
 #include "wga/chain_io.h"
 #include "seq/fasta.h"
 #include "seq/shuffle.h"
@@ -87,11 +88,18 @@ cmd_align(int argc, char** argv)
     progress.label = "align";
     obs_setup.start_progress(progress);
 
+    // Ctrl-C / SIGTERM: the serial pipeline has no per-pair cancellation
+    // to unwind through, so after a short grace the watchdog flushes the
+    // partial metrics/trace and exits 130 instead of dropping them.
+    tools::SignalGuard signals([&] { obs_setup.finish(); }, 2.0);
+
     ThreadPool pool(static_cast<std::size_t>(args.get_int("threads")));
     const wga::WgaPipeline pipeline(params);
     const auto result = pipeline.run(target, query, &pool,
                                      &metrics_registry);
     obs_setup.finish();
+    if (signals.interrupted())
+        return 130;
 
     wga::write_maf_file(args.get("out"), result.alignments, target, query);
     if (!args.get("chains").empty()) {

@@ -22,6 +22,7 @@
 
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "align/kernels/kernel_registry.h"
@@ -97,12 +98,14 @@ class ObsSetup {
 
     /**
      * Stop the heartbeat, uninstall the trace session, and write the
-     * requested output files. Idempotent; also runs at destruction so
-     * error paths still flush what was collected.
+     * requested output files. Idempotent and thread-safe — the signal
+     * watchdog (signal_support.h) may race it against normal shutdown,
+     * and whichever caller gets there first does the flush.
      */
     void
     finish()
     {
+        std::lock_guard<std::mutex> lock(finish_mutex_);
         if (progress_) {
             progress_->stop();
             progress_.reset();
@@ -128,6 +131,7 @@ class ObsSetup {
 
   private:
     obs::MetricsRegistry& registry_;
+    std::mutex finish_mutex_;
     std::string metrics_path_;
     std::string trace_path_;
     double progress_interval_ = 0.0;

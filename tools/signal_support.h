@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Graceful SIGINT/SIGTERM handling for the CLI tools.
+ *
+ * The handler itself only flips the async-signal-safe shutdown flag
+ * (fault::request_shutdown) — the engine's workers observe it at their
+ * next probe poll, cancel in-flight pairs as Interrupted, and unwind
+ * normally so metrics, traces, and the checkpoint journal all flush
+ * through the ordinary exit path.
+ *
+ * Two backstops keep a stuck pipeline from ignoring the user:
+ *  - a watchdog thread waits a grace period after the first signal; if
+ *    the process is still alive it runs the caller's flush callback and
+ *    _exit(130)s, so a wedged kernel can't swallow Ctrl-C entirely;
+ *  - a second signal skips the grace period and _exit(130)s at once.
+ */
+#ifndef DARWIN_TOOLS_SIGNAL_SUPPORT_H
+#define DARWIN_TOOLS_SIGNAL_SUPPORT_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include <unistd.h>
+
+#include "fault/cancel.h"
+
+namespace darwin::tools {
+
+namespace detail {
+inline std::atomic<int> g_signal_count{0};
+
+inline void
+on_signal(int)
+{
+    // Async-signal-safe: an atomic increment and an atomic store.
+    const int seen = g_signal_count.fetch_add(1) + 1;
+    fault::request_shutdown();
+    if (seen >= 2)
+        ::_exit(130);
+}
+}  // namespace detail
+
+/**
+ * RAII signal guard: installs SIGINT/SIGTERM handlers on construction,
+ * restores the previous handlers on destruction. One per process.
+ */
+class SignalGuard {
+  public:
+    /**
+     * @param flush Called (from the watchdog thread) right before the
+     *        forced exit when the grace period expires; use it to flush
+     *        metrics/trace/journal state. Must be thread-safe against
+     *        the main thread doing its own shutdown flushing.
+     * @param grace_seconds How long after the first signal the normal
+     *        exit path gets before the watchdog forces the issue.
+     */
+    explicit SignalGuard(std::function<void()> flush,
+                         double grace_seconds = 10.0)
+        : flush_(std::move(flush)), grace_seconds_(grace_seconds)
+    {
+        detail::g_signal_count.store(0);
+        fault::clear_shutdown();
+        prev_int_ = std::signal(SIGINT, detail::on_signal);
+        prev_term_ = std::signal(SIGTERM, detail::on_signal);
+        watchdog_ = std::thread([this] { watch(); });
+    }
+
+    ~SignalGuard()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        watchdog_.join();
+        std::signal(SIGINT, prev_int_);
+        std::signal(SIGTERM, prev_term_);
+    }
+
+    SignalGuard(const SignalGuard&) = delete;
+    SignalGuard& operator=(const SignalGuard&) = delete;
+
+    /** True once a signal arrived (the run should exit 130). */
+    bool
+    interrupted() const
+    {
+        return detail::g_signal_count.load() > 0;
+    }
+
+  private:
+    void
+    watch()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        // Phase 1: wait for a signal (or normal destruction). A signal
+        // handler cannot notify a condition variable, so poll the flag.
+        while (!stop_ && !interrupted())
+            cv_.wait_for(lock, std::chrono::milliseconds(100));
+        if (stop_)
+            return;
+        // Phase 2: give the cooperative shutdown its grace period.
+        const auto grace = std::chrono::duration<double>(grace_seconds_);
+        if (cv_.wait_for(lock, grace, [this] { return stop_; }))
+            return;
+        // The pipeline did not unwind in time: flush what we can and go.
+        lock.unlock();
+        if (flush_)
+            flush_();
+        ::_exit(130);
+    }
+
+    std::function<void()> flush_;
+    double grace_seconds_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread watchdog_;
+    void (*prev_int_)(int) = SIG_DFL;
+    void (*prev_term_)(int) = SIG_DFL;
+};
+
+}  // namespace darwin::tools
+
+#endif  // DARWIN_TOOLS_SIGNAL_SUPPORT_H
