@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Perf trajectory suite: one command that captures the repo's headline
+ * performance numbers at fixed sizes and seeds and writes them as a
+ * single machine-readable report (`BENCH_6.json` at the repo root by
+ * convention), so successive PRs leave a comparable speedup trail.
+ *
+ * Three sections:
+ *   micro_kernels     the google-benchmark kernel microbenches, run as a
+ *                     subprocess with --benchmark_format=json
+ *   batch_throughput  serial-vs-batch-engine wall clock, run as a
+ *                     subprocess at a fixed manifest (4 pairs x 40 kb)
+ *   index_reuse       in-process: per-pair seeding-stage latency on a
+ *                     10-query-one-target workload, rebuilding the seed
+ *                     index per pair vs reusing one mmap-loaded
+ *                     persistent index (the darwin-wga-serve hot path)
+ *
+ * The index_reuse section asserts the acceptance bar — reuse must cut
+ * per-pair seeding latency by at least 5x — and the suite exits nonzero
+ * when the bar is missed, so CI can gate on it.
+ *
+ *   perf_suite --out BENCH_6.json
+ */
+#include "bench_common.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "index/index_io.h"
+#include "seed/dsoft.h"
+#include "seed/seed_index.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+using namespace darwin;
+
+namespace {
+
+/** Run one sibling bench binary and capture its stdout (JSON). */
+std::string
+run_capture(const std::string& command)
+{
+    std::fprintf(stderr, "perf_suite: running %s\n", command.c_str());
+    FILE* pipe = ::popen(command.c_str(), "r");
+    if (pipe == nullptr)
+        fatal(strprintf("cannot spawn: %s", command.c_str()));
+    std::string output;
+    char chunk[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), pipe)) > 0)
+        output.append(chunk, n);
+    const int status = ::pclose(pipe);
+    if (status != 0)
+        fatal(strprintf("command failed (status %d): %s", status,
+                        command.c_str()));
+    // Trim to the JSON object so the capture embeds cleanly.
+    const std::size_t brace = output.find('{');
+    if (brace == std::string::npos)
+        fatal(strprintf("no JSON in output of: %s", command.c_str()));
+    return output.substr(brace);
+}
+
+struct IndexReuseReport {
+    std::size_t target_bp = 0;
+    std::size_t query_bp = 0;
+    std::size_t queries = 0;
+    double build_seconds = 0.0;
+    double save_seconds = 0.0;
+    double mmap_load_seconds = 0.0;
+    std::uint64_t index_bytes = 0;
+    double rebuild_total = 0.0;
+    double cached_total = 0.0;
+    bool identical_hits = true;
+
+    double speedup() const
+    {
+        return cached_total > 0.0 ? rebuild_total / cached_total : 0.0;
+    }
+};
+
+/**
+ * The serve-daemon workload in miniature: ten queries against one
+ * target, comparing seeding-stage latency (index acquisition + D-SOFT)
+ * when every pair rebuilds the table vs when all pairs share one
+ * mmap-loaded persistent index.
+ */
+IndexReuseReport
+run_index_reuse(std::size_t target_bp, std::size_t query_bp,
+                std::size_t num_queries, std::uint64_t seed)
+{
+    const auto params = wga::WgaParams::darwin_defaults();
+    synth::AncestorConfig target_shape;
+    target_shape.num_chromosomes = 1;
+    target_shape.chromosome_length = target_bp;
+    target_shape.exons_per_chromosome = target_bp / 2'500;
+    synth::AncestorConfig query_shape = target_shape;
+    query_shape.chromosome_length = query_bp;
+    query_shape.exons_per_chromosome = query_bp / 2'500;
+
+    // One reference target plus independently evolved query genomes —
+    // the serve-daemon shape, where many (smaller) queries arrive for
+    // one resident reference. Homology doesn't matter here: seeding
+    // *latency* is what this measures, and lookups cost the same
+    // either way.
+    const auto spec = synth::paper_species_pairs().front();
+    const auto target_pair =
+        synth::make_species_pair(spec, target_shape, seed);
+    std::vector<synth::SpeciesPair> pairs;
+    for (std::size_t q = 0; q < num_queries; ++q)
+        pairs.push_back(
+            synth::make_species_pair(spec, query_shape, seed + 1 + q));
+    const seq::Sequence& target = target_pair.target.genome.flattened();
+
+    IndexReuseReport report;
+    report.target_bp = target.size();
+    report.query_bp = query_bp;
+    report.queries = num_queries;
+
+    const seed::SeedPattern pattern(params.seed_pattern);
+    Timer timer;
+    const seed::SeedIndex built(target, pattern);
+    report.build_seconds = timer.seconds();
+
+    const std::string dwi =
+        (std::filesystem::temp_directory_path() / "perf_suite_target.dwi")
+            .string();
+    timer.reset();
+    index::save_index(dwi, built, index::sequence_digest(target),
+                      target.size());
+    report.save_seconds = timer.seconds();
+    report.index_bytes = std::filesystem::file_size(dwi);
+
+    timer.reset();
+    const auto mapped = index::load_index(dwi);
+    report.mmap_load_seconds = timer.seconds();
+
+    // Rebuild-per-pair: what the pipeline did before src/index/ — every
+    // query pays the full table construction again.
+    for (const auto& pair : pairs) {
+        const seq::Sequence& query = pair.query.genome.flattened();
+        Timer per_pair;
+        const seed::SeedIndex fresh(target, pattern);
+        seed::DsoftSeeder(fresh, params.dsoft).seed_all(query);
+        report.rebuild_total += per_pair.seconds();
+    }
+
+    // Shared persistent index: acquisition is free after the first load.
+    for (const auto& pair : pairs) {
+        const seq::Sequence& query = pair.query.genome.flattened();
+        Timer per_pair;
+        const auto hits =
+            seed::DsoftSeeder(*mapped, params.dsoft).seed_all(query);
+        report.cached_total += per_pair.seconds();
+        // The mapped index must seed bit-identically to a fresh build.
+        const auto reference =
+            seed::DsoftSeeder(built, params.dsoft).seed_all(query);
+        if (hits != reference)
+            report.identical_hits = false;
+    }
+
+    std::filesystem::remove(dwi);
+    return report;
+}
+
+int
+run_suite(const ArgParser& args, const char* argv0)
+{
+    // Sibling bench binaries live next to this one.
+    const std::string bin_dir =
+        std::filesystem::absolute(argv0).parent_path().string();
+
+    std::string micro_json = "null";
+    if (!args.get_flag("skip-micro")) {
+        micro_json = run_capture(
+            strprintf("'%s/micro_kernels' --benchmark_format=json "
+                      "--benchmark_min_time=0.05 2>/dev/null",
+                      bin_dir.c_str()));
+    }
+
+    const std::string batch_json = run_capture(strprintf(
+        "'%s/batch_throughput' --threads %lld --size %lld "
+        "--seeds-per-pair 1 --seed %lld 2>/dev/null",
+        bin_dir.c_str(), static_cast<long long>(args.get_int("threads")),
+        static_cast<long long>(args.get_int("batch-bp")),
+        static_cast<long long>(args.get_int("seed"))));
+
+    const IndexReuseReport reuse = run_index_reuse(
+        static_cast<std::size_t>(args.get_int("reuse-bp")),
+        static_cast<std::size_t>(args.get_int("reuse-query-bp")),
+        static_cast<std::size_t>(args.get_int("reuse-queries")),
+        static_cast<std::uint64_t>(args.get_int("seed")));
+    const double per_pair_rebuild =
+        reuse.rebuild_total / static_cast<double>(reuse.queries);
+    const double per_pair_cached =
+        reuse.cached_total / static_cast<double>(reuse.queries);
+    std::fprintf(stderr,
+                 "index_reuse: rebuild %.4fs/pair, cached %.4fs/pair "
+                 "(%.1fx) over %zu queries x %zu bp\n",
+                 per_pair_rebuild, per_pair_cached, reuse.speedup(),
+                 reuse.queries, reuse.target_bp);
+
+    std::ostringstream json;
+    json << "{\n"
+         << "  " << bench::json_stamp() << ",\n"
+         << "  \"suite\": \"perf_suite\",\n"
+         << "  \"index_reuse\": {\n"
+         << "    \"target_bp\": " << reuse.target_bp << ",\n"
+         << "    \"query_bp\": " << reuse.query_bp << ",\n"
+         << "    \"queries\": " << reuse.queries << ",\n"
+         << "    \"index_bytes\": " << reuse.index_bytes << ",\n"
+         << "    \"build_seconds\": "
+         << strprintf("%.4f", reuse.build_seconds) << ",\n"
+         << "    \"save_seconds\": "
+         << strprintf("%.4f", reuse.save_seconds) << ",\n"
+         << "    \"mmap_load_seconds\": "
+         << strprintf("%.6f", reuse.mmap_load_seconds) << ",\n"
+         << "    \"rebuild_seconds_per_pair\": "
+         << strprintf("%.4f", per_pair_rebuild) << ",\n"
+         << "    \"cached_seconds_per_pair\": "
+         << strprintf("%.4f", per_pair_cached) << ",\n"
+         << "    \"speedup\": " << strprintf("%.2f", reuse.speedup())
+         << ",\n"
+         << "    \"identical_hits\": "
+         << (reuse.identical_hits ? "true" : "false") << ",\n"
+         << "    \"meets_5x\": "
+         << (reuse.speedup() >= 5.0 ? "true" : "false") << "\n"
+         << "  },\n"
+         << "  \"batch_throughput\": " << batch_json << ",\n"
+         << "  \"micro_kernels\": " << micro_json << "\n"
+         << "}\n";
+
+    std::ofstream out(args.get("out"));
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     args.get("out").c_str());
+        return 1;
+    }
+    out << json.str();
+    std::fprintf(stderr, "perf_suite: wrote %s\n",
+                 args.get("out").c_str());
+
+    if (!reuse.identical_hits) {
+        std::fprintf(stderr,
+                     "ERROR: mapped index seeded differently from the "
+                     "in-memory build\n");
+        return 1;
+    }
+    if (reuse.speedup() < 5.0) {
+        std::fprintf(stderr,
+                     "ERROR: index reuse speedup %.2fx is below the 5x "
+                     "bar\n",
+                     reuse.speedup());
+        return 1;
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    ArgParser args("perf_suite: run the fixed-workload benchmark set and "
+                   "write one machine-readable JSON report "
+                   "(BENCH_6.json).");
+    args.add_option("out", "BENCH_6.json", "report path");
+    args.add_option("threads", "4", "batch_throughput worker threads");
+    args.add_option("batch-bp", "40000",
+                    "batch_throughput chromosome length");
+    args.add_option("reuse-bp", "60000",
+                    "index_reuse target chromosome length");
+    args.add_option("reuse-query-bp", "20000",
+                    "index_reuse query chromosome length");
+    args.add_option("reuse-queries", "10",
+                    "index_reuse queries against the one target");
+    args.add_option("seed", "42", "workload generator seed");
+    args.add_flag("skip-micro",
+                  "skip the micro_kernels subprocess (fast iteration)");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    try {
+        return run_suite(args, argv[0]);
+    } catch (const FatalError& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

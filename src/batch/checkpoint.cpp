@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "util/digest.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -48,8 +49,7 @@ parse_status(const std::string& text, const std::string& path)
 std::string
 config_fingerprint(const std::string& canonical_config)
 {
-    return strprintf("%016llx", static_cast<unsigned long long>(
-                                    fnv1a64(canonical_config)));
+    return fingerprint_hex(canonical_config);
 }
 
 void

@@ -45,9 +45,10 @@ struct JournalEntry {
 
 /**
  * Stable fingerprint of everything that shapes a run's output: the
- * canonical config string is hashed with fnv1a64 and rendered as 16 hex
- * digits. Callers build the canonical string; keep it free of fields
- * that don't change output (thread count, queue sizes).
+ * canonical config string is hashed and rendered as 16 hex digits (a
+ * thin alias of util/digest.h's fingerprint_hex, shared with the index
+ * file header). Callers build the canonical string; keep it free of
+ * fields that don't change output (thread count, queue sizes).
  */
 std::string config_fingerprint(const std::string& canonical_config);
 

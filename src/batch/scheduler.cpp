@@ -10,11 +10,14 @@
 #include <mutex>
 #include <new>
 #include <thread>
+#include <unordered_map>
 
 #include "align/gactx.h"
 #include "align/kernels/kernel_registry.h"
 #include "batch/shard.h"
 #include "fault/fault_plan.h"
+#include "index/index_cache.h"
+#include "index/index_io.h"
 #include "obs/trace.h"
 #include "seed/dsoft.h"
 #include "seed/seed_index.h"
@@ -90,7 +93,9 @@ struct PairState {
     const seq::Sequence* target_flat = nullptr;
     std::span<const std::uint8_t> target_span;
     seq::Sequence query_rc;  ///< owned reverse complement (both-strands)
-    std::unique_ptr<seed::SeedIndex> index;
+    /** Borrowed from the engine's index cache; pairs sharing a target
+     *  (same sequence digest) point at the same table. */
+    std::shared_ptr<const seed::SeedIndex> index;
     std::unique_ptr<seed::DsoftSeeder> seeder;
     std::array<StrandState, 2> strands;
     std::size_t num_strands = 1;
@@ -131,6 +136,17 @@ class Engine {
           chain_queue_(options.queue_capacity),
           pairs_remaining_(jobs.size())
     {
+        if (options_.index_cache != nullptr) {
+            cache_ = options_.index_cache;
+        } else {
+            // Run-local cache: capacity for every distinct target in the
+            // manifest (pairs_.size() is a safe upper bound). Metrics are
+            // published by the engine itself (batch.index.*), so the
+            // cache runs unmetered.
+            owned_cache_ = std::make_unique<index::IndexCache>(
+                std::max<std::size_t>(jobs.size(), 1));
+            cache_ = owned_cache_.get();
+        }
         pairs_.reserve(jobs.size());
         for (std::size_t p = 0; p < jobs_.size(); ++p) {
             auto pair = std::make_unique<PairState>();
@@ -154,6 +170,12 @@ class Engine {
                     "batch: job missing target/query genome");
             job.target->flattened();
             job.query->flattened();
+            // Digest each distinct target once: the cache key that lets
+            // pairs sharing a target share one seed index.
+            if (!target_digests_.contains(job.target))
+                target_digests_.emplace(
+                    job.target,
+                    index::sequence_digest(job.target->flattened()));
         }
         metrics_.counter("batch.pairs").add(jobs_.size());
         // Which kernel implementation the filter and extension stages
@@ -588,9 +610,23 @@ class Engine {
         pair.target_flat = &pair.job->target->flattened();
         pair.target_span = {pair.target_flat->codes().data(),
                             pair.target_flat->size()};
-        const seed::SeedPattern pattern(params.seed_pattern);
-        pair.index =
-            std::make_unique<seed::SeedIndex>(*pair.target_flat, pattern);
+        // Acquire the target's index from the cache: the first pair of a
+        // shard-group builds it, the rest (and the degraded retry, which
+        // leaves the seed shape untouched) reuse it.
+        const index::IndexKey key{target_digests_.at(pair.job->target),
+                                  params.seed_pattern,
+                                  seed::SeedIndex::kDefaultMaxBucket};
+        bool built = false;
+        pair.index = cache_->acquire(
+            key,
+            [&] {
+                return std::make_shared<const seed::SeedIndex>(
+                    *pair.target_flat,
+                    seed::SeedPattern(params.seed_pattern));
+            },
+            &built);
+        if (!built)
+            metrics_.counter("batch.index.cache_hits").add(1);
         pair.seeder =
             std::make_unique<seed::DsoftSeeder>(*pair.index, params.dsoft);
 
@@ -819,6 +855,9 @@ class Engine {
     MetricsRegistry& metrics_;
     const std::vector<BatchJob>& jobs_;
     std::vector<std::unique_ptr<PairState>> pairs_;
+    std::unique_ptr<index::IndexCache> owned_cache_;
+    index::IndexCache* cache_ = nullptr;
+    std::unordered_map<const seq::Genome*, std::uint64_t> target_digests_;
 
     WorkQueue<PrepareTask> prepare_queue_;
     WorkQueue<SeedTask> seed_queue_;

@@ -49,6 +49,10 @@
 #include "seq/genome.h"
 #include "wga/pipeline.h"
 
+namespace darwin::index {
+class IndexCache;
+}
+
 namespace darwin::batch {
 
 /** One (target, query) alignment job of a batch manifest. */
@@ -91,6 +95,16 @@ struct BatchOptions {
      *  quarantining it. */
     bool degraded_retry = true;
     DegradePolicy degrade;
+
+    /**
+     * Optional shared seed-index cache. When set (e.g. by a daemon that
+     * also serves one-shot queries), the engine acquires target indexes
+     * from it; when null, the engine uses a run-local cache sized to the
+     * manifest. Either way, pairs sharing a target (by sequence digest)
+     * build the index once — saved rebuilds surface as the
+     * "batch.index.cache_hits" counter.
+     */
+    index::IndexCache* index_cache = nullptr;
 
     /**
      * Called once per pair, from a worker thread, the moment the pair

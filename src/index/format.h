@@ -1,0 +1,90 @@
+/**
+ * @file
+ * On-disk format of a persistent reference index (`.dwi`).
+ *
+ * A `.dwi` file is the bucketed spaced-seed position table of one target
+ * sequence, laid out so a reader can mmap the file and hand the sections
+ * to SeedIndex::attach() without copying a byte:
+ *
+ *     [IndexHeader]            192 bytes, at offset 0
+ *     [bucket offsets]         (num_buckets + 1) x u32, 64-byte aligned
+ *     [positions]              num_positions x u32,     64-byte aligned
+ *     [over-represented bits]  ceil(num_buckets/64) x u64, 64-byte aligned
+ *
+ * All integers are little-endian (the header carries an endian tag and
+ * readers refuse a mismatch rather than byte-swap); all sections start
+ * on a 64-byte boundary (cache-line alignment for the zero-copy load)
+ * with zero padding between them. The header records the FNV-1a digest
+ * and length of the sequence the table was built from, so a loader can
+ * verify an index actually belongs to the FASTA it is paired with, and
+ * the seed shape + repeat cap, so a cache can key on exactly the inputs
+ * that determine the table bytes.
+ *
+ * Versioning policy: `version` bumps on any layout or semantic change;
+ * readers accept only the version they were built for (no in-place
+ * migration — an index is a cache artifact, cheap to rebuild with
+ * `darwin-wga-index build`).
+ */
+#ifndef DARWIN_INDEX_FORMAT_H
+#define DARWIN_INDEX_FORMAT_H
+
+#include <cstdint>
+#include <type_traits>
+
+namespace darwin::index {
+
+/** File magic, first 8 bytes ("DWGAIDX" + NUL). */
+inline constexpr char kIndexMagic[8] = {'D', 'W', 'G', 'A',
+                                        'I', 'D', 'X', '\0'};
+
+/** Current (and only accepted) format version. */
+inline constexpr std::uint32_t kIndexFormatVersion = 1;
+
+/** Written natively; a reader seeing any other value is on a host with
+ *  a different byte order than the writer. */
+inline constexpr std::uint32_t kIndexEndianTag = 0x1a2b3c4dU;
+
+/** Every section starts on this alignment. */
+inline constexpr std::uint64_t kIndexSectionAlign = 64;
+
+/** Longest representable seed-shape string (NUL-terminated on disk). */
+inline constexpr std::uint32_t kIndexMaxPatternLength = 63;
+
+/** Fixed-layout file header. Field offsets are load-bearing. */
+struct IndexHeader {
+    char magic[8];                   ///< kIndexMagic
+    std::uint32_t version;           ///< kIndexFormatVersion
+    std::uint32_t endian_tag;        ///< kIndexEndianTag
+    std::uint64_t sequence_digest;   ///< fnv1a64 over the target codes
+    std::uint64_t sequence_length;   ///< target length in bases
+    std::uint32_t max_bucket;        ///< repeat-seed truncation cap
+    std::uint32_t pattern_length;    ///< strlen of the seed shape
+    std::uint64_t num_buckets;       ///< pattern key space (4^weight)
+    std::uint64_t num_positions;     ///< total indexed positions
+    std::uint64_t skipped_windows;   ///< windows skipped for N bases
+    std::uint64_t truncated_buckets; ///< buckets clamped at max_bucket
+    std::uint64_t offsets_offset;    ///< byte offset of bucket offsets
+    std::uint64_t positions_offset;  ///< byte offset of positions
+    std::uint64_t over_words_offset; ///< byte offset of the bitset
+    std::uint64_t total_bytes;       ///< exact file size
+    char pattern[kIndexMaxPatternLength + 1];  ///< '1'/'0' seed shape
+    char reserved[24];               ///< zero; future use
+};
+
+static_assert(sizeof(IndexHeader) == 192,
+              "IndexHeader layout is part of the on-disk format");
+static_assert(std::is_trivially_copyable_v<IndexHeader>,
+              "IndexHeader must be memcpy-safe");
+static_assert(sizeof(IndexHeader) % kIndexSectionAlign == 0,
+              "sections start 64-byte aligned right after the header");
+
+/** Round a byte offset up to the section alignment. */
+constexpr std::uint64_t
+align_section(std::uint64_t offset)
+{
+    return (offset + kIndexSectionAlign - 1) & ~(kIndexSectionAlign - 1);
+}
+
+}  // namespace darwin::index
+
+#endif  // DARWIN_INDEX_FORMAT_H

@@ -1,0 +1,157 @@
+#include "index/index_cache.h"
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace darwin::index {
+
+std::size_t
+IndexKeyHash::operator()(const IndexKey& key) const
+{
+    std::uint64_t hash = key.digest;
+    hash = fnv1a64(key.pattern, hash);
+    hash ^= key.max_bucket;
+    hash *= 0x100000001b3ULL;
+    return static_cast<std::size_t>(hash);
+}
+
+IndexCache::IndexCache(std::size_t capacity, obs::MetricsRegistry* metrics,
+                       std::string metric_prefix)
+    : capacity_(capacity), metrics_(metrics),
+      prefix_(std::move(metric_prefix))
+{
+    require(capacity_ > 0, "IndexCache: capacity must be positive");
+}
+
+std::shared_ptr<const seed::SeedIndex>
+IndexCache::acquire(const IndexKey& key, const Builder& builder,
+                    bool* built)
+{
+    std::shared_future<std::shared_ptr<const seed::SeedIndex>> future;
+    std::promise<std::shared_ptr<const seed::SeedIndex>> promise;
+    bool builder_here = false;
+    {
+        std::lock_guard lock(mutex_);
+        if (const auto it = map_.find(key); it != map_.end()) {
+            touch_locked(it->second);
+            ++hits_;
+            if (metrics_ != nullptr)
+                metrics_->counter(prefix_ + ".cache_hits").add(1);
+            if (built != nullptr)
+                *built = false;
+            return it->second->index;
+        }
+        if (const auto fl = inflight_.find(key); fl != inflight_.end()) {
+            future = fl->second;
+        } else {
+            future = promise.get_future().share();
+            inflight_.emplace(key, future);
+            builder_here = true;
+        }
+        ++misses_;
+        if (metrics_ != nullptr)
+            metrics_->counter(prefix_ + ".cache_misses").add(1);
+    }
+
+    if (built != nullptr)
+        *built = true;
+    if (!builder_here)
+        return future.get();  // rethrows the builder's exception, if any
+
+    std::shared_ptr<const seed::SeedIndex> index;
+    try {
+        index = builder();
+        if (index == nullptr)
+            panic("IndexCache: builder returned null");
+    } catch (...) {
+        {
+            std::lock_guard lock(mutex_);
+            inflight_.erase(key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+    {
+        std::lock_guard lock(mutex_);
+        inflight_.erase(key);
+        insert_locked(key, index);
+    }
+    promise.set_value(index);
+    return index;
+}
+
+bool
+IndexCache::contains(const IndexKey& key) const
+{
+    std::lock_guard lock(mutex_);
+    return map_.contains(key);
+}
+
+std::size_t
+IndexCache::size() const
+{
+    std::lock_guard lock(mutex_);
+    return lru_.size();
+}
+
+void
+IndexCache::clear()
+{
+    std::lock_guard lock(mutex_);
+    lru_.clear();
+    map_.clear();
+    if (metrics_ != nullptr)
+        metrics_->gauge(prefix_ + ".cache_size").set(0);
+}
+
+std::uint64_t
+IndexCache::hits() const
+{
+    std::lock_guard lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+IndexCache::misses() const
+{
+    std::lock_guard lock(mutex_);
+    return misses_;
+}
+
+std::uint64_t
+IndexCache::evictions() const
+{
+    std::lock_guard lock(mutex_);
+    return evictions_;
+}
+
+void
+IndexCache::touch_locked(LruList::iterator it)
+{
+    lru_.splice(lru_.begin(), lru_, it);
+}
+
+void
+IndexCache::insert_locked(const IndexKey& key,
+                          std::shared_ptr<const seed::SeedIndex> index)
+{
+    // A racing acquire can't have inserted (single-flight), but be
+    // defensive about double insertion all the same.
+    if (map_.contains(key))
+        return;
+    while (lru_.size() >= capacity_) {
+        map_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++evictions_;
+        if (metrics_ != nullptr)
+            metrics_->counter(prefix_ + ".cache_evictions").add(1);
+    }
+    lru_.push_front(Entry{key, std::move(index)});
+    map_[key] = lru_.begin();
+    if (metrics_ != nullptr)
+        metrics_->gauge(prefix_ + ".cache_size")
+            .set(static_cast<std::int64_t>(lru_.size()));
+}
+
+}  // namespace darwin::index

@@ -1,0 +1,327 @@
+#include "index/index_io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "index/format.h"
+#include "util/digest.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace darwin::index {
+
+namespace {
+
+/** RAII owner of one read-only mapping; the shared_ptr keepalive the
+ *  attached SeedIndex holds. */
+class Mapping {
+  public:
+    Mapping(void* data, std::size_t size) : data_(data), size_(size) {}
+
+    ~Mapping()
+    {
+        if (data_ != nullptr)
+            ::munmap(data_, size_);
+    }
+
+    Mapping(const Mapping&) = delete;
+    Mapping& operator=(const Mapping&) = delete;
+
+    const std::uint8_t*
+    bytes() const
+    {
+        return static_cast<const std::uint8_t*>(data_);
+    }
+
+    std::size_t size() const { return size_; }
+
+  private:
+    void* data_;
+    std::size_t size_;
+};
+
+[[noreturn]] void
+bad_index(const std::string& path, const std::string& what)
+{
+    fatal(strprintf("%s: %s", path.c_str(), what.c_str()));
+}
+
+/** Validate everything decodable from the 192 header bytes alone. */
+IndexHeader
+validate_header(const std::string& path, const std::uint8_t* bytes,
+                std::uint64_t file_size)
+{
+    if (file_size < sizeof(IndexHeader))
+        bad_index(path, strprintf("truncated index header (%llu bytes, "
+                                  "need %zu)",
+                                  static_cast<unsigned long long>(file_size),
+                                  sizeof(IndexHeader)));
+    IndexHeader header;
+    std::memcpy(&header, bytes, sizeof(header));
+    if (std::memcmp(header.magic, kIndexMagic, sizeof(kIndexMagic)) != 0)
+        bad_index(path, "not a darwin-wga index file (bad magic)");
+    if (header.endian_tag != kIndexEndianTag)
+        bad_index(path, "index was written with a different byte order");
+    if (header.version != kIndexFormatVersion)
+        bad_index(path,
+                  strprintf("unsupported index format version %u "
+                            "(this build reads version %u; rebuild with "
+                            "darwin-wga-index)",
+                            header.version, kIndexFormatVersion));
+    if (header.total_bytes != file_size)
+        bad_index(path, strprintf("truncated or padded index file "
+                                  "(header records %llu bytes, file has "
+                                  "%llu)",
+                                  static_cast<unsigned long long>(
+                                      header.total_bytes),
+                                  static_cast<unsigned long long>(
+                                      file_size)));
+    if (header.pattern_length == 0 ||
+        header.pattern_length > kIndexMaxPatternLength)
+        bad_index(path, strprintf("invalid seed-shape length %u",
+                                  header.pattern_length));
+    if (header.pattern[header.pattern_length] != '\0')
+        bad_index(path, "seed-shape field is not NUL-terminated");
+    for (std::uint32_t i = 0; i < header.pattern_length; ++i) {
+        if (header.pattern[i] != '0' && header.pattern[i] != '1')
+            bad_index(path, "seed-shape field holds non-'0'/'1' bytes");
+    }
+    if (header.max_bucket == 0)
+        bad_index(path, "max_bucket of zero");
+
+    // Section geometry: in order, aligned, inside the file.
+    const std::uint64_t offsets_bytes = (header.num_buckets + 1) * 4;
+    const std::uint64_t positions_bytes = header.num_positions * 4;
+    const std::uint64_t over_bytes = ((header.num_buckets + 63) / 64) * 8;
+    if (header.offsets_offset != sizeof(IndexHeader) ||
+        header.positions_offset !=
+            align_section(header.offsets_offset + offsets_bytes) ||
+        header.over_words_offset !=
+            align_section(header.positions_offset + positions_bytes) ||
+        header.total_bytes !=
+            align_section(header.over_words_offset + over_bytes))
+        bad_index(path, "section offsets disagree with section sizes");
+    return header;
+}
+
+void
+write_padding(std::ofstream& out, std::uint64_t current,
+              std::uint64_t target)
+{
+    static const char zeros[kIndexSectionAlign] = {};
+    while (current < target) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(target - current, sizeof(zeros));
+        out.write(zeros, static_cast<std::streamsize>(n));
+        current += n;
+    }
+}
+
+}  // namespace
+
+std::uint64_t
+sequence_digest(const seq::Sequence& sequence)
+{
+    return fnv1a64_bytes({sequence.codes().data(), sequence.size()});
+}
+
+void
+save_index(const std::string& path, const seed::SeedIndex& index,
+           std::uint64_t digest, std::uint64_t length)
+{
+    const std::string& pattern = index.pattern().pattern();
+    if (pattern.size() > kIndexMaxPatternLength)
+        fatal(strprintf("%s: seed shape of %zu bp exceeds the index "
+                        "format's %u bp limit",
+                        path.c_str(), pattern.size(),
+                        kIndexMaxPatternLength));
+
+    IndexHeader header = {};
+    std::memcpy(header.magic, kIndexMagic, sizeof(kIndexMagic));
+    header.version = kIndexFormatVersion;
+    header.endian_tag = kIndexEndianTag;
+    header.sequence_digest = digest;
+    header.sequence_length = length;
+    header.max_bucket = index.max_bucket();
+    header.pattern_length = static_cast<std::uint32_t>(pattern.size());
+    std::memcpy(header.pattern, pattern.data(), pattern.size());
+    header.num_buckets = index.pattern().key_space();
+    header.num_positions = index.positions().size();
+    header.skipped_windows = index.skipped_windows();
+    header.truncated_buckets = index.truncated_buckets();
+    header.offsets_offset = sizeof(IndexHeader);
+    header.positions_offset = align_section(
+        header.offsets_offset + index.bucket_offsets().size_bytes());
+    header.over_words_offset = align_section(
+        header.positions_offset + index.positions().size_bytes());
+    header.total_bytes = align_section(
+        header.over_words_offset + index.over_represented_words()
+                                       .size_bytes());
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+        if (!out)
+            fatal(strprintf("cannot write %s", tmp.c_str()));
+        const auto write_bytes = [&out](const void* data,
+                                        std::uint64_t bytes) {
+            out.write(static_cast<const char*>(data),
+                      static_cast<std::streamsize>(bytes));
+        };
+        write_bytes(&header, sizeof(header));
+        write_bytes(index.bucket_offsets().data(),
+                    index.bucket_offsets().size_bytes());
+        write_padding(out,
+                      header.offsets_offset +
+                          index.bucket_offsets().size_bytes(),
+                      header.positions_offset);
+        write_bytes(index.positions().data(),
+                    index.positions().size_bytes());
+        write_padding(out,
+                      header.positions_offset +
+                          index.positions().size_bytes(),
+                      header.over_words_offset);
+        write_bytes(index.over_represented_words().data(),
+                    index.over_represented_words().size_bytes());
+        write_padding(out,
+                      header.over_words_offset +
+                          index.over_represented_words().size_bytes(),
+                      header.total_bytes);
+        out.flush();
+        if (!out)
+            fatal(strprintf("error writing %s", tmp.c_str()));
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        fatal(strprintf("cannot rename %s -> %s: %s", tmp.c_str(),
+                        path.c_str(), ec.message().c_str()));
+    }
+}
+
+std::shared_ptr<const seed::SeedIndex>
+load_index(const std::string& path, IndexInfo* info)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        fatal(strprintf("cannot open index %s: %s", path.c_str(),
+                        std::strerror(errno)));
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal(strprintf("cannot stat index %s: %s", path.c_str(),
+                        std::strerror(err)));
+    }
+    const auto file_size = static_cast<std::uint64_t>(st.st_size);
+    if (file_size == 0) {
+        ::close(fd);
+        bad_index(path, "empty index file");
+    }
+    void* data = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+    const int map_err = errno;
+    ::close(fd);  // the mapping keeps its own reference
+    if (data == MAP_FAILED)
+        fatal(strprintf("cannot mmap index %s: %s", path.c_str(),
+                        std::strerror(map_err)));
+    auto mapping = std::make_shared<Mapping>(data, file_size);
+
+    const IndexHeader header =
+        validate_header(path, mapping->bytes(), file_size);
+
+    seed::SeedPattern pattern = [&] {
+        try {
+            return seed::SeedPattern{
+                std::string(header.pattern, header.pattern_length)};
+        } catch (const FatalError& e) {
+            bad_index(path, strprintf("invalid seed shape: %s", e.what()));
+        }
+    }();
+    if (pattern.key_space() != header.num_buckets)
+        bad_index(path, "bucket count disagrees with the seed shape");
+
+    const std::uint8_t* base = mapping->bytes();
+    const std::span<const std::uint32_t> offsets{
+        reinterpret_cast<const std::uint32_t*>(base +
+                                               header.offsets_offset),
+        static_cast<std::size_t>(header.num_buckets + 1)};
+    const std::span<const std::uint32_t> positions{
+        reinterpret_cast<const std::uint32_t*>(base +
+                                               header.positions_offset),
+        static_cast<std::size_t>(header.num_positions)};
+    const std::span<const std::uint64_t> over_words{
+        reinterpret_cast<const std::uint64_t*>(base +
+                                               header.over_words_offset),
+        static_cast<std::size_t>((header.num_buckets + 63) / 64)};
+    if (offsets.back() != header.num_positions)
+        bad_index(path, "final bucket offset disagrees with the "
+                        "position count");
+
+    if (info != nullptr) {
+        info->version = header.version;
+        info->sequence_digest = header.sequence_digest;
+        info->sequence_length = header.sequence_length;
+        info->max_bucket = header.max_bucket;
+        info->pattern = pattern.pattern();
+        info->num_buckets = header.num_buckets;
+        info->num_positions = header.num_positions;
+        info->skipped_windows = header.skipped_windows;
+        info->truncated_buckets = header.truncated_buckets;
+        info->total_bytes = header.total_bytes;
+    }
+
+    auto index = std::make_shared<seed::SeedIndex>(seed::SeedIndex::attach(
+        std::move(pattern), header.max_bucket, offsets, positions,
+        over_words, header.skipped_windows, header.truncated_buckets,
+        std::move(mapping)));
+    return index;
+}
+
+IndexInfo
+read_index_info(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal(strprintf("cannot open index %s", path.c_str()));
+    in.seekg(0, std::ios::end);
+    const auto file_size = static_cast<std::uint64_t>(in.tellg());
+    in.seekg(0);
+    std::uint8_t bytes[sizeof(IndexHeader)] = {};
+    in.read(reinterpret_cast<char*>(bytes),
+            static_cast<std::streamsize>(
+                std::min<std::uint64_t>(file_size, sizeof(bytes))));
+    const IndexHeader header = validate_header(path, bytes, file_size);
+    IndexInfo info;
+    info.version = header.version;
+    info.sequence_digest = header.sequence_digest;
+    info.sequence_length = header.sequence_length;
+    info.max_bucket = header.max_bucket;
+    info.pattern.assign(header.pattern, header.pattern_length);
+    info.num_buckets = header.num_buckets;
+    info.num_positions = header.num_positions;
+    info.skipped_windows = header.skipped_windows;
+    info.truncated_buckets = header.truncated_buckets;
+    info.total_bytes = header.total_bytes;
+    return info;
+}
+
+bool
+is_index_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    char magic[sizeof(kIndexMagic)] = {};
+    in.read(magic, sizeof(magic));
+    return in.gcount() == sizeof(magic) &&
+           std::memcmp(magic, kIndexMagic, sizeof(magic)) == 0;
+}
+
+}  // namespace darwin::index

@@ -8,7 +8,7 @@ namespace darwin::seed {
 
 SeedIndex::SeedIndex(const seq::Sequence& target, const SeedPattern& pattern,
                      std::uint32_t max_bucket)
-    : pattern_(pattern)
+    : SeedIndex(pattern, max_bucket)
 {
     require(max_bucket > 0, "SeedIndex: max_bucket must be positive");
     if (target.size() >= std::numeric_limits<std::uint32_t>::max())
@@ -32,27 +32,28 @@ SeedIndex::SeedIndex(const seq::Sequence& target, const SeedPattern& pattern,
         }
     }
 
-    // Clamp repetitive buckets.
-    over_represented_.assign(buckets, false);
+    // Clamp repetitive buckets; flags live in a packed bitset so the
+    // section can be written to (and mapped back from) an index file.
+    owned_over_words_.assign((buckets + 63) / 64, 0);
     for (std::uint64_t k = 0; k < buckets; ++k) {
         if (counts[k] > max_bucket) {
             counts[k] = max_bucket;
-            over_represented_[k] = true;
+            owned_over_words_[k / 64] |= 1ULL << (k % 64);
             ++truncated_;
         }
     }
 
-    // Prefix sums into bucket_offsets_.
-    bucket_offsets_.assign(buckets + 1, 0);
+    // Prefix sums into the bucket-offset section.
+    owned_offsets_.assign(buckets + 1, 0);
     std::uint64_t running = 0;
     for (std::uint64_t k = 0; k < buckets; ++k) {
-        bucket_offsets_[k] = static_cast<std::uint32_t>(running);
+        owned_offsets_[k] = static_cast<std::uint32_t>(running);
         running += counts[k];
     }
-    bucket_offsets_[buckets] = static_cast<std::uint32_t>(running);
+    owned_offsets_[buckets] = static_cast<std::uint32_t>(running);
 
     // Pass 2: fill positions (first max_bucket occurrences per bucket).
-    positions_.assign(running, 0);
+    owned_positions_.assign(running, 0);
     std::vector<std::uint32_t> cursor(counts.size(), 0);
     for (std::size_t pos = 0; pos < last; ++pos) {
         const auto key = pattern_.key_at(codes, pos);
@@ -61,19 +62,51 @@ SeedIndex::SeedIndex(const seq::Sequence& target, const SeedPattern& pattern,
         const std::uint64_t k = *key;
         if (cursor[k] >= counts[k])
             continue;  // truncated repeat bucket
-        positions_[bucket_offsets_[k] + cursor[k]] =
+        owned_positions_[owned_offsets_[k] + cursor[k]] =
             static_cast<std::uint32_t>(pos);
         ++cursor[k];
     }
+
+    offsets_view_ = {owned_offsets_.data(), owned_offsets_.size()};
+    positions_view_ = {owned_positions_.data(), owned_positions_.size()};
+    over_view_ = {owned_over_words_.data(), owned_over_words_.size()};
+}
+
+SeedIndex
+SeedIndex::attach(SeedPattern pattern, std::uint32_t max_bucket,
+                  std::span<const std::uint32_t> bucket_offsets,
+                  std::span<const std::uint32_t> positions,
+                  std::span<const std::uint64_t> over_represented_words,
+                  std::uint64_t skipped_windows,
+                  std::uint64_t truncated_buckets,
+                  std::shared_ptr<const void> storage)
+{
+    SeedIndex index(std::move(pattern), max_bucket);
+    require(max_bucket > 0, "SeedIndex::attach: max_bucket must be positive");
+    require(bucket_offsets.size() == index.pattern_.key_space() + 1,
+            "SeedIndex::attach: bucket-offset section size mismatch");
+    require(over_represented_words.size() ==
+                (index.pattern_.key_space() + 63) / 64,
+            "SeedIndex::attach: over-represented section size mismatch");
+    require(!bucket_offsets.empty() &&
+                bucket_offsets.back() == positions.size(),
+            "SeedIndex::attach: position section size mismatch");
+    index.storage_ = std::move(storage);
+    index.offsets_view_ = bucket_offsets;
+    index.positions_view_ = positions;
+    index.over_view_ = over_represented_words;
+    index.skipped_ = skipped_windows;
+    index.truncated_ = truncated_buckets;
+    return index;
 }
 
 std::span<const std::uint32_t>
 SeedIndex::lookup(SeedKey key) const
 {
     require(key < pattern_.key_space(), "SeedIndex::lookup: key range");
-    const std::uint32_t lo = bucket_offsets_[key];
-    const std::uint32_t hi = bucket_offsets_[key + 1];
-    return {positions_.data() + lo, hi - lo};
+    const std::uint32_t lo = offsets_view_[key];
+    const std::uint32_t hi = offsets_view_[key + 1];
+    return {positions_view_.data() + lo, hi - lo};
 }
 
 bool
@@ -81,7 +114,7 @@ SeedIndex::over_represented(SeedKey key) const
 {
     require(key < pattern_.key_space(),
             "SeedIndex::over_represented: key range");
-    return over_represented_[key];
+    return (over_view_[key / 64] >> (key % 64)) & 1ULL;
 }
 
 }  // namespace darwin::seed

@@ -6,11 +6,18 @@
  * target position whose window produces that key. Lookup is O(1) to a
  * contiguous position slice — the software analogue of the seed table the
  * Darwin-WGA host keeps in DRAM.
+ *
+ * The index reads its three sections (bucket offsets, positions, and the
+ * over-represented bitset) through spans, so one class serves both
+ * storage modes: the building constructor fills owned vectors, and
+ * attach() wraps externally owned memory — a memory-mapped index file
+ * (src/index/) — zero-copy. DsoftSeeder is oblivious to the mode.
  */
 #ifndef DARWIN_SEED_SEED_INDEX_H
 #define DARWIN_SEED_SEED_INDEX_H
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -22,6 +29,11 @@ namespace darwin::seed {
 /** Bucketed position index for one target sequence. */
 class SeedIndex {
   public:
+    /** Repeat-seed cap every default-configured index uses. Persisted
+     *  index files record theirs in the header, and the index cache
+     *  keys on it, so the same cap always yields the same buckets. */
+    static constexpr std::uint32_t kDefaultMaxBucket = 256;
+
     /**
      * Build the index over `target` (typically a flattened genome).
      * Windows containing N contribute nothing, so chromosome separators
@@ -33,7 +45,31 @@ class SeedIndex {
      *        all cap repeat seeds one way or another).
      */
     SeedIndex(const seq::Sequence& target, const SeedPattern& pattern,
-              std::uint32_t max_bucket = 256);
+              std::uint32_t max_bucket = kDefaultMaxBucket);
+
+    /**
+     * Zero-copy view over externally owned sections (a mapped index
+     * file). `storage` keeps the backing memory alive for the index's
+     * lifetime (e.g. the mmap holder); the caller has already validated
+     * that the sections are internally consistent.
+     *
+     * @param bucket_offsets pattern.key_space() + 1 entries
+     * @param over_represented_words one bit per bucket, packed LSB-first
+     *        into 64-bit words (ceil(key_space / 64) words)
+     */
+    static SeedIndex attach(SeedPattern pattern, std::uint32_t max_bucket,
+                            std::span<const std::uint32_t> bucket_offsets,
+                            std::span<const std::uint32_t> positions,
+                            std::span<const std::uint64_t>
+                                over_represented_words,
+                            std::uint64_t skipped_windows,
+                            std::uint64_t truncated_buckets,
+                            std::shared_ptr<const void> storage = nullptr);
+
+    SeedIndex(SeedIndex&&) = default;
+    SeedIndex& operator=(SeedIndex&&) = default;
+    SeedIndex(const SeedIndex&) = delete;
+    SeedIndex& operator=(const SeedIndex&) = delete;
 
     /** Target positions whose window hashes to `key`. */
     std::span<const std::uint32_t> lookup(SeedKey key) const;
@@ -42,7 +78,7 @@ class SeedIndex {
     bool over_represented(SeedKey key) const;
 
     /** Total indexed positions (after truncation). */
-    std::size_t num_positions() const { return positions_.size(); }
+    std::size_t num_positions() const { return positions_view_.size(); }
 
     /** Number of windows skipped because of ambiguous bases. */
     std::uint64_t skipped_windows() const { return skipped_; }
@@ -52,11 +88,47 @@ class SeedIndex {
 
     const SeedPattern& pattern() const { return pattern_; }
 
+    std::uint32_t max_bucket() const { return max_bucket_; }
+
+    // Raw sections, exposed for serialization (src/index/index_io).
+    std::span<const std::uint32_t>
+    bucket_offsets() const
+    {
+        return offsets_view_;
+    }
+
+    std::span<const std::uint32_t> positions() const
+    {
+        return positions_view_;
+    }
+
+    std::span<const std::uint64_t>
+    over_represented_words() const
+    {
+        return over_view_;
+    }
+
   private:
+    explicit SeedIndex(SeedPattern pattern, std::uint32_t max_bucket)
+        : pattern_(std::move(pattern)), max_bucket_(max_bucket)
+    {
+    }
+
     SeedPattern pattern_;
-    std::vector<std::uint32_t> bucket_offsets_;  ///< key_space + 1 entries
-    std::vector<std::uint32_t> positions_;
-    std::vector<bool> over_represented_;
+    std::uint32_t max_bucket_ = 0;
+
+    // Owned storage (building constructor only; empty when attached).
+    std::vector<std::uint32_t> owned_offsets_;
+    std::vector<std::uint32_t> owned_positions_;
+    std::vector<std::uint64_t> owned_over_words_;
+    /** Keepalive for attached storage (e.g. the mmap holder). */
+    std::shared_ptr<const void> storage_;
+
+    // The views every accessor reads, whichever mode owns the bytes.
+    std::span<const std::uint32_t> offsets_view_;
+    std::span<const std::uint32_t> positions_view_;
+    std::span<const std::uint64_t> over_view_;
+
     std::uint64_t skipped_ = 0;
     std::uint64_t truncated_ = 0;
 };

@@ -1,0 +1,452 @@
+#include "serve/server.h"
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "index/index_io.h"
+#include "obs/trace.h"
+#include "seq/fasta.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/timer.h"
+#include "wga/maf.h"
+#include "wga/pipeline.h"
+
+namespace darwin::serve {
+
+namespace {
+
+/** Completion tracker one serve loop uses to drain its own requests. */
+struct Pending {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t count = 0;
+
+    void
+    add()
+    {
+        std::lock_guard lock(mutex);
+        ++count;
+    }
+
+    void
+    done()
+    {
+        {
+            std::lock_guard lock(mutex);
+            --count;
+        }
+        cv.notify_all();
+    }
+
+    void
+    wait_empty()
+    {
+        std::unique_lock lock(mutex);
+        cv.wait(lock, [this] { return count == 0; });
+    }
+};
+
+}  // namespace
+
+Server::Server(ServerOptions options, obs::MetricsRegistry* metrics)
+    : options_(options),
+      metrics_(metrics != nullptr ? metrics : &fallback_metrics_),
+      index_cache_(std::max<std::size_t>(options.index_cache_capacity, 1),
+                   metrics_, "serve.index"),
+      queue_(options.queue_capacity),
+      workers_(std::max<std::size_t>(options.num_workers, 1))
+{
+    metrics_->gauge("serve.workers")
+        .set(static_cast<std::int64_t>(workers_.size()));
+    for (std::size_t w = 0; w < workers_.size(); ++w)
+        workers_.submit([this] { worker_loop(); });
+}
+
+Server::~Server()
+{
+    stop();
+    // ThreadPool's destructor joins the workers after they drain the
+    // closed queue, so every accepted request still gets its response.
+}
+
+void
+Server::worker_loop()
+{
+    while (auto item = queue_.pop()) {
+        const std::string response = handle_line(item->line);
+        if (item->sink) {
+            try {
+                item->sink(response);
+            } catch (...) {
+                // A dead connection must not kill the worker.
+            }
+        }
+    }
+}
+
+bool
+Server::submit(std::string line, ResponseSink sink)
+{
+    if (stopping())
+        return false;
+    QueueItem item{std::move(line), std::move(sink)};
+    return queue_.push(std::move(item));
+}
+
+void
+Server::stop()
+{
+    // No first-call guard: a client shutdown op raises stopping_ without
+    // closing the queue (its own response must still go out), so stop()
+    // must always close it. Every step here is idempotent.
+    stopping_.store(true, std::memory_order_release);
+    queue_.close();
+    std::lock_guard lock(token_mutex_);
+    for (const auto& token : active_)
+        token->cancel(fault::CancelReason::External);
+}
+
+std::string
+Server::handle_line(const std::string& line)
+{
+    Timer timer;
+    metrics_->counter("serve.requests").add(1);
+    metrics_->gauge("serve.active")
+        .set(static_cast<std::int64_t>(
+            active_requests_.fetch_add(1, std::memory_order_acq_rel) + 1));
+
+    Response response;
+    try {
+        const Request request = parse_request(line);
+        obs::ScopedSpan span(op_name(request.op), "serve");
+        response = handle_request(request);
+    } catch (const ProtocolError& error) {
+        response = error_response("", "bad_request", error.what());
+    } catch (const fault::CancelledError& error) {
+        response = error_response(
+            "", fault::cancel_reason_name(error.reason()), error.what());
+    } catch (const std::exception& error) {
+        response = error_response("", "failed", error.what());
+    }
+
+    metrics_->counter(response.ok ? "serve.ok" : "serve.errors").add(1);
+    metrics_->histogram("serve.request.seconds").observe(timer.seconds());
+    metrics_->gauge("serve.active")
+        .set(static_cast<std::int64_t>(
+            active_requests_.fetch_sub(1, std::memory_order_acq_rel) - 1));
+    return serialize_response(response);
+}
+
+Response
+Server::handle_request(const Request& request)
+{
+    try {
+        switch (request.op) {
+        case Op::Ping: {
+            Response response;
+            response.id = request.id;
+            response.add_string("op", "ping");
+            return response;
+        }
+        case Op::Status:
+            return do_status(request);
+        case Op::Align:
+            return do_align(request);
+        case Op::Shutdown: {
+            inform("serve: shutdown requested by client");
+            stopping_.store(true, std::memory_order_release);
+            Response response;
+            response.id = request.id;
+            response.add_string("op", "shutdown");
+            return response;
+        }
+        }
+        return error_response(request.id, "bad_request", "unhandled op");
+    } catch (const fault::CancelledError& error) {
+        return error_response(request.id,
+                              fault::cancel_reason_name(error.reason()),
+                              error.what());
+    } catch (const FatalError& error) {
+        return error_response(request.id, "failed", error.what());
+    } catch (const std::exception& error) {
+        return error_response(request.id, "failed", error.what());
+    }
+}
+
+Response
+Server::do_status(const Request& request)
+{
+    Response response;
+    response.id = request.id;
+    const auto counter = [this](const char* name) -> std::int64_t {
+        const obs::Counter* c = metrics_->find_counter(name);
+        return c != nullptr ? static_cast<std::int64_t>(c->value()) : 0;
+    };
+    response.add_string("op", "status");
+    response.add_int("requests", counter("serve.requests"));
+    response.add_int("ok", counter("serve.ok"));
+    response.add_int("errors", counter("serve.errors"));
+    response.add_int("queue_depth",
+                     static_cast<std::int64_t>(queue_.size()));
+    response.add_int("workers",
+                     static_cast<std::int64_t>(workers_.size()));
+    response.add_int("index_cached",
+                     static_cast<std::int64_t>(index_cache_.size()));
+    response.add_int("index_hits",
+                     static_cast<std::int64_t>(index_cache_.hits()));
+    response.add_int("index_misses",
+                     static_cast<std::int64_t>(index_cache_.misses()));
+    response.add_int("genomes_cached", [this] {
+        std::lock_guard lock(genome_mutex_);
+        return static_cast<std::int64_t>(genomes_.size());
+    }());
+    return response;
+}
+
+std::shared_ptr<const seq::Genome>
+Server::load_genome(const std::string& path)
+{
+    std::lock_guard lock(genome_mutex_);
+    if (const auto it = genomes_.find(path); it != genomes_.end())
+        return it->second;
+    auto genome = std::make_shared<seq::Genome>(seq::read_genome(path));
+    // Materialize the flattened form under the lock: first-build is not
+    // safe to race, and every request reads it.
+    genome->flattened();
+    genomes_.emplace(path, genome);
+    return genome;
+}
+
+std::shared_ptr<const seed::SeedIndex>
+Server::acquire_index(const Request& request,
+                      const seq::Sequence& target_flat,
+                      const std::string& seed_pattern, bool* cache_hit)
+{
+    const std::uint64_t digest = index::sequence_digest(target_flat);
+    const index::IndexKey key{digest, seed_pattern,
+                              seed::SeedIndex::kDefaultMaxBucket};
+    bool built = false;
+    auto index = index_cache_.acquire(
+        key,
+        [&]() -> std::shared_ptr<const seed::SeedIndex> {
+            if (!request.index.empty()) {
+                index::IndexInfo info;
+                auto loaded = index::load_index(request.index, &info);
+                if (info.sequence_digest != digest)
+                    fatal(strprintf(
+                        "%s: index was built from a different sequence "
+                        "than %s (digest %016llx vs %016llx)",
+                        request.index.c_str(), request.target.c_str(),
+                        static_cast<unsigned long long>(
+                            info.sequence_digest),
+                        static_cast<unsigned long long>(digest)));
+                if (info.pattern != seed_pattern)
+                    fatal(strprintf(
+                        "%s: index seed shape %s does not match the "
+                        "requested preset's %s",
+                        request.index.c_str(), info.pattern.c_str(),
+                        seed_pattern.c_str()));
+                if (info.max_bucket != seed::SeedIndex::kDefaultMaxBucket)
+                    fatal(strprintf(
+                        "%s: index max_bucket %u differs from the "
+                        "server's %u",
+                        request.index.c_str(), info.max_bucket,
+                        seed::SeedIndex::kDefaultMaxBucket));
+                return loaded;
+            }
+            return std::make_shared<const seed::SeedIndex>(
+                target_flat, seed::SeedPattern(seed_pattern));
+        },
+        &built);
+    if (cache_hit != nullptr)
+        *cache_hit = !built;
+    return index;
+}
+
+Response
+Server::do_align(const Request& request)
+{
+    Timer timer;
+    wga::WgaParams params = request.preset == "lastz"
+                                ? wga::WgaParams::lastz_defaults()
+                                : wga::WgaParams::darwin_defaults();
+    params.align_both_strands = request.both_strands;
+    if (request.no_transitions)
+        params.dsoft.transitions = false;
+
+    const auto target = load_genome(request.target);
+    const auto query = load_genome(request.query);
+
+    bool cache_hit = false;
+    const auto index = acquire_index(request, target->flattened(),
+                                     params.seed_pattern, &cache_hit);
+
+    // The request's own budget context: armed after the index acquire so
+    // one request's overrun can never poison a shared index build.
+    auto token = std::make_shared<fault::CancelToken>();
+    token->arm(request.has_budget ? request.budget
+                                  : options_.default_budget);
+    {
+        std::lock_guard lock(token_mutex_);
+        if (stopping())
+            fatal("server is shutting down");
+        active_.insert(token);
+    }
+    const std::size_t seq_no =
+        request_seq_.fetch_add(1, std::memory_order_relaxed);
+
+    wga::WgaResult result;
+    try {
+        fault::ContextScope scope(token.get(), seq_no);
+        const wga::WgaPipeline pipeline(params);
+        result = pipeline.run_with_index(*index, target->flattened(),
+                                         query->flattened(), nullptr,
+                                         metrics_);
+    } catch (...) {
+        std::lock_guard lock(token_mutex_);
+        active_.erase(token);
+        throw;
+    }
+    {
+        std::lock_guard lock(token_mutex_);
+        active_.erase(token);
+    }
+
+    // Same writer call the one-shot CLI uses, so the bytes match it.
+    wga::write_maf_file(request.out, result.alignments, *target, *query);
+
+    Response response;
+    response.id = request.id;
+    response.add_string("op", "align");
+    response.add_int("alignments",
+                     static_cast<std::int64_t>(result.alignments.size()));
+    response.add_int("chains",
+                     static_cast<std::int64_t>(result.chains.size()));
+    response.add_int("matched_bases",
+                     static_cast<std::int64_t>(
+                         result.stats.extend.matched_bases));
+    response.add_raw("index_cache_hit", cache_hit ? "true" : "false");
+    response.add_double("seconds", timer.seconds());
+    response.add_string("out", request.out);
+    return response;
+}
+
+void
+Server::serve_stream(std::istream& in, std::ostream& out)
+{
+    std::mutex out_mutex;
+    Pending pending;
+    std::string line;
+    while (!stopping() && std::getline(in, line)) {
+        if (trim(line).empty())
+            continue;
+        pending.add();
+        const bool accepted = submit(line, [&](const std::string& resp) {
+            {
+                std::lock_guard lock(out_mutex);
+                out << resp << '\n';
+                out.flush();
+            }
+            pending.done();
+        });
+        if (!accepted) {
+            pending.done();
+            break;
+        }
+    }
+    pending.wait_empty();
+}
+
+void
+Server::serve_fd(int in_fd, int out_fd)
+{
+    std::mutex out_mutex;
+    Pending pending;
+    const auto sink = [&pending, &out_mutex,
+                       out_fd](const std::string& resp) {
+        std::string payload = resp + "\n";
+        {
+            std::lock_guard lock(out_mutex);
+            std::size_t off = 0;
+            while (off < payload.size()) {
+                const ssize_t n = ::write(out_fd, payload.data() + off,
+                                          payload.size() - off);
+                if (n < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    break;  // peer is gone; drop the response
+                }
+                off += static_cast<std::size_t>(n);
+            }
+        }
+        pending.done();
+    };
+
+    std::string buffer;
+    bool open = true;
+    while (open && !stopping()) {
+        if (fault::shutdown_requested()) {
+            inform("serve: shutdown signal; draining in-flight requests");
+            stop();
+            break;
+        }
+        struct pollfd pfd = {};
+        pfd.fd = in_fd;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (ready == 0)
+            continue;
+        if ((pfd.revents & (POLLIN | POLLHUP)) == 0)
+            break;
+        char chunk[4096];
+        const ssize_t n = ::read(in_fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0) {
+            open = false;
+            break;
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        while (true) {
+            const std::size_t eol = buffer.find('\n', start);
+            if (eol == std::string::npos)
+                break;
+            std::string line = buffer.substr(start, eol - start);
+            start = eol + 1;
+            if (trim(line).empty())
+                continue;
+            pending.add();
+            if (!submit(std::move(line), sink)) {
+                pending.done();
+                open = false;
+                break;
+            }
+        }
+        buffer.erase(0, start);
+    }
+    // A final unterminated line still counts once the stream is done.
+    if (!stopping() && !trim(buffer).empty()) {
+        pending.add();
+        if (!submit(std::move(buffer), sink))
+            pending.done();
+    }
+    pending.wait_empty();
+}
+
+}  // namespace darwin::serve

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The long-lived alignment service behind `darwin-wga-serve`.
+ *
+ * A Server owns a bounded request queue (util/work_queue.h) drained by a
+ * small worker pool (util/thread_pool.h): the transport loop —
+ * serve_stream() over iostreams or serve_fd() over raw descriptors —
+ * only reads request lines and enqueues them, so a slow alignment never
+ * blocks the daemon from accepting (or rejecting) the next request.
+ * Responses are written in completion order; clients correlate by id.
+ *
+ * Each align request runs under its own fault::CancelToken armed with
+ * the request's budget (or the server default), installed for the
+ * worker thread via ContextScope — the same cooperative machinery the
+ * batch engine uses, so a request that exceeds its wall/cells/heap
+ * budget unwinds with a tagged error response while the daemon keeps
+ * serving. stop() cancels every in-flight token, which is how SIGTERM
+ * turns into a bounded drain instead of a hung exit.
+ *
+ * Caching: target/query FASTAs are cached by path for the server's
+ * lifetime, and seed indexes live in an LRU IndexCache keyed by
+ * (sequence digest, seed shape, repeat cap) — a request naming a
+ * persisted .dwi mmap-loads it (after verifying its header digest
+ * matches the target), and repeat queries against the same target hit
+ * the cache instead of rebuilding.
+ *
+ * Observability: "serve.*" metrics (request/ok/error counters, active
+ * gauge, per-op latency histograms, serve.index.* cache counters) and
+ * "serve"-category spans per request.
+ */
+#ifndef DARWIN_SERVE_SERVER_H
+#define DARWIN_SERVE_SERVER_H
+
+#include <atomic>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fault/cancel.h"
+#include "index/index_cache.h"
+#include "obs/metrics.h"
+#include "seq/genome.h"
+#include "serve/protocol.h"
+#include "util/thread_pool.h"
+#include "util/work_queue.h"
+
+namespace darwin::serve {
+
+/** Daemon configuration. */
+struct ServerOptions {
+    /** Concurrent align requests (worker threads). */
+    std::size_t num_workers = 2;
+
+    /** Bound on queued-but-unstarted requests (backpressure). */
+    std::size_t queue_capacity = 64;
+
+    /** Resident seed indexes (LRU beyond this). */
+    std::size_t index_cache_capacity = 8;
+
+    /** Budget applied to align requests that carry none. */
+    fault::Budget default_budget;
+};
+
+/** The request-processing core; transports plug in around it. */
+class Server {
+  public:
+    /** Callback receiving one serialized response line (no newline). */
+    using ResponseSink = std::function<void(const std::string&)>;
+
+    explicit Server(ServerOptions options,
+                    obs::MetricsRegistry* metrics = nullptr);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /**
+     * Decode and execute one request line synchronously on the calling
+     * thread, returning the response line. Never throws — malformed
+     * input and failed requests come back as status "error" responses.
+     */
+    std::string handle_line(const std::string& line);
+
+    /**
+     * Enqueue a request line for the worker pool; `sink` is invoked
+     * with the response from a worker thread. Returns false when the
+     * server is stopping (the caller should drop the connection).
+     */
+    bool submit(std::string line, ResponseSink sink);
+
+    /**
+     * Read newline-delimited requests from `in` until EOF or a shutdown
+     * request, writing responses to `out` in completion order. Blocking
+     * transport used by tests and `darwin-wga-serve` without --socket
+     * when the input is a pipe that closes.
+     */
+    void serve_stream(std::istream& in, std::ostream& out);
+
+    /**
+     * poll()-driven transport over raw descriptors: wakes every 200 ms
+     * to notice fault::shutdown_requested() (the SIGTERM path, which
+     * glibc's SA_RESTART would hide from blocking reads) and drains
+     * in-flight work before returning. Returns when the peer closes,
+     * a client sends shutdown, or the process shutdown flag rises.
+     */
+    void serve_fd(int in_fd, int out_fd);
+
+    /** Cancel in-flight requests and refuse new ones. Idempotent. */
+    void stop();
+
+    /** True once stop() ran or a client sent shutdown. */
+    bool
+    stopping() const
+    {
+        return stopping_.load(std::memory_order_acquire);
+    }
+
+    obs::MetricsRegistry& metrics() { return *metrics_; }
+    const index::IndexCache& index_cache() const { return index_cache_; }
+    const ServerOptions& options() const { return options_; }
+
+  private:
+    struct QueueItem {
+        std::string line;
+        ResponseSink sink;
+    };
+
+    Response handle_request(const Request& request);
+    Response do_align(const Request& request);
+    Response do_status(const Request& request);
+    std::shared_ptr<const seq::Genome> load_genome(
+        const std::string& path);
+    std::shared_ptr<const seed::SeedIndex> acquire_index(
+        const Request& request, const seq::Sequence& target_flat,
+        const std::string& seed_pattern, bool* cache_hit);
+    void worker_loop();
+
+    const ServerOptions options_;
+    obs::MetricsRegistry fallback_metrics_;
+    obs::MetricsRegistry* metrics_;
+    index::IndexCache index_cache_;
+
+    std::mutex genome_mutex_;
+    std::unordered_map<std::string, std::shared_ptr<const seq::Genome>>
+        genomes_;
+
+    WorkQueue<QueueItem> queue_;
+    ThreadPool workers_;
+
+    std::mutex token_mutex_;
+    std::unordered_set<std::shared_ptr<fault::CancelToken>> active_;
+    std::atomic<std::size_t> request_seq_{0};
+    std::atomic<std::size_t> active_requests_{0};
+    std::atomic<bool> stopping_{false};
+};
+
+}  // namespace darwin::serve
+
+#endif  // DARWIN_SERVE_SERVER_H

@@ -1,0 +1,30 @@
+#include "util/digest.h"
+
+#include "util/strings.h"
+
+namespace darwin {
+
+std::uint64_t
+fnv1a64_bytes(std::span<const std::uint8_t> bytes, std::uint64_t seed)
+{
+    std::uint64_t hash = seed;
+    for (const std::uint8_t byte : bytes) {
+        hash ^= byte;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::string
+digest_hex(std::uint64_t digest)
+{
+    return strprintf("%016llx", static_cast<unsigned long long>(digest));
+}
+
+std::string
+fingerprint_hex(const std::string& canonical)
+{
+    return digest_hex(fnv1a64(canonical));
+}
+
+}  // namespace darwin

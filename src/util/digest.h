@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Stable content digests shared across modules.
+ *
+ * One FNV-1a 64-bit implementation serves every fingerprint in the
+ * system: the checkpoint journal's config fingerprint, the fault plan's
+ * deterministic draws (both via the string overloads in strings.h), and
+ * the persistent reference index's sequence digest (the raw-byte
+ * overload here). The constants are load-bearing — digests are compared
+ * across processes and against bytes persisted in index files, so never
+ * change them.
+ */
+#ifndef DARWIN_UTIL_DIGEST_H
+#define DARWIN_UTIL_DIGEST_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace darwin {
+
+/** FNV-1a offset basis; the seed of every digest in the system. */
+inline constexpr std::uint64_t kFnv1aBasis = 0xcbf29ce484222325ULL;
+
+/** FNV-1a 64-bit over raw bytes (the string overloads live in
+ *  strings.h and produce identical values for identical bytes). */
+std::uint64_t fnv1a64_bytes(std::span<const std::uint8_t> bytes,
+                            std::uint64_t seed = kFnv1aBasis);
+
+/** Render a 64-bit digest as 16 lowercase hex digits. */
+std::string digest_hex(std::uint64_t digest);
+
+/**
+ * Canonical-string fingerprint: fnv1a64 of `canonical` rendered as 16
+ * hex digits. Hoisted out of batch/checkpoint.cpp so the checkpoint
+ * journal and the index header share one implementation.
+ */
+std::string fingerprint_hex(const std::string& canonical);
+
+}  // namespace darwin
+
+#endif  // DARWIN_UTIL_DIGEST_H

@@ -164,18 +164,6 @@ WgaPipeline::run_sequences(const seq::Sequence& target,
                            obs::MetricsRegistry* metrics) const
 {
     WgaResult result;
-    const std::span<const std::uint8_t> target_span{target.codes().data(),
-                                                    target.size()};
-    if (metrics != nullptr) {
-        // Which kernel implementation the filter and extension stages
-        // dispatch to (id: 0 scalar, 1 sse42, 2 avx2). All kernels are
-        // bit-identical, so every other wga.* value is kernel-invariant.
-        const int kernel_id =
-            align::kernels::KernelRegistry::instance().active().id;
-        metrics->gauge("wga.filter.kernel").set(kernel_id);
-        metrics->gauge("wga.extend.kernel").set(kernel_id);
-    }
-
     Timer timer;
     std::unique_ptr<seed::SeedIndex> index;
     {
@@ -189,6 +177,42 @@ WgaPipeline::run_sequences(const seq::Sequence& target,
         if (metrics)
             publish_pipeline_stats(*metrics, stage);
     }
+    return run_impl(*index, target, query, std::move(result), pool,
+                    metrics);
+}
+
+WgaResult
+WgaPipeline::run_with_index(const seed::SeedIndex& index,
+                            const seq::Sequence& target,
+                            const seq::Sequence& query, ThreadPool* pool,
+                            obs::MetricsRegistry* metrics) const
+{
+    if (index.pattern().pattern() != params_.seed_pattern)
+        fatal(strprintf("run_with_index: index seed shape %s does not "
+                        "match the pipeline's %s",
+                        index.pattern().pattern().c_str(),
+                        params_.seed_pattern.c_str()));
+    return run_impl(index, target, query, WgaResult{}, pool, metrics);
+}
+
+WgaResult
+WgaPipeline::run_impl(const seed::SeedIndex& index,
+                      const seq::Sequence& target,
+                      const seq::Sequence& query, WgaResult result,
+                      ThreadPool* pool,
+                      obs::MetricsRegistry* metrics) const
+{
+    const std::span<const std::uint8_t> target_span{target.codes().data(),
+                                                    target.size()};
+    if (metrics != nullptr) {
+        // Which kernel implementation the filter and extension stages
+        // dispatch to (id: 0 scalar, 1 sse42, 2 avx2). All kernels are
+        // bit-identical, so every other wga.* value is kernel-invariant.
+        const int kernel_id =
+            align::kernels::KernelRegistry::instance().active().id;
+        metrics->gauge("wga.filter.kernel").set(kernel_id);
+        metrics->gauge("wga.extend.kernel").set(kernel_id);
+    }
 
     // Coordinates of the reverse pass stay in reverse-complement space
     // (the MAF '-' strand convention).
@@ -201,7 +225,7 @@ WgaPipeline::run_sequences(const seq::Sequence& target,
     std::vector<PipelineStats> strand_stats(num_strands);
     const auto run_strand = [&](std::size_t s) {
         per_strand[s] = run_one_strand(
-            params_, *index, target_span, s == 0 ? query : query_rc,
+            params_, index, target_span, s == 0 ? query : query_rc,
             s == 0 ? align::Strand::Forward : align::Strand::Reverse,
             &strand_stats[s], pool, metrics);
     };
@@ -222,7 +246,7 @@ WgaPipeline::run_sequences(const seq::Sequence& target,
             std::make_move_iterator(per_strand[s].end()));
     }
 
-    timer.reset();
+    Timer timer;
     {
         obs::ScopedSpan span("chain", "wga");
         result.chains = chain::chain_alignments(result.alignments,

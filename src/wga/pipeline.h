@@ -21,6 +21,10 @@
 #include "wga/extend_stage.h"
 #include "wga/filter_stage.h"
 
+namespace darwin::seed {
+class SeedIndex;
+}
+
 namespace darwin::wga {
 
 /** Per-stage wall-clock and workload accounting (Table V inputs). */
@@ -92,7 +96,28 @@ class WgaPipeline {
                             ThreadPool* pool = nullptr,
                             obs::MetricsRegistry* metrics = nullptr) const;
 
+    /**
+     * Like run_sequences, but seed from a caller-provided index over
+     * `target` instead of building one — the persisted-index path
+     * (darwin-wga-serve, the batch engine's shared-target cache). The
+     * index must have been built with this pipeline's seed pattern
+     * (FatalError otherwise); given that, results are bit-identical to
+     * run_sequences, and stats.seed_seconds excludes the build the
+     * caller amortized away.
+     */
+    WgaResult run_with_index(const seed::SeedIndex& index,
+                             const seq::Sequence& target,
+                             const seq::Sequence& query,
+                             ThreadPool* pool = nullptr,
+                             obs::MetricsRegistry* metrics = nullptr) const;
+
   private:
+    WgaResult run_impl(const seed::SeedIndex& index,
+                       const seq::Sequence& target,
+                       const seq::Sequence& query, WgaResult result,
+                       ThreadPool* pool,
+                       obs::MetricsRegistry* metrics) const;
+
     WgaParams params_;
     chain::ChainParams chain_params_;
 };

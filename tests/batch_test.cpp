@@ -15,6 +15,7 @@
 #include "batch/metrics.h"
 #include "batch/scheduler.h"
 #include "batch/shard.h"
+#include "index/index_cache.h"
 #include "fault/fault_plan.h"
 #include "synth/species.h"
 #include "wga/pipeline.h"
@@ -362,6 +363,97 @@ TEST(BatchEngine, StageCountersReconcile)
               count("batch.extend.absorbed") +
                   count("batch.extend.extended"));
     EXPECT_GT(count("batch.extend.matched_bases"), 0u);
+}
+
+/** N jobs aligning different queries against one shared target. */
+struct SharedTargetFixture {
+    std::vector<synth::SpeciesPair> pairs;
+    std::vector<BatchJob> jobs;
+    std::vector<wga::WgaResult> serial;
+
+    SharedTargetFixture()
+    {
+        synth::AncestorConfig shape;
+        shape.num_chromosomes = 1;
+        shape.chromosome_length = 8'000;
+        shape.exons_per_chromosome = 4;
+        const auto spec = synth::paper_species_pairs().front();
+        for (std::uint64_t seed : {501u, 502u, 503u})
+            pairs.push_back(synth::make_species_pair(spec, shape, seed));
+
+        const wga::WgaPipeline pipeline(wga::WgaParams::darwin_defaults());
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            // Every job reuses pair 0's target; queries differ.
+            jobs.push_back({"shared#" + std::to_string(i),
+                            &pairs[0].target.genome,
+                            &pairs[i].query.genome});
+            serial.push_back(pipeline.run(pairs[0].target.genome,
+                                          pairs[i].query.genome));
+        }
+    }
+};
+
+const SharedTargetFixture&
+shared_target_fixture()
+{
+    static const SharedTargetFixture fixture;
+    return fixture;
+}
+
+TEST(BatchEngine, SharedTargetBuildsIndexOnce)
+{
+    // With one worker the pairs prepare sequentially, so the engine must
+    // build the shared target's seed index exactly once and count every
+    // later acquire as a cache hit — without changing a single bit of
+    // the output.
+    const auto& fixture = shared_target_fixture();
+    BatchOptions options;
+    options.params = wga::WgaParams::darwin_defaults();
+    options.num_threads = 1;
+    options.shard_length = 2'048;
+
+    index::IndexCache cache(4);
+    options.index_cache = &cache;
+    MetricsRegistry metrics;
+    BatchScheduler scheduler(options, &metrics);
+    const auto results = scheduler.run(fixture.jobs);
+
+    ASSERT_EQ(results.size(), fixture.jobs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        expect_identical(fixture.serial[i], results[i].result,
+                         fixture.jobs[i].name);
+    }
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), fixture.jobs.size() - 1);
+    EXPECT_EQ(metrics.counter("batch.index.cache_hits").value(),
+              fixture.jobs.size() - 1);
+}
+
+TEST(BatchEngine, SharedTargetIdenticalUnderConcurrentPrepare)
+{
+    // With several workers the pairs race into the single-flight build;
+    // however the hits land, there is exactly one resident index, one
+    // acquire per pair, and bit-identical output.
+    const auto& fixture = shared_target_fixture();
+    BatchOptions options;
+    options.params = wga::WgaParams::darwin_defaults();
+    options.num_threads = 4;
+    options.shard_length = 2'048;
+
+    index::IndexCache cache(4);
+    options.index_cache = &cache;
+    MetricsRegistry metrics;
+    BatchScheduler scheduler(options, &metrics);
+    const auto results = scheduler.run(fixture.jobs);
+
+    ASSERT_EQ(results.size(), fixture.jobs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        expect_identical(fixture.serial[i], results[i].result,
+                         fixture.jobs[i].name + " (concurrent)");
+    }
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.hits() + cache.misses(), fixture.jobs.size());
 }
 
 TEST(BatchEngine, MetricsExposeStageLatenciesAndDepths)

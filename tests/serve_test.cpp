@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the serve subsystem (src/serve/): the line-delimited JSON
+ * protocol (parse/serialize, malformed-input rejection) and the Server
+ * end to end in process — the load-bearing property being that an align
+ * served from a persisted index writes a MAF byte-identical to the
+ * one-shot pipeline, and that per-request budgets trip with a tagged
+ * reason instead of taking the daemon down.
+ */
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "index/index_io.h"
+#include "seed/seed_index.h"
+#include "seq/fasta.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "synth/species.h"
+#include "util/strings.h"
+#include "wga/maf.h"
+#include "wga/pipeline.h"
+
+namespace darwin::serve {
+namespace {
+
+TEST(Protocol, ParsesPing)
+{
+    const Request request = parse_request("{\"op\": \"ping\", \"id\": \"7\"}");
+    EXPECT_EQ(request.op, Op::Ping);
+    EXPECT_EQ(request.id, "7");
+}
+
+TEST(Protocol, ParsesNumericIdAndDefaults)
+{
+    const Request request = parse_request(
+        "{\"id\": 12, \"op\": \"align\", \"target\": \"t.fa\", "
+        "\"query\": \"q.fa\", \"out\": \"o.maf\"}");
+    EXPECT_EQ(request.op, Op::Align);
+    EXPECT_EQ(request.id, "12");
+    EXPECT_EQ(request.target, "t.fa");
+    EXPECT_EQ(request.preset, "darwin");
+    EXPECT_TRUE(request.both_strands);
+    EXPECT_FALSE(request.no_transitions);
+    EXPECT_FALSE(request.has_budget);
+    EXPECT_TRUE(request.index.empty());
+}
+
+TEST(Protocol, ParsesFullAlign)
+{
+    const Request request = parse_request(
+        "{\"op\": \"align\", \"id\": \"a\", \"target\": \"t.fa\", "
+        "\"query\": \"q.fa\", \"out\": \"o.maf\", \"index\": \"t.dwi\", "
+        "\"preset\": \"lastz\", \"both_strands\": false, "
+        "\"no_transitions\": true, \"budget\": {\"wall_seconds\": 1.5, "
+        "\"max_cells\": 100, \"max_heap_bytes\": 4096}}");
+    EXPECT_EQ(request.index, "t.dwi");
+    EXPECT_EQ(request.preset, "lastz");
+    EXPECT_FALSE(request.both_strands);
+    EXPECT_TRUE(request.no_transitions);
+    ASSERT_TRUE(request.has_budget);
+    EXPECT_DOUBLE_EQ(request.budget.wall_seconds, 1.5);
+    EXPECT_EQ(request.budget.max_cells, 100u);
+    EXPECT_EQ(request.budget.max_heap_bytes, 4096u);
+}
+
+TEST(Protocol, IgnoresUnknownKeys)
+{
+    const Request request = parse_request(
+        "{\"op\": \"ping\", \"id\": \"1\", \"future_field\": null, "
+        "\"another\": 3.5}");
+    EXPECT_EQ(request.op, Op::Ping);
+}
+
+TEST(Protocol, RejectsMalformedLines)
+{
+    EXPECT_THROW(parse_request(""), ProtocolError);
+    EXPECT_THROW(parse_request("not json"), ProtocolError);
+    EXPECT_THROW(parse_request("{\"op\": \"ping\""), ProtocolError);
+    EXPECT_THROW(parse_request("{\"id\": \"1\"}"), ProtocolError);
+    EXPECT_THROW(parse_request("{\"op\": \"reticulate\"}"), ProtocolError);
+    EXPECT_THROW(parse_request("{\"op\": \"ping\"} trailing"),
+                 ProtocolError);
+    // align without its required paths
+    EXPECT_THROW(parse_request("{\"op\": \"align\", \"id\": \"1\"}"),
+                 ProtocolError);
+    // wrong value types
+    EXPECT_THROW(parse_request("{\"op\": 3}"), ProtocolError);
+    EXPECT_THROW(parse_request("{\"op\": \"align\", \"target\": true, "
+                               "\"query\": \"q\", \"out\": \"o\"}"),
+                 ProtocolError);
+    // negative budget axis
+    EXPECT_THROW(
+        parse_request("{\"op\": \"align\", \"target\": \"t\", "
+                      "\"query\": \"q\", \"out\": \"o\", "
+                      "\"budget\": {\"max_cells\": -1}}"),
+        ProtocolError);
+}
+
+TEST(Protocol, SerializesOkAndErrorResponses)
+{
+    Response ok;
+    ok.id = "9";
+    ok.add_string("op", "ping");
+    ok.add_int("n", 3);
+    EXPECT_EQ(serialize_response(ok),
+              "{\"id\": \"9\", \"status\": \"ok\", \"op\": \"ping\", "
+              "\"n\": 3}");
+
+    const Response err = error_response("9", "cells", "over \"budget\"");
+    const std::string line = serialize_response(err);
+    EXPECT_NE(line.find("\"status\": \"error\""), std::string::npos);
+    EXPECT_NE(line.find("\"reason\": \"cells\""), std::string::npos);
+    // The message is JSON-quoted, embedded quotes escaped.
+    EXPECT_NE(line.find("over \\\"budget\\\""), std::string::npos);
+}
+
+/**
+ * One synthetic species pair written to FASTA files, its persisted
+ * index, and the one-shot pipeline's MAF as the byte-level reference.
+ * Built once; the Server tests all align the same pair.
+ */
+struct ServeFixture {
+    std::string target_path;
+    std::string query_path;
+    std::string index_path;
+    std::string reference_maf;
+
+    ServeFixture()
+    {
+        synth::AncestorConfig shape;
+        shape.num_chromosomes = 1;
+        shape.chromosome_length = 8'000;
+        shape.exons_per_chromosome = 4;
+        const auto pair = synth::make_species_pair(
+            synth::paper_species_pairs().front(), shape, 4242);
+
+        const std::string dir = ::testing::TempDir();
+        target_path = dir + "/serve_target.fa";
+        query_path = dir + "/serve_query.fa";
+        index_path = dir + "/serve_target.dwi";
+        reference_maf = dir + "/serve_reference.maf";
+        seq::write_genome_file(target_path, pair.target.genome);
+        seq::write_genome_file(query_path, pair.query.genome);
+
+        const wga::WgaParams params = wga::WgaParams::darwin_defaults();
+        const seq::Sequence& flat = pair.target.genome.flattened();
+        const seed::SeedIndex index(flat,
+                                    seed::SeedPattern(params.seed_pattern));
+        index::save_index(index_path, index, index::sequence_digest(flat),
+                          flat.size());
+
+        const wga::WgaPipeline pipeline(params);
+        const auto result =
+            pipeline.run(pair.target.genome, pair.query.genome);
+        wga::write_maf_file(reference_maf, result.alignments,
+                            pair.target.genome, pair.query.genome);
+    }
+};
+
+const ServeFixture&
+fixture()
+{
+    static const ServeFixture instance;
+    return instance;
+}
+
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+std::string
+align_line(const std::string& id, const std::string& out,
+           const std::string& extra = "")
+{
+    const auto& f = fixture();
+    return strprintf("{\"op\": \"align\", \"id\": %s, \"target\": %s, "
+                     "\"query\": %s, \"out\": %s%s}",
+                     json_quote(id).c_str(),
+                     json_quote(f.target_path).c_str(),
+                     json_quote(f.query_path).c_str(),
+                     json_quote(out).c_str(), extra.c_str());
+}
+
+TEST(Server, PingAndStatus)
+{
+    Server server(ServerOptions{});
+    const std::string pong =
+        server.handle_line("{\"op\": \"ping\", \"id\": \"p\"}");
+    EXPECT_EQ(pong,
+              "{\"id\": \"p\", \"status\": \"ok\", \"op\": \"ping\"}");
+
+    const std::string status =
+        server.handle_line("{\"op\": \"status\", \"id\": \"s\"}");
+    EXPECT_NE(status.find("\"status\": \"ok\""), std::string::npos);
+    EXPECT_NE(status.find("\"requests\": 2"), std::string::npos);
+    EXPECT_NE(status.find("\"workers\": 2"), std::string::npos);
+}
+
+TEST(Server, MalformedLineAnswersBadRequest)
+{
+    Server server(ServerOptions{});
+    const std::string resp = server.handle_line("{\"op\": 42}");
+    EXPECT_NE(resp.find("\"status\": \"error\""), std::string::npos);
+    EXPECT_NE(resp.find("\"reason\": \"bad_request\""),
+              std::string::npos);
+}
+
+TEST(Server, AlignFromPersistedIndexIsByteIdenticalToOneShot)
+{
+    const auto& f = fixture();
+    const std::string out = ::testing::TempDir() + "/serve_indexed.maf";
+    Server server(ServerOptions{});
+    const std::string resp = server.handle_line(align_line(
+        "i1", out,
+        strprintf(", \"index\": %s", json_quote(f.index_path).c_str())));
+    ASSERT_NE(resp.find("\"status\": \"ok\""), std::string::npos) << resp;
+    EXPECT_NE(resp.find("\"index_cache_hit\": false"), std::string::npos);
+    EXPECT_EQ(slurp(out), slurp(f.reference_maf));
+
+    // Second align of the same target hits the resident index and still
+    // produces the same bytes.
+    const std::string out2 = ::testing::TempDir() + "/serve_cached.maf";
+    const std::string resp2 = server.handle_line(align_line("i2", out2));
+    ASSERT_NE(resp2.find("\"status\": \"ok\""), std::string::npos)
+        << resp2;
+    EXPECT_NE(resp2.find("\"index_cache_hit\": true"), std::string::npos);
+    EXPECT_EQ(slurp(out2), slurp(f.reference_maf));
+}
+
+TEST(Server, AlignRebuildingIndexIsByteIdenticalToOneShot)
+{
+    const auto& f = fixture();
+    const std::string out = ::testing::TempDir() + "/serve_rebuilt.maf";
+    Server server(ServerOptions{});
+    const std::string resp = server.handle_line(align_line("r1", out));
+    ASSERT_NE(resp.find("\"status\": \"ok\""), std::string::npos) << resp;
+    EXPECT_EQ(slurp(out), slurp(f.reference_maf));
+}
+
+TEST(Server, MismatchedIndexIsRejectedNotServed)
+{
+    // An index built from the query sequence must be refused for the
+    // target (digest mismatch), not silently produce garbage.
+    const auto& f = fixture();
+    const std::string wrong_index =
+        ::testing::TempDir() + "/serve_wrong.dwi";
+    const auto query = seq::read_genome(f.query_path);
+    const seq::Sequence& flat = query.flattened();
+    const wga::WgaParams params = wga::WgaParams::darwin_defaults();
+    const seed::SeedIndex index(flat,
+                                seed::SeedPattern(params.seed_pattern));
+    index::save_index(wrong_index, index, index::sequence_digest(flat),
+                      flat.size());
+
+    Server server(ServerOptions{});
+    const std::string out = ::testing::TempDir() + "/serve_never.maf";
+    const std::string resp = server.handle_line(align_line(
+        "w1", out,
+        strprintf(", \"index\": %s", json_quote(wrong_index).c_str())));
+    EXPECT_NE(resp.find("\"status\": \"error\""), std::string::npos);
+    EXPECT_NE(resp.find("different sequence"), std::string::npos) << resp;
+}
+
+TEST(Server, CellBudgetTripsWithTaggedReason)
+{
+    Server server(ServerOptions{});
+    const std::string out = ::testing::TempDir() + "/serve_budget.maf";
+    const std::string resp = server.handle_line(align_line(
+        "b1", out, ", \"budget\": {\"max_cells\": 1}"));
+    EXPECT_NE(resp.find("\"status\": \"error\""), std::string::npos);
+    EXPECT_NE(resp.find("\"reason\": \"cells\""), std::string::npos)
+        << resp;
+    // The tripped request must not poison the server: the next align
+    // with no budget succeeds.
+    const std::string resp2 = server.handle_line(align_line("b2", out));
+    EXPECT_NE(resp2.find("\"status\": \"ok\""), std::string::npos)
+        << resp2;
+}
+
+TEST(Server, DefaultBudgetAppliesWhenRequestHasNone)
+{
+    ServerOptions options;
+    options.default_budget.max_cells = 1;
+    Server server(options);
+    const std::string out = ::testing::TempDir() + "/serve_default.maf";
+    const std::string resp = server.handle_line(align_line("d1", out));
+    EXPECT_NE(resp.find("\"reason\": \"cells\""), std::string::npos)
+        << resp;
+}
+
+TEST(Server, StreamServesInOrderAndShutsDownOnOp)
+{
+    std::istringstream in("{\"op\": \"ping\", \"id\": \"1\"}\n"
+                          "\n"
+                          "{\"op\": \"shutdown\", \"id\": \"2\"}\n");
+    std::ostringstream out;
+    Server server(ServerOptions{});
+    server.serve_stream(in, out);
+    // The shutdown op was handled (asynchronously) before serve_stream
+    // drained, so the server is stopping by the time it returns.
+    EXPECT_TRUE(server.stopping());
+    server.stop();
+
+    const std::string output = out.str();
+    EXPECT_NE(output.find("\"id\": \"1\""), std::string::npos);
+    EXPECT_NE(output.find("\"op\": \"shutdown\""), std::string::npos);
+}
+
+TEST(Server, SubmitRefusedAfterStop)
+{
+    Server server(ServerOptions{});
+    server.stop();
+    EXPECT_FALSE(server.submit("{\"op\": \"ping\", \"id\": \"x\"}",
+                               [](const std::string&) {}));
+}
+
+}  // namespace
+}  // namespace darwin::serve

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * `darwin-wga-serve` — long-lived alignment daemon over line-delimited
+ * JSON (see src/serve/protocol.h for the wire format).
+ *
+ * Transports:
+ *   default        requests on stdin, responses on stdout
+ *   --socket PATH  AF_UNIX stream listener; one thread per connection,
+ *                  all connections share the server's worker pool,
+ *                  genome cache, and seed-index cache
+ *
+ *   darwin-wga-serve --workers 4 < requests.jsonl > responses.jsonl
+ *   darwin-wga-serve --socket /tmp/darwin.sock &
+ *
+ * Shutdown: a client {"op": "shutdown"} or SIGTERM/SIGINT drains
+ * in-flight requests (cancelling their budget tokens so nothing runs
+ * long), flushes observability output, and exits 0. A second signal or
+ * an expired grace period force-exits 130 via the watchdog.
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs_support.h"
+#include "serve/server.h"
+#include "signal_support.h"
+#include "util/args.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+using namespace darwin;
+
+namespace {
+
+int
+serve_socket(serve::Server& server, const std::string& path)
+{
+    const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener < 0)
+        fatal(strprintf("socket: %s", std::strerror(errno)));
+    struct sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(listener);
+        fatal("socket path too long");
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(path.c_str());
+    if (::bind(listener, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(listener);
+        fatal(strprintf("bind %s: %s", path.c_str(),
+                        std::strerror(err)));
+    }
+    if (::listen(listener, 16) != 0) {
+        const int err = errno;
+        ::close(listener);
+        ::unlink(path.c_str());
+        fatal(strprintf("listen %s: %s", path.c_str(),
+                        std::strerror(err)));
+    }
+    inform(strprintf("serve: listening on %s", path.c_str()));
+
+    std::vector<std::thread> connections;
+    while (!server.stopping()) {
+        if (fault::shutdown_requested()) {
+            server.stop();
+            break;
+        }
+        struct pollfd pfd = {};
+        pfd.fd = listener;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (ready == 0)
+            continue;
+        const int conn = ::accept(listener, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        connections.emplace_back([&server, conn] {
+            // Each connection runs the shared server's poll transport;
+            // requests from every connection funnel into one queue.
+            server.serve_fd(conn, conn);
+            ::close(conn);
+        });
+    }
+    server.stop();
+    for (auto& connection : connections)
+        connection.join();
+    ::close(listener);
+    ::unlink(path.c_str());
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    ArgParser args("darwin-wga-serve: long-lived alignment service "
+                   "speaking line-delimited JSON on stdin/stdout or a "
+                   "Unix socket.");
+    args.add_option("socket", "",
+                    "serve on this AF_UNIX socket path instead of "
+                    "stdin/stdout");
+    args.add_option("workers", "2", "concurrent align requests");
+    args.add_option("queue", "64", "queued-request bound (backpressure)");
+    args.add_option("index-cache", "8",
+                    "resident seed indexes (LRU beyond this)");
+    args.add_option("wall-budget", "0",
+                    "default per-request wall seconds (0 = unlimited)");
+    args.add_option("cells-budget", "0",
+                    "default per-request DP-cell budget (0 = unlimited)");
+    args.add_option("heap-budget", "0",
+                    "default per-request heap bytes (0 = unlimited)");
+    args.add_option("grace", "10",
+                    "seconds a signalled shutdown may drain before the "
+                    "watchdog force-exits");
+    tools::add_obs_options(args);
+    if (!args.parse(argc, argv))
+        return 1;
+
+    init_log_level_from_env();
+
+    // A client that hangs up mid-response must not kill the daemon:
+    // with SIGPIPE ignored, write() returns EPIPE and the response is
+    // dropped by the serve loop's sink instead.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    serve::ServerOptions options;
+    options.num_workers =
+        static_cast<std::size_t>(args.get_int("workers"));
+    options.queue_capacity =
+        static_cast<std::size_t>(args.get_int("queue"));
+    options.index_cache_capacity =
+        static_cast<std::size_t>(args.get_int("index-cache"));
+    options.default_budget.wall_seconds = args.get_double("wall-budget");
+    options.default_budget.max_cells =
+        static_cast<std::uint64_t>(args.get_int("cells-budget"));
+    options.default_budget.max_heap_bytes =
+        static_cast<std::uint64_t>(args.get_int("heap-budget"));
+
+    try {
+        obs::MetricsRegistry metrics;
+        tools::ObsSetup obs_setup(args, metrics);
+        serve::Server server(options, &metrics);
+        // SIGTERM/SIGINT is the daemon's normal stop: the serve loops
+        // poll the shutdown flag, cancel in-flight budget tokens, and
+        // drain — so a clean signal exit is 0, not 130.
+        tools::SignalGuard signals([&] { obs_setup.finish(); },
+                                   args.get_double("grace"));
+
+        const std::string socket_path = args.get("socket");
+        if (socket_path.empty()) {
+            inform("serve: reading requests from stdin");
+            server.serve_fd(STDIN_FILENO, STDOUT_FILENO);
+            server.stop();
+        } else {
+            serve_socket(server, socket_path);
+        }
+        obs_setup.finish();
+        inform("serve: drained; exiting");
+        return 0;
+    } catch (const FatalError& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Smoke-test client for darwin-wga-serve, used by CI.
+
+Starts the daemon on stdin/stdout, drives one session:
+
+  1. ping                           -> status ok
+  2. align against a persisted index -> status ok, MAF byte-identical
+                                        to --reference when given
+  3. align with max_cells=1          -> status error, reason "cells"
+     (the budget trip must not take the daemon down)
+  4. status                          -> status ok, sane counters
+
+then sends SIGTERM and asserts the daemon drains and exits 0.
+
+  python3 serve_smoke.py ./tools/darwin-wga-serve \
+      --target t.fa --query q.fa --index t.dwi --reference cli.maf
+"""
+import argparse
+import json
+import signal
+import subprocess
+import sys
+
+
+def fail(message):
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("daemon", help="path to darwin-wga-serve")
+    parser.add_argument("--target", required=True)
+    parser.add_argument("--query", required=True)
+    parser.add_argument("--index", required=True)
+    parser.add_argument("--reference",
+                        help="MAF to compare the served output against")
+    parser.add_argument("--out", default="serve_smoke.maf")
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args()
+
+    requests = [
+        {"op": "ping", "id": "ping"},
+        {"op": "align", "id": "align", "target": args.target,
+         "query": args.query, "out": args.out, "index": args.index},
+        {"op": "align", "id": "tripped", "target": args.target,
+         "query": args.query, "out": args.out + ".never",
+         "budget": {"max_cells": 1}},
+        {"op": "status", "id": "status"},
+    ]
+
+    proc = subprocess.Popen(
+        [args.daemon, "--workers", "1"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
+    try:
+        for request in requests:
+            proc.stdin.write(json.dumps(request) + "\n")
+        proc.stdin.flush()
+
+        responses = {}
+        for _ in requests:
+            line = proc.stdout.readline()
+            if not line:
+                fail("daemon closed stdout before answering everything")
+            print(f"serve_smoke: <- {line.strip()}")
+            response = json.loads(line)
+            responses[response.get("id")] = response
+
+        if responses["ping"].get("status") != "ok":
+            fail(f"ping failed: {responses['ping']}")
+
+        align = responses["align"]
+        if align.get("status") != "ok":
+            fail(f"align failed: {align}")
+        if align.get("alignments", 0) <= 0:
+            fail(f"align produced no alignments: {align}")
+        if args.reference:
+            served = open(args.out, "rb").read()
+            reference = open(args.reference, "rb").read()
+            if served != reference:
+                fail(f"{args.out} differs from {args.reference} "
+                     f"({len(served)} vs {len(reference)} bytes)")
+            print(f"serve_smoke: {args.out} byte-identical to "
+                  f"{args.reference} ({len(served)} bytes)")
+
+        tripped = responses["tripped"]
+        if tripped.get("status") != "error":
+            fail(f"budget request did not trip: {tripped}")
+        if tripped.get("reason") != "cells":
+            fail(f"budget trip has wrong reason: {tripped}")
+
+        status = responses["status"]
+        if status.get("status") != "ok":
+            fail(f"status failed: {status}")
+        if status.get("errors") != 1 or status.get("ok", 0) < 2:
+            fail(f"status counters off: {status}")
+
+        # Clean SIGTERM shutdown: drain and exit 0 (stdin stays open, so
+        # only the signal can stop it).
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=args.timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("daemon did not exit after SIGTERM")
+        if code != 0:
+            fail(f"daemon exited {code} after SIGTERM, expected 0")
+        print("serve_smoke: SIGTERM -> clean exit 0")
+        print("serve_smoke: PASS")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    main()
