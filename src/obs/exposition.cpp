@@ -1,0 +1,131 @@
+#include "obs/exposition.h"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace darwin::obs {
+
+namespace {
+
+bool
+valid_name_char(char c, bool first)
+{
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':')
+        return true;
+    return !first && c >= '0' && c <= '9';
+}
+
+/**
+ * Render a double for an exposition sample value. Prometheus accepts
+ * Go-style float literals; non-finite sums (which obs::Histogram can
+ * no longer produce, but defensive here) become NaN.
+ */
+std::string
+sample_value(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    return strprintf("%.9g", v);
+}
+
+std::string
+le_label(std::size_t i)
+{
+    if (i + 1 >= Histogram::kNumBuckets)
+        return "+Inf";
+    return strprintf("%.9g", Histogram::bucket_bound(i));
+}
+
+}  // namespace
+
+std::string
+sanitize_metric_name(const std::string& name)
+{
+    if (name.empty())
+        return "_";
+    std::string out;
+    out.reserve(name.size() + 1);
+    if (name[0] >= '0' && name[0] <= '9')
+        out.push_back('_');
+    for (char c : name)
+        out.push_back(valid_name_char(c, out.empty()) ? c : '_');
+    return out;
+}
+
+std::string
+escape_label_value(const std::string& value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '"':
+            out += "\\\"";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+void
+write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot)
+{
+    for (const auto& [name, value] : snapshot.counters) {
+        const std::string prom = sanitize_metric_name(name) + "_total";
+        out << "# TYPE " << prom << " counter\n";
+        out << prom << " " << value << "\n";
+    }
+    for (const auto& [name, g] : snapshot.gauges) {
+        const std::string prom = sanitize_metric_name(name);
+        out << "# TYPE " << prom << " gauge\n";
+        out << prom << " " << g.value << "\n";
+        out << "# TYPE " << prom << "_high_water gauge\n";
+        out << prom << "_high_water " << g.high_water << "\n";
+    }
+    for (const auto& [name, h] : snapshot.histograms) {
+        const std::string prom = sanitize_metric_name(name);
+        out << "# TYPE " << prom << " histogram\n";
+        std::uint64_t prev = 0;
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+            // Sparse cumulative rendering: skip bounds that gained no
+            // observations. The +Inf bucket is mandatory and always
+            // equals _count.
+            if (h.buckets[i] == prev && i + 1 < h.buckets.size())
+                continue;
+            out << prom << "_bucket{le=\"" << le_label(i)
+                << "\"} " << h.buckets[i] << "\n";
+            prev = h.buckets[i];
+        }
+        out << prom << "_sum " << sample_value(h.sum) << "\n";
+        out << prom << "_count " << h.count << "\n";
+        if (h.nonfinite != 0) {
+            out << "# TYPE " << prom << "_nonfinite_total counter\n";
+            out << prom << "_nonfinite_total " << h.nonfinite << "\n";
+        }
+    }
+}
+
+std::string
+to_prometheus(const MetricsRegistry& metrics)
+{
+    std::ostringstream out;
+    write_prometheus(out, metrics.snapshot());
+    return out.str();
+}
+
+}  // namespace darwin::obs

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Prometheus text exposition (format 0.0.4) for the metrics registry.
+ *
+ * Renders a MetricsSnapshot — counters, gauges, histograms — as the
+ * plain-text scrape format Prometheus and compatible collectors ingest:
+ *
+ *   # TYPE serve_requests_total counter
+ *   serve_requests_total 42
+ *   # TYPE serve_queue_depth gauge
+ *   serve_queue_depth 3
+ *   # TYPE serve_request_seconds histogram
+ *   serve_request_seconds_bucket{le="0.001024"} 17
+ *   serve_request_seconds_bucket{le="+Inf"} 42
+ *   serve_request_seconds_sum 1.25
+ *   serve_request_seconds_count 42
+ *
+ * The registry's dotted metric names ("serve.request.seconds") are
+ * sanitized to the Prometheus grammar (dots and any other invalid
+ * character become underscores; a leading digit gains a '_' prefix).
+ * Counters gain the conventional `_total` suffix; every gauge also
+ * exports a `<name>_high_water` companion series. Histogram buckets are
+ * the fixed log-spaced cumulative grid from obs::Histogram, rendered
+ * sparsely (bounds where the cumulative count changed, plus the
+ * mandatory `+Inf` bucket, which always equals `_count`).
+ *
+ * Rendering works from one consistent snapshot, so `_sum`, `_count`,
+ * and the buckets of a histogram always agree with each other even
+ * when writers are observing concurrently — and the same snapshot can
+ * be rendered as JSON (Op::Stats) and as Prometheus text (/metrics)
+ * without the two disagreeing.
+ */
+#ifndef DARWIN_OBS_EXPOSITION_H
+#define DARWIN_OBS_EXPOSITION_H
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace darwin::obs {
+
+/**
+ * Map an internal metric name onto the Prometheus name grammar
+ * [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid character (notably the '.'
+ * separators and '-') becomes '_', and a leading digit gains a '_'
+ * prefix. An empty name becomes "_".
+ */
+std::string sanitize_metric_name(const std::string& name);
+
+/**
+ * Escape a string for use inside a label value: backslash, double
+ * quote, and newline become \\, \", and \n.
+ */
+std::string escape_label_value(const std::string& value);
+
+/** Render the snapshot as Prometheus text exposition. */
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot);
+
+/** Snapshot the registry and render it (convenience for scrape paths). */
+std::string to_prometheus(const MetricsRegistry& metrics);
+
+}  // namespace darwin::obs
+
+#endif  // DARWIN_OBS_EXPOSITION_H

@@ -1,0 +1,59 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace darwin::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+{
+    slots_.reserve(std::max<std::size_t>(capacity, 1));
+    for (std::size_t i = 0; i < std::max<std::size_t>(capacity, 1); ++i)
+        slots_.push_back(std::make_unique<Slot>());
+}
+
+void
+FlightRecorder::record(TraceEvent event)
+{
+    const std::uint64_t seq =
+        head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = *slots_[seq % slots_.size()];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.filled = true;
+    slot.event = std::move(event);
+}
+
+std::vector<TraceEvent>
+FlightRecorder::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(slots_.size());
+    for (const auto& slot : slots_) {
+        std::lock_guard<std::mutex> lock(slot->mutex);
+        if (slot->filled)
+            out.push_back(slot->event);
+    }
+    // Slot order is ring order, not time order, once the ring has
+    // wrapped; restore a stable oldest-first timeline for the dump.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         return a.start_us < b.start_us;
+                     });
+    return out;
+}
+
+std::uint64_t
+FlightRecorder::recorded() const
+{
+    return head_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+FlightRecorder::dropped() const
+{
+    const std::uint64_t total = recorded();
+    const std::uint64_t cap = slots_.size();
+    return total > cap ? total - cap : 0;
+}
+
+}  // namespace darwin::obs

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Flight recorder: a TraceSession whose storage is a bounded ring of
+ * the most recent spans instead of an unbounded append log.
+ *
+ * A long-lived daemon cannot afford the base TraceSession (memory grows
+ * with uptime) and usually learns that a request was anomalous *after*
+ * it completed — too late to pre-arm --trace-out. The flight recorder
+ * inverts that: it is always on at a fixed memory cost, continuously
+ * overwriting the oldest spans, and the last N spans can be dumped on
+ * demand (serve `dump_trace` request, SIGUSR1) as a valid Chrome trace
+ * for chrome://tracing / ui.perfetto.dev.
+ *
+ * Recording is lock-light: a span claims its ring slot with one atomic
+ * fetch_add, then moves its event into the slot under a per-slot mutex
+ * (contention only when a writer laps a concurrent snapshot or another
+ * writer on the same slot, i.e. never in steady state with capacity >>
+ * thread count). dropped() counts spans that have been overwritten.
+ *
+ * snapshot() returns the retained spans oldest-first, re-sorted by
+ * start timestamp so a dump taken mid-overwrite still renders sanely.
+ */
+#ifndef DARWIN_OBS_FLIGHT_RECORDER_H
+#define DARWIN_OBS_FLIGHT_RECORDER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace darwin::obs {
+
+class FlightRecorder : public TraceSession {
+  public:
+    /** Retain at most `capacity` spans (>= 1; smaller values clamp). */
+    explicit FlightRecorder(std::size_t capacity);
+
+    void record(TraceEvent event) override;
+
+    /** The retained spans, oldest-first by start timestamp. */
+    std::vector<TraceEvent> snapshot() const override;
+
+    std::size_t
+    capacity() const
+    {
+        return slots_.size();
+    }
+
+    /** Spans recorded over the recorder's lifetime. */
+    std::uint64_t recorded() const;
+
+    /** Spans lost to ring overwrite (recorded() - retained). */
+    std::uint64_t dropped() const;
+
+  private:
+    struct Slot {
+        std::mutex mutex;
+        bool filled = false;
+        TraceEvent event;
+    };
+
+    std::atomic<std::uint64_t> head_{0};  // next sequence number
+    std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace darwin::obs
+
+#endif  // DARWIN_OBS_FLIGHT_RECORDER_H

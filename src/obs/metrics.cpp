@@ -14,12 +14,50 @@ namespace {
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
+/** Index of the first bucket whose bound is >= value. */
+std::size_t
+bucket_index(double value)
+{
+    for (std::size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+        if (value <= Histogram::bucket_bound(i))
+            return i;
+    }
+    return Histogram::kNumBuckets - 1;  // +Inf bucket
+}
+
+/** Quantile over an unsorted copy of the samples (NaN when empty). */
+double
+sample_quantile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return kNaN;
+    std::sort(sorted.begin(), sorted.end());
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
 }  // namespace
+
+double
+Histogram::bucket_bound(std::size_t i)
+{
+    if (i + 1 >= kNumBuckets)
+        return std::numeric_limits<double>::infinity();
+    return 1e-6 * static_cast<double>(std::uint64_t{1} << i);
+}
 
 void
 Histogram::observe(double value)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (!std::isfinite(value)) {
+        ++nonfinite_;
+        return;
+    }
     if (count_ == 0) {
         min_ = value;
         max_ = value;
@@ -29,6 +67,7 @@ Histogram::observe(double value)
     }
     ++count_;
     sum_ += value;
+    ++buckets_[bucket_index(value)];
     if (samples_.size() < kMaxSamples)
         samples_.push_back(value);
 }
@@ -72,16 +111,41 @@ double
 Histogram::quantile(double q) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (samples_.empty())
-        return kNaN;
-    std::vector<double> sorted(samples_);
-    std::sort(sorted.begin(), sorted.end());
-    q = std::clamp(q, 0.0, 1.0);
-    const double rank = q * static_cast<double>(sorted.size() - 1);
-    const std::size_t lo = static_cast<std::size_t>(rank);
-    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = rank - static_cast<double>(lo);
-    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+    return sample_quantile(samples_, q);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    HistogramSnapshot snap;
+    snap.count = count_;
+    snap.nonfinite = nonfinite_;
+    snap.sum = sum_;
+    snap.min = count_ == 0 ? kNaN : min_;
+    snap.max = count_ == 0 ? kNaN : max_;
+    snap.p50 = sample_quantile(samples_, 0.50);
+    snap.p90 = sample_quantile(samples_, 0.90);
+    snap.p99 = sample_quantile(samples_, 0.99);
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        running += buckets_[i];
+        snap.buckets[i] = running;
+    }
+    return snap;
+}
+
+void
+Histogram::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    count_ = 0;
+    nonfinite_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    buckets_.fill(0);
+    samples_.clear();
 }
 
 Counter&
@@ -150,6 +214,30 @@ MetricsRegistry::gauge_snapshot(const std::string& prefix) const
     return out;
 }
 
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, metric] : counters_)
+        snap.counters.emplace_back(name, metric->value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, metric] : gauges_) {
+        // Read high_water before value: set() writes value first, so
+        // this order can never observe a high-water below the value.
+        GaugeSnapshot g;
+        g.high_water = metric->high_water();
+        g.value = metric->value();
+        g.high_water = std::max(g.high_water, g.value);
+        snap.gauges.emplace_back(name, g);
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, metric] : histograms_)
+        snap.histograms.emplace_back(name, metric->snapshot());
+    return snap;
+}
+
 namespace {
 
 /** Render a double as JSON; non-finite values become null. */
@@ -161,42 +249,84 @@ json_number(double v)
     return strprintf("%.9g", v);
 }
 
+/** Bucket bound as a Prometheus-style le label ("+inf" for the last). */
+std::string
+bound_label(std::size_t i)
+{
+    if (i + 1 >= Histogram::kNumBuckets)
+        return "+inf";
+    return strprintf("%.9g", Histogram::bucket_bound(i));
+}
+
 }  // namespace
+
+void
+write_snapshot_json(std::ostream& out, const MetricsSnapshot& snapshot,
+                    bool pretty)
+{
+    // The pretty form is the historical dump layout (metrics files,
+    // --metrics-out); the compact form drops every newline and indent
+    // so the object can ride in a line-delimited protocol.
+    const char* nl = pretty ? "\n" : "";
+    const char* pad4 = pretty ? "    " : "";
+    const char* pad2 = pretty ? "  " : "";
+    out << "{" << nl << pad2 << "\"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : snapshot.counters) {
+        out << (first ? "" : ",") << nl << pad4 << "\"" << name
+            << "\": " << value;
+        first = false;
+    }
+    out << (snapshot.counters.empty() ? "" : nl)
+        << (snapshot.counters.empty() ? "" : pad2) << "}," << nl << pad2
+        << "\"gauges\": {";
+    first = true;
+    for (const auto& [name, g] : snapshot.gauges) {
+        out << (first ? "" : ",") << nl << pad4 << "\"" << name
+            << "\": {\"value\": " << g.value
+            << ", \"high_water\": " << g.high_water << "}";
+        first = false;
+    }
+    out << (snapshot.gauges.empty() ? "" : nl)
+        << (snapshot.gauges.empty() ? "" : pad2) << "}," << nl << pad2
+        << "\"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : snapshot.histograms) {
+        out << (first ? "" : ",") << nl << pad4 << "\"" << name << "\": {"
+            << "\"count\": " << h.count << ", \"sum\": " << json_number(h.sum)
+            << ", \"mean\": " << json_number(h.mean())
+            << ", \"min\": " << json_number(h.min)
+            << ", \"max\": " << json_number(h.max)
+            << ", \"p50\": " << json_number(h.p50)
+            << ", \"p90\": " << json_number(h.p90)
+            << ", \"p99\": " << json_number(h.p99);
+        if (h.nonfinite != 0)
+            out << ", \"nonfinite\": " << h.nonfinite;
+        out << ", \"buckets\": {";
+        bool first_bucket = true;
+        std::uint64_t prev = 0;
+        for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+            // Sparse: only buckets that gained observations, plus the
+            // final +inf bucket (== count) so cumulativity is checkable.
+            if (h.buckets[i] == prev && i + 1 < h.buckets.size())
+                continue;
+            out << (first_bucket ? "" : ", ") << "\"" << bound_label(i)
+                << "\": " << h.buckets[i];
+            first_bucket = false;
+            prev = h.buckets[i];
+        }
+        out << "}}";
+        first = false;
+    }
+    out << (snapshot.histograms.empty() ? "" : nl)
+        << (snapshot.histograms.empty() ? "" : pad2) << "}" << nl << "}"
+        << (pretty ? "\n" : "");
+}
 
 void
 MetricsRegistry::write_json(std::ostream& out) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    out << "{\n  \"counters\": {";
-    bool first = true;
-    for (const auto& [name, metric] : counters_) {
-        out << (first ? "" : ",") << "\n    \"" << name
-            << "\": " << metric->value();
-        first = false;
-    }
-    out << (counters_.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
-    first = true;
-    for (const auto& [name, metric] : gauges_) {
-        out << (first ? "" : ",") << "\n    \"" << name
-            << "\": {\"value\": " << metric->value()
-            << ", \"high_water\": " << metric->high_water() << "}";
-        first = false;
-    }
-    out << (gauges_.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
-    first = true;
-    for (const auto& [name, metric] : histograms_) {
-        out << (first ? "" : ",") << "\n    \"" << name << "\": {"
-            << "\"count\": " << metric->count()
-            << ", \"sum\": " << json_number(metric->sum())
-            << ", \"mean\": " << json_number(metric->mean())
-            << ", \"min\": " << json_number(metric->min())
-            << ", \"max\": " << json_number(metric->max())
-            << ", \"p50\": " << json_number(metric->quantile(0.50))
-            << ", \"p90\": " << json_number(metric->quantile(0.90))
-            << ", \"p99\": " << json_number(metric->quantile(0.99)) << "}";
-        first = false;
-    }
-    out << (histograms_.empty() ? "" : "\n  ") << "}\n}\n";
+    write_snapshot_json(out, snapshot(), /*pretty=*/true);
 }
 
 std::string
@@ -204,6 +334,14 @@ MetricsRegistry::to_json() const
 {
     std::ostringstream out;
     write_json(out);
+    return out.str();
+}
+
+std::string
+MetricsRegistry::to_json_compact() const
+{
+    std::ostringstream out;
+    write_snapshot_json(out, snapshot(), /*pretty=*/false);
     return out.str();
 }
 

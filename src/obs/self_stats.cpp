@@ -1,0 +1,140 @@
+#include "obs/self_stats.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <dirent.h>
+
+namespace darwin::obs {
+
+namespace {
+
+/** Count directory entries under a /proc/self subdirectory (0 if unreadable). */
+std::int64_t
+count_dir_entries(const char* path)
+{
+    DIR* dir = ::opendir(path);
+    if (dir == nullptr)
+        return 0;
+    std::int64_t n = 0;
+    while (const dirent* entry = ::readdir(dir)) {
+        const char* name = entry->d_name;
+        if (name[0] == '.' &&
+            (name[1] == '\0' || (name[1] == '.' && name[2] == '\0')))
+            continue;
+        ++n;
+    }
+    ::closedir(dir);
+    return n;
+}
+
+}  // namespace
+
+ProcSample
+sample_proc()
+{
+    ProcSample sample;
+
+    // statm: first field is total program size, second resident, both
+    // in pages.
+    std::ifstream statm("/proc/self/statm");
+    long long size_pages = 0, resident_pages = 0;
+    if (!(statm >> size_pages >> resident_pages))
+        return sample;  // no /proc: report ok == false
+    sample.rss_bytes =
+        static_cast<std::int64_t>(resident_pages) * ::sysconf(_SC_PAGESIZE);
+
+    // stat: utime and stime are fields 14 and 15, but the comm field
+    // (2) may itself contain spaces and parentheses, so parse from the
+    // *last* ')' — utime/stime are then whitespace tokens 11 and 12.
+    std::ifstream stat("/proc/self/stat");
+    std::string line;
+    std::getline(stat, line);
+    const std::size_t close = line.rfind(')');
+    if (close != std::string::npos) {
+        std::istringstream rest(line.substr(close + 1));
+        std::string token;
+        long long utime = 0, stime = 0;
+        for (int field = 3; field <= 15 && (rest >> token); ++field) {
+            if (field == 14)
+                utime = std::atoll(token.c_str());
+            else if (field == 15)
+                stime = std::atoll(token.c_str());
+        }
+        const double ticks_per_second =
+            static_cast<double>(::sysconf(_SC_CLK_TCK));
+        if (ticks_per_second > 0) {
+            sample.cpu_seconds =
+                static_cast<double>(utime + stime) / ticks_per_second;
+        }
+    }
+
+    sample.fds = count_dir_entries("/proc/self/fd");
+    sample.threads = count_dir_entries("/proc/self/task");
+    sample.ok = true;
+    return sample;
+}
+
+SelfMonitor::SelfMonitor(MetricsRegistry& metrics, double interval_seconds,
+                         std::function<void()> extra_sampler)
+    : metrics_(metrics), extra_sampler_(std::move(extra_sampler))
+{
+    sample_once();
+    const auto interval = std::chrono::duration<double>(
+        interval_seconds > 0 ? interval_seconds : 1.0);
+    thread_ = std::thread([this, interval] {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stopping_) {
+            if (cv_.wait_for(lock, interval, [this] { return stopping_; }))
+                break;
+            lock.unlock();
+            sample_once();
+            lock.lock();
+        }
+    });
+}
+
+SelfMonitor::~SelfMonitor()
+{
+    stop();
+}
+
+void
+SelfMonitor::sample_once()
+{
+    const ProcSample sample = sample_proc();
+    if (sample.ok) {
+        metrics_.gauge("proc.rss_bytes").set(sample.rss_bytes);
+        metrics_.gauge("proc.cpu_seconds")
+            .set(static_cast<std::int64_t>(std::llround(sample.cpu_seconds)));
+        metrics_.gauge("proc.cpu_millis")
+            .set(static_cast<std::int64_t>(
+                std::llround(sample.cpu_seconds * 1000.0)));
+        metrics_.gauge("proc.fds").set(sample.fds);
+        metrics_.gauge("proc.threads").set(sample.threads);
+    }
+    if (extra_sampler_)
+        extra_sampler_();
+}
+
+void
+SelfMonitor::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;  // a previous stop() already owns the join
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+}  // namespace darwin::obs

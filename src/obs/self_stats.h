@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Process self-monitoring: a background sampler that periodically reads
+ * /proc/self and publishes resource gauges into the metrics registry,
+ * so a scrape of a long-lived daemon shows *process* health (memory,
+ * CPU, descriptor and thread counts) next to the pipeline telemetry.
+ *
+ * Published gauges:
+ *   proc.rss_bytes    resident set size
+ *   proc.cpu_seconds  user+system CPU time, whole seconds
+ *   proc.cpu_millis   the same at millisecond resolution
+ *   proc.fds          open file descriptors
+ *   proc.threads      OS threads
+ *
+ * The caller can attach an extra per-sample hook for gauges only it can
+ * compute (the serve daemon publishes serve.queue_depth this way). On
+ * platforms without /proc the sampler degrades to publishing nothing
+ * (sample_proc() reports ok == false) rather than failing.
+ */
+#ifndef DARWIN_OBS_SELF_STATS_H
+#define DARWIN_OBS_SELF_STATS_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace darwin::obs {
+
+/** One /proc/self reading; ok == false when /proc is unavailable. */
+struct ProcSample {
+    bool ok = false;
+    std::int64_t rss_bytes = 0;
+    double cpu_seconds = 0.0;
+    std::int64_t fds = 0;
+    std::int64_t threads = 0;
+};
+
+/** Read the current process stats (statm, stat, fd/, task/). */
+ProcSample sample_proc();
+
+/**
+ * Samples on construction, then every `interval_seconds` on a
+ * background thread until stop() or destruction. The extra hook (may
+ * be empty) runs after the proc gauges on every sample.
+ */
+class SelfMonitor {
+  public:
+    SelfMonitor(MetricsRegistry& metrics, double interval_seconds,
+                std::function<void()> extra_sampler = {});
+    ~SelfMonitor();
+
+    SelfMonitor(const SelfMonitor&) = delete;
+    SelfMonitor& operator=(const SelfMonitor&) = delete;
+
+    /** Publish one sample immediately (also used by the thread). */
+    void sample_once();
+
+    /** Stop and join the sampler thread (idempotent). */
+    void stop();
+
+  private:
+    MetricsRegistry& metrics_;
+    std::function<void()> extra_sampler_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    std::thread thread_;
+};
+
+}  // namespace darwin::obs
+
+#endif  // DARWIN_OBS_SELF_STATS_H

@@ -18,7 +18,25 @@ namespace {
 
 std::atomic<TraceSession*> g_session{nullptr};
 
+thread_local std::int64_t t_request_id = -1;
+
 }  // namespace
+
+RequestTag::RequestTag(std::int64_t request_id) : previous_(t_request_id)
+{
+    t_request_id = request_id;
+}
+
+RequestTag::~RequestTag()
+{
+    t_request_id = previous_;
+}
+
+std::int64_t
+RequestTag::current()
+{
+    return t_request_id;
+}
 
 TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
 
@@ -138,6 +156,8 @@ ManualSpan::begin(TraceSession* session, const char* name,
     span.event_.category = category;
     span.event_.tid = current_thread_index();
     span.event_.start_us = session->now_us();
+    if (t_request_id >= 0)
+        span.event_.args.push_back(TraceArg{"req", t_request_id});
     return span;
 }
 

@@ -51,20 +51,30 @@ struct TraceEvent {
     std::vector<TraceArg> args;
 };
 
-/** Span collector for one run. All methods are thread-safe. */
+/**
+ * Span collector for one run. All methods are thread-safe.
+ *
+ * record() and snapshot() are virtual so alternative sinks can reuse
+ * the span plumbing and the Chrome serialization: the base class keeps
+ * every span for the whole run (the --trace-out whole-session dump),
+ * while FlightRecorder (obs/flight_recorder.h) retains only a bounded
+ * ring of the most recent spans for on-demand dumps from a long-lived
+ * daemon.
+ */
 class TraceSession {
   public:
     /** The epoch (time zero of span timestamps) is construction time. */
     TraceSession();
+    virtual ~TraceSession() = default;
 
     /** Microseconds elapsed since the session epoch. */
     std::int64_t now_us() const;
 
     /** Append a completed span. */
-    void record(TraceEvent event);
+    virtual void record(TraceEvent event);
 
     /** Copy of the spans recorded so far, in record order. */
-    std::vector<TraceEvent> snapshot() const;
+    virtual std::vector<TraceEvent> snapshot() const;
 
     /**
      * Serialize as `{"displayTimeUnit": "ms", "traceEvents": [...]}`:
@@ -143,6 +153,30 @@ class ScopedSpan {
 
   private:
     ManualSpan span_;
+};
+
+/**
+ * Per-request attribution scope. While a RequestTag is alive on a
+ * thread, every span *begun* on that thread automatically carries a
+ * {"req": id} arg, so a request's seed/filter/extend spans can be
+ * grouped in the trace without threading the id through every call
+ * signature. Tags nest (the innermost wins) and are strictly
+ * thread-local: the serve daemon runs a request's whole pipeline on
+ * one worker thread, so one tag in the request handler covers every
+ * stage span beneath it.
+ */
+class RequestTag {
+  public:
+    explicit RequestTag(std::int64_t request_id);
+    ~RequestTag();
+    RequestTag(const RequestTag&) = delete;
+    RequestTag& operator=(const RequestTag&) = delete;
+
+    /** Innermost active id on this thread, or -1 when untagged. */
+    static std::int64_t current();
+
+  private:
+    std::int64_t previous_;
 };
 
 /**

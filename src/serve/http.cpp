@@ -1,0 +1,209 @@
+#include "serve/http.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace darwin::serve {
+
+namespace {
+
+/** Assemble one HTTP/1.1 response with Connection: close. */
+std::string
+http_response(int code, const char* reason, const std::string& content_type,
+              const std::string& body)
+{
+    std::string out = strprintf("HTTP/1.1 %d %s\r\n", code, reason);
+    out += "Content-Type: " + content_type + "\r\n";
+    out += strprintf("Content-Length: %zu\r\n", body.size());
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+void
+write_all(int fd, const std::string& payload)
+{
+    std::size_t off = 0;
+    while (off < payload.size()) {
+        const ssize_t n =
+            ::write(fd, payload.data() + off, payload.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;  // peer went away mid-response; nothing to salvage
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+}  // namespace
+
+HttpMetricsServer::HttpMetricsServer(int port, HttpHandlers handlers)
+    : handlers_(std::move(handlers))
+{
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        fatal(strprintf("metrics HTTP: socket() failed: %s",
+                        std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        fatal(strprintf("metrics HTTP: cannot bind 127.0.0.1:%d: %s", port,
+                        std::strerror(err)));
+    }
+    if (::listen(listen_fd_, 16) != 0) {
+        const int err = errno;
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        fatal(strprintf("metrics HTTP: listen() failed: %s",
+                        std::strerror(err)));
+    }
+
+    sockaddr_in bound = {};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) == 0)
+        port_ = static_cast<int>(ntohs(bound.sin_port));
+    else
+        port_ = port;
+
+    thread_ = std::thread([this] { accept_loop(); });
+}
+
+HttpMetricsServer::~HttpMetricsServer()
+{
+    stop();
+}
+
+void
+HttpMetricsServer::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    if (thread_.joinable())
+        thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+void
+HttpMetricsServer::accept_loop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        struct pollfd pfd = {};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (ready == 0)
+            continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            break;
+        }
+        handle_connection(fd);
+        ::close(fd);
+    }
+}
+
+void
+HttpMetricsServer::handle_connection(int fd)
+{
+    // Read until the end of the request head. Scrapers send tiny
+    // requests; cap the read so a misbehaving client cannot balloon it.
+    std::string head;
+    char chunk[2048];
+    while (head.size() < 16384 &&
+           head.find("\r\n\r\n") == std::string::npos) {
+        struct pollfd pfd = {};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, 1000);
+        if (ready <= 0)
+            return;  // slow or dead client; drop it
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return;
+        }
+        head.append(chunk, static_cast<std::size_t>(n));
+    }
+
+    // Request line: METHOD SP PATH SP VERSION.
+    const std::size_t line_end = head.find("\r\n");
+    const std::string request_line =
+        line_end == std::string::npos ? head : head.substr(0, line_end);
+    const std::size_t sp1 = request_line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : request_line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        write_all(fd, http_response(400, "Bad Request", "text/plain",
+                                    "malformed request line\n"));
+        return;
+    }
+    const std::string method = request_line.substr(0, sp1);
+    std::string path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (const std::size_t query = path.find('?');
+        query != std::string::npos)
+        path.resize(query);
+
+    if (method != "GET") {
+        write_all(fd, http_response(405, "Method Not Allowed", "text/plain",
+                                    "only GET is supported\n"));
+        return;
+    }
+
+    if (path == "/metrics") {
+        const std::string body =
+            handlers_.metrics_text ? handlers_.metrics_text() : "";
+        write_all(fd, http_response(200, "OK",
+                                    "text/plain; version=0.0.4", body));
+    } else if (path == "/healthz") {
+        const bool healthy = handlers_.healthy ? handlers_.healthy() : true;
+        if (healthy)
+            write_all(fd, http_response(200, "OK", "text/plain", "ok\n"));
+        else
+            write_all(fd, http_response(503, "Service Unavailable",
+                                        "text/plain", "draining\n"));
+    } else if (path == "/statusz") {
+        const std::string body =
+            handlers_.statusz_json ? handlers_.statusz_json() : "{}";
+        write_all(fd,
+                  http_response(200, "OK", "application/json", body));
+    } else {
+        write_all(fd, http_response(404, "Not Found", "text/plain",
+                                    "unknown path; try /metrics, "
+                                    "/healthz, /statusz\n"));
+    }
+}
+
+}  // namespace darwin::serve

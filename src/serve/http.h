@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Minimal embedded HTTP listener for daemon introspection.
+ *
+ * Serves exactly three GET endpoints on a loopback TCP port:
+ *
+ *   /metrics   Prometheus text exposition of the metrics registry
+ *              (Content-Type: text/plain; version=0.0.4)
+ *   /healthz   "ok\n" with 200 while serving, 503 once draining —
+ *              a liveness/readiness probe for orchestrators
+ *   /statusz   one JSON object: version, uptime, config fingerprint,
+ *              and whatever else the daemon wires into the handler
+ *
+ * This is intentionally not a web framework: one acceptor thread,
+ * connections handled sequentially (a scrape is a few kilobytes),
+ * HTTP/1.1 with Connection: close, GET only (anything else gets 405).
+ * The poll()-with-timeout accept loop mirrors Server::serve_fd so
+ * stop() and process shutdown are noticed within ~200 ms.
+ *
+ * Binding is loopback-only (127.0.0.1): the telemetry endpoints carry
+ * operational detail and must not be exposed off-host by default; a
+ * real deployment fronts them with its own exporter/proxy.
+ */
+#ifndef DARWIN_SERVE_HTTP_H
+#define DARWIN_SERVE_HTTP_H
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace darwin::serve {
+
+/** Content callbacks the daemon plugs into the listener. */
+struct HttpHandlers {
+    /** Body for GET /metrics (Prometheus text). */
+    std::function<std::string()> metrics_text;
+
+    /** Liveness for GET /healthz: false -> 503 (draining). */
+    std::function<bool()> healthy;
+
+    /** Body for GET /statusz (a JSON object). */
+    std::function<std::string()> statusz_json;
+};
+
+class HttpMetricsServer {
+  public:
+    /**
+     * Bind 127.0.0.1:`port` (0 picks an ephemeral port — read it back
+     * with port()) and start the acceptor thread. Throws FatalError
+     * when the socket cannot be created/bound.
+     */
+    HttpMetricsServer(int port, HttpHandlers handlers);
+    ~HttpMetricsServer();
+
+    HttpMetricsServer(const HttpMetricsServer&) = delete;
+    HttpMetricsServer& operator=(const HttpMetricsServer&) = delete;
+
+    /** The bound TCP port (resolves ephemeral binds). */
+    int port() const { return port_; }
+
+    /** Stop accepting and join the acceptor thread (idempotent). */
+    void stop();
+
+  private:
+    void accept_loop();
+    void handle_connection(int fd);
+
+    HttpHandlers handlers_;
+    int listen_fd_ = -1;
+    int port_ = -1;
+    std::atomic<bool> stopping_{false};
+    std::thread thread_;
+};
+
+}  // namespace darwin::serve
+
+#endif  // DARWIN_SERVE_HTTP_H

@@ -298,6 +298,8 @@ op_name(Op op)
     switch (op) {
     case Op::Ping: return "ping";
     case Op::Status: return "status";
+    case Op::Stats: return "stats";
+    case Op::DumpTrace: return "dump_trace";
     case Op::Align: return "align";
     case Op::Shutdown: return "shutdown";
     }
@@ -325,6 +327,10 @@ parse_request(const std::string& line)
         request.op = Op::Ping;
     else if (op == "status")
         request.op = Op::Status;
+    else if (op == "stats")
+        request.op = Op::Stats;
+    else if (op == "dump_trace")
+        request.op = Op::DumpTrace;
     else if (op == "align")
         request.op = Op::Align;
     else if (op == "shutdown")
@@ -333,6 +339,12 @@ parse_request(const std::string& line)
         throw ProtocolError("missing 'op' field");
     else
         throw ProtocolError(strprintf("unknown op '%s'", op.c_str()));
+
+    if (request.op == Op::DumpTrace) {
+        request.out = get_string(root, "out");
+        if (request.out.empty())
+            throw ProtocolError("dump_trace requires 'out'");
+    }
 
     if (request.op == Op::Align) {
         request.target = get_string(root, "target");

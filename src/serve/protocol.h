@@ -10,6 +10,13 @@
  *       -> {"id": "1", "status": "ok", "op": "ping"}
  *   {"op": "status", "id": "2"}
  *       -> {"id": "2", "status": "ok", ... queue/cache gauges ...}
+ *   {"op": "stats", "id": "s"}
+ *       -> {"id": "s", "status": "ok", "metrics": {... full registry
+ *           snapshot: counters/gauges/histograms with buckets ...}}
+ *   {"op": "dump_trace", "id": "t", "out": "flight.trace.json"}
+ *       -> {"id": "t", "status": "ok", "out": ..., "events": N,
+ *           "dropped": D} after writing the flight-recorder ring (or
+ *           the full --trace-out session) as a Chrome trace file.
  *   {"op": "align", "id": "3", "target": "t.fa", "query": "q.fa",
  *    "out": "out.maf", "index": "t.dwi", "preset": "darwin",
  *    "both_strands": true, "no_transitions": false,
@@ -57,7 +64,7 @@ class ProtocolError : public std::runtime_error {
 };
 
 /** Request operations. */
-enum class Op { Ping, Status, Align, Shutdown };
+enum class Op { Ping, Status, Stats, DumpTrace, Align, Shutdown };
 
 const char* op_name(Op op);
 
@@ -66,10 +73,10 @@ struct Request {
     std::string id;  ///< echoed back verbatim; may be empty
     Op op = Op::Ping;
 
-    // align-only fields
+    // align-only fields (`out` is also the dump_trace destination)
     std::string target;        ///< target FASTA path (required)
     std::string query;         ///< query FASTA path (required)
-    std::string out;           ///< output MAF path (required)
+    std::string out;           ///< output MAF / trace path (required)
     std::string index;         ///< optional persisted .dwi path
     std::string preset = "darwin";  ///< "darwin" | "lastz"
     bool both_strands = true;

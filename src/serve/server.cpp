@@ -5,11 +5,14 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include <poll.h>
 #include <unistd.h>
 
+#include "batch/checkpoint.h"
 #include "index/index_io.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "seq/fasta.h"
 #include "util/logging.h"
@@ -122,6 +125,16 @@ Server::handle_line(const std::string& line)
         .set(static_cast<std::int64_t>(
             active_requests_.fetch_add(1, std::memory_order_acq_rel) + 1));
 
+    // One sequence number per request, installed as the thread-local
+    // request tag: every span begun while handling — the op span here
+    // and the pipeline's seed/filter/extend/chain spans beneath
+    // do_align — carries a {"req": n} arg, and do_align reuses the same
+    // number for its fault::ContextScope, so traces, logs, and
+    // quarantine records all attribute by one id.
+    const std::size_t seq_no =
+        request_seq_.fetch_add(1, std::memory_order_relaxed);
+    obs::RequestTag tag(static_cast<std::int64_t>(seq_no));
+
     Response response;
     try {
         const Request request = parse_request(line);
@@ -157,6 +170,10 @@ Server::handle_request(const Request& request)
         }
         case Op::Status:
             return do_status(request);
+        case Op::Stats:
+            return do_stats(request);
+        case Op::DumpTrace:
+            return do_dump_trace(request);
         case Op::Align:
             return do_align(request);
         case Op::Shutdown: {
@@ -207,6 +224,51 @@ Server::do_status(const Request& request)
         std::lock_guard lock(genome_mutex_);
         return static_cast<std::int64_t>(genomes_.size());
     }());
+    return response;
+}
+
+Response
+Server::do_stats(const Request& request)
+{
+    Response response;
+    response.id = request.id;
+    response.add_string("op", "stats");
+    // The full registry as one consistent snapshot — the same object
+    // GET /metrics renders as Prometheus text, embedded raw so clients
+    // read it as structured JSON rather than a quoted blob.
+    response.add_raw("metrics", metrics_->to_json_compact());
+    return response;
+}
+
+Response
+Server::do_dump_trace(const Request& request)
+{
+    obs::TraceSession* session = trace_session_ != nullptr
+                                     ? trace_session_
+                                     : obs::TraceSession::current();
+    if (session == nullptr)
+        return error_response(request.id, "bad_request",
+                              "no trace session is installed (start the "
+                              "daemon with --flight-events > 0 or "
+                              "--trace-out)");
+
+    const std::size_t events = session->snapshot().size();
+    std::ostringstream json;
+    session->write_chrome_json(json);
+    batch::write_file_atomic(request.out, json.str());
+
+    Response response;
+    response.id = request.id;
+    response.add_string("op", "dump_trace");
+    response.add_string("out", request.out);
+    response.add_int("events", static_cast<std::int64_t>(events));
+    if (const auto* flight =
+            dynamic_cast<const obs::FlightRecorder*>(session)) {
+        response.add_int("recorded",
+                         static_cast<std::int64_t>(flight->recorded()));
+        response.add_int("dropped",
+                         static_cast<std::int64_t>(flight->dropped()));
+    }
     return response;
 }
 
@@ -299,8 +361,13 @@ Server::do_align(const Request& request)
             fatal("server is shutting down");
         active_.insert(token);
     }
+    // The request sequence number handle_line installed as the span
+    // tag; reuse it for the fault context so every artifact of this
+    // request — spans, quarantine records, slow-request log — shares
+    // one id.
     const std::size_t seq_no =
-        request_seq_.fetch_add(1, std::memory_order_relaxed);
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            obs::RequestTag::current(), 0));
 
     wga::WgaResult result;
     try {
@@ -320,7 +387,41 @@ Server::do_align(const Request& request)
     }
 
     // Same writer call the one-shot CLI uses, so the bytes match it.
+    Timer output_timer;
     wga::write_maf_file(request.out, result.alignments, *target, *query);
+    const double output_seconds = output_timer.seconds();
+
+    const double total_seconds = timer.seconds();
+    if (options_.slow_request_seconds > 0.0 &&
+        total_seconds >= options_.slow_request_seconds) {
+        const fault::Budget& budget = request.has_budget
+                                          ? request.budget
+                                          : options_.default_budget;
+        warn("serve: slow request",
+             {{"req", strprintf("%zu", seq_no)},
+              {"id", request.id},
+              {"target", request.target},
+              {"query", request.query},
+              {"seconds", strprintf("%.3f", total_seconds)},
+              {"seed_seconds", strprintf("%.3f", result.stats.seed_seconds)},
+              {"filter_seconds",
+               strprintf("%.3f", result.stats.filter_seconds)},
+              {"extend_seconds",
+               strprintf("%.3f", result.stats.extend_seconds)},
+              {"chain_seconds",
+               strprintf("%.3f", result.stats.chain_seconds)},
+              {"output_seconds", strprintf("%.3f", output_seconds)},
+              {"index_cache_hit", cache_hit ? "true" : "false"},
+              {"budget_wall_seconds",
+               strprintf("%.3f", budget.wall_seconds)},
+              {"budget_max_cells",
+               strprintf("%llu",
+                         static_cast<unsigned long long>(budget.max_cells))},
+              {"budget_max_heap_bytes",
+               strprintf("%llu", static_cast<unsigned long long>(
+                                     budget.max_heap_bytes))}});
+        metrics_->counter("serve.slow_requests").add(1);
+    }
 
     Response response;
     response.id = request.id;

@@ -26,7 +26,15 @@
  *
  * Observability: "serve.*" metrics (request/ok/error counters, active
  * gauge, per-op latency histograms, serve.index.* cache counters) and
- * "serve"-category spans per request.
+ * "serve"-category spans per request. Every request is assigned a
+ * sequence number and tagged (obs::RequestTag) for the duration of its
+ * handling, so all pipeline spans beneath it carry a {"req": n} arg —
+ * the whole pipeline of one request runs on one worker thread, which is
+ * what makes the thread-local tag sufficient. `Op::Stats` returns the
+ * full metrics snapshot as JSON; `Op::DumpTrace` writes the attached
+ * trace session (typically a FlightRecorder ring) as a Chrome trace
+ * file; requests slower than options.slow_request_seconds emit one
+ * structured warn record with the per-stage wall breakdown.
  */
 #ifndef DARWIN_SERVE_SERVER_H
 #define DARWIN_SERVE_SERVER_H
@@ -43,6 +51,7 @@
 #include "fault/cancel.h"
 #include "index/index_cache.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "seq/genome.h"
 #include "serve/protocol.h"
 #include "util/thread_pool.h"
@@ -63,6 +72,12 @@ struct ServerOptions {
 
     /** Budget applied to align requests that carry none. */
     fault::Budget default_budget;
+
+    /**
+     * Align requests slower than this emit a structured slow-request
+     * log record with the per-stage breakdown; 0 disables.
+     */
+    double slow_request_seconds = 0.0;
 };
 
 /** The request-processing core; transports plug in around it. */
@@ -123,6 +138,21 @@ class Server {
     const index::IndexCache& index_cache() const { return index_cache_; }
     const ServerOptions& options() const { return options_; }
 
+    /** Queued-but-unstarted requests right now (for samplers). */
+    std::size_t queue_depth() const { return queue_.size(); }
+
+    /**
+     * Attach the trace session Op::DumpTrace dumps (a FlightRecorder
+     * or a full TraceSession). Not owned; set before serving, cleared
+     * (nullptr) only after the transport loops return. Falls back to
+     * the globally installed session when unset.
+     */
+    void
+    set_trace_session(obs::TraceSession* session)
+    {
+        trace_session_ = session;
+    }
+
   private:
     struct QueueItem {
         std::string line;
@@ -132,6 +162,8 @@ class Server {
     Response handle_request(const Request& request);
     Response do_align(const Request& request);
     Response do_status(const Request& request);
+    Response do_stats(const Request& request);
+    Response do_dump_trace(const Request& request);
     std::shared_ptr<const seq::Genome> load_genome(
         const std::string& path);
     std::shared_ptr<const seed::SeedIndex> acquire_index(
@@ -142,6 +174,7 @@ class Server {
     const ServerOptions options_;
     obs::MetricsRegistry fallback_metrics_;
     obs::MetricsRegistry* metrics_;
+    obs::TraceSession* trace_session_ = nullptr;
     index::IndexCache index_cache_;
 
     std::mutex genome_mutex_;

@@ -202,6 +202,15 @@ WgaPipeline::run_impl(const seed::SeedIndex& index,
                       ThreadPool* pool,
                       obs::MetricsRegistry* metrics) const
 {
+    // Umbrella span over the whole run: per-request dumps group the
+    // seed/filter/extend/chain children under one "pipeline" row, and
+    // the span carries the workload size for at-a-glance triage.
+    obs::ScopedSpan pipeline_span("pipeline", "wga");
+    pipeline_span.arg("target_bases",
+                      static_cast<std::int64_t>(target.size()));
+    pipeline_span.arg("query_bases",
+                      static_cast<std::int64_t>(query.size()));
+
     const std::span<const std::uint8_t> target_span{target.codes().data(),
                                                     target.size()};
     if (metrics != nullptr) {

@@ -9,12 +9,21 @@
  */
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 
 #include "index/index_io.h"
+#include "obs/exposition.h"
+#include "obs/flight_recorder.h"
 #include "seed/seed_index.h"
 #include "seq/fasta.h"
+#include "serve/http.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "synth/species.h"
@@ -318,6 +327,192 @@ TEST(Server, SubmitRefusedAfterStop)
     server.stop();
     EXPECT_FALSE(server.submit("{\"op\": \"ping\", \"id\": \"x\"}",
                                [](const std::string&) {}));
+}
+
+TEST(Protocol, ParsesStatsAndDumpTrace)
+{
+    EXPECT_EQ(parse_request("{\"op\": \"stats\", \"id\": \"s\"}").op,
+              Op::Stats);
+    const Request dump = parse_request(
+        "{\"op\": \"dump_trace\", \"id\": \"t\", \"out\": \"f.json\"}");
+    EXPECT_EQ(dump.op, Op::DumpTrace);
+    EXPECT_EQ(dump.out, "f.json");
+    // dump_trace without a destination is malformed.
+    EXPECT_THROW(parse_request("{\"op\": \"dump_trace\", \"id\": \"t\"}"),
+                 ProtocolError);
+}
+
+TEST(Server, StatsReturnsTheMetricsSnapshotAsJson)
+{
+    Server server(ServerOptions{});
+    server.handle_line("{\"op\": \"ping\", \"id\": \"1\"}");
+    const std::string resp =
+        server.handle_line("{\"op\": \"stats\", \"id\": \"s\"}");
+    EXPECT_NE(resp.find("\"status\": \"ok\""), std::string::npos) << resp;
+    // The registry rides embedded as structured JSON, not a quoted blob:
+    // the counters the ping bumped are visible inside it.
+    EXPECT_NE(resp.find("\"metrics\": {"), std::string::npos) << resp;
+    EXPECT_NE(resp.find("\"serve.requests\": 2"), std::string::npos)
+        << resp;
+    EXPECT_NE(resp.find("\"serve.request.seconds\""), std::string::npos)
+        << resp;
+    EXPECT_NE(resp.find("\"buckets\""), std::string::npos) << resp;
+    // One line, as the wire format requires.
+    EXPECT_EQ(resp.find('\n'), std::string::npos);
+
+    // The same registry renders as Prometheus text for GET /metrics.
+    const std::string prom = obs::to_prometheus(server.metrics());
+    EXPECT_NE(prom.find("serve_requests_total"), std::string::npos);
+    EXPECT_NE(prom.find("serve_request_seconds_bucket{le=\"+Inf\"}"),
+              std::string::npos);
+}
+
+TEST(Server, DumpTraceWithoutASessionAnswersBadRequest)
+{
+    Server server(ServerOptions{});
+    const std::string resp = server.handle_line(
+        "{\"op\": \"dump_trace\", \"id\": \"t\", \"out\": \"/tmp/x\"}");
+    EXPECT_NE(resp.find("\"status\": \"error\""), std::string::npos);
+    EXPECT_NE(resp.find("\"reason\": \"bad_request\""), std::string::npos)
+        << resp;
+}
+
+TEST(Server, DumpTraceWritesAParseableChromeTraceWithRequestTags)
+{
+    fixture();  // make sure the shared inputs exist before recording
+    obs::FlightRecorder flight(1024);
+    obs::TraceSession::install(&flight);
+
+    Server server(ServerOptions{});
+    server.set_trace_session(&flight);
+    const std::string out = ::testing::TempDir() + "/serve_tagged.maf";
+    const std::string align_resp =
+        server.handle_line(align_line("a1", out));
+    ASSERT_NE(align_resp.find("\"status\": \"ok\""), std::string::npos)
+        << align_resp;
+
+    const std::string trace_path =
+        ::testing::TempDir() + "/serve_flight.trace.json";
+    const std::string resp = server.handle_line(strprintf(
+        "{\"op\": \"dump_trace\", \"id\": \"t\", \"out\": %s}",
+        json_quote(trace_path).c_str()));
+    obs::TraceSession::install(nullptr);
+    ASSERT_NE(resp.find("\"status\": \"ok\""), std::string::npos) << resp;
+    EXPECT_NE(resp.find("\"events\": "), std::string::npos);
+    EXPECT_NE(resp.find("\"dropped\": 0"), std::string::npos) << resp;
+
+    const auto events = obs::parse_trace_events(slurp(trace_path));
+    ASSERT_FALSE(events.empty());
+    // The align's pipeline spans are all tagged with its request id,
+    // and the umbrella "pipeline" span groups them.
+    bool saw_pipeline = false;
+    std::size_t tagged = 0;
+    for (const auto& event : events) {
+        if (event.name == "pipeline" && event.category == "wga")
+            saw_pipeline = true;
+        for (const auto& arg : event.args)
+            if (arg.key == "req")
+                ++tagged;
+    }
+    EXPECT_TRUE(saw_pipeline);
+    EXPECT_GT(tagged, 0u);
+}
+
+TEST(Server, MafIsByteIdenticalWithAllTelemetryEnabled)
+{
+    // Flight recorder armed, slow-request logging forced on for every
+    // request, stats scrapes interleaved: none of it may change the
+    // served bytes.
+    const auto& f = fixture();
+    obs::FlightRecorder flight(4096);
+    obs::TraceSession::install(&flight);
+
+    ServerOptions options;
+    options.slow_request_seconds = 1e-9;  // everything is "slow"
+    Server server(options);
+    server.set_trace_session(&flight);
+
+    const std::string out = ::testing::TempDir() + "/serve_telemetry.maf";
+    server.handle_line("{\"op\": \"stats\", \"id\": \"s0\"}");
+    const std::string resp = server.handle_line(align_line(
+        "t1", out,
+        strprintf(", \"index\": %s", json_quote(f.index_path).c_str())));
+    server.handle_line("{\"op\": \"stats\", \"id\": \"s1\"}");
+    obs::TraceSession::install(nullptr);
+
+    ASSERT_NE(resp.find("\"status\": \"ok\""), std::string::npos) << resp;
+    EXPECT_EQ(slurp(out), slurp(f.reference_maf));
+    EXPECT_GT(flight.recorded(), 0u);
+    const obs::Counter* slow =
+        server.metrics().find_counter("serve.slow_requests");
+    ASSERT_NE(slow, nullptr);
+    EXPECT_EQ(slow->value(), 1u);
+}
+
+/** Minimal blocking HTTP GET against 127.0.0.1:port. */
+std::string
+http_get(int port, const std::string& path)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return {};
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+        ::close(fd);
+        return {};
+    }
+    const std::string request =
+        "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    (void)!::write(fd, request.data(), request.size());
+    std::string response;
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::read(fd, chunk, sizeof(chunk))) > 0)
+        response.append(chunk, static_cast<std::size_t>(n));
+    ::close(fd);
+    return response;
+}
+
+TEST(Http, ServesMetricsHealthzStatuszAndRejectsTheRest)
+{
+    obs::MetricsRegistry metrics;
+    metrics.counter("serve.requests").add(5);
+    bool healthy = true;
+    HttpHandlers handlers;
+    handlers.metrics_text = [&metrics] {
+        return obs::to_prometheus(metrics);
+    };
+    handlers.healthy = [&healthy] { return healthy; };
+    handlers.statusz_json = [] {
+        return std::string("{\"version\": \"test\"}");
+    };
+    HttpMetricsServer http(0, std::move(handlers));
+    ASSERT_GT(http.port(), 0);
+
+    const std::string metrics_resp = http_get(http.port(), "/metrics");
+    EXPECT_NE(metrics_resp.find("200 OK"), std::string::npos);
+    EXPECT_NE(metrics_resp.find("text/plain; version=0.0.4"),
+              std::string::npos);
+    EXPECT_NE(metrics_resp.find("serve_requests_total 5"),
+              std::string::npos);
+
+    EXPECT_NE(http_get(http.port(), "/healthz").find("200 OK"),
+              std::string::npos);
+    healthy = false;
+    EXPECT_NE(http_get(http.port(), "/healthz").find("503"),
+              std::string::npos);
+
+    const std::string statusz = http_get(http.port(), "/statusz");
+    EXPECT_NE(statusz.find("application/json"), std::string::npos);
+    EXPECT_NE(statusz.find("\"version\": \"test\""), std::string::npos);
+
+    EXPECT_NE(http_get(http.port(), "/nope").find("404"),
+              std::string::npos);
+    http.stop();
 }
 
 }  // namespace

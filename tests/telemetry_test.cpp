@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Live-telemetry layer: Prometheus exposition correctness (golden
+ * output, name sanitization, label escaping, bucket cumulativity,
+ * empty-histogram handling), histogram buckets/reset/non-finite
+ * hygiene, registry-wide snapshot consistency under concurrent
+ * writers, flight-recorder wraparound and drop counting, and
+ * per-request span tagging.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/self_stats.h"
+#include "obs/trace.h"
+
+namespace obs = darwin::obs;
+
+namespace {
+
+TEST(Exposition, SanitizesMetricNames)
+{
+    EXPECT_EQ(obs::sanitize_metric_name("serve.request.seconds"),
+              "serve_request_seconds");
+    EXPECT_EQ(obs::sanitize_metric_name("wga.filter-kernel"),
+              "wga_filter_kernel");
+    EXPECT_EQ(obs::sanitize_metric_name("9lives"), "_9lives");
+    EXPECT_EQ(obs::sanitize_metric_name("already_fine:ok"),
+              "already_fine:ok");
+    EXPECT_EQ(obs::sanitize_metric_name(""), "_");
+}
+
+TEST(Exposition, EscapesLabelValues)
+{
+    EXPECT_EQ(obs::escape_label_value("plain"), "plain");
+    EXPECT_EQ(obs::escape_label_value("a\\b"), "a\\\\b");
+    EXPECT_EQ(obs::escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(obs::escape_label_value("two\nlines"), "two\\nlines");
+}
+
+/**
+ * Golden rendering of a small registry: every series type, the counter
+ * _total suffix, gauge high-water companion, sparse cumulative buckets
+ * ending in the mandatory +Inf == _count.
+ */
+TEST(Exposition, GoldenRegistryRendering)
+{
+    obs::MetricsRegistry metrics;
+    metrics.counter("serve.requests").add(42);
+    metrics.gauge("serve.queue.depth").set(7);
+    metrics.gauge("serve.queue.depth").set(3);  // high water stays 7
+    // Three values in three buckets: 0.0005 <= 1e-6*2^9 = 0.000512,
+    // 0.001 <= 1e-6*2^10 = 0.001024, 0.25 <= 1e-6*2^18 = 0.262144.
+    metrics.histogram("serve.request.seconds").observe(0.0005);
+    metrics.histogram("serve.request.seconds").observe(0.001);
+    metrics.histogram("serve.request.seconds").observe(0.25);
+
+    const std::string text = obs::to_prometheus(metrics);
+    const std::string expected =
+        "# TYPE serve_requests_total counter\n"
+        "serve_requests_total 42\n"
+        "# TYPE serve_queue_depth gauge\n"
+        "serve_queue_depth 3\n"
+        "# TYPE serve_queue_depth_high_water gauge\n"
+        "serve_queue_depth_high_water 7\n"
+        "# TYPE serve_request_seconds histogram\n"
+        "serve_request_seconds_bucket{le=\"0.000512\"} 1\n"
+        "serve_request_seconds_bucket{le=\"0.001024\"} 2\n"
+        "serve_request_seconds_bucket{le=\"0.262144\"} 3\n"
+        "serve_request_seconds_bucket{le=\"+Inf\"} 3\n"
+        "serve_request_seconds_sum 0.2515\n"
+        "serve_request_seconds_count 3\n";
+    EXPECT_EQ(text, expected);
+}
+
+TEST(Exposition, EmptyHistogramRendersZeroCountAndInfBucket)
+{
+    obs::MetricsRegistry metrics;
+    metrics.histogram("idle.seconds");
+    const std::string text = obs::to_prometheus(metrics);
+    EXPECT_EQ(text,
+              "# TYPE idle_seconds histogram\n"
+              "idle_seconds_bucket{le=\"+Inf\"} 0\n"
+              "idle_seconds_sum 0\n"
+              "idle_seconds_count 0\n");
+}
+
+TEST(Exposition, BucketsAreCumulativeAndEndAtCount)
+{
+    obs::Histogram histogram;
+    for (int i = 0; i < 1000; ++i)
+        histogram.observe(static_cast<double>(i) / 100.0);  // 0..9.99
+    const obs::HistogramSnapshot snap = histogram.snapshot();
+    std::uint64_t prev = 0;
+    for (const std::uint64_t cumulative : snap.buckets) {
+        EXPECT_GE(cumulative, prev);
+        prev = cumulative;
+    }
+    EXPECT_EQ(snap.buckets.back(), snap.count);
+    EXPECT_EQ(snap.count, 1000u);
+}
+
+TEST(Histogram, BucketBoundsAreFixedLogGrid)
+{
+    EXPECT_DOUBLE_EQ(obs::Histogram::bucket_bound(0), 1e-6);
+    EXPECT_DOUBLE_EQ(obs::Histogram::bucket_bound(10), 1e-6 * 1024.0);
+    EXPECT_TRUE(std::isinf(obs::Histogram::bucket_bound(
+        obs::Histogram::kNumBuckets - 1)));
+}
+
+TEST(Histogram, NonFiniteObservationsDoNotPoisonAggregates)
+{
+    obs::Histogram histogram;
+    histogram.observe(1.0);
+    histogram.observe(std::numeric_limits<double>::quiet_NaN());
+    histogram.observe(std::numeric_limits<double>::infinity());
+    histogram.observe(2.0);
+
+    const obs::HistogramSnapshot snap = histogram.snapshot();
+    EXPECT_EQ(snap.count, 2u);
+    EXPECT_EQ(snap.nonfinite, 2u);
+    EXPECT_DOUBLE_EQ(snap.sum, 3.0);
+    EXPECT_DOUBLE_EQ(snap.min, 1.0);
+    EXPECT_DOUBLE_EQ(snap.max, 2.0);
+    EXPECT_EQ(snap.buckets.back(), 2u);  // +Inf bucket == finite count
+
+    // The rejected observations surface in both output formats.
+    obs::MetricsRegistry metrics;
+    metrics.histogram("h").observe(
+        std::numeric_limits<double>::quiet_NaN());
+    EXPECT_NE(metrics.to_json().find("\"nonfinite\": 1"),
+              std::string::npos);
+    EXPECT_NE(obs::to_prometheus(metrics).find("h_nonfinite_total 1"),
+              std::string::npos);
+}
+
+TEST(Histogram, ResetForgetsEverything)
+{
+    obs::Histogram histogram;
+    histogram.observe(1.0);
+    histogram.observe(100.0);
+    histogram.reset();
+    EXPECT_EQ(histogram.count(), 0u);
+    EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+    EXPECT_TRUE(std::isnan(histogram.min()));
+    EXPECT_TRUE(std::isnan(histogram.quantile(0.5)));
+    const obs::HistogramSnapshot snap = histogram.snapshot();
+    EXPECT_EQ(snap.buckets.back(), 0u);
+
+    histogram.observe(3.0);  // usable again after reset
+    EXPECT_EQ(histogram.count(), 1u);
+    EXPECT_DOUBLE_EQ(histogram.max(), 3.0);
+}
+
+/**
+ * The scraper contract: a snapshot taken mid-write must be internally
+ * consistent per histogram. Writers observe exactly 1.0, so in every
+ * valid snapshot sum == count (reading count and sum through separate
+ * lock acquisitions breaks this).
+ */
+TEST(MetricsSnapshot, ConsistentUnderConcurrentWriters)
+{
+    obs::MetricsRegistry metrics;
+    obs::Histogram& histogram = metrics.histogram("h");
+    obs::Counter& counter = metrics.counter("c");
+    std::atomic<bool> stop{false};
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 4; ++w) {
+        writers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                histogram.observe(1.0);
+                counter.add(1);
+            }
+        });
+    }
+
+    for (int i = 0; i < 2000; ++i) {
+        const obs::MetricsSnapshot snap = metrics.snapshot();
+        ASSERT_EQ(snap.histograms.size(), 1u);
+        const obs::HistogramSnapshot& h = snap.histograms[0].second;
+        EXPECT_DOUBLE_EQ(h.sum, static_cast<double>(h.count));
+        EXPECT_EQ(h.buckets.back(), h.count);
+    }
+
+    stop.store(true);
+    for (auto& writer : writers)
+        writer.join();
+}
+
+TEST(FlightRecorder, RetainsEverythingBelowCapacity)
+{
+    obs::FlightRecorder recorder(16);
+    for (int i = 0; i < 10; ++i) {
+        obs::TraceEvent event;
+        event.name = "span";
+        event.start_us = i;
+        recorder.record(std::move(event));
+    }
+    EXPECT_EQ(recorder.recorded(), 10u);
+    EXPECT_EQ(recorder.dropped(), 0u);
+    const auto events = recorder.snapshot();
+    ASSERT_EQ(events.size(), 10u);
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].start_us, static_cast<std::int64_t>(i));
+}
+
+TEST(FlightRecorder, WrapsAroundKeepingNewestAndCountsDrops)
+{
+    obs::FlightRecorder recorder(8);
+    for (int i = 0; i < 100; ++i) {
+        obs::TraceEvent event;
+        event.name = "span";
+        event.start_us = i;
+        recorder.record(std::move(event));
+    }
+    EXPECT_EQ(recorder.recorded(), 100u);
+    EXPECT_EQ(recorder.dropped(), 92u);
+    const auto events = recorder.snapshot();
+    ASSERT_EQ(events.size(), 8u);
+    // Oldest-first dump of exactly the newest 8 spans (92..99).
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].start_us,
+                  static_cast<std::int64_t>(92 + i));
+}
+
+TEST(FlightRecorder, DumpIsAValidChromeTrace)
+{
+    obs::FlightRecorder recorder(4);
+    obs::TraceSession::install(&recorder);
+    for (int i = 0; i < 9; ++i) {
+        obs::ScopedSpan span("work", "test");
+        span.arg("i", i);
+    }
+    obs::TraceSession::install(nullptr);
+
+    const auto parsed = obs::parse_trace_events(recorder.to_json());
+    ASSERT_EQ(parsed.size(), 4u);
+    for (const auto& event : parsed) {
+        EXPECT_EQ(event.name, "work");
+        EXPECT_EQ(event.category, "test");
+    }
+    EXPECT_EQ(recorder.dropped(), 5u);
+}
+
+TEST(FlightRecorder, ConcurrentRecordersLoseNothingButOverwrites)
+{
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 5000;
+    obs::FlightRecorder recorder(256);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&recorder, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                obs::TraceEvent event;
+                event.name = "s";
+                event.tid = static_cast<std::uint32_t>(t);
+                event.start_us = i;
+                recorder.record(std::move(event));
+            }
+        });
+    }
+    for (auto& thread : threads)
+        thread.join();
+    EXPECT_EQ(recorder.recorded(),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(recorder.dropped(),
+              static_cast<std::uint64_t>(kThreads * kPerThread - 256));
+    EXPECT_EQ(recorder.snapshot().size(), 256u);
+}
+
+TEST(RequestTag, SpansCarryTheInnermostTag)
+{
+    obs::TraceSession session;
+    EXPECT_EQ(obs::RequestTag::current(), -1);
+    {
+        obs::RequestTag outer(7);
+        EXPECT_EQ(obs::RequestTag::current(), 7);
+        { obs::ScopedSpan span(&session, "outer", "test"); }
+        {
+            obs::RequestTag inner(9);
+            EXPECT_EQ(obs::RequestTag::current(), 9);
+            { obs::ScopedSpan span(&session, "inner", "test"); }
+        }
+        EXPECT_EQ(obs::RequestTag::current(), 7);
+    }
+    EXPECT_EQ(obs::RequestTag::current(), -1);
+    { obs::ScopedSpan span(&session, "untagged", "test"); }
+
+    const auto events = session.snapshot();
+    ASSERT_EQ(events.size(), 3u);
+    const auto req_arg = [](const obs::TraceEvent& event) {
+        for (const auto& arg : event.args)
+            if (arg.key == "req")
+                return arg.value;
+        return std::int64_t{-1};
+    };
+    EXPECT_EQ(req_arg(events[0]), 7);
+    EXPECT_EQ(req_arg(events[1]), 9);
+    EXPECT_EQ(req_arg(events[2]), -1);
+}
+
+TEST(SelfStats, ProcSamplePublishesGauges)
+{
+    const obs::ProcSample sample = obs::sample_proc();
+    if (!sample.ok)
+        GTEST_SKIP() << "/proc is unavailable on this platform";
+    EXPECT_GT(sample.rss_bytes, 0);
+    EXPECT_GE(sample.cpu_seconds, 0.0);
+    EXPECT_GT(sample.fds, 0);
+    EXPECT_GT(sample.threads, 0);
+
+    obs::MetricsRegistry metrics;
+    bool extra_ran = false;
+    {
+        obs::SelfMonitor monitor(metrics, 60.0,
+                                 [&extra_ran] { extra_ran = true; });
+        // The constructor samples synchronously once.
+        EXPECT_TRUE(extra_ran);
+    }
+    const obs::Gauge* rss = metrics.find_gauge("proc.rss_bytes");
+    ASSERT_NE(rss, nullptr);
+    EXPECT_GT(rss->value(), 0);
+    EXPECT_NE(metrics.find_gauge("proc.threads"), nullptr);
+    EXPECT_NE(metrics.find_gauge("proc.fds"), nullptr);
+    EXPECT_NE(metrics.find_gauge("proc.cpu_millis"), nullptr);
+}
+
+TEST(MetricsJson, CompactFormMatchesPrettyContent)
+{
+    obs::MetricsRegistry metrics;
+    metrics.counter("c").add(3);
+    metrics.gauge("g").set(-2);
+    metrics.histogram("h").observe(0.5);
+
+    const std::string compact = metrics.to_json_compact();
+    EXPECT_EQ(compact.find('\n'), std::string::npos);
+    // Same fields, modulo whitespace.
+    std::string squashed = metrics.to_json();
+    std::string normalized;
+    for (const char c : squashed)
+        if (c != '\n' && c != ' ')
+            normalized.push_back(c);
+    std::string compact_normalized;
+    for (const char c : compact)
+        if (c != ' ')
+            compact_normalized.push_back(c);
+    EXPECT_EQ(normalized, compact_normalized);
+}
+
+}  // namespace

@@ -16,10 +16,30 @@
  * in-flight requests (cancelling their budget tokens so nothing runs
  * long), flushes observability output, and exits 0. A second signal or
  * an expired grace period force-exits 130 via the watchdog.
+ *
+ * Live telemetry (all optional, all additive):
+ *   --metrics-port N      loopback HTTP listener with GET /metrics
+ *                         (Prometheus text), /healthz, /statusz
+ *                         (0 picks an ephemeral port, logged at start)
+ *   --flight-events N     always-on flight recorder retaining the last
+ *                         N spans (default 8192; 0 disables; ignored
+ *                         when --trace-out records the whole session)
+ *   --flight-dump PATH    where SIGUSR1 writes the flight recorder as
+ *                         a Chrome trace (clients can also request
+ *                         {"op": "dump_trace", "out": ...})
+ *   --slow-request-ms N   align requests slower than N ms emit one
+ *                         structured log record with the per-stage
+ *                         wall breakdown
+ * plus a 1 Hz self-monitor publishing proc.rss_bytes / proc.cpu_* /
+ * proc.fds / proc.threads / serve.queue_depth gauges.
  */
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -28,16 +48,104 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "batch/checkpoint.h"
+#include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/self_stats.h"
 #include "obs_support.h"
+#include "serve/http.h"
 #include "serve/server.h"
 #include "signal_support.h"
 #include "util/args.h"
 #include "util/logging.h"
 #include "util/strings.h"
+#include "util/timer.h"
+
+#ifndef DARWIN_VERSION
+#define DARWIN_VERSION "unknown"
+#endif
 
 using namespace darwin;
 
 namespace {
+
+// SIGUSR1 requests a flight-recorder dump. The handler only bumps an
+// atomic (the only async-signal-safe thing it may do); a 200 ms poller
+// thread notices the bump and performs the actual file write.
+std::atomic<unsigned> g_usr1_requests{0};
+
+extern "C" void
+on_sigusr1(int)
+{
+    g_usr1_requests.fetch_add(1, std::memory_order_relaxed);
+}
+
+/** Watches g_usr1_requests and dumps the trace session on each bump. */
+class FlightDumpPoller {
+  public:
+    FlightDumpPoller(obs::TraceSession* session, std::string path)
+        : session_(session), path_(std::move(path))
+    {
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    ~FlightDumpPoller() { stop(); }
+
+    void
+    stop()
+    {
+        if (stopping_.exchange(true))
+            return;
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+  private:
+    void
+    loop()
+    {
+        unsigned seen = g_usr1_requests.load(std::memory_order_relaxed);
+        while (!stopping_.load(std::memory_order_acquire)) {
+            const unsigned now =
+                g_usr1_requests.load(std::memory_order_relaxed);
+            if (now != seen) {
+                seen = now;
+                dump();
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        }
+    }
+
+    void
+    dump()
+    {
+        try {
+            std::ostringstream json;
+            session_->write_chrome_json(json);
+            batch::write_file_atomic(path_, json.str());
+            std::vector<LogField> fields{{"out", path_}};
+            if (const auto* flight =
+                    dynamic_cast<const obs::FlightRecorder*>(session_)) {
+                fields.push_back(
+                    {"recorded", strprintf("%llu",
+                                           static_cast<unsigned long long>(
+                                               flight->recorded()))});
+                fields.push_back(
+                    {"dropped", strprintf("%llu",
+                                          static_cast<unsigned long long>(
+                                              flight->dropped()))});
+            }
+            inform("serve: wrote flight-recorder trace", fields);
+        } catch (const std::exception& error) {
+            warn(strprintf("serve: flight dump failed: %s", error.what()));
+        }
+    }
+
+    obs::TraceSession* session_;
+    std::string path_;
+    std::atomic<bool> stopping_{false};
+    std::thread thread_;
+};
 
 int
 serve_socket(serve::Server& server, const std::string& path)
@@ -131,6 +239,18 @@ main(int argc, char** argv)
     args.add_option("grace", "10",
                     "seconds a signalled shutdown may drain before the "
                     "watchdog force-exits");
+    args.add_option("metrics-port", "-1",
+                    "serve GET /metrics, /healthz, /statusz on this "
+                    "loopback TCP port (0 = ephemeral, -1 = off)");
+    args.add_option("flight-events", "8192",
+                    "flight-recorder span ring size (0 = off; unused "
+                    "when --trace-out records the full session)");
+    args.add_option("flight-dump", "flight.trace.json",
+                    "where SIGUSR1 dumps the flight recorder as a "
+                    "Chrome trace");
+    args.add_option("slow-request-ms", "0",
+                    "log a structured slow-request record for align "
+                    "requests slower than this (0 = off)");
     tools::add_obs_options(args);
     if (!args.parse(argc, argv))
         return 1;
@@ -154,16 +274,95 @@ main(int argc, char** argv)
         static_cast<std::uint64_t>(args.get_int("cells-budget"));
     options.default_budget.max_heap_bytes =
         static_cast<std::uint64_t>(args.get_int("heap-budget"));
+    options.slow_request_seconds =
+        args.get_double("slow-request-ms") / 1000.0;
 
     try {
+        const Timer uptime;
         obs::MetricsRegistry metrics;
         tools::ObsSetup obs_setup(args, metrics);
+
+        // Trace sinks, by precedence: --trace-out (whole-session log,
+        // installed by ObsSetup) wins; otherwise the bounded flight
+        // recorder runs continuously so recent spans are dumpable at
+        // any point of a weeks-long run.
+        std::unique_ptr<obs::FlightRecorder> flight;
+        const auto flight_events =
+            static_cast<std::size_t>(args.get_int("flight-events"));
+        if (obs::TraceSession::current() == nullptr && flight_events > 0) {
+            flight = std::make_unique<obs::FlightRecorder>(flight_events);
+            obs::TraceSession::install(flight.get());
+        }
+
         serve::Server server(options, &metrics);
+        if (flight)
+            server.set_trace_session(flight.get());
+
         // SIGTERM/SIGINT is the daemon's normal stop: the serve loops
         // poll the shutdown flag, cancel in-flight budget tokens, and
         // drain — so a clean signal exit is 0, not 130.
         tools::SignalGuard signals([&] { obs_setup.finish(); },
                                    args.get_double("grace"));
+
+        // SIGUSR1 -> flight dump, via the async-signal-safe counter.
+        std::unique_ptr<FlightDumpPoller> dump_poller;
+        if (obs::TraceSession::current() != nullptr) {
+            std::signal(SIGUSR1, on_sigusr1);
+            dump_poller = std::make_unique<FlightDumpPoller>(
+                obs::TraceSession::current(), args.get("flight-dump"));
+        }
+
+        // 1 Hz process self-monitor; the extra hook publishes the live
+        // request-queue depth next to the proc gauges.
+        obs::SelfMonitor self_monitor(metrics, 1.0, [&metrics, &server] {
+            metrics.gauge("serve.queue_depth")
+                .set(static_cast<std::int64_t>(server.queue_depth()));
+        });
+
+        // Config fingerprint for /statusz: the output-affecting knobs,
+        // canonically rendered — two daemons with the same fingerprint
+        // serve byte-identical alignments.
+        const std::string canonical_config = strprintf(
+            "serve|wall=%.6g|cells=%llu|heap=%llu",
+            options.default_budget.wall_seconds,
+            static_cast<unsigned long long>(
+                options.default_budget.max_cells),
+            static_cast<unsigned long long>(
+                options.default_budget.max_heap_bytes));
+        const std::string fingerprint =
+            strprintf("%016llx", static_cast<unsigned long long>(
+                                     fnv1a64(canonical_config)));
+
+        std::unique_ptr<serve::HttpMetricsServer> http;
+        const int metrics_port = static_cast<int>(
+            args.get_int("metrics-port"));
+        if (metrics_port >= 0) {
+            serve::HttpHandlers handlers;
+            handlers.metrics_text = [&metrics] {
+                return obs::to_prometheus(metrics);
+            };
+            handlers.healthy = [&server] { return !server.stopping(); };
+            handlers.statusz_json = [&server, &uptime, fingerprint] {
+                std::ostringstream out;
+                out << "{\"version\": \"" << DARWIN_VERSION << "\""
+                    << ", \"uptime_seconds\": "
+                    << strprintf("%.3f", uptime.seconds())
+                    << ", \"config_fingerprint\": \"" << fingerprint
+                    << "\""
+                    << ", \"pid\": " << ::getpid()
+                    << ", \"workers\": " << server.options().num_workers
+                    << ", \"queue_depth\": " << server.queue_depth()
+                    << ", \"stopping\": "
+                    << (server.stopping() ? "true" : "false") << "}";
+                return out.str();
+            };
+            http = std::make_unique<serve::HttpMetricsServer>(
+                metrics_port, std::move(handlers));
+            // Parsed by tools/serve_smoke.py to find an ephemeral port.
+            inform(strprintf(
+                "serve: metrics listening on http://127.0.0.1:%d/metrics",
+                http->port()));
+        }
 
         const std::string socket_path = args.get("socket");
         if (socket_path.empty()) {
@@ -172,6 +371,15 @@ main(int argc, char** argv)
             server.stop();
         } else {
             serve_socket(server, socket_path);
+        }
+        if (http)
+            http->stop();
+        if (dump_poller)
+            dump_poller->stop();
+        self_monitor.stop();
+        if (flight) {
+            server.set_trace_session(nullptr);
+            obs::TraceSession::install(nullptr);
         }
         obs_setup.finish();
         inform("serve: drained; exiting");

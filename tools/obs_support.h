@@ -4,6 +4,10 @@
  * and `darwin-wga-batch` accept
  *
  *   --metrics-out FILE       final metrics registry dump (JSON)
+ *   --metrics-every SEC      also rewrite --metrics-out every N seconds
+ *                            (atomic tmp+rename, so scrapers and humans
+ *                            tailing a long batch never read a partial
+ *                            file; 0 = only at exit)
  *   --trace-out FILE         Chrome/Perfetto trace_event JSON
  *   --progress-interval SEC  heartbeat progress log (0 = off)
  *   --log-json FILE          mirror log records as JSON lines
@@ -20,12 +24,16 @@
 #ifndef DARWIN_TOOLS_OBS_SUPPORT_H
 #define DARWIN_TOOLS_OBS_SUPPORT_H
 
+#include <chrono>
+#include <condition_variable>
 #include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "align/kernels/kernel_registry.h"
+#include "batch/checkpoint.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -39,6 +47,9 @@ add_obs_options(ArgParser& args)
 {
     args.add_option("metrics-out", "",
                     "write the final metrics registry as JSON here");
+    args.add_option("metrics-every", "0",
+                    "also rewrite --metrics-out atomically every N "
+                    "seconds while running (0 = only at exit)");
     args.add_option("trace-out", "",
                     "write a Chrome/Perfetto trace_event JSON here");
     args.add_option("progress-interval", "0",
@@ -73,6 +84,12 @@ class ObsSetup {
             trace_ = std::make_unique<obs::TraceSession>();
             obs::TraceSession::install(trace_.get());
         }
+        const double metrics_every = args.get_double("metrics-every");
+        if (metrics_every > 0.0) {
+            if (metrics_path_.empty())
+                fatal("--metrics-every requires --metrics-out");
+            start_periodic_dumps(metrics_every);
+        }
     }
 
     ~ObsSetup()
@@ -105,6 +122,10 @@ class ObsSetup {
     void
     finish()
     {
+        // Stop the periodic dumper before taking finish_mutex_: the
+        // dumper grabs that mutex per dump, so joining it while holding
+        // the mutex would deadlock.
+        stop_periodic_dumps();
         std::lock_guard<std::mutex> lock(finish_mutex_);
         if (progress_) {
             progress_->stop();
@@ -130,6 +151,52 @@ class ObsSetup {
     }
 
   private:
+    /**
+     * Periodic --metrics-every dumper. Each dump goes through the
+     * tmp+rename writer so readers (scrapers, humans with `watch cat`)
+     * never observe a partially written registry.
+     */
+    void
+    start_periodic_dumps(double interval_seconds)
+    {
+        periodic_thread_ = std::thread([this, interval_seconds] {
+            const auto interval =
+                std::chrono::duration<double>(interval_seconds);
+            std::unique_lock<std::mutex> lock(periodic_mutex_);
+            while (!periodic_stop_) {
+                if (periodic_cv_.wait_for(lock, interval,
+                                          [this] { return periodic_stop_; }))
+                    break;
+                lock.unlock();
+                dump_metrics_atomic();
+                lock.lock();
+            }
+        });
+    }
+
+    void
+    stop_periodic_dumps()
+    {
+        {
+            std::lock_guard<std::mutex> lock(periodic_mutex_);
+            if (periodic_stop_)
+                return;  // an earlier finish() already joined
+            periodic_stop_ = true;
+        }
+        periodic_cv_.notify_all();
+        if (periodic_thread_.joinable())
+            periodic_thread_.join();
+    }
+
+    void
+    dump_metrics_atomic()
+    {
+        std::lock_guard<std::mutex> lock(finish_mutex_);
+        if (metrics_path_.empty())
+            return;  // finish() already wrote the final dump
+        batch::write_file_atomic(metrics_path_, registry_.to_json());
+    }
+
     obs::MetricsRegistry& registry_;
     std::mutex finish_mutex_;
     std::string metrics_path_;
@@ -137,6 +204,10 @@ class ObsSetup {
     double progress_interval_ = 0.0;
     std::unique_ptr<obs::TraceSession> trace_;
     std::unique_ptr<obs::ProgressReporter> progress_;
+    std::mutex periodic_mutex_;
+    std::condition_variable periodic_cv_;
+    bool periodic_stop_ = false;
+    std::thread periodic_thread_;
 };
 
 }  // namespace darwin::tools

@@ -1,14 +1,22 @@
 #!/usr/bin/env python3
 """Smoke-test client for darwin-wga-serve, used by CI.
 
-Starts the daemon on stdin/stdout, drives one session:
+Starts the daemon on stdin/stdout with telemetry armed (--metrics-port 0,
+a flight recorder, slow-request logging) and drives one session:
 
-  1. ping                           -> status ok
+  1. ping                            -> status ok
   2. align against a persisted index -> status ok, MAF byte-identical
                                         to --reference when given
   3. align with max_cells=1          -> status error, reason "cells"
      (the budget trip must not take the daemon down)
   4. status                          -> status ok, sane counters
+  5. stats                           -> status ok, embedded metrics JSON
+  6. dump_trace                      -> status ok, file parses as a
+                                        Chrome trace with pipeline spans
+  7. GET /metrics and /healthz on the ephemeral HTTP port announced on
+     stderr -> valid Prometheus text while the session is live
+  8. SIGUSR1                         -> flight-recorder dump appears and
+                                        parses as a Chrome trace
 
 then sends SIGTERM and asserts the daemon drains and exits 0.
 
@@ -17,14 +25,83 @@ then sends SIGTERM and asserts the daemon drains and exits 0.
 """
 import argparse
 import json
+import re
 import signal
 import subprocess
 import sys
+import threading
+import time
+import urllib.request
 
 
 def fail(message):
     print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
     sys.exit(1)
+
+
+class StderrWatcher:
+    """Echoes the daemon's stderr and captures the metrics-port line."""
+
+    PORT_RE = re.compile(r"metrics listening on http://127\.0\.0\.1:(\d+)/")
+
+    def __init__(self, stream):
+        self.port = None
+        self._found = threading.Event()
+        self._thread = threading.Thread(
+            target=self._pump, args=(stream,), daemon=True)
+        self._thread.start()
+
+    def _pump(self, stream):
+        for line in stream:
+            sys.stderr.write(line)
+            match = self.PORT_RE.search(line)
+            if match:
+                self.port = int(match.group(1))
+                self._found.set()
+        self._found.set()  # EOF: stop waiters either way
+
+    def wait_for_port(self, timeout):
+        self._found.wait(timeout)
+        return self.port
+
+
+def http_get(port, path, timeout=10.0):
+    url = f"http://127.0.0.1:{port}{path}"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.read().decode()
+
+
+def check_prometheus_text(text):
+    """Minimal structural validation of the exposition output."""
+    if "# TYPE serve_requests_total counter" not in text:
+        fail("Prometheus text lacks serve_requests_total TYPE line")
+    if "serve_request_seconds_bucket{le=\"+Inf\"}" not in text:
+        fail("Prometheus text lacks the mandatory +Inf bucket")
+    for line in text.splitlines():
+        if line.startswith("#") or not line:
+            continue
+        fields = line.rsplit(" ", 1)
+        if len(fields) != 2:
+            fail(f"unparseable exposition line: {line!r}")
+        float(fields[1])  # every sample value must be numeric
+
+
+def check_chrome_trace(path, description):
+    trace = json.load(open(path))
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{description}: no traceEvents in {path}")
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        fail(f"{description}: no complete spans in {path}")
+    names = {e.get("name") for e in spans}
+    if "pipeline" not in names:
+        fail(f"{description}: no pipeline span in {path} (got {names})")
+    tagged = [e for e in spans if "req" in (e.get("args") or {})]
+    if not tagged:
+        fail(f"{description}: no span carries a req tag in {path}")
+    print(f"serve_smoke: {description}: {len(spans)} spans, "
+          f"{len(tagged)} request-tagged")
 
 
 def main():
@@ -39,6 +116,8 @@ def main():
     parser.add_argument("--timeout", type=float, default=300.0)
     args = parser.parse_args()
 
+    trace_out = args.out + ".trace.json"
+    flight_out = args.out + ".flight.json"
     requests = [
         {"op": "ping", "id": "ping"},
         {"op": "align", "id": "align", "target": args.target,
@@ -47,11 +126,17 @@ def main():
          "query": args.query, "out": args.out + ".never",
          "budget": {"max_cells": 1}},
         {"op": "status", "id": "status"},
+        {"op": "stats", "id": "stats"},
+        {"op": "dump_trace", "id": "trace", "out": trace_out},
     ]
 
     proc = subprocess.Popen(
-        [args.daemon, "--workers", "1"],
-        stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
+        [args.daemon, "--workers", "1", "--metrics-port", "0",
+         "--flight-events", "4096", "--flight-dump", flight_out,
+         "--slow-request-ms", "1"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True)
+    watcher = StderrWatcher(proc.stderr)
     try:
         for request in requests:
             proc.stdin.write(json.dumps(request) + "\n")
@@ -94,6 +179,54 @@ def main():
             fail(f"status failed: {status}")
         if status.get("errors") != 1 or status.get("ok", 0) < 2:
             fail(f"status counters off: {status}")
+
+        stats = responses["stats"]
+        if stats.get("status") != "ok":
+            fail(f"stats failed: {stats}")
+        metrics = stats.get("metrics")
+        if not isinstance(metrics, dict):
+            fail(f"stats carries no embedded metrics object: {stats}")
+        if metrics.get("counters", {}).get("serve.requests", 0) < 4:
+            fail(f"stats counters implausible: {metrics.get('counters')}")
+        print("serve_smoke: stats snapshot ok "
+              f"({len(metrics.get('histograms', {}))} histograms)")
+
+        trace = responses["trace"]
+        if trace.get("status") != "ok":
+            fail(f"dump_trace failed: {trace}")
+        check_chrome_trace(trace_out, "dump_trace op")
+
+        # Scrape the embedded HTTP listener mid-session: the daemon is
+        # still alive (stdin open), so /healthz must report ok.
+        port = watcher.wait_for_port(timeout=30.0)
+        if not port:
+            fail("daemon never announced its metrics port on stderr")
+        code, text = http_get(port, "/metrics")
+        if code != 200:
+            fail(f"GET /metrics -> {code}")
+        check_prometheus_text(text)
+        print(f"serve_smoke: GET /metrics ok "
+              f"({len(text.splitlines())} lines)")
+        code, text = http_get(port, "/healthz")
+        if code != 200 or text.strip() != "ok":
+            fail(f"GET /healthz -> {code} {text!r}")
+        code, text = http_get(port, "/statusz")
+        if code != 200 or "config_fingerprint" not in text:
+            fail(f"GET /statusz -> {code} {text!r}")
+        print("serve_smoke: /healthz and /statusz ok")
+
+        # SIGUSR1 must produce a flight-recorder dump without help from
+        # the protocol.  The poller runs at 200ms, so wait a little.
+        proc.send_signal(signal.SIGUSR1)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            try:
+                check_chrome_trace(flight_out, "SIGUSR1 flight dump")
+                break
+            except (FileNotFoundError, json.JSONDecodeError):
+                time.sleep(0.1)
+        else:
+            fail(f"SIGUSR1 produced no parseable dump at {flight_out}")
 
         # Clean SIGTERM shutdown: drain and exit 0 (stdin stays open, so
         # only the signal can stop it).
