@@ -592,9 +592,23 @@ main(int argc, char** argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             json = true;
-        } else if (std::strcmp(argv[i], "--check-speedup") == 0 &&
-                   i + 1 < argc) {
-            check_speedup = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--check-speedup") == 0) {
+            // A missing or malformed threshold must be a hard error:
+            // silently dropping it (or atof's 0.0 fallback) would turn
+            // the CI gate into a trivially-passing no-op.
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--check-speedup requires a threshold\n");
+                return 2;
+            }
+            const char* text = argv[++i];
+            char* end = nullptr;
+            check_speedup = std::strtod(text, &end);
+            if (end == text || *end != '\0' || check_speedup < 0.0) {
+                std::fprintf(stderr,
+                             "--check-speedup: bad threshold '%s'\n", text);
+                return 2;
+            }
         } else {
             passthrough.push_back(argv[i]);
         }

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Batched many-tile execution — the AlignBackend interface.
+ *
+ * The paper's co-processor keeps many independent tiles in flight at
+ * once; on the software side that shape is a *batch backend*: callers
+ * stage independent tiles into a structure-of-arrays `TileBatch` and
+ * hand the whole batch to the active `AlignBackend`, which returns one
+ * result per tile. Staging (wga/filter_stage, wga/extend_stage, the
+ * batch scheduler) accumulates tiles into bounded batches and flushes
+ * on size or deadline; the backend decides how a flush executes.
+ *
+ * Backends are listed in the KernelRegistry backend table (stable ids,
+ * `DARWIN_BACKEND` / `--backend` override, `auto|serial|cpu-scalar|
+ * cpu-simd|cycle-model`):
+ *
+ *  - `serial` (0): one-at-a-time dispatch through the single-tile
+ *    façades (`banded_smith_waterman`, `GactXTileAligner::align_tile`).
+ *    The stages recognize this id and keep their legacy per-tile code
+ *    path — it is the differential baseline every other backend must
+ *    match bit-for-bit.
+ *  - `cpu-scalar` (1): batched staging, each tile through the scalar
+ *    wavefront kernels regardless of the active kernel selection. The
+ *    deterministic batched reference.
+ *  - `cpu-simd` (2): batched staging through the registry's active
+ *    (vectorized) kernel, flushes executed across a ThreadPool when
+ *    one is provided, and an optional score-only first pass that skips
+ *    traceback for tiles that won't survive x-drop (see
+ *    `BatchOptions::probe_score_only`). The default (`auto`).
+ *  - `cycle-model` (3): same results as cpu-simd plus per-flush device
+ *    cycle estimates from the hw/ array models, so device projections
+ *    see real batching effects (implemented in src/hw/backend_cycle.cpp
+ *    to keep align/ free of hw/ includes).
+ *
+ * Contract: every backend returns per-tile results bit-identical to
+ * serial dispatch — every TileResult field including the CIGAR,
+ * `cells_computed`, `traceback_bytes` and `stripe_columns` — for any
+ * batch size and order (enforced by tests/backend_batch_test.cpp).
+ */
+#ifndef DARWIN_ALIGN_BATCH_H
+#define DARWIN_ALIGN_BATCH_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "align/banded_sw.h"
+#include "align/gactx.h"
+
+namespace darwin {
+class ThreadPool;
+}
+
+namespace darwin::align {
+
+/**
+ * A batch of independent tiles, structure-of-arrays: parallel vectors
+ * of (target, query) views. The batch does not own sequence bytes —
+ * the caller keeps the underlying buffers alive across the flush.
+ */
+class TileBatch {
+  public:
+    void
+    push(std::span<const std::uint8_t> target,
+         std::span<const std::uint8_t> query)
+    {
+        target_ptr_.push_back(target.data());
+        target_len_.push_back(target.size());
+        query_ptr_.push_back(query.data());
+        query_len_.push_back(query.size());
+    }
+
+    std::size_t size() const { return target_len_.size(); }
+    bool empty() const { return target_len_.empty(); }
+
+    void
+    clear()
+    {
+        target_ptr_.clear();
+        target_len_.clear();
+        query_ptr_.clear();
+        query_len_.clear();
+    }
+
+    std::span<const std::uint8_t>
+    target(std::size_t i) const
+    {
+        return {target_ptr_[i], target_len_[i]};
+    }
+
+    std::span<const std::uint8_t>
+    query(std::size_t i) const
+    {
+        return {query_ptr_[i], query_len_[i]};
+    }
+
+  private:
+    std::vector<const std::uint8_t*> target_ptr_;
+    std::vector<std::size_t> target_len_;
+    std::vector<const std::uint8_t*> query_ptr_;
+    std::vector<std::size_t> query_len_;
+};
+
+/** Per-flush execution knobs, chosen by the staging layer. */
+struct BatchOptions {
+    /** Execute the flush's tiles across this pool (nullptr: in-thread).
+     *  Tiles are independent, so results are order-deterministic either
+     *  way; injected faults and budget polls fire on whichever thread
+     *  runs the tile, exactly as the serial wave path behaves. */
+    ThreadPool* pool = nullptr;
+
+    /** GACT-X only: run a score-only probe pass first and skip the
+     *  traceback machinery for tiles whose max_score is 0 (an x-drop
+     *  dead tile's full result — empty CIGAR, origin maximum — is
+     *  completely determined by the probe, so this is exact; see
+     *  gactx_wavefront_scalar_score_only). Probed-dead tiles count
+     *  into BatchExecStats::score_only_hits. */
+    bool probe_score_only = false;
+};
+
+/** Work counters for batched execution. The staging layer fills the
+ *  flush-shape fields; backends fill score_only_hits and device_*. */
+struct BatchExecStats {
+    std::uint64_t flushes = 0;
+    std::uint64_t tiles = 0;
+    /** Tiles finalized by the score-only probe pass (dead on x-drop). */
+    std::uint64_t score_only_hits = 0;
+    /** cycle-model backend only: summed per-tile device cycles. */
+    std::uint64_t device_cycles = 0;
+    /** cycle-model backend only: makespan of the flushes when their
+     *  tiles are packed greedily onto the configured array count. */
+    std::uint64_t device_makespan_cycles = 0;
+    /** One entry per flush: its tile count (drives the
+     *  wga.batch.tiles_per_flush histogram). */
+    std::vector<std::uint32_t> flush_sizes;
+
+    void
+    merge(const BatchExecStats& other)
+    {
+        flushes += other.flushes;
+        tiles += other.tiles;
+        score_only_hits += other.score_only_hits;
+        device_cycles += other.device_cycles;
+        device_makespan_cycles += other.device_makespan_cycles;
+        flush_sizes.insert(flush_sizes.end(), other.flush_sizes.begin(),
+                           other.flush_sizes.end());
+    }
+};
+
+/**
+ * A batch execution backend. Implementations are stateless (const
+ * methods, shareable across threads); all mutable state lives in the
+ * caller's batch/result buffers and the per-call stats.
+ */
+class AlignBackend {
+  public:
+    virtual ~AlignBackend() = default;
+
+    /** Run one banded-SW filter tile per batch entry. `out` must have
+     *  exactly batch.size() elements; out[i] is the result for tile i. */
+    virtual void bsw_batch(const TileBatch& batch,
+                           const ScoringParams& scoring, std::size_t band,
+                           const BatchOptions& options,
+                           std::span<BswResult> out,
+                           BatchExecStats* stats) const = 0;
+
+    /** Run one GACT-X extension tile per batch entry. Same layout
+     *  contract as bsw_batch. */
+    virtual void gactx_batch(const TileBatch& batch,
+                             const GactXParams& params,
+                             const BatchOptions& options,
+                             std::span<TileResult> out,
+                             BatchExecStats* stats) const = 0;
+};
+
+/** The backend singletons behind the KernelRegistry backend table. */
+const AlignBackend* serial_backend();
+const AlignBackend* cpu_scalar_backend();
+const AlignBackend* cpu_simd_backend();
+/** Defined in src/hw/backend_cycle.cpp (resolved at static-lib link,
+ *  the same pattern as the per-ISA kernel_ops hooks). */
+const AlignBackend* cycle_model_backend();
+
+}  // namespace darwin::align
+
+#endif  // DARWIN_ALIGN_BATCH_H

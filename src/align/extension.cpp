@@ -62,73 +62,139 @@ clip_at_overlap(const TileResult& tile, std::size_t boundary)
     return kept;
 }
 
-/** One-directional tiled extension over forward-oriented spans. */
-struct DirectionalResult {
-    Cigar cigar;  ///< in the orientation of the provided spans
-    std::size_t target_consumed = 0;
-    std::size_t query_consumed = 0;
-};
+}  // namespace
 
-/**
- * Extend right over (target, query) starting at their origins, feeding
- * `slice(pos, len)` tiles to the aligner. The `fetch` callbacks produce
- * tile buffers so the same code serves the left extension (which fetches
- * reversed slices).
- */
-template <typename FetchTarget, typename FetchQuery>
-DirectionalResult
-extend_direction(std::size_t target_remaining, std::size_t query_remaining,
-                 FetchTarget&& fetch_target, FetchQuery&& fetch_query,
-                 const TileAligner& aligner, ExtensionStats* stats)
+AnchorExtender::AnchorExtender(std::span<const std::uint8_t> target,
+                               std::span<const std::uint8_t> query,
+                               std::size_t anchor_t, std::size_t anchor_q,
+                               std::size_t tile_size,
+                               std::size_t tile_overlap)
+    : target_(target), query_(query), anchor_t_(anchor_t),
+      anchor_q_(anchor_q), tile_size_(tile_size)
 {
-    DirectionalResult out;
-    const std::size_t tile_size = aligner.tile_size();
-    const std::size_t overlap = aligner.tile_overlap();
-    require(tile_size > overlap, "extend_direction: tile <= overlap");
-    const std::size_t boundary = tile_size - overlap;
-
-    std::size_t pos_t = 0;
-    std::size_t pos_q = 0;
-    while (pos_t < target_remaining && pos_q < query_remaining) {
-        fault::poll("extend.tile");
-        const std::size_t rlen =
-            std::min(tile_size, target_remaining - pos_t);
-        const std::size_t qlen =
-            std::min(tile_size, query_remaining - pos_q);
-        auto target_tile = fetch_target(pos_t, rlen);
-        auto query_tile = fetch_query(pos_q, qlen);
-        const TileResult tile = aligner.align_tile(
-            {target_tile.data(), target_tile.size()},
-            {query_tile.data(), query_tile.size()});
-        if (stats)
-            stats->absorb(tile);
-        if (tile.max_score <= 0) {
-            if (stats)
-                ++stats->xdrop_terminations;
-            break;
-        }
-
-        // When the tile does not fill the nominal size (sequence end), the
-        // overlap clipping still applies against the nominal boundary; a
-        // short tile's path simply ends before it.
-        const KeptPath kept = clip_at_overlap(tile, boundary);
-        if (kept.target_consumed == 0 && kept.query_consumed == 0)
-            break;  // no forward progress: stop rather than loop
-        out.cigar.append(kept.cigar);
-        pos_t += kept.target_consumed;
-        pos_q += kept.query_consumed;
-
-        // If the whole path was kept (it ended before the overlap region),
-        // the alignment genuinely ended inside this tile.
-        if (tile.target_max < boundary && tile.query_max < boundary)
-            break;
-    }
-    out.target_consumed = pos_t;
-    out.query_consumed = pos_q;
-    return out;
+    require(anchor_t_ <= target_.size() && anchor_q_ <= query_.size(),
+            "extend_anchor: anchor outside spans");
+    require(tile_size_ > tile_overlap, "extend_direction: tile <= overlap");
+    boundary_ = tile_size_ - tile_overlap;
+    // Right extension first: forward slices starting at the anchor.
+    remaining_t_ = target_.size() - anchor_t_;
+    remaining_q_ = query_.size() - anchor_q_;
 }
 
-}  // namespace
+void
+AnchorExtender::end_direction()
+{
+    DirectionResult& dir = phase_ == Phase::Right ? right_ : left_;
+    dir.cigar = std::move(cur_cigar_);
+    dir.target_consumed = pos_t_;
+    dir.query_consumed = pos_q_;
+    cur_cigar_ = Cigar{};
+    pos_t_ = 0;
+    pos_q_ = 0;
+    if (phase_ == Phase::Right) {
+        // Left: reversed slices ending at the anchor.
+        phase_ = Phase::Left;
+        remaining_t_ = anchor_t_;
+        remaining_q_ = anchor_q_;
+    } else {
+        phase_ = Phase::Done;
+        remaining_t_ = 0;
+        remaining_q_ = 0;
+    }
+}
+
+bool
+AnchorExtender::next_tile(std::span<const std::uint8_t>* target_tile,
+                          std::span<const std::uint8_t>* query_tile)
+{
+    require(!staged_, "AnchorExtender: staged tile not consumed");
+    // A direction whose sequences are exhausted ends without a poll —
+    // the serial loop's while condition.
+    while (phase_ != Phase::Done &&
+           (pos_t_ >= remaining_t_ || pos_q_ >= remaining_q_))
+        end_direction();
+    if (phase_ == Phase::Done)
+        return false;
+
+    fault::poll("extend.tile");
+    const std::size_t rlen = std::min(tile_size_, remaining_t_ - pos_t_);
+    const std::size_t qlen = std::min(tile_size_, remaining_q_ - pos_q_);
+    target_buf_.resize(rlen);
+    query_buf_.resize(qlen);
+    if (phase_ == Phase::Right) {
+        for (std::size_t k = 0; k < rlen; ++k)
+            target_buf_[k] = target_[anchor_t_ + pos_t_ + k];
+        for (std::size_t k = 0; k < qlen; ++k)
+            query_buf_[k] = query_[anchor_q_ + pos_q_ + k];
+    } else {
+        // Slice [anchor - pos - len, anchor - pos), reversed.
+        for (std::size_t k = 0; k < rlen; ++k)
+            target_buf_[k] = target_[anchor_t_ - pos_t_ - 1 - k];
+        for (std::size_t k = 0; k < qlen; ++k)
+            query_buf_[k] = query_[anchor_q_ - pos_q_ - 1 - k];
+    }
+    staged_ = true;
+    *target_tile = {target_buf_.data(), rlen};
+    *query_tile = {query_buf_.data(), qlen};
+    return true;
+}
+
+void
+AnchorExtender::consume(const TileResult& tile)
+{
+    require(staged_, "AnchorExtender: consume without a staged tile");
+    staged_ = false;
+    stats_.absorb(tile);
+    if (tile.max_score <= 0) {
+        ++stats_.xdrop_terminations;
+        end_direction();
+        return;
+    }
+
+    // When the tile does not fill the nominal size (sequence end), the
+    // overlap clipping still applies against the nominal boundary; a
+    // short tile's path simply ends before it.
+    const KeptPath kept = clip_at_overlap(tile, boundary_);
+    if (kept.target_consumed == 0 && kept.query_consumed == 0) {
+        end_direction();  // no forward progress: stop rather than loop
+        return;
+    }
+    cur_cigar_.append(kept.cigar);
+    pos_t_ += kept.target_consumed;
+    pos_q_ += kept.query_consumed;
+
+    // If the whole path was kept (it ended before the overlap region),
+    // the alignment genuinely ended inside this tile.
+    if (tile.target_max < boundary_ && tile.query_max < boundary_)
+        end_direction();
+}
+
+Alignment
+AnchorExtender::finish(const ScoringParams& scoring) const
+{
+    require(phase_ == Phase::Done, "AnchorExtender: finish before done");
+    Alignment out;
+    out.target_start = anchor_t_ - left_.target_consumed;
+    out.target_end = anchor_t_ + right_.target_consumed;
+    out.query_start = anchor_q_ - left_.query_consumed;
+    out.query_end = anchor_q_ + right_.query_consumed;
+
+    // The left path was computed on reversed sequences: flip the run
+    // order to express it forward, then join with the right path.
+    Cigar left_forward = left_.cigar;
+    left_forward.reverse();
+    out.cigar = std::move(left_forward);
+    out.cigar.append(right_.cigar);
+
+    if (out.cigar.empty())
+        return out;
+    out.score = out.cigar.score(
+        target_.subspan(out.target_start,
+                        out.target_end - out.target_start),
+        query_.subspan(out.query_start, out.query_end - out.query_start),
+        scoring);
+    return out;
+}
 
 Alignment
 extend_anchor(std::span<const std::uint8_t> target,
@@ -136,66 +202,15 @@ extend_anchor(std::span<const std::uint8_t> target,
               std::size_t anchor_q, const TileAligner& aligner,
               const ScoringParams& scoring, ExtensionStats* stats)
 {
-    require(anchor_t <= target.size() && anchor_q <= query.size(),
-            "extend_anchor: anchor outside spans");
-
-    // Right: forward slices starting at the anchor.
-    DirectionalResult right = extend_direction(
-        target.size() - anchor_t, query.size() - anchor_q,
-        [&](std::size_t pos, std::size_t len) {
-            return std::vector<std::uint8_t>(
-                target.begin() +
-                    static_cast<std::ptrdiff_t>(anchor_t + pos),
-                target.begin() +
-                    static_cast<std::ptrdiff_t>(anchor_t + pos + len));
-        },
-        [&](std::size_t pos, std::size_t len) {
-            return std::vector<std::uint8_t>(
-                query.begin() +
-                    static_cast<std::ptrdiff_t>(anchor_q + pos),
-                query.begin() +
-                    static_cast<std::ptrdiff_t>(anchor_q + pos + len));
-        },
-        aligner, stats);
-
-    // Left: reversed slices ending at the anchor.
-    DirectionalResult left = extend_direction(
-        anchor_t, anchor_q,
-        [&](std::size_t pos, std::size_t len) {
-            // Slice [anchor - pos - len, anchor - pos), reversed.
-            std::vector<std::uint8_t> buf(len);
-            for (std::size_t k = 0; k < len; ++k)
-                buf[k] = target[anchor_t - pos - 1 - k];
-            return buf;
-        },
-        [&](std::size_t pos, std::size_t len) {
-            std::vector<std::uint8_t> buf(len);
-            for (std::size_t k = 0; k < len; ++k)
-                buf[k] = query[anchor_q - pos - 1 - k];
-            return buf;
-        },
-        aligner, stats);
-
-    Alignment out;
-    out.target_start = anchor_t - left.target_consumed;
-    out.target_end = anchor_t + right.target_consumed;
-    out.query_start = anchor_q - left.query_consumed;
-    out.query_end = anchor_q + right.query_consumed;
-
-    // The left path was computed on reversed sequences: flip the run
-    // order to express it forward, then join with the right path.
-    Cigar left_forward = left.cigar;
-    left_forward.reverse();
-    out.cigar = std::move(left_forward);
-    out.cigar.append(right.cigar);
-
-    if (out.cigar.empty())
-        return out;
-    out.score = out.cigar.score(
-        target.subspan(out.target_start, out.target_end - out.target_start),
-        query.subspan(out.query_start, out.query_end - out.query_start),
-        scoring);
-    return out;
+    AnchorExtender extender(target, query, anchor_t, anchor_q,
+                            aligner.tile_size(), aligner.tile_overlap());
+    std::span<const std::uint8_t> target_tile;
+    std::span<const std::uint8_t> query_tile;
+    while (extender.next_tile(&target_tile, &query_tile))
+        extender.consume(aligner.align_tile(target_tile, query_tile));
+    if (stats)
+        stats->merge(extender.stats());
+    return extender.finish(scoring);
 }
 
 }  // namespace darwin::align

@@ -1,0 +1,204 @@
+/**
+ * The CPU batch backends (batch.h): `serial`, `cpu-scalar`, `cpu-simd`.
+ *
+ * Tiles in a batch are independent, so every backend runs them as a
+ * plain loop over the batch — `cpu-simd` interleaves that loop across a
+ * ThreadPool when the flush carries one, and optionally front-runs the
+ * GACT-X tiles with a score-only probe pass so tiles that die on the
+ * x-drop test never touch the traceback machinery. All three produce
+ * per-tile results bit-identical to the single-tile façades for any
+ * batch size, order, or thread count.
+ */
+#include <vector>
+
+#include "align/batch.h"
+#include "align/kernels/bsw_kernels.h"
+#include "align/kernels/gactx_kernels.h"
+#include "align/kernels/kernel_registry.h"
+#include "fault/cancel.h"
+#include "util/thread_pool.h"
+
+namespace darwin::align {
+
+namespace {
+
+/** One BSW tile with the same probe/budget surface as the
+ *  banded_smith_waterman façade: poll `filter.tile` before the kernel,
+ *  charge the cell budget after — so batched execution preserves fault
+ *  injection and budget accounting per tile. */
+template <typename Fn>
+BswResult
+bsw_tile_probed(const Fn& fn, std::span<const std::uint8_t> target,
+                std::span<const std::uint8_t> query,
+                const ScoringParams& scoring, std::size_t band)
+{
+    fault::poll("filter.tile");
+    BswResult result = fn(target, query, scoring, band);
+    fault::charge_cells(result.cells_computed);
+    return result;
+}
+
+/** Run body(0..n-1), across the pool when one is given. Each index is
+ *  its own grain so a flush's tiles spread over all workers. */
+template <typename Body>
+void
+for_each_tile(ThreadPool* pool, std::size_t n, const Body& body)
+{
+    if (pool != nullptr && n > 1) {
+        pool->parallel_for(0, n, body, 1);
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+    }
+}
+
+/** `serial` (id 0): one-at-a-time dispatch through the single-tile
+ *  façade path — the baseline the batched backends must match. The
+ *  staging layers special-case this id and keep their legacy per-tile
+ *  loops, but the backend is still fully functional so differential
+ *  tests can drive every id through the same interface. */
+class SerialBackend : public AlignBackend {
+  public:
+    void
+    bsw_batch(const TileBatch& batch, const ScoringParams& scoring,
+              std::size_t band, const BatchOptions&,
+              std::span<BswResult> out, BatchExecStats*) const override
+    {
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            out[i] = banded_smith_waterman(batch.target(i), batch.query(i),
+                                           scoring, band);
+    }
+
+    void
+    gactx_batch(const TileBatch& batch, const GactXParams& params,
+                const BatchOptions&, std::span<TileResult> out,
+                BatchExecStats*) const override
+    {
+        const GactXTileAligner aligner(params);
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            out[i] = aligner.align_tile(batch.target(i), batch.query(i));
+    }
+};
+
+/** `cpu-scalar` (id 1): batched staging, scalar kernels regardless of
+ *  the active kernel selection — the deterministic batched reference. */
+class CpuScalarBackend : public AlignBackend {
+  public:
+    void
+    bsw_batch(const TileBatch& batch, const ScoringParams& scoring,
+              std::size_t band, const BatchOptions& options,
+              std::span<BswResult> out, BatchExecStats*) const override
+    {
+        for_each_tile(options.pool, batch.size(), [&](std::size_t i) {
+            out[i] = bsw_tile_probed(kernels::bsw_wavefront_scalar,
+                                     batch.target(i), batch.query(i),
+                                     scoring, band);
+        });
+    }
+
+    void
+    gactx_batch(const TileBatch& batch, const GactXParams& params,
+                const BatchOptions& options, std::span<TileResult> out,
+                BatchExecStats*) const override
+    {
+        for_each_tile(options.pool, batch.size(), [&](std::size_t i) {
+            out[i] = kernels::gactx_wavefront_scalar(
+                batch.target(i), batch.query(i), params);
+        });
+    }
+};
+
+/** `cpu-simd` (id 2): the registry's active (vectorized) kernel per
+ *  tile, cross-tile interleaving over the flush's pool, and the
+ *  score-only first pass when the staging layer requests it. */
+class CpuSimdBackend : public AlignBackend {
+  public:
+    void
+    bsw_batch(const TileBatch& batch, const ScoringParams& scoring,
+              std::size_t band, const BatchOptions& options,
+              std::span<BswResult> out, BatchExecStats*) const override
+    {
+        const kernels::BswKernelFn fn =
+            kernels::KernelRegistry::instance().active().bsw;
+        for_each_tile(options.pool, batch.size(), [&](std::size_t i) {
+            out[i] = bsw_tile_probed(fn, batch.target(i), batch.query(i),
+                                     scoring, band);
+        });
+    }
+
+    void
+    gactx_batch(const TileBatch& batch, const GactXParams& params,
+                const BatchOptions& options, std::span<TileResult> out,
+                BatchExecStats* stats) const override
+    {
+        const kernels::KernelImpl& impl =
+            kernels::KernelRegistry::instance().active();
+        const kernels::GactXKernelFn fn = impl.gactx;
+        const std::size_t n = batch.size();
+        if (!options.probe_score_only) {
+            for_each_tile(options.pool, n, [&](std::size_t i) {
+                out[i] = fn(batch.target(i), batch.query(i), params);
+            });
+            return;
+        }
+
+        // Score-only first pass through the active kernel's dedicated
+        // entry (SIMD where compiled). A probe with max_score == 0 IS
+        // the tile's full result (dead on x-drop: best cell at the
+        // origin, empty CIGAR — see gactx_align_wavefront's kScoreOnly
+        // contract), so only surviving tiles run the full kernel.
+        // Probes re-charge cell/heap budgets for the tiles they visit,
+        // matching what the hardware's score-only pre-pass would
+        // really spend.
+        const kernels::GactXKernelFn probe_fn = impl.gactx_score_only;
+        std::vector<std::uint8_t> dead(n, 0);
+        for_each_tile(options.pool, n, [&](std::size_t i) {
+            TileResult probe =
+                probe_fn(batch.target(i), batch.query(i), params);
+            if (probe.max_score == 0) {
+                dead[i] = 1;
+                out[i] = std::move(probe);
+            }
+        });
+        std::vector<std::size_t> live;
+        live.reserve(n);
+        std::uint64_t hits = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (dead[i])
+                ++hits;
+            else
+                live.push_back(i);
+        }
+        for_each_tile(options.pool, live.size(), [&](std::size_t k) {
+            const std::size_t i = live[k];
+            out[i] = fn(batch.target(i), batch.query(i), params);
+        });
+        if (stats != nullptr)
+            stats->score_only_hits += hits;
+    }
+};
+
+}  // namespace
+
+const AlignBackend*
+serial_backend()
+{
+    static const SerialBackend backend;
+    return &backend;
+}
+
+const AlignBackend*
+cpu_scalar_backend()
+{
+    static const CpuScalarBackend backend;
+    return &backend;
+}
+
+const AlignBackend*
+cpu_simd_backend()
+{
+    static const CpuSimdBackend backend;
+    return &backend;
+}
+
+}  // namespace darwin::align

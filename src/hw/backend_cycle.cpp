@@ -1,0 +1,99 @@
+/**
+ * The `cycle-model` batch backend: the hw/ estimator as just another
+ * AlignBackend, so device projections see real batching effects.
+ *
+ * Results come from the cpu-simd backend (bit-identical by the batch
+ * contract); on top, every flush is costed against the paper's
+ * f1.2xlarge FPGA configuration — per-tile cycle counts from the
+ * geometry (BSW) and stripe-faithful (GACT-X) array models, summed
+ * into `device_cycles`, and packed greedily onto the configured array
+ * count (longest-processing-time onto the least-loaded array, in tile
+ * order — deterministic) into `device_makespan_cycles`. A flush of
+ * one tile has makespan == its own cycles; a well-filled flush shows
+ * the array-level parallelism the co-processor actually gets, which is
+ * exactly what single-tile dispatch could never measure.
+ */
+#include <algorithm>
+#include <vector>
+
+#include "align/batch.h"
+#include "hw/bsw_array.h"
+#include "hw/config.h"
+#include "hw/gactx_array.h"
+
+namespace darwin::align {
+
+namespace {
+
+/** Greedy least-loaded assignment of per-tile cycle costs onto
+ *  `arrays` parallel units; returns the resulting makespan. */
+std::uint64_t
+pack_makespan(const std::vector<std::uint64_t>& costs, std::size_t arrays)
+{
+    if (costs.empty())
+        return 0;
+    if (arrays == 0)
+        arrays = 1;
+    std::vector<std::uint64_t> load(std::min(arrays, costs.size()), 0);
+    for (const std::uint64_t cost : costs) {
+        auto least = std::min_element(load.begin(), load.end());
+        *least += cost;
+    }
+    return *std::max_element(load.begin(), load.end());
+}
+
+class CycleModelBackend : public AlignBackend {
+  public:
+    void
+    bsw_batch(const TileBatch& batch, const ScoringParams& scoring,
+              std::size_t band, const BatchOptions& options,
+              std::span<BswResult> out, BatchExecStats* stats) const override
+    {
+        cpu_simd_backend()->bsw_batch(batch, scoring, band, options, out,
+                                      stats);
+        if (stats == nullptr)
+            return;
+        const hw::DeviceConfig device = hw::DeviceConfig::fpga_f1_2xlarge();
+        std::vector<std::uint64_t> costs(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            costs[i] = hw::BswArrayModel::tile_cycles(
+                batch.target(i).size(), batch.query(i).size(),
+                device.bsw_pe, band);
+        for (const std::uint64_t cost : costs)
+            stats->device_cycles += cost;
+        stats->device_makespan_cycles +=
+            pack_makespan(costs, device.bsw_arrays);
+    }
+
+    void
+    gactx_batch(const TileBatch& batch, const GactXParams& params,
+                const BatchOptions& options, std::span<TileResult> out,
+                BatchExecStats* stats) const override
+    {
+        cpu_simd_backend()->gactx_batch(batch, params, options, out, stats);
+        if (stats == nullptr)
+            return;
+        const hw::DeviceConfig device = hw::DeviceConfig::fpga_f1_2xlarge();
+        // The cycle model reads the stripe walk off each result, so the
+        // estimate prices exactly the work the engine really did.
+        std::vector<std::uint64_t> costs(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            costs[i] = hw::GactXArrayModel::tile_cycles(out[i],
+                                                        params.num_pe);
+        for (const std::uint64_t cost : costs)
+            stats->device_cycles += cost;
+        stats->device_makespan_cycles +=
+            pack_makespan(costs, device.gactx_arrays);
+    }
+};
+
+}  // namespace
+
+const AlignBackend*
+cycle_model_backend()
+{
+    static const CycleModelBackend backend;
+    return &backend;
+}
+
+}  // namespace darwin::align

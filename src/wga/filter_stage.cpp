@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 
+#include "align/kernels/kernel_registry.h"
 #include "align/ungapped_xdrop.h"
 #include "fault/cancel.h"
 #include "seed/seed_pattern.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace darwin::wga {
 
@@ -27,25 +29,14 @@ FilterStage::filter(const seed::SeedHit& hit, FilterStats* stats) const
     ++local.tiles;
 
     if (params_.filter_mode == FilterMode::Gapped) {
-        // Tile with the seed hit at its center.
-        const std::size_t half = params_.filter_tile / 2;
-        const std::uint64_t seed_mid_t = hit.target_pos + seed_span_ / 2;
-        const std::uint64_t seed_mid_q = hit.query_pos + seed_span_ / 2;
-        const std::uint64_t t0 = seed_mid_t > half ? seed_mid_t - half : 0;
-        const std::uint64_t q0 = seed_mid_q > half ? seed_mid_q - half : 0;
-        const std::size_t tlen = static_cast<std::size_t>(
-            std::min<std::uint64_t>(params_.filter_tile,
-                                    target_.size() - t0));
-        const std::size_t qlen = static_cast<std::size_t>(
-            std::min<std::uint64_t>(params_.filter_tile,
-                                    query_.size() - q0));
+        const TileWindow w = gapped_window(hit);
         const align::BswResult bsw = align::banded_smith_waterman(
-            target_.subspan(t0, tlen), query_.subspan(q0, qlen),
+            target_.subspan(w.t0, w.tlen), query_.subspan(w.q0, w.qlen),
             params_.scoring, params_.filter_band);
         local.cells += bsw.cells_computed;
         if (bsw.max_score >= params_.filter_threshold) {
-            out = FilterCandidate{t0 + bsw.target_max, q0 + bsw.query_max,
-                                  bsw.max_score};
+            out = FilterCandidate{w.t0 + bsw.target_max,
+                                  w.q0 + bsw.query_max, bsw.max_score};
         }
     } else {
         const align::UngappedResult ext = align::ungapped_xdrop_extend(
@@ -64,30 +55,126 @@ FilterStage::filter(const seed::SeedHit& hit, FilterStats* stats) const
     return out;
 }
 
+FilterStage::TileWindow
+FilterStage::gapped_window(const seed::SeedHit& hit) const
+{
+    // Tile with the seed hit at its center.
+    TileWindow w;
+    const std::size_t half = params_.filter_tile / 2;
+    const std::uint64_t seed_mid_t = hit.target_pos + seed_span_ / 2;
+    const std::uint64_t seed_mid_q = hit.query_pos + seed_span_ / 2;
+    w.t0 = seed_mid_t > half ? seed_mid_t - half : 0;
+    w.q0 = seed_mid_q > half ? seed_mid_q - half : 0;
+    w.tlen = static_cast<std::size_t>(std::min<std::uint64_t>(
+        params_.filter_tile, target_.size() - w.t0));
+    w.qlen = static_cast<std::size_t>(std::min<std::uint64_t>(
+        params_.filter_tile, query_.size() - w.q0));
+    return w;
+}
+
+std::vector<std::optional<FilterCandidate>>
+FilterStage::filter_hits(const std::vector<seed::SeedHit>& hits,
+                         FilterStats* stats, ThreadPool* pool) const
+{
+    std::vector<std::optional<FilterCandidate>> slots(hits.size());
+
+    const align::kernels::BackendImpl& backend_impl =
+        align::kernels::KernelRegistry::instance().active_backend();
+    if (params_.filter_mode != FilterMode::Gapped || backend_impl.id == 0) {
+        // Serial per-hit dispatch (the legacy path; also ungapped mode,
+        // whose diagonal scans gain nothing from tile batching).
+        if (pool) {
+            std::atomic<std::uint64_t> tiles{0}, cells{0}, passed{0};
+            pool->parallel_for(0, hits.size(), [&](std::size_t i) {
+                FilterStats local;
+                slots[i] = filter(hits[i], &local);
+                tiles.fetch_add(local.tiles, std::memory_order_relaxed);
+                cells.fetch_add(local.cells, std::memory_order_relaxed);
+                passed.fetch_add(local.passed, std::memory_order_relaxed);
+            });
+            if (stats) {
+                stats->tiles += tiles.load();
+                stats->cells += cells.load();
+                stats->passed += passed.load();
+            }
+        } else {
+            for (std::size_t i = 0; i < hits.size(); ++i)
+                slots[i] = filter(hits[i], stats);
+        }
+        return slots;
+    }
+
+    // Batched gapped filtering: stage each hit's BSW tile in hit order,
+    // flush on size or deadline. The per-hit `filter.hit` probe fires
+    // at staging time, so injection/budget visit counts match the
+    // serial path.
+    FilterStats local;
+    align::TileBatch batch;
+    std::vector<TileWindow> windows;
+    std::vector<std::size_t> owner;
+    std::vector<align::BswResult> results;
+    Timer staged_since;
+    const std::size_t flush_cap =
+        std::max<std::size_t>(1, params_.batch_flush_tiles);
+
+    auto flush = [&]() {
+        if (batch.empty())
+            return;
+        fault::poll("batch.flush");
+        align::BatchOptions options;
+        options.pool = pool;
+        results.assign(batch.size(), align::BswResult{});
+        local.batch.flushes += 1;
+        local.batch.tiles += batch.size();
+        local.batch.flush_sizes.push_back(
+            static_cast<std::uint32_t>(batch.size()));
+        backend_impl.backend->bsw_batch(batch, params_.scoring,
+                                        params_.filter_band, options,
+                                        {results.data(), results.size()},
+                                        &local.batch);
+        for (std::size_t k = 0; k < results.size(); ++k) {
+            const align::BswResult& bsw = results[k];
+            const TileWindow& w = windows[k];
+            local.cells += bsw.cells_computed;
+            if (bsw.max_score >= params_.filter_threshold) {
+                slots[owner[k]] =
+                    FilterCandidate{w.t0 + bsw.target_max,
+                                    w.q0 + bsw.query_max, bsw.max_score};
+                ++local.passed;
+            }
+        }
+        batch.clear();
+        windows.clear();
+        owner.clear();
+    };
+
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        fault::poll("filter.hit");
+        ++local.tiles;
+        const TileWindow w = gapped_window(hits[i]);
+        if (batch.empty())
+            staged_since.reset();
+        batch.push(target_.subspan(w.t0, w.tlen),
+                   query_.subspan(w.q0, w.qlen));
+        windows.push_back(w);
+        owner.push_back(i);
+        if (batch.size() >= flush_cap ||
+            staged_since.seconds() >= params_.batch_flush_deadline)
+            flush();
+    }
+    flush();
+
+    if (stats)
+        stats->merge(local);
+    return slots;
+}
+
 std::vector<FilterCandidate>
 FilterStage::filter_all(const std::vector<seed::SeedHit>& hits,
                         FilterStats* stats, ThreadPool* pool) const
 {
-    std::vector<std::optional<FilterCandidate>> slots(hits.size());
-
-    if (pool) {
-        std::atomic<std::uint64_t> tiles{0}, cells{0}, passed{0};
-        pool->parallel_for(0, hits.size(), [&](std::size_t i) {
-            FilterStats local;
-            slots[i] = filter(hits[i], &local);
-            tiles.fetch_add(local.tiles, std::memory_order_relaxed);
-            cells.fetch_add(local.cells, std::memory_order_relaxed);
-            passed.fetch_add(local.passed, std::memory_order_relaxed);
-        });
-        if (stats) {
-            stats->tiles += tiles.load();
-            stats->cells += cells.load();
-            stats->passed += passed.load();
-        }
-    } else {
-        for (std::size_t i = 0; i < hits.size(); ++i)
-            slots[i] = filter(hits[i], stats);
-    }
+    const std::vector<std::optional<FilterCandidate>> slots =
+        filter_hits(hits, stats, pool);
 
     std::vector<FilterCandidate> out;
     for (const auto& slot : slots) {

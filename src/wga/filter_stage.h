@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "align/banded_sw.h"
+#include "align/batch.h"
 #include "seed/dsoft.h"
 #include "util/thread_pool.h"
 #include "wga/params.h"
@@ -34,6 +35,9 @@ struct FilterStats {
     std::uint64_t tiles = 0;
     std::uint64_t cells = 0;
     std::uint64_t passed = 0;
+    /** Batched-backend flush counters (empty under the serial backend
+     *  and in ungapped mode). */
+    align::BatchExecStats batch;
 
     void
     merge(const FilterStats& other)
@@ -41,6 +45,7 @@ struct FilterStats {
         tiles += other.tiles;
         cells += other.cells;
         passed += other.passed;
+        batch.merge(other.batch);
     }
 };
 
@@ -64,6 +69,20 @@ class FilterStage {
                                           FilterStats* stats = nullptr) const;
 
     /**
+     * Filter hits preserving hit order: slot i is hit i's candidate
+     * (nullopt when it failed). When the active batch backend is not
+     * `serial` and the mode is gapped, the hits' BSW tiles are staged
+     * into bounded batches (flushed at params.batch_flush_tiles tiles
+     * or params.batch_flush_deadline seconds, `batch.flush` fault
+     * probe per flush) and executed through the backend — per-hit
+     * verdicts and anchors stay bit-identical to per-hit dispatch.
+     * Both filter_all and the batch scheduler route through this.
+     */
+    std::vector<std::optional<FilterCandidate>> filter_hits(
+        const std::vector<seed::SeedHit>& hits, FilterStats* stats = nullptr,
+        ThreadPool* pool = nullptr) const;
+
+    /**
      * Filter a batch (optionally across a pool). The returned candidates
      * are sorted by descending filter score (the extension order), ties
      * broken by position for determinism.
@@ -73,6 +92,15 @@ class FilterStage {
         ThreadPool* pool = nullptr) const;
 
   private:
+    /** The gapped-mode BSW tile cut around a seed hit. */
+    struct TileWindow {
+        std::uint64_t t0 = 0;
+        std::uint64_t q0 = 0;
+        std::size_t tlen = 0;
+        std::size_t qlen = 0;
+    };
+    TileWindow gapped_window(const seed::SeedHit& hit) const;
+
     const WgaParams& params_;
     std::span<const std::uint8_t> target_;
     std::span<const std::uint8_t> query_;

@@ -60,6 +60,19 @@ struct WgaParams {
     std::size_t absorb_cell = 64;
 
     /**
+     * Batched backend staging (align/batch.h): a flush is triggered
+     * when this many tiles have accumulated...
+     */
+    std::size_t batch_flush_tiles = 64;
+
+    /**
+     * ...or when the oldest staged tile has waited this long (seconds).
+     * The deadline bounds staging latency when tiles trickle in (e.g.
+     * sparse seed hits); it never changes results — only flush shapes.
+     */
+    double batch_flush_deadline = 0.05;
+
+    /**
      * Also align the reverse complement of the query (second pass).
      * Alignments from that pass carry Strand::Reverse with query
      * coordinates in reverse-complement space (MAF '-' convention).

@@ -21,6 +21,7 @@ PipelineStats::merge(const PipelineStats& other)
     extend.alignments_out += other.extend.alignments_out;
     extend.matched_bases += other.extend.matched_bases;
     extend.extension.merge(other.extend.extension);
+    extend.batch.merge(other.extend.batch);
     seed_seconds += other.seed_seconds;
     filter_seconds += other.filter_seconds;
     extend_seconds += other.extend_seconds;
@@ -57,6 +58,35 @@ publish_pipeline_stats(obs::MetricsRegistry& metrics,
         .add(stats.extend.extension.stripes);
     metrics.counter(name(".extend.xdrop_terminations"))
         .add(stats.extend.extension.xdrop_terminations);
+    // Batched-backend counters: absent entirely under the serial
+    // backend (no flushes), so serial runs keep the exact metric set
+    // they had before batching existed.
+    const align::BatchExecStats* batches[] = {&stats.filter.batch,
+                                              &stats.extend.batch};
+    std::uint64_t batch_flushes = 0;
+    for (const align::BatchExecStats* batch : batches) {
+        batch_flushes += batch->flushes;
+        for (const std::uint32_t size : batch->flush_sizes)
+            metrics.histogram(name(".batch.tiles_per_flush"))
+                .observe(static_cast<double>(size));
+    }
+    if (batch_flushes > 0) {
+        metrics.counter(name(".batch.flushes")).add(batch_flushes);
+        metrics.counter(name(".batch.tiles"))
+            .add(stats.filter.batch.tiles + stats.extend.batch.tiles);
+        metrics.counter(name(".batch.score_only_hits"))
+            .add(stats.filter.batch.score_only_hits +
+                 stats.extend.batch.score_only_hits);
+    }
+    if (stats.filter.batch.device_cycles + stats.extend.batch.device_cycles >
+        0) {
+        metrics.counter(name(".batch.device_cycles"))
+            .add(stats.filter.batch.device_cycles +
+                 stats.extend.batch.device_cycles);
+        metrics.counter(name(".batch.device_makespan_cycles"))
+            .add(stats.filter.batch.device_makespan_cycles +
+                 stats.extend.batch.device_makespan_cycles);
+    }
     if (stats.seed_seconds > 0.0)
         metrics.histogram(name(".seed.seconds")).observe(stats.seed_seconds);
     if (stats.filter_seconds > 0.0)
@@ -221,6 +251,12 @@ WgaPipeline::run_impl(const seed::SeedIndex& index,
             align::kernels::KernelRegistry::instance().active().id;
         metrics->gauge("wga.filter.kernel").set(kernel_id);
         metrics->gauge("wga.extend.kernel").set(kernel_id);
+        // Which batch backend stages dispatch through (id: 0 serial,
+        // 1 cpu-scalar, 2 cpu-simd, 3 cycle-model). Backends are
+        // bit-identical too; only wga.batch.* shapes vary.
+        metrics->gauge("wga.batch.backend")
+            .set(align::kernels::KernelRegistry::instance()
+                     .active_backend().id);
     }
 
     // Coordinates of the reverse pass stay in reverse-complement space

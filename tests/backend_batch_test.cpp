@@ -1,0 +1,619 @@
+/**
+ * @file
+ * Differential harness for the batch backend interface (align/batch.h).
+ *
+ * Every registered AlignBackend must return per-tile results
+ * bit-identical to one-at-a-time serial dispatch through the
+ * single-tile façades — every field of BswResult and TileResult
+ * including the CIGAR, cells_computed, traceback_bytes and
+ * stripe_columns — for any batch size, composition, order, or
+ * score-only probing. The sweeps below drive thousands of seeded tiles
+ * (uniform random, synth-evolved species pairs, mutated copies,
+ * degenerate/empty/homopolymer, mixed sizes in one batch) through all
+ * four backends, then climb the stack: forced-backend WgaPipeline runs
+ * must emit byte-identical MAF with reconciling wga.batch.* counters,
+ * and a fault armed at the new `batch.flush` probe must quarantine
+ * only its pair in the batch scheduler.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "align/banded_sw.h"
+#include "align/batch.h"
+#include "align/gactx.h"
+#include "align/kernels/kernel_registry.h"
+#include "batch/scheduler.h"
+#include "fault/fault_plan.h"
+#include "fault/quarantine.h"
+#include "obs/metrics.h"
+#include "synth/species.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "wga/maf.h"
+#include "wga/params.h"
+#include "wga/pipeline.h"
+
+namespace darwin::align {
+namespace {
+
+using kernels::BackendImpl;
+using kernels::KernelRegistry;
+
+/** Restore the default backend selection however a test exits. */
+struct BackendSelectionGuard {
+    ~BackendSelectionGuard()
+    {
+        KernelRegistry::instance().select_backend("auto");
+    }
+};
+
+std::span<const std::uint8_t>
+sp(const std::vector<std::uint8_t>& v)
+{
+    return {v.data(), v.size()};
+}
+
+std::vector<std::uint8_t>
+random_codes(std::size_t len, std::uint32_t alphabet, Rng& rng)
+{
+    std::vector<std::uint8_t> codes(len);
+    for (auto& c : codes)
+        c = static_cast<std::uint8_t>(rng.uniform(alphabet));
+    return codes;
+}
+
+std::vector<std::uint8_t>
+mutated_copy(const std::vector<std::uint8_t>& src, double sub_rate,
+             double indel_rate, Rng& rng)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        if (rng.chance(indel_rate)) {
+            if (rng.chance(0.5))
+                continue;  // delete
+            out.push_back(static_cast<std::uint8_t>(rng.uniform(4)));
+        }
+        std::uint8_t base = src[i];
+        if (rng.chance(sub_rate))
+            base = static_cast<std::uint8_t>(rng.uniform(4));
+        out.push_back(base);
+    }
+    return out;
+}
+
+/** One owned tile pair; batches view into these buffers. */
+struct TilePair {
+    std::vector<std::uint8_t> target;
+    std::vector<std::uint8_t> query;
+};
+
+/**
+ * A seeded mixed bag of tile pairs covering the shapes the staging
+ * layers produce: uniform random (2- and 4-letter), mutated copies at
+ * several divergence rates, degenerate (empty either side, one-base,
+ * homopolymer-vs-homopolymer guaranteed-dead tiles), and mixed sizes.
+ */
+std::vector<TilePair>
+make_tile_pool(std::size_t count, std::uint32_t seed)
+{
+    Rng rng(seed);
+    std::vector<TilePair> pool;
+    pool.reserve(count);
+    const std::size_t sizes[] = {0, 1, 3, 17, 64, 129, 257};
+    for (std::size_t i = 0; i < count; ++i) {
+        TilePair pair;
+        switch (i % 5) {
+          case 0: {  // uniform random, mixed sizes
+            const std::uint32_t alphabet = (i % 2 == 0) ? 2 : 4;
+            pair.target = random_codes(sizes[i % 7], alphabet, rng);
+            pair.query = random_codes(sizes[(i / 7) % 7], alphabet, rng);
+            break;
+          }
+          case 1: {  // related: mutated copy, near-diagonal DP path
+            const double sub = 0.05 + 0.1 * static_cast<double>(i % 5);
+            pair.target = random_codes(150 + i % 90, 4, rng);
+            pair.query = mutated_copy(pair.target, sub, 0.03, rng);
+            break;
+          }
+          case 2: {  // homopolymer cross: all-A vs all-C never scores,
+                     // the guaranteed x-drop-dead tile (max_score 0)
+            pair.target.assign(40 + i % 50, 0);
+            pair.query.assign(40 + (i / 3) % 50, 1);
+            break;
+          }
+          case 3: {  // degenerate: empty / one-base spans
+            if (i % 3 == 0)
+                pair.target = random_codes(30, 4, rng);
+            else if (i % 3 == 1)
+                pair.query = random_codes(30, 4, rng);
+            else
+                pair.target = {2};
+            break;
+          }
+          default: {  // large-vs-small asymmetric tiles
+            pair.target = random_codes(300, 4, rng);
+            pair.query = random_codes(20 + i % 40, 4, rng);
+            break;
+          }
+        }
+        pool.push_back(std::move(pair));
+    }
+    return pool;
+}
+
+TileBatch
+batch_of(const std::vector<TilePair>& pool,
+         const std::vector<std::size_t>& order)
+{
+    TileBatch batch;
+    for (const std::size_t i : order)
+        batch.push(sp(pool[i].target), sp(pool[i].query));
+    return batch;
+}
+
+void
+expect_bsw_equal(const BswResult& got, const BswResult& ref,
+                 const std::string& what)
+{
+    EXPECT_EQ(got.max_score, ref.max_score) << what;
+    EXPECT_EQ(got.target_max, ref.target_max) << what;
+    EXPECT_EQ(got.query_max, ref.query_max) << what;
+    EXPECT_EQ(got.cells_computed, ref.cells_computed) << what;
+}
+
+void
+expect_tile_equal(const TileResult& got, const TileResult& ref,
+                  const std::string& what)
+{
+    EXPECT_EQ(got.max_score, ref.max_score) << what;
+    EXPECT_EQ(got.target_max, ref.target_max) << what;
+    EXPECT_EQ(got.query_max, ref.query_max) << what;
+    EXPECT_EQ(got.cells_computed, ref.cells_computed) << what;
+    EXPECT_EQ(got.traceback_bytes, ref.traceback_bytes) << what;
+    EXPECT_EQ(got.stripe_columns, ref.stripe_columns) << what;
+    EXPECT_EQ(got.cigar.to_string(), ref.cigar.to_string()) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Registry backend table.
+// ---------------------------------------------------------------------------
+
+TEST(BackendRegistry, TableIsStable)
+{
+    const auto& backends = KernelRegistry::instance().backends();
+    ASSERT_EQ(backends.size(), 4u);
+    EXPECT_EQ(backends[0].id, 0);
+    EXPECT_STREQ(backends[0].name, "serial");
+    EXPECT_EQ(backends[1].id, 1);
+    EXPECT_STREQ(backends[1].name, "cpu-scalar");
+    EXPECT_EQ(backends[2].id, 2);
+    EXPECT_STREQ(backends[2].name, "cpu-simd");
+    EXPECT_EQ(backends[3].id, 3);
+    EXPECT_STREQ(backends[3].name, "cycle-model");
+    for (const BackendImpl& b : backends)
+        EXPECT_NE(b.backend, nullptr) << b.name;
+}
+
+TEST(BackendRegistry, SelectByNameAndAuto)
+{
+    BackendSelectionGuard guard;
+    auto& registry = KernelRegistry::instance();
+    registry.select_backend("serial");
+    EXPECT_STREQ(registry.active_backend().name, "serial");
+    registry.select_backend("cycle-model");
+    EXPECT_EQ(registry.active_backend().id, 3);
+    // Auto is the batched default, not the serial baseline.
+    registry.select_backend("auto");
+    EXPECT_STREQ(registry.active_backend().name, "cpu-simd");
+}
+
+TEST(BackendRegistry, BadNameIsClearFatal)
+{
+    BackendSelectionGuard guard;
+    auto& registry = KernelRegistry::instance();
+    const int before = registry.active_backend().id;
+    try {
+        registry.select_backend("fpga");  // same path DARWIN_BACKEND takes
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown backend 'fpga'"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("DARWIN_BACKEND"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("cpu-simd"), std::string::npos) << msg;
+    }
+    // A failed selection must not change the active backend.
+    EXPECT_EQ(registry.active_backend().id, before);
+}
+
+// ---------------------------------------------------------------------------
+// Differential sweeps: every backend vs one-at-a-time serial dispatch.
+// ---------------------------------------------------------------------------
+
+TEST(BackendDiff, BswBatchMatchesSerialFacade)
+{
+    const auto pool = make_tile_pool(600, 11001);
+    const auto scoring = ScoringParams::paper_defaults();
+    std::vector<std::size_t> order(pool.size());
+    std::iota(order.begin(), order.end(), 0);
+    const TileBatch batch = batch_of(pool, order);
+
+    // The baseline: the single-tile façade, one call per tile.
+    std::vector<BswResult> ref(pool.size());
+    for (const std::size_t band : {8u, 32u}) {
+        for (std::size_t i = 0; i < pool.size(); ++i)
+            ref[i] = banded_smith_waterman(sp(pool[i].target),
+                                           sp(pool[i].query), scoring, band);
+        for (const BackendImpl& impl : KernelRegistry::instance().backends()) {
+            std::vector<BswResult> got(pool.size());
+            BatchExecStats stats;
+            impl.backend->bsw_batch(batch, scoring, band, BatchOptions{},
+                                    {got.data(), got.size()}, &stats);
+            for (std::size_t i = 0; i < pool.size(); ++i)
+                expect_bsw_equal(got[i], ref[i],
+                                 std::string(impl.name) + " tile " +
+                                     std::to_string(i) + " band=" +
+                                     std::to_string(band));
+        }
+    }
+}
+
+TEST(BackendDiff, GactXBatchMatchesSerialFacade)
+{
+    const auto pool = make_tile_pool(400, 22002);
+    GactXParams params;  // paper defaults: npe 32, ydrop 9430
+    const GactXTileAligner aligner(params);
+    std::vector<std::size_t> order(pool.size());
+    std::iota(order.begin(), order.end(), 0);
+    const TileBatch batch = batch_of(pool, order);
+
+    std::vector<TileResult> ref(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i)
+        ref[i] = aligner.align_tile(sp(pool[i].target), sp(pool[i].query));
+
+    for (const BackendImpl& impl : KernelRegistry::instance().backends()) {
+        for (const bool probe : {false, true}) {
+            BatchOptions options;
+            options.probe_score_only = probe;
+            std::vector<TileResult> got(pool.size());
+            BatchExecStats stats;
+            impl.backend->gactx_batch(batch, params, options,
+                                      {got.data(), got.size()}, &stats);
+            for (std::size_t i = 0; i < pool.size(); ++i)
+                expect_tile_equal(got[i], ref[i],
+                                  std::string(impl.name) + " tile " +
+                                      std::to_string(i) +
+                                      (probe ? " probed" : ""));
+            if (probe && impl.id >= 2) {
+                // The pool's homopolymer-cross tiles are guaranteed
+                // dead, so the probe pass must actually catch some.
+                EXPECT_GT(stats.score_only_hits, 0u) << impl.name;
+            }
+        }
+    }
+}
+
+TEST(BackendDiff, BatchOrderInvariance)
+{
+    // Executing the same tiles in a different batch order must give
+    // each tile the same result (results are per-tile, slot-addressed).
+    const auto pool = make_tile_pool(200, 33003);
+    GactXParams params;
+    std::vector<std::size_t> forward(pool.size());
+    std::iota(forward.begin(), forward.end(), 0);
+    std::vector<std::size_t> shuffled = forward;
+    Rng rng(4004);
+    for (std::size_t i = shuffled.size(); i > 1; --i)
+        std::swap(shuffled[i - 1],
+                  shuffled[rng.uniform(static_cast<std::uint32_t>(i))]);
+
+    const TileBatch fwd = batch_of(pool, forward);
+    const TileBatch shuf = batch_of(pool, shuffled);
+    for (const BackendImpl& impl : KernelRegistry::instance().backends()) {
+        std::vector<TileResult> a(pool.size()), b(pool.size());
+        impl.backend->gactx_batch(fwd, params, BatchOptions{},
+                                  {a.data(), a.size()}, nullptr);
+        impl.backend->gactx_batch(shuf, params, BatchOptions{},
+                                  {b.data(), b.size()}, nullptr);
+        for (std::size_t k = 0; k < shuffled.size(); ++k)
+            expect_tile_equal(b[k], a[shuffled[k]],
+                              std::string(impl.name) + " reorder slot " +
+                                  std::to_string(k));
+    }
+}
+
+TEST(BackendDiff, SingleTileBatchMatchesFacadeCall)
+{
+    const auto pool = make_tile_pool(60, 44004);
+    const auto scoring = ScoringParams::paper_defaults();
+    GactXParams params;
+    const GactXTileAligner aligner(params);
+    for (const auto& pair : pool) {
+        TileBatch batch;
+        batch.push(sp(pair.target), sp(pair.query));
+        const BswResult bsw_ref = banded_smith_waterman(
+            sp(pair.target), sp(pair.query), scoring, 32);
+        const TileResult gx_ref =
+            aligner.align_tile(sp(pair.target), sp(pair.query));
+        for (const BackendImpl& impl :
+             KernelRegistry::instance().backends()) {
+            BswResult bsw{};
+            TileResult gx{};
+            impl.backend->bsw_batch(batch, scoring, 32, BatchOptions{},
+                                    {&bsw, 1}, nullptr);
+            impl.backend->gactx_batch(batch, params, BatchOptions{},
+                                      {&gx, 1}, nullptr);
+            expect_bsw_equal(bsw, bsw_ref, impl.name);
+            expect_tile_equal(gx, gx_ref, impl.name);
+        }
+    }
+}
+
+TEST(BackendDiff, PooledExecutionIsDeterministic)
+{
+    // Cross-tile interleaving over a pool must not change any result.
+    const auto pool = make_tile_pool(300, 55005);
+    GactXParams params;
+    std::vector<std::size_t> order(pool.size());
+    std::iota(order.begin(), order.end(), 0);
+    const TileBatch batch = batch_of(pool, order);
+    ThreadPool workers(4);
+
+    std::vector<TileResult> serial_out(pool.size());
+    cpu_simd_backend()->gactx_batch(batch, params, BatchOptions{},
+                                    {serial_out.data(), serial_out.size()},
+                                    nullptr);
+    BatchOptions pooled;
+    pooled.pool = &workers;
+    for (const bool probe : {false, true}) {
+        pooled.probe_score_only = probe;
+        std::vector<TileResult> got(pool.size());
+        cpu_simd_backend()->gactx_batch(batch, params, pooled,
+                                        {got.data(), got.size()}, nullptr);
+        for (std::size_t i = 0; i < pool.size(); ++i)
+            expect_tile_equal(got[i], serial_out[i],
+                              "pooled tile " + std::to_string(i) +
+                                  (probe ? " probed" : ""));
+    }
+}
+
+TEST(BackendDiff, SynthEvolvedTileSweep)
+{
+    // Tiles cut from whole synthetic genomes of the paper's species
+    // pairs — realistic divergence structure through every backend.
+    synth::AncestorConfig config;
+    config.num_chromosomes = 1;
+    config.chromosome_length = 6000;
+    config.exons_per_chromosome = 5;
+    GactXParams params;
+    const GactXTileAligner aligner(params);
+    Rng rng(66006);
+    for (const auto& spec : synth::paper_species_pairs()) {
+        const auto pair = synth::make_species_pair(spec, config, 79);
+        const auto& t = pair.target.genome.chromosome(0).codes();
+        const auto& q = pair.query.genome.chromosome(0).codes();
+        const std::size_t tile = 384;
+        const std::size_t lim = std::min(t.size(), q.size()) - tile;
+        std::vector<TilePair> pool;
+        for (int rep = 0; rep < 24; ++rep) {
+            const std::size_t off =
+                rng.uniform(static_cast<std::uint32_t>(lim));
+            pool.push_back({{t.begin() + off, t.begin() + off + tile},
+                            {q.begin() + off, q.begin() + off + tile}});
+        }
+        std::vector<std::size_t> order(pool.size());
+        std::iota(order.begin(), order.end(), 0);
+        const TileBatch batch = batch_of(pool, order);
+        std::vector<TileResult> ref(pool.size());
+        for (std::size_t i = 0; i < pool.size(); ++i)
+            ref[i] = aligner.align_tile(sp(pool[i].target),
+                                        sp(pool[i].query));
+        for (const BackendImpl& impl :
+             KernelRegistry::instance().backends()) {
+            std::vector<TileResult> got(pool.size());
+            impl.backend->gactx_batch(batch, params, BatchOptions{},
+                                      {got.data(), got.size()}, nullptr);
+            for (std::size_t i = 0; i < pool.size(); ++i)
+                expect_tile_equal(got[i], ref[i],
+                                  std::string(impl.name) + " evolved " +
+                                      spec.pair_name + " tile " +
+                                      std::to_string(i));
+        }
+    }
+}
+
+TEST(BackendDiff, CycleModelAddsDeviceCyclesWithoutChangingResults)
+{
+    const auto pool = make_tile_pool(120, 77007);
+    GactXParams params;
+    const auto scoring = ScoringParams::paper_defaults();
+    std::vector<std::size_t> order(pool.size());
+    std::iota(order.begin(), order.end(), 0);
+    const TileBatch batch = batch_of(pool, order);
+
+    BatchExecStats simd_stats, cycle_stats;
+    std::vector<TileResult> simd_out(pool.size()), cycle_out(pool.size());
+    cpu_simd_backend()->gactx_batch(batch, params, BatchOptions{},
+                                    {simd_out.data(), simd_out.size()},
+                                    &simd_stats);
+    cycle_model_backend()->gactx_batch(batch, params, BatchOptions{},
+                                       {cycle_out.data(), cycle_out.size()},
+                                       &cycle_stats);
+    for (std::size_t i = 0; i < pool.size(); ++i)
+        expect_tile_equal(cycle_out[i], simd_out[i],
+                          "cycle-model tile " + std::to_string(i));
+    EXPECT_EQ(simd_stats.device_cycles, 0u);
+    EXPECT_GT(cycle_stats.device_cycles, 0u);
+    EXPECT_GT(cycle_stats.device_makespan_cycles, 0u);
+    // Packing onto parallel arrays can only shorten the serial sum.
+    EXPECT_LE(cycle_stats.device_makespan_cycles,
+              cycle_stats.device_cycles);
+
+    std::vector<BswResult> bsw_out(pool.size());
+    BatchExecStats bsw_stats;
+    cycle_model_backend()->bsw_batch(batch, scoring, 32, BatchOptions{},
+                                     {bsw_out.data(), bsw_out.size()},
+                                     &bsw_stats);
+    EXPECT_GT(bsw_stats.device_cycles, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline property: forced-backend runs are byte-identical with
+// reconciling counters.
+// ---------------------------------------------------------------------------
+
+TEST(BackendDispatch, AllBackendsProduceIdenticalMafWithReconciledCounters)
+{
+    BackendSelectionGuard guard;
+    auto& registry = KernelRegistry::instance();
+
+    synth::AncestorConfig config;
+    config.num_chromosomes = 1;
+    config.chromosome_length = 15000;
+    config.exons_per_chromosome = 10;
+    const auto pair = synth::make_species_pair(
+        synth::find_species_pair("dm6-droSim1"), config, 4242);
+
+    const wga::WgaPipeline pipeline(wga::WgaParams::darwin_defaults());
+    const auto run_with = [&](const std::string& backend,
+                              obs::MetricsRegistry& metrics) {
+        registry.select_backend(backend);
+        const auto result = pipeline.run(pair.target.genome,
+                                         pair.query.genome, nullptr,
+                                         &metrics);
+        std::ostringstream maf;
+        wga::write_maf(maf, result.alignments, pair.target.genome,
+                       pair.query.genome);
+        return maf.str();
+    };
+
+    obs::MetricsRegistry serial_metrics;
+    const std::string serial_maf = run_with("serial", serial_metrics);
+    ASSERT_FALSE(serial_maf.empty());
+    // The serial baseline never flushes batches: no batch counters.
+    EXPECT_EQ(serial_metrics.find_counter("wga.batch.tiles"), nullptr);
+    const auto* serial_gauge = serial_metrics.find_gauge("wga.batch.backend");
+    ASSERT_NE(serial_gauge, nullptr);
+    EXPECT_EQ(serial_gauge->value(), 0);
+
+    for (const char* backend : {"cpu-scalar", "cpu-simd", "cycle-model"}) {
+        SCOPED_TRACE(backend);
+        obs::MetricsRegistry metrics;
+        const std::string maf = run_with(backend, metrics);
+        EXPECT_EQ(maf, serial_maf);
+
+        // Work counters must reconcile exactly with the serial run.
+        for (const char* name :
+             {"wga.filter.tiles", "wga.filter.cells", "wga.filter.passed",
+              "wga.extend.tiles", "wga.extend.cells",
+              "wga.extend.stripes", "wga.extend.alignments",
+              "wga.extend.matched_bases"}) {
+            const auto* s = serial_metrics.find_counter(name);
+            const auto* b = metrics.find_counter(name);
+            ASSERT_NE(s, nullptr) << name;
+            ASSERT_NE(b, nullptr) << name;
+            EXPECT_EQ(b->value(), s->value()) << name;
+        }
+
+        // Batched runs route every filter and extension tile through
+        // flushes: the batch books must balance against the stage books.
+        const auto* batch_tiles = metrics.find_counter("wga.batch.tiles");
+        const auto* flushes = metrics.find_counter("wga.batch.flushes");
+        ASSERT_NE(batch_tiles, nullptr);
+        ASSERT_NE(flushes, nullptr);
+        EXPECT_GT(flushes->value(), 0);
+        EXPECT_EQ(batch_tiles->value(),
+                  metrics.find_counter("wga.filter.tiles")->value() +
+                      metrics.find_counter("wga.extend.tiles")->value());
+        const auto* backend_gauge = metrics.find_gauge("wga.batch.backend");
+        ASSERT_NE(backend_gauge, nullptr);
+        EXPECT_EQ(backend_gauge->value(), registry.active_backend().id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler property: a fault at the batch-flush probe quarantines only
+// its pair, and survivors stay bit-identical.
+// ---------------------------------------------------------------------------
+
+struct FlushPlanGuard {
+    explicit FlushPlanGuard(const fault::FaultPlan& plan)
+    {
+        fault::install_fault_plan(&plan);
+    }
+    ~FlushPlanGuard() { fault::install_fault_plan(nullptr); }
+    FlushPlanGuard(const FlushPlanGuard&) = delete;
+    FlushPlanGuard& operator=(const FlushPlanGuard&) = delete;
+};
+
+TEST(BackendDispatch, FlushFaultQuarantinesOnlyItsPair)
+{
+    BackendSelectionGuard guard;
+    KernelRegistry::instance().select_backend("cpu-simd");
+
+    synth::AncestorConfig shape;
+    shape.num_chromosomes = 1;
+    shape.chromosome_length = 8000;
+    shape.exons_per_chromosome = 4;
+    const auto specs = synth::paper_species_pairs();
+    std::vector<synth::SpeciesPair> pairs;
+    for (std::size_t i = 0; i < 2; ++i)
+        pairs.push_back(
+            synth::make_species_pair(specs[i % specs.size()], shape,
+                                     31000 + i));
+
+    const wga::WgaParams params = wga::WgaParams::darwin_defaults();
+    const wga::WgaPipeline pipeline(params);
+    std::vector<wga::WgaResult> serial;
+    for (const auto& p : pairs)
+        serial.push_back(pipeline.run(p.target.genome, p.query.genome));
+
+    std::vector<batch::BatchJob> jobs;
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+        jobs.push_back({"pair#" + std::to_string(i),
+                        &pairs[i].target.genome, &pairs[i].query.genome});
+
+    const auto plan = fault::FaultPlan::parse("batch.flush:throw:pair=0");
+    FlushPlanGuard plan_guard(plan);
+
+    batch::BatchOptions options;
+    options.params = params;
+    options.num_threads = 2;
+    obs::MetricsRegistry metrics;
+    batch::BatchScheduler scheduler(options, &metrics);
+    const auto results = scheduler.run(jobs);
+
+    ASSERT_EQ(results.size(), jobs.size());
+    EXPECT_EQ(results[0].status, fault::PairStatus::Quarantined);
+    EXPECT_EQ(results[0].quarantine.reason, fault::FailReason::Injected);
+    EXPECT_TRUE(results[0].result.alignments.empty());
+    EXPECT_GE(plan.injected(), 1u);
+
+    // The survivor is bit-identical to its serial reference.
+    EXPECT_EQ(results[1].status, fault::PairStatus::Clean);
+    ASSERT_EQ(results[1].result.alignments.size(),
+              serial[1].alignments.size());
+    for (std::size_t i = 0; i < serial[1].alignments.size(); ++i) {
+        const auto& a = results[1].result.alignments[i];
+        const auto& b = serial[1].alignments[i];
+        EXPECT_EQ(a.target_start, b.target_start);
+        EXPECT_EQ(a.query_start, b.query_start);
+        EXPECT_EQ(a.score, b.score);
+        EXPECT_EQ(a.cigar.to_string(), b.cigar.to_string());
+    }
+
+    // The scheduler published backend flush counters for the survivor.
+    EXPECT_GT(metrics.counter("batch.backend.flushes").value(), 0u);
+    EXPECT_EQ(metrics.counter("batch.fault.quarantined").value(), 1u);
+    EXPECT_EQ(metrics.counter("batch.fault.clean").value(), 1u);
+}
+
+}  // namespace
+}  // namespace darwin::align
