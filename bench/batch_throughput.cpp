@@ -16,6 +16,18 @@
  * each pair's extension is one task.
  *
  *   batch_throughput --threads 4 --size 60000
+ *
+ * --streaming switches the batch arm to the out-of-core dataflow
+ * (2-bit packed genomes, sharded seeding, spill-or-backpressure hit
+ * and candidate channels); --budget-heap M arms each pair's
+ * CancelToken with an M-MiB heap budget, so the run *proves* the
+ * bounded-residency claim — a budget overrun cancels the pair and the
+ * identity check fails the bench. The serial arm stays the in-RAM
+ * byte path, so the streaming results are also asserted identical to
+ * the unpacked reference:
+ *
+ *   batch_throughput --streaming --budget-heap 64 --size 2000000 \
+ *       --pairs 1 --seeds-per-pair 1
  */
 #include "bench_common.h"
 
@@ -65,6 +77,20 @@ main(int argc, char** argv)
     args.add_option("seeds-per-pair", "2",
                     "manifest entries per species pair");
     args.add_option("shard-bp", "16384", "query bp per batch work unit");
+    args.add_option("pairs", "0",
+                    "species pairs from the paper manifest (0 = all)");
+    args.add_flag("streaming",
+                  "run the batch arm on the out-of-core dataflow (packed "
+                  "genomes, sharded seeding, bounded hit/candidate "
+                  "channels)");
+    args.add_option("stream-shard-bp", "8388608",
+                    "--streaming target bp per seeding shard");
+    args.add_option("budget-heap", "0",
+                    "per-pair heap budget in MiB enforced via the pair's "
+                    "CancelToken (0 = unlimited)");
+    args.add_option("spill-dir", "",
+                    "--streaming overflow spill directory ('' = system "
+                    "temp dir)");
     args.add_option("json", "", "also write the JSON report to this file");
     if (!args.parse(argc, argv))
         return 1;
@@ -92,7 +118,12 @@ main(int argc, char** argv)
     std::vector<synth::SpeciesPair> pairs;
     std::vector<batch::BatchJob> jobs;
     auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-    for (const auto& spec : synth::paper_species_pairs())
+    auto species = synth::paper_species_pairs();
+    const auto max_species =
+        static_cast<std::size_t>(args.get_int("pairs"));
+    if (max_species > 0 && max_species < species.size())
+        species.resize(max_species);
+    for (const auto& spec : species)
         for (std::size_t s = 0; s < seeds_per_pair; ++s)
             pairs.push_back(synth::make_species_pair(spec, shape, seed++));
     jobs.reserve(pairs.size());
@@ -120,6 +151,14 @@ main(int argc, char** argv)
     options.params = params;
     options.num_threads = threads;
     options.shard_length = static_cast<std::size_t>(args.get_int("shard-bp"));
+    const auto budget_heap_mb =
+        static_cast<std::uint64_t>(args.get_int("budget-heap"));
+    options.pair_budget.max_heap_bytes = budget_heap_mb * (1ull << 20);
+    const bool streaming = args.get_flag("streaming");
+    options.streaming = streaming;
+    options.streaming_params.shard_bp =
+        static_cast<std::uint64_t>(args.get_int("stream-shard-bp"));
+    options.streaming_params.spill_dir = args.get("spill-dir");
     batch::MetricsRegistry metrics;
     batch::BatchScheduler scheduler(options, &metrics);
     Timer batch_timer;
@@ -147,6 +186,14 @@ main(int argc, char** argv)
         const auto* hist = metrics.find_histogram(name);
         return hist != nullptr ? hist->sum() : 0.0;
     };
+    // wga.heap.* gauges carry the last finished pair's streaming
+    // residency; with a shared manifest shape every pair's fixed
+    // capacities are the same, so "last" is representative.
+    const auto heap_gauge = [&metrics](const char* name) {
+        const auto* gauge = metrics.find_gauge(name);
+        return static_cast<long long>(gauge != nullptr ? gauge->value()
+                                                       : 0);
+    };
     std::ostringstream json;
     json << "{\n"
          << "  " << bench::json_stamp() << ",\n"
@@ -155,6 +202,19 @@ main(int argc, char** argv)
          << "  \"host_cores\": " << host_cores << ",\n"
          << "  \"genome_bp\": " << shape.chromosome_length << ",\n"
          << "  \"shard_bp\": " << options.shard_length << ",\n"
+         << "  \"streaming\": " << (streaming ? "true" : "false") << ",\n"
+         << "  \"budget_heap_mb\": " << budget_heap_mb << ",\n"
+         << "  \"heap\": {"
+         << "\"hit_stream_bytes\": "
+         << heap_gauge("wga.heap.hit_stream_bytes")
+         << ", \"candidate_buffer_bytes\": "
+         << heap_gauge("wga.heap.candidate_buffer_bytes")
+         << ", \"charged_bytes\": "
+         << heap_gauge("wga.heap.charged_bytes")
+         << ", \"spilled_bytes\": "
+         << heap_gauge("wga.heap.spilled_bytes")
+         << ", \"spill_episodes\": "
+         << heap_gauge("wga.heap.spill_episodes") << "},\n"
          << "  \"identical\": true,\n"
          << "  \"serial_seconds\": " << strprintf("%.4f", serial_seconds)
          << ",\n"

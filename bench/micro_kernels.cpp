@@ -39,6 +39,7 @@
 #include "bench_common.h"
 #include "chain/chainer.h"
 #include "seed/seed_index.h"
+#include "seq/packed_sequence.h"
 #include "seq/shuffle.h"
 #include "util/rng.h"
 
@@ -173,6 +174,58 @@ BM_SeedIndexLookup(benchmark::State& state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SeedIndexLookup);
+
+/** Byte-per-base kmer assembly — the pre-packing seeding idiom. */
+std::uint64_t
+byte_kmer(const std::vector<std::uint8_t>& codes, std::size_t pos,
+          std::size_t k)
+{
+    std::uint64_t kmer = 0;
+    for (std::size_t j = 0; j < k && pos + j < codes.size(); ++j) {
+        const std::uint8_t c = codes[pos + j];
+        if (c < 4)
+            kmer |= static_cast<std::uint64_t>(c) << (2 * j);
+    }
+    return kmer;
+}
+
+void
+BM_SeedExtractBytes(benchmark::State& state)
+{
+    const std::size_t k = static_cast<std::size_t>(state.range(0));
+    const auto codes = random_codes(1 << 20, 17);
+    std::size_t pos = 0;
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        sum += byte_kmer(codes, pos, k);
+        pos = (pos + 1) % (codes.size() - k);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.counters["kmers/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SeedExtractBytes)->Arg(12)->Arg(19)->Arg(32);
+
+void
+BM_SeedExtractPacked(benchmark::State& state)
+{
+    const std::size_t k = static_cast<std::size_t>(state.range(0));
+    const auto codes = random_codes(1 << 20, 17);
+    const auto packed =
+        seq::PackedSequence::pack("t", {codes.data(), codes.size()});
+    std::size_t pos = 0;
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        sum += packed.extract_kmer(pos, k);
+        pos = (pos + 1) % (codes.size() - k);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.counters["kmers/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SeedExtractPacked)->Arg(12)->Arg(19)->Arg(32);
 
 void
 BM_DinucleotideShuffle(benchmark::State& state)
@@ -492,6 +545,76 @@ run_kernel_comparison(bool emit_json, double check_speedup)
         urows.push_back({k.name, s, ungapped_scalar_s / s});
     }
 
+    // Seed kmer extraction: byte-per-base assembly vs the packed
+    // representation's 2-bit extract_kmer, equal checksums required.
+    // N runs are part of the workload — both paths must zero those
+    // lanes, and the packed path pays the n-word lookups.
+    struct SRow {
+        std::size_t k;
+        double bytes_seconds = 0.0;   // per extraction
+        double packed_seconds = 0.0;  // per extraction
+        double speedup = 0.0;
+    };
+    std::vector<SRow> srows;
+    {
+        using Clock = std::chrono::steady_clock;
+        constexpr std::size_t kSeqLen = 1 << 20;
+        Rng nrng(18);
+        auto codes = random_codes(kSeqLen, 17);
+        for (std::size_t i = 0; i < codes.size(); ++i)
+            if (nrng.chance(0.005))
+                for (std::size_t j = 0; j < 20 && i < codes.size();
+                     ++j, ++i)
+                    codes[i] = 4;  // N
+        const auto packed =
+            seq::PackedSequence::pack("t", {codes.data(), codes.size()});
+        for (const std::size_t k : {12ul, 19ul, 32ul}) {
+            SRow row{k};
+            const std::size_t limit = codes.size() - k;
+            std::uint64_t byte_sum = 0;
+            std::uint64_t packed_sum = 0;
+            const auto time_arm = [&](auto&& extract, std::uint64_t* sum) {
+                std::uint64_t n = 0;
+                const auto start = Clock::now();
+                double elapsed = 0.0;
+                do {
+                    for (std::size_t pos = 0; pos < limit; pos += 3) {
+                        *sum += extract(pos);
+                        ++n;
+                    }
+                    elapsed = std::chrono::duration<double>(Clock::now() -
+                                                            start)
+                                  .count();
+                } while (elapsed < kMinSeconds);
+                benchmark::DoNotOptimize(*sum);
+                return elapsed / static_cast<double>(n);
+            };
+            row.bytes_seconds = time_arm(
+                [&](std::size_t pos) { return byte_kmer(codes, pos, k); },
+                &byte_sum);
+            row.packed_seconds = time_arm(
+                [&](std::size_t pos) {
+                    return packed.extract_kmer(pos, k);
+                },
+                &packed_sum);
+            // The sums cover different iteration counts; compare one
+            // deterministic pass instead.
+            std::uint64_t byte_pass = 0;
+            std::uint64_t packed_pass = 0;
+            for (std::size_t pos = 0; pos < limit; pos += 3) {
+                byte_pass = byte_pass * 1000003u + byte_kmer(codes, pos, k);
+                packed_pass =
+                    packed_pass * 1000003u + packed.extract_kmer(pos, k);
+            }
+            if (byte_pass != packed_pass)
+                identical = false;
+            row.speedup = row.packed_seconds > 0.0
+                              ? row.bytes_seconds / row.packed_seconds
+                              : 0.0;
+            srows.push_back(row);
+        }
+    }
+
     if (emit_json) {
         std::printf("{\n  %s,\n", bench::json_stamp().c_str());
         std::printf("  \"bench\": \"micro_kernels\",\n");
@@ -542,6 +665,15 @@ run_kernel_comparison(bool emit_json, double check_speedup)
                         "%.9f, \"speedup_vs_scalar\": %.3f}%s\n",
                         urows[i].name, urows[i].seconds, urows[i].speedup,
                         i + 1 < urows.size() ? "," : "");
+        std::printf("  ],\n");
+        std::printf("  \"seed_extract\": [\n");
+        for (std::size_t i = 0; i < srows.size(); ++i)
+            std::printf("    {\"k\": %zu, \"bytes_seconds\": %.11f, "
+                        "\"packed_seconds\": %.11f, "
+                        "\"packed_speedup\": %.3f}%s\n",
+                        srows[i].k, srows[i].bytes_seconds,
+                        srows[i].packed_seconds, srows[i].speedup,
+                        i + 1 < srows.size() ? "," : "");
         std::printf("  ]\n}\n");
     }
 

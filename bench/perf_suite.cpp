@@ -2,10 +2,10 @@
  * @file
  * Perf trajectory suite: one command that captures the repo's headline
  * performance numbers at fixed sizes and seeds and writes them as a
- * single machine-readable report (`BENCH_8.json` at the repo root by
+ * single machine-readable report (`BENCH_9.json` at the repo root by
  * convention), so successive PRs leave a comparable speedup trail.
  *
- * Five sections:
+ * Six sections:
  *   micro_kernels       the google-benchmark kernel microbenches, run as
  *                       a subprocess with --benchmark_format=json
  *   batch_throughput    serial-vs-batch-engine wall clock, run as a
@@ -25,14 +25,26 @@
  *                       through the cpu-simd backend over a thread
  *                       pool, in tiles/sec — results asserted
  *                       bit-identical
+ *   bounded_memory      in-process: one synthetic pair aligned by the
+ *                       in-RAM byte pipeline vs the out-of-core
+ *                       streaming dataflow (2-bit packed genomes,
+ *                       sharded seeding, spill-backed hit/candidate
+ *                       channels) under an armed per-pair heap budget
+ *                       — MAF bytes asserted identical, the dataflow's
+ *                       fixed residency gated at 16 MiB, streaming
+ *                       extension throughput gated against the in-RAM
+ *                       arm
  *
- * Three sections assert acceptance bars and make the suite exit nonzero
+ * Four sections assert acceptance bars and make the suite exit nonzero
  * when missed, so CI can gate on them: index_reuse must cut per-pair
  * seeding latency by at least 5x, telemetry_overhead must stay under 2%
- * (and leave the served MAF byte-identical), and backend_batch must
- * reach at least 1.3x serial tile throughput.
+ * (and leave the served MAF byte-identical), backend_batch must reach
+ * at least 1.3x serial tile throughput, and bounded_memory must finish
+ * under its armed heap budget with byte-identical MAF, at most 16 MiB
+ * of fixed dataflow residency, and no worse than 0.3x the in-RAM
+ * pipeline's tiles/sec.
  *
- *   perf_suite --out BENCH_8.json
+ *   perf_suite --out BENCH_9.json
  */
 #include "bench_common.h"
 
@@ -51,6 +63,7 @@
 #include "align/gactx.h"
 #include "align/kernels/gactx_kernels.h"
 
+#include "fault/cancel.h"
 #include "index/index_io.h"
 #include "obs/exposition.h"
 #include "obs/flight_recorder.h"
@@ -62,6 +75,7 @@
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/timer.h"
+#include "wga/maf.h"
 
 using namespace darwin;
 
@@ -519,6 +533,134 @@ run_backend_batch(std::size_t num_tiles, std::size_t tile_bp,
     return report;
 }
 
+struct BoundedMemoryReport {
+    std::size_t pair_bp = 0;
+    std::uint64_t budget_bytes = 0;
+    std::uint64_t shard_bp = 0;
+    std::uint64_t charged_bytes = 0;   // cumulative transient estimate
+    std::uint64_t residency_bytes = 0; // fixed dataflow buffers (gauges)
+    std::uint64_t spilled_bytes = 0;   // overflow that went to disk
+    std::uint64_t spill_episodes = 0;
+    std::uint64_t num_shards = 0;
+    double inram_seconds = 0.0;
+    double streaming_seconds = 0.0;
+    std::uint64_t extension_tiles = 0;
+    bool identical_maf = false;
+    bool under_budget = false;  // completed without a heap cancellation
+
+    double inram_tiles_per_sec() const
+    {
+        return inram_seconds > 0.0
+                   ? static_cast<double>(extension_tiles) / inram_seconds
+                   : 0.0;
+    }
+    double streaming_tiles_per_sec() const
+    {
+        return streaming_seconds > 0.0
+                   ? static_cast<double>(extension_tiles) /
+                         streaming_seconds
+                   : 0.0;
+    }
+    double relative_throughput() const
+    {
+        return inram_tiles_per_sec() > 0.0
+                   ? streaming_tiles_per_sec() / inram_tiles_per_sec()
+                   : 0.0;
+    }
+};
+
+/**
+ * The out-of-core claim, measured: the same pair aligned by the in-RAM
+ * byte pipeline and by run_streaming with the shard size forced small
+ * enough that several shard tables come and go, under a CancelToken
+ * armed with the heap budget. The budget is *enforced*, not observed —
+ * an overrun cancels the run mid-flight and the section fails — and
+ * the MAF bytes of the two arms must match exactly. The tiles/sec gate
+ * catches the failure mode bounded residency invites: a dataflow that
+ * stays under budget by re-reading or re-computing its way to a crawl.
+ *
+ * Two memory axes are reported (DESIGN.md §13): residency_bytes is the
+ * streaming dataflow's fixed in-memory footprint (the wga.heap.*
+ * gauges — hit channel window + candidate chunk) and is gated hard at
+ * 16 MiB regardless of genome size; charged_bytes is the CancelToken's
+ * cumulative transient-allocation estimate, dominated by per-tile
+ * extension traceback and therefore proportional to aligned bases —
+ * the budget must be calibrated to the workload, and the default here
+ * covers the default pair size with headroom.
+ */
+BoundedMemoryReport
+run_bounded_memory(std::size_t pair_bp, std::uint64_t budget_mb,
+                   std::uint64_t shard_bp, std::uint64_t seed)
+{
+    synth::AncestorConfig shape;
+    shape.num_chromosomes = 1;
+    shape.chromosome_length = pair_bp;
+    shape.exons_per_chromosome = pair_bp / 2'500;
+    const auto pair = synth::make_species_pair(
+        synth::paper_species_pairs().front(), shape, seed);
+
+    BoundedMemoryReport report;
+    report.pair_bp = pair_bp;
+    report.budget_bytes = budget_mb << 20;
+    report.shard_bp = shard_bp;
+
+    const auto params = wga::WgaParams::darwin_defaults();
+    const wga::WgaPipeline pipeline(params);
+
+    Timer timer;
+    const wga::WgaResult inram =
+        pipeline.run(pair.target.genome, pair.query.genome);
+    report.inram_seconds = timer.seconds();
+    report.extension_tiles = inram.stats.extend.extension.tiles;
+
+    wga::StreamingParams sp;
+    sp.shard_bp = shard_bp;
+    wga::WgaResult streamed;
+    obs::MetricsRegistry metrics;
+    fault::CancelToken token;
+    fault::Budget budget;
+    budget.max_heap_bytes = report.budget_bytes;
+    token.arm(budget);
+    {
+        const fault::ContextScope scope(&token, 0);
+        timer.reset();
+        try {
+            streamed = pipeline.run_streaming(pair.target.genome,
+                                              pair.query.genome, sp,
+                                              nullptr, &metrics);
+            report.under_budget = true;
+        } catch (const fault::CancelledError& error) {
+            std::fprintf(stderr,
+                         "bounded_memory: heap budget overrun at probe "
+                         "%s\n",
+                         error.probe().c_str());
+        }
+        report.streaming_seconds = timer.seconds();
+    }
+    report.charged_bytes = token.heap_bytes_charged();
+    const auto gauge = [&metrics](const char* name) {
+        const auto* g = metrics.find_gauge(name);
+        return static_cast<std::uint64_t>(g != nullptr ? g->value() : 0);
+    };
+    report.spilled_bytes = gauge("wga.heap.spilled_bytes");
+    report.spill_episodes = gauge("wga.heap.spill_episodes");
+    report.residency_bytes = gauge("wga.heap.hit_stream_bytes") +
+                             gauge("wga.heap.candidate_buffer_bytes");
+    report.num_shards = (pair.target.genome.flattened().size() +
+                         shard_bp - 1) / shard_bp;
+
+    if (report.under_budget) {
+        std::ostringstream a;
+        std::ostringstream b;
+        wga::write_maf(a, inram.alignments, pair.target.genome,
+                       pair.query.genome);
+        wga::write_maf(b, streamed.alignments, pair.target.genome,
+                       pair.query.genome);
+        report.identical_maf = a.str() == b.str() && !a.str().empty();
+    }
+    return report;
+}
+
 int
 run_suite(const ArgParser& args, const char* argv0)
 {
@@ -581,6 +723,26 @@ run_suite(const ArgParser& args, const char* argv0)
                  static_cast<unsigned long long>(
                      batched.score_only_hits));
 
+    const BoundedMemoryReport bounded = run_bounded_memory(
+        static_cast<std::size_t>(args.get_int("bounded-bp")),
+        static_cast<std::uint64_t>(args.get_int("bounded-budget-mb")),
+        static_cast<std::uint64_t>(args.get_int("bounded-shard-bp")),
+        static_cast<std::uint64_t>(args.get_int("seed")));
+    std::fprintf(stderr,
+                 "bounded_memory: in-RAM %.0f tiles/s, streaming %.0f "
+                 "tiles/s (%.2fx) over %zu bp; %.1f MiB resident, "
+                 "%.1f MiB charged of %.0f MiB budget, %.1f MiB "
+                 "spilled across %llu episodes, %llu shards\n",
+                 bounded.inram_tiles_per_sec(),
+                 bounded.streaming_tiles_per_sec(),
+                 bounded.relative_throughput(), bounded.pair_bp,
+                 static_cast<double>(bounded.residency_bytes) / (1 << 20),
+                 static_cast<double>(bounded.charged_bytes) / (1 << 20),
+                 static_cast<double>(bounded.budget_bytes) / (1 << 20),
+                 static_cast<double>(bounded.spilled_bytes) / (1 << 20),
+                 static_cast<unsigned long long>(bounded.spill_episodes),
+                 static_cast<unsigned long long>(bounded.num_shards));
+
     std::ostringstream json;
     json << "{\n"
          << "  " << bench::json_stamp() << ",\n"
@@ -639,6 +801,35 @@ run_suite(const ArgParser& args, const char* argv0)
          << "    \"meets_1_3x\": "
          << (batched.speedup() >= 1.3 ? "true" : "false") << "\n"
          << "  },\n"
+         << "  \"bounded_memory\": {\n"
+         << "    \"pair_bp\": " << bounded.pair_bp << ",\n"
+         << "    \"budget_bytes\": " << bounded.budget_bytes << ",\n"
+         << "    \"shard_bp\": " << bounded.shard_bp << ",\n"
+         << "    \"num_shards\": " << bounded.num_shards << ",\n"
+         << "    \"charged_bytes\": " << bounded.charged_bytes << ",\n"
+         << "    \"residency_bytes\": " << bounded.residency_bytes
+         << ",\n"
+         << "    \"spilled_bytes\": " << bounded.spilled_bytes << ",\n"
+         << "    \"spill_episodes\": " << bounded.spill_episodes << ",\n"
+         << "    \"extension_tiles\": " << bounded.extension_tiles
+         << ",\n"
+         << "    \"inram_tiles_per_sec\": "
+         << strprintf("%.1f", bounded.inram_tiles_per_sec()) << ",\n"
+         << "    \"streaming_tiles_per_sec\": "
+         << strprintf("%.1f", bounded.streaming_tiles_per_sec()) << ",\n"
+         << "    \"relative_throughput\": "
+         << strprintf("%.3f", bounded.relative_throughput()) << ",\n"
+         << "    \"under_budget\": "
+         << (bounded.under_budget ? "true" : "false") << ",\n"
+         << "    \"identical_maf\": "
+         << (bounded.identical_maf ? "true" : "false") << ",\n"
+         << "    \"meets_residency_16mb\": "
+         << (bounded.residency_bytes <= (16ull << 20) ? "true" : "false")
+         << ",\n"
+         << "    \"meets_0_3x\": "
+         << (bounded.relative_throughput() >= 0.3 ? "true" : "false")
+         << "\n"
+         << "  },\n"
          << "  \"batch_throughput\": " << batch_json << ",\n"
          << "  \"micro_kernels\": " << micro_json << "\n"
          << "}\n";
@@ -691,6 +882,35 @@ run_suite(const ArgParser& args, const char* argv0)
                      batched.speedup());
         return 1;
     }
+    if (!bounded.under_budget) {
+        std::fprintf(stderr,
+                     "ERROR: streaming run exceeded its %.0f MiB heap "
+                     "budget\n",
+                     static_cast<double>(bounded.budget_bytes) /
+                         (1 << 20));
+        return 1;
+    }
+    if (!bounded.identical_maf) {
+        std::fprintf(stderr,
+                     "ERROR: streaming MAF differs from the in-RAM "
+                     "pipeline's\n");
+        return 1;
+    }
+    if (bounded.residency_bytes > (16ull << 20)) {
+        std::fprintf(stderr,
+                     "ERROR: streaming dataflow residency %.1f MiB is "
+                     "above the 16 MiB bar\n",
+                     static_cast<double>(bounded.residency_bytes) /
+                         (1 << 20));
+        return 1;
+    }
+    if (bounded.relative_throughput() < 0.3) {
+        std::fprintf(stderr,
+                     "ERROR: streaming throughput %.2fx of in-RAM is "
+                     "below the 0.3x bar\n",
+                     bounded.relative_throughput());
+        return 1;
+    }
     return 0;
 }
 
@@ -701,8 +921,8 @@ main(int argc, char** argv)
 {
     ArgParser args("perf_suite: run the fixed-workload benchmark set and "
                    "write one machine-readable JSON report "
-                   "(BENCH_8.json).");
-    args.add_option("out", "BENCH_8.json", "report path");
+                   "(BENCH_9.json).");
+    args.add_option("out", "BENCH_9.json", "report path");
     args.add_option("threads", "4", "batch_throughput worker threads");
     args.add_option("batch-bp", "40000",
                     "batch_throughput chromosome length");
@@ -720,6 +940,15 @@ main(int argc, char** argv)
                     "backend_batch GACT-X tiles per arm");
     args.add_option("backend-tile-bp", "384",
                     "backend_batch tile length (bp)");
+    args.add_option("bounded-bp", "120000",
+                    "bounded_memory chromosome length");
+    args.add_option("bounded-budget-mb", "1024",
+                    "bounded_memory armed heap budget (MiB) — covers the "
+                    "cumulative transient estimate, dominated by "
+                    "extension traceback at the default pair size");
+    args.add_option("bounded-shard-bp", "16384",
+                    "bounded_memory target bp per seeding shard (small "
+                    "enough that several shard tables cycle through)");
     args.add_option("seed", "42", "workload generator seed");
     args.add_flag("skip-micro",
                   "skip the micro_kernels subprocess (fast iteration)");

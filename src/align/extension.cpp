@@ -64,8 +64,7 @@ clip_at_overlap(const TileResult& tile, std::size_t boundary)
 
 }  // namespace
 
-AnchorExtender::AnchorExtender(std::span<const std::uint8_t> target,
-                               std::span<const std::uint8_t> query,
+AnchorExtender::AnchorExtender(seq::BaseView target, seq::BaseView query,
                                std::size_t anchor_t, std::size_t anchor_q,
                                std::size_t tile_size,
                                std::size_t tile_overlap)
@@ -119,19 +118,13 @@ AnchorExtender::next_tile(std::span<const std::uint8_t>* target_tile,
     fault::poll("extend.tile");
     const std::size_t rlen = std::min(tile_size_, remaining_t_ - pos_t_);
     const std::size_t qlen = std::min(tile_size_, remaining_q_ - pos_q_);
-    target_buf_.resize(rlen);
-    query_buf_.resize(qlen);
     if (phase_ == Phase::Right) {
-        for (std::size_t k = 0; k < rlen; ++k)
-            target_buf_[k] = target_[anchor_t_ + pos_t_ + k];
-        for (std::size_t k = 0; k < qlen; ++k)
-            query_buf_[k] = query_[anchor_q_ + pos_q_ + k];
+        target_.fetch(anchor_t_ + pos_t_, rlen, &target_buf_);
+        query_.fetch(anchor_q_ + pos_q_, qlen, &query_buf_);
     } else {
         // Slice [anchor - pos - len, anchor - pos), reversed.
-        for (std::size_t k = 0; k < rlen; ++k)
-            target_buf_[k] = target_[anchor_t_ - pos_t_ - 1 - k];
-        for (std::size_t k = 0; k < qlen; ++k)
-            query_buf_[k] = query_[anchor_q_ - pos_q_ - 1 - k];
+        target_.fetch_reversed(anchor_t_ - pos_t_, rlen, &target_buf_);
+        query_.fetch_reversed(anchor_q_ - pos_q_, qlen, &query_buf_);
     }
     staged_ = true;
     *target_tile = {target_buf_.data(), rlen};
@@ -188,19 +181,23 @@ AnchorExtender::finish(const ScoringParams& scoring) const
 
     if (out.cigar.empty())
         return out;
+    std::vector<std::uint8_t> target_scratch;
+    std::vector<std::uint8_t> query_scratch;
     out.score = out.cigar.score(
-        target_.subspan(out.target_start,
-                        out.target_end - out.target_start),
-        query_.subspan(out.query_start, out.query_end - out.query_start),
+        target_.materialize(out.target_start,
+                            out.target_end - out.target_start,
+                            &target_scratch),
+        query_.materialize(out.query_start,
+                           out.query_end - out.query_start, &query_scratch),
         scoring);
     return out;
 }
 
 Alignment
-extend_anchor(std::span<const std::uint8_t> target,
-              std::span<const std::uint8_t> query, std::size_t anchor_t,
-              std::size_t anchor_q, const TileAligner& aligner,
-              const ScoringParams& scoring, ExtensionStats* stats)
+extend_anchor(seq::BaseView target, seq::BaseView query,
+              std::size_t anchor_t, std::size_t anchor_q,
+              const TileAligner& aligner, const ScoringParams& scoring,
+              ExtensionStats* stats)
 {
     AnchorExtender extender(target, query, anchor_t, anchor_q,
                             aligner.tile_size(), aligner.tile_overlap());
@@ -211,6 +208,16 @@ extend_anchor(std::span<const std::uint8_t> target,
     if (stats)
         stats->merge(extender.stats());
     return extender.finish(scoring);
+}
+
+Alignment
+extend_anchor(std::span<const std::uint8_t> target,
+              std::span<const std::uint8_t> query, std::size_t anchor_t,
+              std::size_t anchor_q, const TileAligner& aligner,
+              const ScoringParams& scoring, ExtensionStats* stats)
+{
+    return extend_anchor(seq::BaseView(target), seq::BaseView(query),
+                         anchor_t, anchor_q, aligner, scoring, stats);
 }
 
 }  // namespace darwin::align

@@ -17,6 +17,7 @@
 
 #include "align/alignment.h"
 #include "align/tile.h"
+#include "seq/base_view.h"
 
 namespace darwin::align {
 
@@ -77,6 +78,14 @@ Alignment extend_anchor(std::span<const std::uint8_t> target,
                         const ScoringParams& scoring,
                         ExtensionStats* stats = nullptr);
 
+/** BaseView variant: bit-identical results over byte or 2-bit packed
+ *  storage; packed backing decodes one tile window at a time. */
+Alignment extend_anchor(seq::BaseView target, seq::BaseView query,
+                        std::size_t anchor_t, std::size_t anchor_q,
+                        const TileAligner& aligner,
+                        const ScoringParams& scoring,
+                        ExtensionStats* stats = nullptr);
+
 /**
  * Resumable single-anchor extension — extend_anchor with the tile
  * alignment inverted out, so a batching layer can co-schedule the
@@ -96,12 +105,22 @@ Alignment extend_anchor(std::span<const std::uint8_t> target,
  */
 class AnchorExtender {
   public:
-    /** Anchor must lie inside the spans; tile_size > tile_overlap.
-     *  The spans must stay alive for the extender's lifetime. */
+    /** Anchor must lie inside the views; tile_size > tile_overlap.
+     *  The backing storage must stay alive for the extender's
+     *  lifetime. Packed-backed views decode per tile into the staging
+     *  buffers, so the extender's residency stays O(tile_size). */
+    AnchorExtender(seq::BaseView target, seq::BaseView query,
+                   std::size_t anchor_t, std::size_t anchor_q,
+                   std::size_t tile_size, std::size_t tile_overlap);
+
     AnchorExtender(std::span<const std::uint8_t> target,
                    std::span<const std::uint8_t> query,
                    std::size_t anchor_t, std::size_t anchor_q,
-                   std::size_t tile_size, std::size_t tile_overlap);
+                   std::size_t tile_size, std::size_t tile_overlap)
+        : AnchorExtender(seq::BaseView(target), seq::BaseView(query),
+                         anchor_t, anchor_q, tile_size, tile_overlap)
+    {
+    }
 
     /**
      * Stage the next tile. Returns false when the anchor is finished.
@@ -135,8 +154,8 @@ class AnchorExtender {
     /** Commit the current direction and move to the next phase. */
     void end_direction();
 
-    std::span<const std::uint8_t> target_;
-    std::span<const std::uint8_t> query_;
+    seq::BaseView target_;
+    seq::BaseView query_;
     std::size_t anchor_t_ = 0;
     std::size_t anchor_q_ = 0;
     std::size_t tile_size_ = 0;

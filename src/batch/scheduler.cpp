@@ -168,6 +168,14 @@ class Engine {
         for (const BatchJob& job : jobs_) {
             require(job.target != nullptr && job.query != nullptr,
                     "batch: job missing target/query genome");
+            if (options_.streaming) {
+                // Streaming pairs read packed storage only, and build
+                // their (transient, sharded) seed tables per pair — no
+                // byte caches, no cache digests.
+                job.target->flattened_packed();
+                job.query->flattened_packed();
+                continue;
+            }
             job.target->flattened();
             job.query->flattened();
             // Digest each distinct target once: the cache key that lets
@@ -465,6 +473,11 @@ class Engine {
                        pair.fail_stage.c_str()));
         pair.degraded = true;
         pair.params = apply_degrade(options_.params, options_.degrade);
+        // run_streaming rejects a per-chunk hit cap (defined over whole
+        // query chunks, which band sharding splits); the band and ydrop
+        // degrades still bound the retry's work.
+        if (options_.streaming)
+            pair.params.dsoft.max_hits_per_chunk = 0;
         // Reset everything the failed attempt touched. No other task of
         // this pair exists (inflight == 0), so plain writes are safe.
         pair.result = wga::WgaResult{};
@@ -602,9 +615,42 @@ class Engine {
             .set(static_cast<std::int64_t>(queue.size()));
     }
 
+    /**
+     * Streaming mode runs the pair whole, here in the prepare stage:
+     * run_streaming is already an internally-overlapped dataflow
+     * (seeding producer / filtering consumer), so slicing it across
+     * the engine's stage queues would only add materialization the
+     * mode exists to avoid. The engine still provides what the serial
+     * CLI cannot: pair-level concurrency across workers, per-pair
+     * budget tokens, degraded retries and quarantine — the prepare
+     * task's run_pair_task wrapper covers the entire run.
+     */
+    void
+    do_streaming_pair(const PrepareTask& task)
+    {
+        Timer timer;
+        obs::ScopedSpan span("streaming_pair", "batch");
+        span.arg("pair", static_cast<std::int64_t>(task.pair));
+        PairState& pair = *pairs_[task.pair];
+        const wga::WgaPipeline pipeline(pair.params,
+                                        options_.chain_params);
+        pair.result = pipeline.run_streaming(
+            *pair.job->target, *pair.job->query,
+            options_.streaming_params, nullptr, &metrics_);
+        metrics_.counter("batch.streaming.pairs").add(1);
+        metrics_.histogram("batch.streaming.seconds")
+            .observe(timer.seconds());
+        finalize_pair(pair, pair.degraded ? fault::PairStatus::Degraded
+                                          : fault::PairStatus::Clean);
+    }
+
     void
     do_prepare(const PrepareTask& task)
     {
+        if (options_.streaming) {
+            do_streaming_pair(task);
+            return;
+        }
         Timer timer;
         obs::ScopedSpan span("prepare", "batch");
         span.arg("pair", static_cast<std::int64_t>(task.pair));

@@ -97,6 +97,25 @@ struct BatchOptions {
     DegradePolicy degrade;
 
     /**
+     * Bounded-memory mode: run each pair whole through
+     * WgaPipeline::run_streaming — 2-bit packed storage, the seed
+     * table built one band shard at a time, hits and candidates
+     * through spill-or-backpressure channels — instead of the sharded
+     * byte dataflow above. Results stay bit-identical (both modes
+     * reproduce the serial pipeline exactly); what changes is the
+     * residency envelope: no whole-target seed table and no
+     * materialized per-shard candidate vectors, so the per-pair
+     * footprint is bounded by `streaming_params` regardless of genome
+     * size. Pair isolation, budgets, degraded retries and quarantine
+     * work unchanged. The shared index cache is bypassed — shard
+     * tables are transient by design. Requires gapped filter params
+     * and dsoft.max_hits_per_chunk == 0 (run_streaming's contract;
+     * FatalError otherwise).
+     */
+    bool streaming = false;
+    wga::StreamingParams streaming_params;
+
+    /**
      * Optional shared seed-index cache. When set (e.g. by a daemon that
      * also serves one-shot queries), the engine acquires target indexes
      * from it; when null, the engine uses a run-local cache sized to the

@@ -20,8 +20,23 @@
  * the seed shape + repeat cap, so a cache can key on exactly the inputs
  * that determine the table bytes.
  *
+ * Version 2 adds an *optional sharded layout* for bounded-memory
+ * loading (seed/sharded_index.h): instead of one global table, the file
+ * carries a shard directory plus one (bucket offsets, positions)
+ * section pair per band shard, so a reader can map the file once and
+ * page in one shard's table at a time:
+ *
+ *     [IndexHeader]            192 bytes, at offset 0
+ *     [over-represented bits]  global, 64-byte aligned
+ *     [shard directory]        num_shards x ShardDirEntry, aligned
+ *     [shard 0 offsets][shard 0 positions] ... each aligned
+ *
+ * Monolithic files keep writing version 1 (the layouts are identical,
+ * so older readers still load them); sharded files write version 2.
+ * Readers here accept both.
+ *
  * Versioning policy: `version` bumps on any layout or semantic change;
- * readers accept only the version they were built for (no in-place
+ * readers accept only versions they were built for (no in-place
  * migration — an index is a cache artifact, cheap to rebuild with
  * `darwin-wga-index build`).
  */
@@ -37,8 +52,11 @@ namespace darwin::index {
 inline constexpr char kIndexMagic[8] = {'D', 'W', 'G', 'A',
                                         'I', 'D', 'X', '\0'};
 
-/** Current (and only accepted) format version. */
+/** Version written for monolithic (single-table) files. */
 inline constexpr std::uint32_t kIndexFormatVersion = 1;
+
+/** Version written for sharded files (shard directory present). */
+inline constexpr std::uint32_t kIndexShardedFormatVersion = 2;
 
 /** Written natively; a reader seeing any other value is on a host with
  *  a different byte order than the writer. */
@@ -68,7 +86,13 @@ struct IndexHeader {
     std::uint64_t over_words_offset; ///< byte offset of the bitset
     std::uint64_t total_bytes;       ///< exact file size
     char pattern[kIndexMaxPatternLength + 1];  ///< '1'/'0' seed shape
-    char reserved[24];               ///< zero; future use
+    // Sharded layout (version >= 2); all zero in version-1 files, which
+    // is how the fields stay backward compatible: a v1 header's reserved
+    // tail reads as "no shards".
+    std::uint64_t shard_bp;          ///< band-start bp per shard (0 = n/a)
+    std::uint32_t num_shards;        ///< 0 = monolithic layout
+    std::uint32_t reserved32;        ///< zero; future use
+    std::uint64_t shard_dir_offset;  ///< byte offset of the directory
 };
 
 static_assert(sizeof(IndexHeader) == 192,
@@ -77,6 +101,26 @@ static_assert(std::is_trivially_copyable_v<IndexHeader>,
               "IndexHeader must be memcpy-safe");
 static_assert(sizeof(IndexHeader) % kIndexSectionAlign == 0,
               "sections start 64-byte aligned right after the header");
+
+/** One shard's directory entry (version >= 2). Band/slice semantics
+ *  are exactly seed::ShardPlan's; offsets are absolute file offsets of
+ *  the shard's (num_buckets + 1) x u32 bucket-offset array and
+ *  num_positions x u32 position array. */
+struct ShardDirEntry {
+    std::uint64_t band_lo;
+    std::uint64_t band_hi;
+    std::uint64_t slice_lo;
+    std::uint64_t slice_hi;
+    std::uint64_t offsets_offset;
+    std::uint64_t positions_offset;
+    std::uint64_t num_positions;
+    std::uint64_t reserved;  ///< zero; future use
+};
+
+static_assert(sizeof(ShardDirEntry) == 64,
+              "ShardDirEntry layout is part of the on-disk format");
+static_assert(std::is_trivially_copyable_v<ShardDirEntry>,
+              "ShardDirEntry must be memcpy-safe");
 
 /** Round a byte offset up to the section alignment. */
 constexpr std::uint64_t

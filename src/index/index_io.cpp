@@ -1,5 +1,6 @@
 #include "index/index_io.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
@@ -69,12 +70,14 @@ validate_header(const std::string& path, const std::uint8_t* bytes,
         bad_index(path, "not a darwin-wga index file (bad magic)");
     if (header.endian_tag != kIndexEndianTag)
         bad_index(path, "index was written with a different byte order");
-    if (header.version != kIndexFormatVersion)
+    if (header.version != kIndexFormatVersion &&
+        header.version != kIndexShardedFormatVersion)
         bad_index(path,
                   strprintf("unsupported index format version %u "
-                            "(this build reads version %u; rebuild with "
-                            "darwin-wga-index)",
-                            header.version, kIndexFormatVersion));
+                            "(this build reads versions %u and %u; "
+                            "rebuild with darwin-wga-index)",
+                            header.version, kIndexFormatVersion,
+                            kIndexShardedFormatVersion));
     if (header.total_bytes != file_size)
         bad_index(path, strprintf("truncated or padded index file "
                                   "(header records %llu bytes, file has "
@@ -96,18 +99,44 @@ validate_header(const std::string& path, const std::uint8_t* bytes,
     if (header.max_bucket == 0)
         bad_index(path, "max_bucket of zero");
 
-    // Section geometry: in order, aligned, inside the file.
     const std::uint64_t offsets_bytes = (header.num_buckets + 1) * 4;
     const std::uint64_t positions_bytes = header.num_positions * 4;
     const std::uint64_t over_bytes = ((header.num_buckets + 63) / 64) * 8;
-    if (header.offsets_offset != sizeof(IndexHeader) ||
-        header.positions_offset !=
-            align_section(header.offsets_offset + offsets_bytes) ||
-        header.over_words_offset !=
-            align_section(header.positions_offset + positions_bytes) ||
-        header.total_bytes !=
-            align_section(header.over_words_offset + over_bytes))
-        bad_index(path, "section offsets disagree with section sizes");
+    if (header.version == kIndexFormatVersion) {
+        // Monolithic layout. A version-1 writer left the shard fields
+        // (the old reserved tail) zeroed; anything else is corruption.
+        if (header.num_shards != 0 || header.shard_bp != 0 ||
+            header.shard_dir_offset != 0)
+            bad_index(path, "version-1 file carries shard fields");
+        // Section geometry: in order, aligned, inside the file.
+        if (header.offsets_offset != sizeof(IndexHeader) ||
+            header.positions_offset !=
+                align_section(header.offsets_offset + offsets_bytes) ||
+            header.over_words_offset !=
+                align_section(header.positions_offset + positions_bytes) ||
+            header.total_bytes !=
+                align_section(header.over_words_offset + over_bytes))
+            bad_index(path, "section offsets disagree with section sizes");
+    } else {
+        // Sharded layout: global bitset, then the shard directory, then
+        // per-shard sections (validated as each shard is opened).
+        if (header.num_shards == 0)
+            bad_index(path, "sharded index with zero shards");
+        if (header.shard_bp == 0)
+            bad_index(path, "sharded index with zero shard-bp");
+        if (header.offsets_offset != 0 || header.positions_offset != 0)
+            bad_index(path, "sharded index carries monolithic sections");
+        const std::uint64_t dir_bytes =
+            static_cast<std::uint64_t>(header.num_shards) *
+            sizeof(ShardDirEntry);
+        if (header.over_words_offset !=
+                align_section(sizeof(IndexHeader)) ||
+            header.shard_dir_offset !=
+                align_section(header.over_words_offset + over_bytes) ||
+            header.shard_dir_offset + dir_bytes > header.total_bytes)
+            bad_index(path, "shard directory offsets disagree with "
+                            "section sizes");
+    }
     return header;
 }
 
@@ -130,6 +159,26 @@ std::uint64_t
 sequence_digest(const seq::Sequence& sequence)
 {
     return fnv1a64_bytes({sequence.codes().data(), sequence.size()});
+}
+
+std::uint64_t
+sequence_digest(const seq::PackedSequence& sequence)
+{
+    // FNV-1a chains: digesting window-by-window with the running hash
+    // as the next seed equals one pass over the concatenated bytes, so
+    // this matches the byte overload bit-for-bit.
+    constexpr std::size_t kWindow = 1u << 20;
+    std::vector<std::uint8_t> window(
+        std::min<std::size_t>(kWindow, sequence.size()));
+    std::uint64_t hash = kFnv1aBasis;
+    for (std::size_t start = 0; start < sequence.size();
+         start += kWindow) {
+        const std::size_t len =
+            std::min(kWindow, sequence.size() - start);
+        sequence.decode(start, len, window.data());
+        hash = fnv1a64_bytes({window.data(), len}, hash);
+    }
+    return hash;
 }
 
 void
@@ -206,8 +255,11 @@ save_index(const std::string& path, const seed::SeedIndex& index,
     }
 }
 
-std::shared_ptr<const seed::SeedIndex>
-load_index(const std::string& path, IndexInfo* info)
+namespace {
+
+/** mmap `path` read-only; fatal on any failure. */
+std::shared_ptr<Mapping>
+map_index_file(const std::string& path)
 {
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0)
@@ -231,10 +283,39 @@ load_index(const std::string& path, IndexInfo* info)
     if (data == MAP_FAILED)
         fatal(strprintf("cannot mmap index %s: %s", path.c_str(),
                         std::strerror(map_err)));
-    auto mapping = std::make_shared<Mapping>(data, file_size);
+    return std::make_shared<Mapping>(data, file_size);
+}
+
+void
+fill_info(IndexInfo* info, const IndexHeader& header)
+{
+    info->version = header.version;
+    info->sequence_digest = header.sequence_digest;
+    info->sequence_length = header.sequence_length;
+    info->max_bucket = header.max_bucket;
+    info->pattern.assign(header.pattern, header.pattern_length);
+    info->num_buckets = header.num_buckets;
+    info->num_positions = header.num_positions;
+    info->skipped_windows = header.skipped_windows;
+    info->truncated_buckets = header.truncated_buckets;
+    info->total_bytes = header.total_bytes;
+    info->shard_bp = header.shard_bp;
+    info->num_shards = header.num_shards;
+}
+
+}  // namespace
+
+std::shared_ptr<const seed::SeedIndex>
+load_index(const std::string& path, IndexInfo* info)
+{
+    auto mapping = map_index_file(path);
+    const std::uint64_t file_size = mapping->size();
 
     const IndexHeader header =
         validate_header(path, mapping->bytes(), file_size);
+    if (header.version == kIndexShardedFormatVersion)
+        bad_index(path, "sharded index; open with ShardedIndexReader "
+                        "(or rebuild without --shard-bp)");
 
     seed::SeedPattern pattern = [&] {
         try {
@@ -264,18 +345,8 @@ load_index(const std::string& path, IndexInfo* info)
         bad_index(path, "final bucket offset disagrees with the "
                         "position count");
 
-    if (info != nullptr) {
-        info->version = header.version;
-        info->sequence_digest = header.sequence_digest;
-        info->sequence_length = header.sequence_length;
-        info->max_bucket = header.max_bucket;
-        info->pattern = pattern.pattern();
-        info->num_buckets = header.num_buckets;
-        info->num_positions = header.num_positions;
-        info->skipped_windows = header.skipped_windows;
-        info->truncated_buckets = header.truncated_buckets;
-        info->total_bytes = header.total_bytes;
-    }
+    if (info != nullptr)
+        fill_info(info, header);
 
     auto index = std::make_shared<seed::SeedIndex>(seed::SeedIndex::attach(
         std::move(pattern), header.max_bucket, offsets, positions,
@@ -299,17 +370,195 @@ read_index_info(const std::string& path)
                 std::min<std::uint64_t>(file_size, sizeof(bytes))));
     const IndexHeader header = validate_header(path, bytes, file_size);
     IndexInfo info;
-    info.version = header.version;
-    info.sequence_digest = header.sequence_digest;
-    info.sequence_length = header.sequence_length;
-    info.max_bucket = header.max_bucket;
-    info.pattern.assign(header.pattern, header.pattern_length);
-    info.num_buckets = header.num_buckets;
-    info.num_positions = header.num_positions;
-    info.skipped_windows = header.skipped_windows;
-    info.truncated_buckets = header.truncated_buckets;
-    info.total_bytes = header.total_bytes;
+    fill_info(&info, header);
     return info;
+}
+
+void
+save_sharded_index(const std::string& path,
+                   const seed::ShardedSeedIndexBuilder& builder,
+                   std::uint64_t shard_bp, std::uint64_t digest,
+                   std::uint64_t length)
+{
+    const std::string& pattern = builder.pattern().pattern();
+    if (pattern.size() > kIndexMaxPatternLength)
+        fatal(strprintf("%s: seed shape of %zu bp exceeds the index "
+                        "format's %u bp limit",
+                        path.c_str(), pattern.size(),
+                        kIndexMaxPatternLength));
+    const std::uint64_t num_buckets = builder.pattern().key_space();
+    const auto over = builder.over_represented_words();
+    const std::uint64_t over_bytes = over.size_bytes();
+
+    IndexHeader header = {};
+    std::memcpy(header.magic, kIndexMagic, sizeof(kIndexMagic));
+    header.version = kIndexShardedFormatVersion;
+    header.endian_tag = kIndexEndianTag;
+    header.sequence_digest = digest;
+    header.sequence_length = length;
+    header.max_bucket = builder.max_bucket();
+    header.pattern_length = static_cast<std::uint32_t>(pattern.size());
+    std::memcpy(header.pattern, pattern.data(), pattern.size());
+    header.num_buckets = num_buckets;
+    header.skipped_windows = builder.skipped_windows();
+    header.truncated_buckets = builder.truncated_buckets();
+    header.shard_bp = shard_bp;
+    header.num_shards =
+        static_cast<std::uint32_t>(builder.num_shards());
+    header.over_words_offset = align_section(sizeof(IndexHeader));
+    header.shard_dir_offset =
+        align_section(header.over_words_offset + over_bytes);
+
+    std::vector<ShardDirEntry> dir(builder.num_shards());
+    const std::uint64_t dir_bytes = dir.size() * sizeof(ShardDirEntry);
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+        if (!out)
+            fatal(strprintf("cannot write %s", tmp.c_str()));
+        const auto write_bytes = [&out](const void* data,
+                                        std::uint64_t bytes) {
+            out.write(static_cast<const char*>(data),
+                      static_cast<std::streamsize>(bytes));
+        };
+        // Header and directory go out as placeholders first (the
+        // per-shard section sizes are only known after each build) and
+        // are patched in place before the rename publishes the file.
+        write_bytes(&header, sizeof(header));
+        write_padding(out, sizeof(header), header.over_words_offset);
+        write_bytes(over.data(), over_bytes);
+        write_padding(out, header.over_words_offset + over_bytes,
+                      header.shard_dir_offset);
+        write_bytes(dir.data(), dir_bytes);
+
+        // One shard's table resident at a time — the writer honors the
+        // same bound the sharded layout exists to provide.
+        std::uint64_t cursor = header.shard_dir_offset + dir_bytes;
+        std::uint64_t total_positions = 0;
+        for (std::size_t s = 0; s < builder.num_shards(); ++s) {
+            const seed::ShardPlan& plan = builder.plan()[s];
+            const auto shard = builder.build_shard(s);
+            dir[s].band_lo = plan.band_lo;
+            dir[s].band_hi = plan.band_hi;
+            dir[s].slice_lo = plan.slice_lo;
+            dir[s].slice_hi = plan.slice_hi;
+            dir[s].num_positions = shard->positions().size();
+            total_positions += dir[s].num_positions;
+
+            dir[s].offsets_offset = align_section(cursor);
+            write_padding(out, cursor, dir[s].offsets_offset);
+            write_bytes(shard->bucket_offsets().data(),
+                        shard->bucket_offsets().size_bytes());
+            cursor = dir[s].offsets_offset +
+                     shard->bucket_offsets().size_bytes();
+
+            dir[s].positions_offset = align_section(cursor);
+            write_padding(out, cursor, dir[s].positions_offset);
+            write_bytes(shard->positions().data(),
+                        shard->positions().size_bytes());
+            cursor = dir[s].positions_offset +
+                     shard->positions().size_bytes();
+        }
+        header.num_positions = total_positions;
+        header.total_bytes = align_section(cursor);
+        write_padding(out, cursor, header.total_bytes);
+
+        out.seekp(0);
+        write_bytes(&header, sizeof(header));
+        out.seekp(static_cast<std::streamoff>(header.shard_dir_offset));
+        write_bytes(dir.data(), dir_bytes);
+        out.flush();
+        if (!out)
+            fatal(strprintf("error writing %s", tmp.c_str()));
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        fatal(strprintf("cannot rename %s -> %s: %s", tmp.c_str(),
+                        path.c_str(), ec.message().c_str()));
+    }
+}
+
+ShardedIndexReader::ShardedIndexReader(const std::string& path)
+    : path_(path)
+{
+    auto mapping = map_index_file(path);
+    base_ = mapping->bytes();
+    const std::uint64_t file_size = mapping->size();
+    mapping_ = std::move(mapping);
+
+    const IndexHeader header = validate_header(path, base_, file_size);
+    if (header.version != kIndexShardedFormatVersion)
+        bad_index(path, "monolithic index; open with load_index "
+                        "(or rebuild with --shard-bp)");
+    fill_info(&info_, header);
+
+    over_words_ = {reinterpret_cast<const std::uint64_t*>(
+                       base_ + header.over_words_offset),
+                   static_cast<std::size_t>((header.num_buckets + 63) / 64)};
+
+    const std::uint64_t offsets_bytes = (header.num_buckets + 1) * 4;
+    std::uint64_t total_positions = 0;
+    plan_.resize(header.num_shards);
+    shard_offsets_.resize(header.num_shards);
+    shard_positions_.resize(header.num_shards);
+    shard_counts_.resize(header.num_shards);
+    for (std::uint32_t s = 0; s < header.num_shards; ++s) {
+        ShardDirEntry entry;
+        std::memcpy(&entry,
+                    base_ + header.shard_dir_offset +
+                        s * sizeof(ShardDirEntry),
+                    sizeof(entry));
+        if (entry.band_lo >= entry.band_hi ||
+            (s > 0 && entry.band_lo != plan_[s - 1].band_hi))
+            bad_index(path, strprintf("shard %u: band range is not a "
+                                      "partition", s));
+        if (entry.offsets_offset % kIndexSectionAlign != 0 ||
+            entry.positions_offset % kIndexSectionAlign != 0 ||
+            entry.offsets_offset + offsets_bytes > header.total_bytes ||
+            entry.positions_offset + entry.num_positions * 4 >
+                header.total_bytes)
+            bad_index(path, strprintf("shard %u: sections fall outside "
+                                      "the file", s));
+        plan_[s] = {entry.band_lo, entry.band_hi, entry.slice_lo,
+                    entry.slice_hi};
+        shard_offsets_[s] = entry.offsets_offset;
+        shard_positions_[s] = entry.positions_offset;
+        shard_counts_[s] = entry.num_positions;
+        total_positions += entry.num_positions;
+    }
+    if (total_positions != header.num_positions)
+        bad_index(path, "shard position counts disagree with the header");
+}
+
+std::shared_ptr<const seed::SeedIndex>
+ShardedIndexReader::open_shard(std::size_t s) const
+{
+    require(s < plan_.size(), "ShardedIndexReader: shard out of range");
+    seed::SeedPattern pattern = [&] {
+        try {
+            return seed::SeedPattern{info_.pattern};
+        } catch (const FatalError& e) {
+            bad_index(path_,
+                      strprintf("invalid seed shape: %s", e.what()));
+        }
+    }();
+    const std::span<const std::uint32_t> offsets{
+        reinterpret_cast<const std::uint32_t*>(base_ + shard_offsets_[s]),
+        static_cast<std::size_t>(info_.num_buckets + 1)};
+    const std::span<const std::uint32_t> positions{
+        reinterpret_cast<const std::uint32_t*>(base_ +
+                                               shard_positions_[s]),
+        static_cast<std::size_t>(shard_counts_[s])};
+    if (offsets.back() != shard_counts_[s])
+        bad_index(path_, strprintf("shard %zu: final bucket offset "
+                                   "disagrees with the position count",
+                                   s));
+    return std::make_shared<seed::SeedIndex>(seed::SeedIndex::attach(
+        std::move(pattern), info_.max_bucket, offsets, positions,
+        over_words_, info_.skipped_windows, info_.truncated_buckets,
+        mapping_));
 }
 
 bool

@@ -16,8 +16,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "seed/seed_index.h"
+#include "seed/sharded_index.h"
 #include "seq/sequence.h"
 
 namespace darwin::index {
@@ -34,11 +36,20 @@ struct IndexInfo {
     std::uint64_t skipped_windows = 0;
     std::uint64_t truncated_buckets = 0;
     std::uint64_t total_bytes = 0;
+    /** Sharded layout (version >= 2); zero for monolithic files. */
+    std::uint64_t shard_bp = 0;
+    std::uint32_t num_shards = 0;
 };
 
 /** FNV-1a digest of a sequence's base codes — the identity an index
  *  header records and the cache keys on. */
 std::uint64_t sequence_digest(const seq::Sequence& sequence);
+
+/** Same digest computed from 2-bit storage, decoding one fixed-size
+ *  window at a time (never the whole sequence). Equal to the byte
+ *  overload on equal bases, so a packed server keys the same cache
+ *  entries a byte server would. */
+std::uint64_t sequence_digest(const seq::PackedSequence& sequence);
 
 /**
  * Serialize `index` to `path` atomically (same-directory tmp + rename).
@@ -60,6 +71,56 @@ std::shared_ptr<const seed::SeedIndex> load_index(const std::string& path,
 
 /** Read and validate only the header (cheap: no section access). */
 IndexInfo read_index_info(const std::string& path);
+
+/**
+ * Serialize a *sharded* index (format version 2): each shard's table is
+ * built with `builder` and streamed to disk in turn, so peak memory is
+ * one shard's table — the same bound the streaming pipeline honors at
+ * seeding time. Atomic (tmp + rename) like save_index. `shard_bp` is
+ * recorded in the header for `info` and for readers that want to know
+ * the planned granularity.
+ */
+void save_sharded_index(const std::string& path,
+                        const seed::ShardedSeedIndexBuilder& builder,
+                        std::uint64_t shard_bp, std::uint64_t digest,
+                        std::uint64_t length);
+
+/**
+ * Reader over a sharded (version-2) `.dwi`: maps the file once and
+ * attaches one shard's SeedIndex at a time on demand. Pages of a
+ * shard's table enter memory only while something holds the returned
+ * index, so at most one shard's table need be resident. Fatal on a
+ * monolithic file (use load_index for those).
+ */
+class ShardedIndexReader {
+  public:
+    explicit ShardedIndexReader(const std::string& path);
+
+    const IndexInfo& info() const { return info_; }
+    std::size_t num_shards() const { return plan_.size(); }
+
+    /** Band/slice ranges per shard (ShardPlan semantics). */
+    const std::vector<seed::ShardPlan>& plan() const { return plan_; }
+
+    /**
+     * Attach shard `s`'s table (positions are global target
+     * coordinates). The mapping stays alive as long as any returned
+     * index does. Seed it with the banded DsoftSeeder over
+     * plan()[s].band_lo / band_hi.
+     */
+    std::shared_ptr<const seed::SeedIndex> open_shard(std::size_t s) const;
+
+  private:
+    std::string path_;
+    std::shared_ptr<const void> mapping_;
+    const std::uint8_t* base_ = nullptr;
+    IndexInfo info_;
+    std::vector<seed::ShardPlan> plan_;
+    std::vector<std::uint64_t> shard_offsets_;   ///< per-shard file offsets
+    std::vector<std::uint64_t> shard_positions_; ///< per-shard file offsets
+    std::vector<std::uint64_t> shard_counts_;    ///< per-shard positions
+    std::span<const std::uint64_t> over_words_;
+};
 
 /** True when `path` exists and starts with the index magic — how tools
  *  distinguish a `.dwi` argument from a FASTA one. */

@@ -113,10 +113,20 @@ DsoftSeeder::DsoftSeeder(const SeedIndex& index, DsoftParams params)
     require(params_.min_hits_per_band > 0, "DsoftSeeder: h must be > 0");
 }
 
+DsoftSeeder::DsoftSeeder(const SeedIndex& index, DsoftParams params,
+                         std::uint64_t band_lo_bp, std::uint64_t band_hi_bp)
+    : DsoftSeeder(index, params)
+{
+    require(band_lo_bp < band_hi_bp, "DsoftSeeder: empty band window");
+    band_lo_bp_ = band_lo_bp;
+    band_hi_bp_ = band_hi_bp;
+}
+
+template <class Source>
 std::vector<SeedHit>
-DsoftSeeder::seed_chunk(std::span<const std::uint8_t> query,
-                        std::size_t chunk_begin, std::size_t chunk_end,
-                        SeedingStats* stats) const
+DsoftSeeder::seed_chunk_impl(const Source& query, std::size_t chunk_begin,
+                             std::size_t chunk_end, SeedingStats* stats,
+                             bool charge_heap) const
 {
     fault::poll("seed.chunk");
     const SeedPattern& pattern = index_.pattern();
@@ -131,11 +141,16 @@ DsoftSeeder::seed_chunk(std::span<const std::uint8_t> query,
     auto record_hits = [&](std::span<const std::uint32_t> hits,
                            std::size_t q) {
         for (const std::uint32_t t : hits) {
-            ++local.seed_hits;
             // Diagonal projection: target position at the chunk end.
             const std::uint64_t projected =
                 static_cast<std::uint64_t>(t) + (chunk_end - q);
             const std::uint64_t band = projected / params_.bin_size;
+            // Banded (sharded) seeding: hits outside the owned band
+            // window belong to a neighboring shard.
+            const std::uint64_t band_bp = band * params_.bin_size;
+            if (band_bp < band_lo_bp_ || band_bp >= band_hi_bp_)
+                continue;
+            ++local.seed_hits;
             BandSlot& state = bands.find_or_insert(band);
             if (state.hits == 0)
                 state.first = SeedHit{t, q};
@@ -176,18 +191,18 @@ DsoftSeeder::seed_chunk(std::span<const std::uint8_t> query,
     }
     if (stats)
         stats->merge(local);
-    fault::charge_heap_bytes(out.size() * sizeof(SeedHit));
+    if (charge_heap)
+        fault::charge_heap_bytes(out.size() * sizeof(SeedHit));
     return out;
 }
 
+template <class Source>
 std::vector<SeedHit>
-DsoftSeeder::seed_all(const seq::Sequence& query, SeedingStats* stats,
-                      ThreadPool* pool) const
+DsoftSeeder::seed_all_impl(const Source& query, std::size_t query_size,
+                           SeedingStats* stats, ThreadPool* pool) const
 {
-    const std::span<const std::uint8_t> codes{query.codes().data(),
-                                              query.size()};
     const std::size_t num_chunks =
-        (query.size() + params_.chunk_size - 1) / params_.chunk_size;
+        (query_size + params_.chunk_size - 1) / params_.chunk_size;
 
     std::vector<std::vector<SeedHit>> per_chunk(num_chunks);
     std::vector<SeedingStats> per_chunk_stats(num_chunks);
@@ -195,9 +210,9 @@ DsoftSeeder::seed_all(const seq::Sequence& query, SeedingStats* stats,
     auto do_chunk = [&](std::size_t chunk) {
         const std::size_t begin = chunk * params_.chunk_size;
         const std::size_t end =
-            std::min(query.size(), begin + params_.chunk_size);
+            std::min(query_size, begin + params_.chunk_size);
         per_chunk[chunk] =
-            seed_chunk(codes, begin, end, &per_chunk_stats[chunk]);
+            seed_chunk_impl(query, begin, end, &per_chunk_stats[chunk]);
     };
 
     if (pool) {
@@ -220,6 +235,40 @@ DsoftSeeder::seed_all(const seq::Sequence& query, SeedingStats* stats,
             stats->merge(s);
     }
     return out;
+}
+
+std::vector<SeedHit>
+DsoftSeeder::seed_chunk(std::span<const std::uint8_t> query,
+                        std::size_t chunk_begin, std::size_t chunk_end,
+                        SeedingStats* stats, bool charge_heap) const
+{
+    return seed_chunk_impl(query, chunk_begin, chunk_end, stats,
+                           charge_heap);
+}
+
+std::vector<SeedHit>
+DsoftSeeder::seed_chunk(const seq::PackedSequence& query,
+                        std::size_t chunk_begin, std::size_t chunk_end,
+                        SeedingStats* stats, bool charge_heap) const
+{
+    return seed_chunk_impl(query, chunk_begin, chunk_end, stats,
+                           charge_heap);
+}
+
+std::vector<SeedHit>
+DsoftSeeder::seed_all(const seq::Sequence& query, SeedingStats* stats,
+                      ThreadPool* pool) const
+{
+    const std::span<const std::uint8_t> codes{query.codes().data(),
+                                              query.size()};
+    return seed_all_impl(codes, query.size(), stats, pool);
+}
+
+std::vector<SeedHit>
+DsoftSeeder::seed_all(const seq::PackedSequence& query, SeedingStats* stats,
+                      ThreadPool* pool) const
+{
+    return seed_all_impl(query, query.size(), stats, pool);
 }
 
 }  // namespace darwin::seed

@@ -81,13 +81,38 @@ class DsoftSeeder {
     DsoftSeeder(const SeedIndex& index, DsoftParams params);
 
     /**
+     * Banded seeder for sharded runs: only diagonal bands whose start
+     * (band * bin_size) falls in [band_lo_bp, band_hi_bp) accumulate
+     * and emit. With a shard-sliced index (sharded_index.h) this
+     * reproduces exactly the owned-band subset of the monolithic run.
+     */
+    DsoftSeeder(const SeedIndex& index, DsoftParams params,
+                std::uint64_t band_lo_bp, std::uint64_t band_hi_bp);
+
+    /**
      * Seed one query chunk [chunk_begin, chunk_end) of `query`.
      * Emits at most one SeedHit per qualifying diagonal band.
+     *
+     * `charge_heap` controls whether the returned vector is charged
+     * against the caller's fault heap budget. True fits callers that
+     * *retain* the hits (the classic pipeline accumulates every
+     * chunk's hits, so cumulative charges track residency); the
+     * streaming dataflow passes false — its chunks are transient,
+     * drained into a fixed-capacity channel and freed, so it charges
+     * the high-water of one chunk itself.
      */
     std::vector<SeedHit> seed_chunk(std::span<const std::uint8_t> query,
                                     std::size_t chunk_begin,
                                     std::size_t chunk_end,
-                                    SeedingStats* stats = nullptr) const;
+                                    SeedingStats* stats = nullptr,
+                                    bool charge_heap = true) const;
+
+    /** Packed-query chunk seeding; identical output for equal bases. */
+    std::vector<SeedHit> seed_chunk(const seq::PackedSequence& query,
+                                    std::size_t chunk_begin,
+                                    std::size_t chunk_end,
+                                    SeedingStats* stats = nullptr,
+                                    bool charge_heap = true) const;
 
     /**
      * Seed a whole query sequence, optionally across a thread pool.
@@ -97,11 +122,31 @@ class DsoftSeeder {
                                   SeedingStats* stats = nullptr,
                                   ThreadPool* pool = nullptr) const;
 
+    /** Packed-query variant of seed_all. */
+    std::vector<SeedHit> seed_all(const seq::PackedSequence& query,
+                                  SeedingStats* stats = nullptr,
+                                  ThreadPool* pool = nullptr) const;
+
     const DsoftParams& params() const { return params_; }
 
   private:
+    template <class Source>
+    std::vector<SeedHit> seed_chunk_impl(const Source& query,
+                                         std::size_t chunk_begin,
+                                         std::size_t chunk_end,
+                                         SeedingStats* stats,
+                                         bool charge_heap = true) const;
+
+    template <class Source>
+    std::vector<SeedHit> seed_all_impl(const Source& query,
+                                       std::size_t query_size,
+                                       SeedingStats* stats,
+                                       ThreadPool* pool) const;
+
     const SeedIndex& index_;
     DsoftParams params_;
+    std::uint64_t band_lo_bp_ = 0;
+    std::uint64_t band_hi_bp_ = ~0ull;
 };
 
 }  // namespace darwin::seed

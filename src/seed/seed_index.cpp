@@ -6,25 +6,23 @@
 
 namespace darwin::seed {
 
-SeedIndex::SeedIndex(const seq::Sequence& target, const SeedPattern& pattern,
-                     std::uint32_t max_bucket)
-    : SeedIndex(pattern, max_bucket)
+template <class Source>
+void
+SeedIndex::build_from(const Source& source, std::size_t target_size)
 {
-    require(max_bucket > 0, "SeedIndex: max_bucket must be positive");
-    if (target.size() >= std::numeric_limits<std::uint32_t>::max())
+    require(max_bucket_ > 0, "SeedIndex: max_bucket must be positive");
+    if (target_size >= std::numeric_limits<std::uint32_t>::max())
         fatal("SeedIndex: target longer than 2^32-1 is not supported");
 
     const std::uint64_t buckets = pattern_.key_space();
-    const std::span<const std::uint8_t> codes{target.codes().data(),
-                                              target.size()};
 
     // Pass 1: bucket sizes.
     std::vector<std::uint32_t> counts(buckets, 0);
-    const std::size_t last =
-        target.size() >= pattern_.span() ? target.size() - pattern_.span() + 1
-                                         : 0;
+    const std::size_t last = target_size >= pattern_.span()
+                                 ? target_size - pattern_.span() + 1
+                                 : 0;
     for (std::size_t pos = 0; pos < last; ++pos) {
-        const auto key = pattern_.key_at(codes, pos);
+        const auto key = pattern_.key_at(source, pos);
         if (key) {
             ++counts[*key];
         } else {
@@ -36,8 +34,8 @@ SeedIndex::SeedIndex(const seq::Sequence& target, const SeedPattern& pattern,
     // section can be written to (and mapped back from) an index file.
     owned_over_words_.assign((buckets + 63) / 64, 0);
     for (std::uint64_t k = 0; k < buckets; ++k) {
-        if (counts[k] > max_bucket) {
-            counts[k] = max_bucket;
+        if (counts[k] > max_bucket_) {
+            counts[k] = max_bucket_;
             owned_over_words_[k / 64] |= 1ULL << (k % 64);
             ++truncated_;
         }
@@ -56,7 +54,7 @@ SeedIndex::SeedIndex(const seq::Sequence& target, const SeedPattern& pattern,
     owned_positions_.assign(running, 0);
     std::vector<std::uint32_t> cursor(counts.size(), 0);
     for (std::size_t pos = 0; pos < last; ++pos) {
-        const auto key = pattern_.key_at(codes, pos);
+        const auto key = pattern_.key_at(source, pos);
         if (!key)
             continue;
         const std::uint64_t k = *key;
@@ -70,6 +68,22 @@ SeedIndex::SeedIndex(const seq::Sequence& target, const SeedPattern& pattern,
     offsets_view_ = {owned_offsets_.data(), owned_offsets_.size()};
     positions_view_ = {owned_positions_.data(), owned_positions_.size()};
     over_view_ = {owned_over_words_.data(), owned_over_words_.size()};
+}
+
+SeedIndex::SeedIndex(const seq::Sequence& target, const SeedPattern& pattern,
+                     std::uint32_t max_bucket)
+    : SeedIndex(pattern, max_bucket)
+{
+    const std::span<const std::uint8_t> codes{target.codes().data(),
+                                              target.size()};
+    build_from(codes, target.size());
+}
+
+SeedIndex::SeedIndex(const seq::PackedSequence& target,
+                     const SeedPattern& pattern, std::uint32_t max_bucket)
+    : SeedIndex(pattern, max_bucket)
+{
+    build_from(target, target.size());
 }
 
 SeedIndex

@@ -47,6 +47,11 @@ class SeedIndex {
     SeedIndex(const seq::Sequence& target, const SeedPattern& pattern,
               std::uint32_t max_bucket = kDefaultMaxBucket);
 
+    /** Same build over a 2-bit packed target; produces bit-identical
+     *  sections to the byte overload for equal base content. */
+    SeedIndex(const seq::PackedSequence& target, const SeedPattern& pattern,
+              std::uint32_t max_bucket = kDefaultMaxBucket);
+
     /**
      * Zero-copy view over externally owned sections (a mapped index
      * file). `storage` keeps the backing memory alive for the index's
@@ -113,6 +118,11 @@ class SeedIndex {
         : pattern_(std::move(pattern)), max_bucket_(max_bucket)
     {
     }
+
+    /** Shared two-pass counting-sort build; `Source` is anything
+     *  pattern_.key_at accepts (byte span or PackedSequence). */
+    template <class Source>
+    void build_from(const Source& source, std::size_t target_size);
 
     SeedPattern pattern_;
     std::uint32_t max_bucket_ = 0;

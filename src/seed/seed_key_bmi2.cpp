@@ -1,0 +1,69 @@
+#include "seed/seed_key_bmi2.h"
+
+#ifdef __BMI2__
+#include <immintrin.h>
+#endif
+
+namespace darwin::seed::detail {
+
+#ifdef __BMI2__
+
+namespace {
+
+// Reverses the four 2-bit groups within a byte, e.g. abcdefgh (pairs
+// ab,cd,ef,gh) -> ghefcdab. Composed per byte + byte swap, this reverses
+// all sixteen 2-bit groups of a 32-bit value.
+struct Rev2Table {
+    std::uint8_t rev[256];
+    constexpr Rev2Table() : rev()
+    {
+        for (unsigned b = 0; b < 256; ++b) {
+            rev[b] = static_cast<std::uint8_t>(
+                ((b & 0x03) << 6) | ((b & 0x0c) << 2) | ((b & 0x30) >> 2) |
+                ((b & 0xc0) >> 6));
+        }
+    }
+};
+
+constexpr Rev2Table kRev2;
+
+} // namespace
+
+bool
+bmi2_key_available()
+{
+    return __builtin_cpu_supports("bmi2") != 0;
+}
+
+std::uint32_t
+pext_key(std::uint64_t lanes, std::uint64_t mask2, unsigned weight)
+{
+    // Gathered value has the first match offset in the low 2 bits;
+    // reverse group order so it lands in the high bits of the key.
+    const std::uint32_t packed =
+        static_cast<std::uint32_t>(_pext_u64(lanes, mask2));
+    const std::uint32_t reversed =
+        (static_cast<std::uint32_t>(kRev2.rev[packed & 0xff]) << 24) |
+        (static_cast<std::uint32_t>(kRev2.rev[(packed >> 8) & 0xff]) << 16) |
+        (static_cast<std::uint32_t>(kRev2.rev[(packed >> 16) & 0xff]) << 8) |
+        static_cast<std::uint32_t>(kRev2.rev[packed >> 24]);
+    return reversed >> (32 - 2 * weight);
+}
+
+#else  // !__BMI2__
+
+bool
+bmi2_key_available()
+{
+    return false;
+}
+
+std::uint32_t
+pext_key(std::uint64_t, std::uint64_t, unsigned)
+{
+    return 0;
+}
+
+#endif  // __BMI2__
+
+}  // namespace darwin::seed::detail

@@ -1,5 +1,6 @@
 #include "seed/seed_pattern.h"
 
+#include "seed/seed_key_bmi2.h"
 #include "seq/alphabet.h"
 #include "util/logging.h"
 
@@ -22,6 +23,13 @@ SeedPattern::SeedPattern(const std::string& pattern)
         fatal("SeedPattern: pattern has no match positions");
     if (weight() > 15)
         fatal("SeedPattern: weight > 15 exceeds the 32-bit key space");
+    if (span_ <= 32) {
+        for (const std::uint32_t offset : match_offsets_) {
+            match_lane_mask_ |= 3ULL << (2 * offset);
+            match_bit_mask_ |= 1ULL << offset;
+        }
+        use_bmi2_ = detail::bmi2_key_available();
+    }
 }
 
 SeedPattern
@@ -43,6 +51,37 @@ SeedPattern::key_at(std::span<const std::uint8_t> codes,
             return std::nullopt;
         key = (key << 2) | base;
     }
+    return key;
+}
+
+std::optional<SeedKey>
+SeedPattern::key_at(const seq::PackedSequence& packed, std::size_t pos) const
+{
+    if (pos + span_ > packed.size())
+        return std::nullopt;
+    if (span_ > 32) {
+        // Patterns wider than one window fall back to per-base decode.
+        SeedKey key = 0;
+        for (const std::uint32_t offset : match_offsets_) {
+            const std::uint8_t base = packed[pos + offset];
+            if (!seq::is_concrete(base))
+                return std::nullopt;
+            key = (key << 2) | base;
+        }
+        return key;
+    }
+    // Only N at MATCH positions rejects the window — don't-care
+    // positions may be ambiguous, exactly like the byte path.
+    if ((packed.n_mask(pos, span_) & match_bit_mask_) != 0)
+        return std::nullopt;
+    const std::uint64_t lanes = packed.extract_kmer(pos, span_);
+    if (use_bmi2_)
+        return detail::pext_key(lanes, match_lane_mask_,
+                                static_cast<unsigned>(weight()));
+    SeedKey key = 0;
+    for (const std::uint32_t offset : match_offsets_)
+        key = (key << 2) |
+              static_cast<SeedKey>((lanes >> (2 * offset)) & 3);
     return key;
 }
 

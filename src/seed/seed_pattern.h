@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "seq/packed_sequence.h"
+
 namespace darwin::seed {
 
 /** Seed key type (2 bits per match position; weight <= 15). */
@@ -62,6 +64,16 @@ class SeedPattern {
                                   std::size_t pos) const;
 
     /**
+     * Packed-sequence key extraction: bit-identical keys to the byte
+     * overload, but via one extract_kmer window load plus a pext (when
+     * BMI2 is available) or a short shift loop, instead of `span` byte
+     * loads. N is rejected only at match positions, matching the byte
+     * path exactly.
+     */
+    std::optional<SeedKey> key_at(const seq::PackedSequence& packed,
+                                  std::size_t pos) const;
+
+    /**
      * The `weight` keys reachable from `key` by one transition
      * substitution (flip the high bit of one position's 2-bit code).
      * Does not include `key` itself.
@@ -70,10 +82,17 @@ class SeedPattern {
 
     const std::string& pattern() const { return pattern_; }
 
+    /** True when packed key_at uses the BMI2 pext path on this host. */
+    bool uses_bmi2() const { return use_bmi2_; }
+
   private:
     std::string pattern_;
     std::size_t span_;
     std::vector<std::uint32_t> match_offsets_;
+    // Precomputed for the packed fast path (valid when span_ <= 32):
+    std::uint64_t match_lane_mask_ = 0;  // 2-bit lanes at match offsets
+    std::uint64_t match_bit_mask_ = 0;   // 1 bit per match offset
+    bool use_bmi2_ = false;
 };
 
 }  // namespace darwin::seed

@@ -15,6 +15,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "seq/fasta.h"
+#include "seq/packed_io.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -278,20 +279,30 @@ Server::load_genome(const std::string& path)
     std::lock_guard lock(genome_mutex_);
     if (const auto it = genomes_.find(path); it != genomes_.end())
         return it->second;
-    auto genome = std::make_shared<seq::Genome>(seq::read_genome(path));
+    auto genome = std::make_shared<seq::Genome>(
+        options_.packed_genomes ? seq::read_genome_packed(path)
+                                : seq::read_genome(path));
     // Materialize the flattened form under the lock: first-build is not
     // safe to race, and every request reads it.
-    genome->flattened();
+    if (options_.packed_genomes)
+        genome->flattened_packed();
+    else
+        genome->flattened();
     genomes_.emplace(path, genome);
     return genome;
 }
 
 std::shared_ptr<const seed::SeedIndex>
-Server::acquire_index(const Request& request,
-                      const seq::Sequence& target_flat,
+Server::acquire_index(const Request& request, const seq::Genome& target,
                       const std::string& seed_pattern, bool* cache_hit)
 {
-    const std::uint64_t digest = index::sequence_digest(target_flat);
+    // The packed digest equals the byte digest on equal bases, so a
+    // packed server hits the same cache entries (and accepts the same
+    // .dwi files) a byte server would.
+    const std::uint64_t digest =
+        target.packed()
+            ? index::sequence_digest(target.flattened_packed())
+            : index::sequence_digest(target.flattened());
     const index::IndexKey key{digest, seed_pattern,
                               seed::SeedIndex::kDefaultMaxBucket};
     bool built = false;
@@ -323,8 +334,12 @@ Server::acquire_index(const Request& request,
                         seed::SeedIndex::kDefaultMaxBucket));
                 return loaded;
             }
+            if (target.packed())
+                return std::make_shared<const seed::SeedIndex>(
+                    target.flattened_packed(),
+                    seed::SeedPattern(seed_pattern));
             return std::make_shared<const seed::SeedIndex>(
-                target_flat, seed::SeedPattern(seed_pattern));
+                target.flattened(), seed::SeedPattern(seed_pattern));
         },
         &built);
     if (cache_hit != nullptr)
@@ -343,12 +358,18 @@ Server::do_align(const Request& request)
     if (request.no_transitions)
         params.dsoft.transitions = false;
 
+    if (options_.packed_genomes &&
+        params.filter_mode != wga::FilterMode::Gapped)
+        fatal("align: this server holds genomes 2-bit packed, which "
+              "supports gapped presets only — the ungapped (lastz) "
+              "filter scans byte-backed sequences");
+
     const auto target = load_genome(request.target);
     const auto query = load_genome(request.query);
 
     bool cache_hit = false;
-    const auto index = acquire_index(request, target->flattened(),
-                                     params.seed_pattern, &cache_hit);
+    const auto index =
+        acquire_index(request, *target, params.seed_pattern, &cache_hit);
 
     // The request's own budget context: armed after the index acquire so
     // one request's overrun can never poison a shared index build.
@@ -373,9 +394,14 @@ Server::do_align(const Request& request)
     try {
         fault::ContextScope scope(token.get(), seq_no);
         const wga::WgaPipeline pipeline(params);
-        result = pipeline.run_with_index(*index, target->flattened(),
-                                         query->flattened(), nullptr,
-                                         metrics_);
+        if (target->packed())
+            result = pipeline.run_with_index_packed(
+                *index, target->flattened_packed(),
+                query->flattened_packed(), nullptr, metrics_);
+        else
+            result = pipeline.run_with_index(*index, target->flattened(),
+                                             query->flattened(), nullptr,
+                                             metrics_);
     } catch (...) {
         std::lock_guard lock(token_mutex_);
         active_.erase(token);

@@ -78,6 +78,18 @@ struct ServerOptions {
      * log record with the per-stage breakdown; 0 disables.
      */
     double slow_request_seconds = 0.0;
+
+    /**
+     * Hold resident genomes 2-bit packed (seq/packed_io.h ingestion
+     * with the `.2bit` sidecar cache) and run requests over packed
+     * storage (WgaPipeline::run_with_index_packed) — 4x less resident
+     * memory per cached genome, bit-identical MAF output. Index cache
+     * keys are unchanged (the packed digest equals the byte digest),
+     * so persisted .dwi files keep working. Gapped presets only: an
+     * ungapped (lastz) request against a packed server is a request
+     * error.
+     */
+    bool packed_genomes = false;
 };
 
 /** The request-processing core; transports plug in around it. */
@@ -167,7 +179,7 @@ class Server {
     std::shared_ptr<const seq::Genome> load_genome(
         const std::string& path);
     std::shared_ptr<const seed::SeedIndex> acquire_index(
-        const Request& request, const seq::Sequence& target_flat,
+        const Request& request, const seq::Genome& target,
         const std::string& seed_pattern, bool* cache_hit);
     void worker_loop();
 

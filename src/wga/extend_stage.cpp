@@ -9,9 +9,8 @@
 
 namespace darwin::wga {
 
-ExtendStage::ExtendStage(const WgaParams& params,
-                         std::span<const std::uint8_t> target,
-                         std::span<const std::uint8_t> query)
+ExtendStage::ExtendStage(const WgaParams& params, seq::BaseView target,
+                         seq::BaseView query)
     : params_(params), target_(target), query_(query)
 {
     require(params_.absorb_cell > 0, "ExtendStage: absorb_cell must be > 0");
@@ -92,7 +91,7 @@ ExtendStage::covered_fraction(std::span<const std::uint64_t> cells) const
 
 void
 ExtendStage::extend_wave_batched(
-    const std::vector<const FilterCandidate*>& wave,
+    const std::vector<FilterCandidate>& wave,
     const align::GactXParams& gactx_params,
     const align::AlignBackend& backend,
     std::vector<align::Alignment>& extended, ExtendStats& local,
@@ -103,9 +102,9 @@ ExtendStage::extend_wave_batched(
     // sequential, so cross-anchor interleaving is the batching axis).
     std::vector<align::AnchorExtender> extenders;
     extenders.reserve(wave.size());
-    for (const FilterCandidate* candidate : wave)
-        extenders.emplace_back(target_, query_, candidate->anchor_t,
-                               candidate->anchor_q, gactx_params.tile_size,
+    for (const FilterCandidate& candidate : wave)
+        extenders.emplace_back(target_, query_, candidate.anchor_t,
+                               candidate.anchor_q, gactx_params.tile_size,
                                gactx_params.overlap);
 
     const std::size_t flush_cap =
@@ -163,6 +162,22 @@ ExtendStage::extend_all(const std::vector<FilterCandidate>& candidates,
                         const align::TileAligner& aligner,
                         ExtendStats* stats, ThreadPool* pool)
 {
+    std::size_t cursor = 0;
+    return extend_stream(
+        [&candidates, &cursor]() -> std::optional<FilterCandidate> {
+            if (cursor >= candidates.size())
+                return std::nullopt;
+            return candidates[cursor++];
+        },
+        aligner, stats, pool);
+}
+
+std::vector<align::Alignment>
+ExtendStage::extend_stream(
+    const std::function<std::optional<FilterCandidate>()>& next,
+    const align::TileAligner& aligner, ExtendStats* stats,
+    ThreadPool* pool)
+{
     // Batched execution applies when a non-serial backend is active and
     // the aligner is the GACT-X engine (whose params the backend call
     // needs); anything else — e.g. a custom TileAligner in tests —
@@ -175,19 +190,20 @@ ExtendStage::extend_all(const std::vector<FilterCandidate>& candidates,
 
     std::vector<align::Alignment> out;
     ExtendStats local;
-    std::size_t next = 0;
-    while (next < candidates.size()) {
+    std::optional<FilterCandidate> pending = next();
+    while (pending) {
         fault::poll("extend.anchor");
         // Select the next wave of unabsorbed anchors.
-        std::vector<const FilterCandidate*> wave;
-        while (next < candidates.size() && wave.size() < kWave) {
-            const auto& candidate = candidates[next++];
+        std::vector<FilterCandidate> wave;
+        while (pending && wave.size() < kWave) {
+            const FilterCandidate candidate = *pending;
+            pending = next();
             ++local.anchors_in;
             if (absorbed(candidate.anchor_t, candidate.anchor_q)) {
                 ++local.absorbed;
                 continue;
             }
-            wave.push_back(&candidate);
+            wave.push_back(candidate);
         }
         if (wave.empty())
             break;
@@ -202,7 +218,7 @@ ExtendStage::extend_all(const std::vector<FilterCandidate>& candidates,
             std::vector<align::ExtensionStats> wave_stats(wave.size());
             auto extend_one = [&](std::size_t w) {
                 extended[w] = align::extend_anchor(
-                    target_, query_, wave[w]->anchor_t, wave[w]->anchor_q,
+                    target_, query_, wave[w].anchor_t, wave[w].anchor_q,
                     aligner, params_.scoring, &wave_stats[w]);
             };
             if (pool) {

@@ -13,6 +13,8 @@
 #ifndef DARWIN_WGA_EXTEND_STAGE_H
 #define DARWIN_WGA_EXTEND_STAGE_H
 
+#include <functional>
+#include <optional>
 #include <span>
 #include <unordered_set>
 #include <vector>
@@ -44,9 +46,17 @@ struct ExtendStats {
 /** Extension with anchor absorption over one span pair. */
 class ExtendStage {
   public:
+    /** Views may be byte- or packed-backed; alignments are
+     *  bit-identical either way (packed backing decodes per tile). */
+    ExtendStage(const WgaParams& params, seq::BaseView target,
+                seq::BaseView query);
+
     ExtendStage(const WgaParams& params,
                 std::span<const std::uint8_t> target,
-                std::span<const std::uint8_t> query);
+                std::span<const std::uint8_t> query)
+        : ExtendStage(params, seq::BaseView(target), seq::BaseView(query))
+    {
+    }
 
     /**
      * Extend candidates (already sorted by descending filter score) into
@@ -70,6 +80,20 @@ class ExtendStage {
      */
     std::vector<align::Alignment> extend_all(
         const std::vector<FilterCandidate>& candidates,
+        const align::TileAligner& aligner, ExtendStats* stats = nullptr,
+        ThreadPool* pool = nullptr);
+
+    /**
+     * Pull-based extend_all: candidates arrive one at a time from
+     * `next` (nullopt = exhausted) instead of a materialized vector.
+     * The caller must deliver them in the canonical sort_candidates
+     * order; given that, the output is identical to extend_all over
+     * the equivalent vector. This is the bounded-memory entry point —
+     * the streaming pipeline drains its candidate spill buffer
+     * straight into it, so at most one wave of anchors is resident.
+     */
+    std::vector<align::Alignment> extend_stream(
+        const std::function<std::optional<FilterCandidate>()>& next,
         const align::TileAligner& aligner, ExtendStats* stats = nullptr,
         ThreadPool* pool = nullptr);
 
@@ -103,15 +127,15 @@ class ExtendStage {
      * the serial path does.
      */
     void extend_wave_batched(
-        const std::vector<const FilterCandidate*>& wave,
+        const std::vector<FilterCandidate>& wave,
         const align::GactXParams& gactx_params,
         const align::AlignBackend& backend,
         std::vector<align::Alignment>& extended, ExtendStats& local,
         ThreadPool* pool);
 
     const WgaParams& params_;
-    std::span<const std::uint8_t> target_;
-    std::span<const std::uint8_t> query_;
+    seq::BaseView target_;
+    seq::BaseView query_;
     std::unordered_set<std::uint64_t> covered_cells_;
     /** Scratch for path_cells, reused across the merge loop. */
     std::vector<std::uint64_t> path_scratch_;

@@ -12,12 +12,16 @@
 
 namespace darwin::wga {
 
-FilterStage::FilterStage(const WgaParams& params,
-                         std::span<const std::uint8_t> target,
-                         std::span<const std::uint8_t> query)
+FilterStage::FilterStage(const WgaParams& params, seq::BaseView target,
+                         seq::BaseView query)
     : params_(params), target_(target), query_(query),
       seed_span_(seed::SeedPattern(params.seed_pattern).span())
 {
+    if (params_.filter_mode == FilterMode::Ungapped &&
+        (target_.packed() || query_.packed()))
+        fatal("filter: ungapped (LASTZ) mode requires byte-backed "
+              "sequences; the packed/streaming path supports gapped "
+              "filtering only");
 }
 
 std::optional<FilterCandidate>
@@ -30,8 +34,13 @@ FilterStage::filter(const seed::SeedHit& hit, FilterStats* stats) const
 
     if (params_.filter_mode == FilterMode::Gapped) {
         const TileWindow w = gapped_window(hit);
+        // Byte mode materializes zero-copy subspans; packed mode
+        // decodes only this tile's window (O(Tf) scratch per call).
+        std::vector<std::uint8_t> target_scratch;
+        std::vector<std::uint8_t> query_scratch;
         const align::BswResult bsw = align::banded_smith_waterman(
-            target_.subspan(w.t0, w.tlen), query_.subspan(w.q0, w.qlen),
+            target_.materialize(w.t0, w.tlen, &target_scratch),
+            query_.materialize(w.q0, w.qlen, &query_scratch),
             params_.scoring, params_.filter_band);
         local.cells += bsw.cells_computed;
         if (bsw.max_score >= params_.filter_threshold) {
@@ -40,8 +49,8 @@ FilterStage::filter(const seed::SeedHit& hit, FilterStats* stats) const
         }
     } else {
         const align::UngappedResult ext = align::ungapped_xdrop_extend(
-            target_, query_, hit.target_pos, hit.query_pos, seed_span_,
-            params_.scoring, params_.ungapped_xdrop);
+            target_.bytes(), query_.bytes(), hit.target_pos, hit.query_pos,
+            seed_span_, params_.scoring, params_.ungapped_xdrop);
         local.cells += ext.cells_computed;
         if (ext.score >= params_.filter_threshold) {
             out = FilterCandidate{ext.anchor_t, ext.anchor_q, ext.score};
@@ -113,6 +122,11 @@ FilterStage::filter_hits(const std::vector<seed::SeedHit>& hits,
     std::vector<TileWindow> windows;
     std::vector<std::size_t> owner;
     std::vector<align::BswResult> results;
+    // Packed mode: TileBatch aliases caller storage, so each staged
+    // tile's decoded window lives here until its flush (bounded by
+    // 2 * flush_cap * filter_tile bytes). Byte mode stages zero-copy
+    // subspans and never touches this.
+    std::vector<std::vector<std::uint8_t>> decoded_tiles;
     Timer staged_since;
     const std::size_t flush_cap =
         std::max<std::size_t>(1, params_.batch_flush_tiles);
@@ -146,6 +160,15 @@ FilterStage::filter_hits(const std::vector<seed::SeedHit>& hits,
         batch.clear();
         windows.clear();
         owner.clear();
+        decoded_tiles.clear();
+    };
+
+    auto stage_span = [&](const seq::BaseView& view, std::uint64_t start,
+                          std::size_t len) -> std::span<const std::uint8_t> {
+        if (!view.packed())
+            return view.bytes().subspan(start, len);
+        decoded_tiles.emplace_back();
+        return view.materialize(start, len, &decoded_tiles.back());
     };
 
     for (std::size_t i = 0; i < hits.size(); ++i) {
@@ -154,8 +177,8 @@ FilterStage::filter_hits(const std::vector<seed::SeedHit>& hits,
         const TileWindow w = gapped_window(hits[i]);
         if (batch.empty())
             staged_since.reset();
-        batch.push(target_.subspan(w.t0, w.tlen),
-                   query_.subspan(w.q0, w.qlen));
+        batch.push(stage_span(target_, w.t0, w.tlen),
+                   stage_span(query_, w.q0, w.qlen));
         windows.push_back(w);
         owner.push_back(i);
         if (batch.size() >= flush_cap ||

@@ -18,6 +18,7 @@
 #include "align/banded_sw.h"
 #include "align/batch.h"
 #include "seed/dsoft.h"
+#include "seq/base_view.h"
 #include "util/thread_pool.h"
 #include "wga/params.h"
 
@@ -60,9 +61,22 @@ void sort_candidates(std::vector<FilterCandidate>& candidates);
 /** Filtering over one (target, query) span pair. */
 class FilterStage {
   public:
+    /**
+     * Views may be byte- or packed-backed; results are bit-identical
+     * either way (gapped tiles decode their Tf x Tf window on demand).
+     * Ungapped (LASTZ) filtering scans unbounded diagonals and is only
+     * supported on byte-backed views — packed + ungapped is a fatal
+     * configuration error.
+     */
+    FilterStage(const WgaParams& params, seq::BaseView target,
+                seq::BaseView query);
+
     FilterStage(const WgaParams& params,
                 std::span<const std::uint8_t> target,
-                std::span<const std::uint8_t> query);
+                std::span<const std::uint8_t> query)
+        : FilterStage(params, seq::BaseView(target), seq::BaseView(query))
+    {
+    }
 
     /** Filter one seed hit; nullopt when it fails the threshold. */
     std::optional<FilterCandidate> filter(const seed::SeedHit& hit,
@@ -102,8 +116,8 @@ class FilterStage {
     TileWindow gapped_window(const seed::SeedHit& hit) const;
 
     const WgaParams& params_;
-    std::span<const std::uint8_t> target_;
-    std::span<const std::uint8_t> query_;
+    seq::BaseView target_;
+    seq::BaseView query_;
     std::size_t seed_span_;
 };
 

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "seq/base_view.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -10,9 +11,21 @@ namespace darwin::wga {
 
 namespace {
 
+/** Flattened bases of a genome without forcing a whole-genome decode:
+ *  packed genomes are viewed through their 2-bit words directly. */
+seq::BaseView
+flat_view(const seq::Genome& genome)
+{
+    if (genome.packed())
+        return seq::BaseView(genome.flattened_packed());
+    const seq::Sequence& flat = genome.flattened();
+    return seq::BaseView(
+        std::span<const std::uint8_t>{flat.codes().data(), flat.size()});
+}
+
 /** Render the gapped text of one side of an alignment. */
 std::string
-gapped_text(const align::Alignment& alignment, const seq::Sequence& flat,
+gapped_text(const align::Alignment& alignment, seq::BaseView flat,
             bool target_side)
 {
     std::string out;
@@ -52,9 +65,14 @@ write_maf(std::ostream& out,
           const seq::Genome& target, const seq::Genome& query,
           const std::string& comment)
 {
+    const seq::BaseView target_flat = flat_view(target);
+    const seq::BaseView query_flat = flat_view(query);
+
     // Reverse-strand alignments carry coordinates in the space of the
-    // reverse-complemented flattened query; materialize it on demand.
+    // reverse-complemented flattened query; materialize it on demand
+    // (staying 2-bit packed when the genome is packed).
     seq::Sequence query_rc;
+    seq::PackedSequence query_rc_packed;
     bool have_rc = false;
 
     out << "##maf version=1 scoring=darwin-wga\n";
@@ -71,7 +89,7 @@ write_maf(std::ostream& out,
                                ? alignment.target_end - 1 : 0, &t_sep);
 
         // Map the query footprint to forward-strand coordinates.
-        const std::size_t q_flat_len = query.flattened().size();
+        const std::size_t q_flat_len = query.flat_length();
         const std::uint64_t q_fwd_start =
             reverse ? q_flat_len - alignment.query_end
                     : alignment.query_start;
@@ -88,35 +106,47 @@ write_maf(std::ostream& out,
             warn("maf: skipping alignment crossing a chromosome separator");
             continue;
         }
-        const auto& t_chrom = target.chromosome(t_pos.chromosome);
-        const auto& q_chrom = query.chromosome(q_pos.chromosome);
+        const std::string& t_name =
+            target.chromosome_name(t_pos.chromosome);
+        const std::size_t t_size =
+            target.chromosome_length(t_pos.chromosome);
+        const std::string& q_name = query.chromosome_name(q_pos.chromosome);
+        const std::size_t q_size =
+            query.chromosome_length(q_pos.chromosome);
 
         // MAF '-' strand starts count from the reverse-complement start
         // of the chromosome.
         const std::uint64_t q_field_start =
-            reverse ? q_chrom.size() -
-                          (q_pos.offset + alignment.query_span())
+            reverse ? q_size - (q_pos.offset + alignment.query_span())
                     : q_pos.offset;
         if (reverse && !have_rc) {
-            query_rc = query.flattened().reverse_complement();
+            if (query.packed())
+                query_rc_packed =
+                    query.flattened_packed().reverse_complement();
+            else
+                query_rc = query.flattened().reverse_complement();
             have_rc = true;
         }
+        const seq::BaseView query_side =
+            !reverse ? query_flat
+                     : (query.packed()
+                            ? seq::BaseView(query_rc_packed)
+                            : seq::BaseView(std::span<const std::uint8_t>{
+                                  query_rc.codes().data(),
+                                  query_rc.size()}));
 
         out << strprintf("a score=%d\n", alignment.score);
         out << strprintf(
-            "s %s %llu %llu + %zu %s\n", t_chrom.name().c_str(),
+            "s %s %llu %llu + %zu %s\n", t_name.c_str(),
             static_cast<unsigned long long>(t_pos.offset),
             static_cast<unsigned long long>(alignment.target_span()),
-            t_chrom.size(),
-            gapped_text(alignment, target.flattened(), true).c_str());
+            t_size, gapped_text(alignment, target_flat, true).c_str());
         out << strprintf(
-            "s %s %llu %llu %c %zu %s\n", q_chrom.name().c_str(),
+            "s %s %llu %llu %c %zu %s\n", q_name.c_str(),
             static_cast<unsigned long long>(q_field_start),
             static_cast<unsigned long long>(alignment.query_span()),
-            reverse ? '-' : '+', q_chrom.size(),
-            gapped_text(alignment,
-                        reverse ? query_rc : query.flattened(),
-                        false).c_str());
+            reverse ? '-' : '+', q_size,
+            gapped_text(alignment, query_side, false).c_str());
         out << "\n";
     }
 }

@@ -63,6 +63,30 @@ struct WgaResult {
     PipelineStats stats;
 };
 
+/** Bounded-memory dataflow knobs for WgaPipeline::run_streaming. */
+struct StreamingParams {
+    /** Band-start basepairs owned per target index shard; at most one
+     *  shard's seed table is resident at a time. */
+    std::uint64_t shard_bp = 8ull << 20;
+
+    /** In-memory window of the seed-hit channel (SeedHit records). */
+    std::size_t hit_stream_capacity = 1 << 16;
+
+    /** In-memory chunk of the candidate sort-spill buffer
+     *  (FilterCandidate records). */
+    std::size_t candidate_chunk = 1 << 14;
+
+    /** Hits pulled from the channel per filter_hits batch. */
+    std::size_t filter_batch = 2048;
+
+    /** Overflow policy of the hit channel: spill to disk (default) or
+     *  block the seeding producer (pure backpressure). */
+    bool spill = true;
+
+    /** Spill directory ("" = system temp dir). */
+    std::string spill_dir;
+};
+
 /** The full aligner. */
 class WgaPipeline {
   public:
@@ -97,6 +121,50 @@ class WgaPipeline {
                             obs::MetricsRegistry* metrics = nullptr) const;
 
     /**
+     * run() over 2-bit packed storage: the flattened target and query
+     * stay packed end to end — the seed index builds from packed words,
+     * and the filter/extension stages decode one tile window at a time
+     * (seq::BaseView). Classic materialized dataflow otherwise.
+     * Results are bit-identical to run() on the same genomes. Gapped
+     * filter mode only (ungapped scans need byte-backed sequences).
+     * Works on byte-mode genomes too (they pack on first use).
+     */
+    WgaResult run_packed(const seq::Genome& target,
+                         const seq::Genome& query,
+                         ThreadPool* pool = nullptr,
+                         obs::MetricsRegistry* metrics = nullptr) const;
+
+    /**
+     * Bounded-memory large-genome run (implemented in streaming.cpp):
+     * packed storage as run_packed, plus (a) sharded seeding — the
+     * target's seed table is built one band shard at a time
+     * (seed/sharded_index.h), never whole; (b) D-SOFT hits flow
+     * through a fixed-capacity spill-or-backpressure BoundedStream to
+     * a filtering consumer instead of being materialized; (c) passing
+     * candidates accumulate in a SortingSpillBuffer whose sorted drain
+     * feeds extension one wave at a time. Alignments and chains (the
+     * output) are still materialized.
+     *
+     * Identity: alignments/chains/MAF are bit-identical to run() —
+     * band sharding partitions D-SOFT's band space exactly and the
+     * candidate drain reproduces sort_candidates order. Only
+     * stats.seeding.seed_lookups grows (each shard re-scans the
+     * query). Requires gapped filter mode and
+     * dsoft.max_hits_per_chunk == 0 (the per-chunk cap is defined on
+     * whole chunks, which sharding splits).
+     *
+     * Fixed buffer capacities are charged against the installed
+     * fault::CancelToken heap budget once at construction; spilled
+     * bytes are not charged (disk is the escape valve). Residency and
+     * spill telemetry lands in the wga.heap.* gauge family.
+     */
+    WgaResult run_streaming(const seq::Genome& target,
+                            const seq::Genome& query,
+                            const StreamingParams& streaming,
+                            ThreadPool* pool = nullptr,
+                            obs::MetricsRegistry* metrics = nullptr) const;
+
+    /**
      * Like run_sequences, but seed from a caller-provided index over
      * `target` instead of building one — the persisted-index path
      * (darwin-wga-serve, the batch engine's shared-target cache). The
@@ -111,12 +179,31 @@ class WgaPipeline {
                              ThreadPool* pool = nullptr,
                              obs::MetricsRegistry* metrics = nullptr) const;
 
+    /**
+     * Packed twin of run_with_index: seed/filter/extend over 2-bit
+     * sequences with a caller-provided index (built from bases
+     * identical to `target`'s — byte- or packed-built both qualify;
+     * FatalError on a seed-shape mismatch). The serve daemon's packed
+     * resident cache routes here. Gapped filter mode only.
+     */
+    WgaResult run_with_index_packed(
+        const seed::SeedIndex& index, const seq::PackedSequence& target,
+        const seq::PackedSequence& query, ThreadPool* pool = nullptr,
+        obs::MetricsRegistry* metrics = nullptr) const;
+
   private:
     WgaResult run_impl(const seed::SeedIndex& index,
                        const seq::Sequence& target,
                        const seq::Sequence& query, WgaResult result,
                        ThreadPool* pool,
                        obs::MetricsRegistry* metrics) const;
+
+    /** Strand loop + chain over packed storage (streaming.cpp). */
+    WgaResult run_packed_impl(const seed::SeedIndex& index,
+                              const seq::PackedSequence& target,
+                              const seq::PackedSequence& query,
+                              WgaResult result, ThreadPool* pool,
+                              obs::MetricsRegistry* metrics) const;
 
     WgaParams params_;
     chain::ChainParams chain_params_;

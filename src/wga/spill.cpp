@@ -1,0 +1,90 @@
+#include "wga/spill.h"
+
+#include <cerrno>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/strings.h"
+
+namespace darwin::wga {
+
+SpillFile::SpillFile(const std::string& dir)
+{
+    std::string base = dir;
+    if (base.empty()) {
+        std::error_code ec;
+        const auto tmp = std::filesystem::temp_directory_path(ec);
+        base = ec ? "/tmp" : tmp.string();
+    }
+    std::string path = base + "/darwin-wga-spill-XXXXXX";
+    fd_ = ::mkstemp(path.data());
+    if (fd_ < 0)
+        fatal(strprintf("cannot create spill file in %s: %s", base.c_str(),
+                        std::strerror(errno)));
+    // Unlink immediately: the file lives only as long as the fd, so a
+    // crash never leaves spill litter behind.
+    ::unlink(path.c_str());
+}
+
+SpillFile::~SpillFile()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+SpillFile::append(const void* data, std::size_t bytes)
+{
+    const char* cursor = static_cast<const char*>(data);
+    std::size_t remaining = bytes;
+    while (remaining > 0) {
+        const ::ssize_t n = ::pwrite(fd_, cursor, remaining,
+                                     static_cast<::off_t>(size_));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal(strprintf("spill write failed: %s",
+                            std::strerror(errno)));
+        }
+        cursor += n;
+        remaining -= static_cast<std::size_t>(n);
+        size_ += static_cast<std::uint64_t>(n);
+    }
+}
+
+void
+SpillFile::read_at(std::uint64_t offset, void* out, std::size_t bytes) const
+{
+    char* cursor = static_cast<char*>(out);
+    std::size_t remaining = bytes;
+    std::uint64_t position = offset;
+    while (remaining > 0) {
+        const ::ssize_t n = ::pread(fd_, cursor, remaining,
+                                    static_cast<::off_t>(position));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal(strprintf("spill read failed: %s", std::strerror(errno)));
+        }
+        if (n == 0)
+            fatal("spill read past end of file (corrupt spill state)");
+        cursor += n;
+        remaining -= static_cast<std::size_t>(n);
+        position += static_cast<std::uint64_t>(n);
+    }
+}
+
+void
+SpillFile::reset()
+{
+    if (fd_ >= 0 && size_ > 0) {
+        if (::ftruncate(fd_, 0) != 0)
+            fatal(strprintf("spill truncate failed: %s",
+                            std::strerror(errno)));
+    }
+    size_ = 0;
+}
+
+}  // namespace darwin::wga

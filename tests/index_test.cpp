@@ -223,7 +223,7 @@ TEST(IndexIo, RejectsWrongVersion)
         "good_ver.dwi", sequence, seed::SeedPattern("1111"));
     const std::string bad =
         corrupt_header(good, "bad_ver.dwi", [](IndexHeader& h) {
-            h.version = kIndexFormatVersion + 1;
+            h.version = kIndexShardedFormatVersion + 1;
         });
     expect_rejected(bad, "version");
 }

@@ -145,11 +145,15 @@ struct ServeFixture {
         const auto pair = synth::make_species_pair(
             synth::paper_species_pairs().front(), shape, 4242);
 
+        // ctest runs each test as its own process, possibly in
+        // parallel; key the paths by pid so concurrent Server tests
+        // never race on one another's index/FASTA files.
         const std::string dir = ::testing::TempDir();
-        target_path = dir + "/serve_target.fa";
-        query_path = dir + "/serve_query.fa";
-        index_path = dir + "/serve_target.dwi";
-        reference_maf = dir + "/serve_reference.maf";
+        const std::string tag = "serve_" + std::to_string(::getpid());
+        target_path = dir + "/" + tag + "_target.fa";
+        query_path = dir + "/" + tag + "_query.fa";
+        index_path = dir + "/" + tag + "_target.dwi";
+        reference_maf = dir + "/" + tag + "_reference.maf";
         seq::write_genome_file(target_path, pair.target.genome);
         seq::write_genome_file(query_path, pair.query.genome);
 

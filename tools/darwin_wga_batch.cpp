@@ -218,6 +218,19 @@ main(int argc, char** argv)
     args.add_option("threads", "0", "worker threads (0 = all cores)");
     args.add_option("shard-bp", "262144", "query bp per work unit");
     args.add_option("queue-cap", "128", "inter-stage queue capacity");
+    args.add_flag("streaming",
+                  "bounded-memory mode: run each pair whole through "
+                  "the streaming pipeline (2-bit packed storage, seed "
+                  "table built one band shard at a time, hits and "
+                  "candidates through spill-or-backpressure channels). "
+                  "Output is bit-identical; gapped (darwin) preset "
+                  "only");
+    args.add_option("stream-shard-bp", "8388608",
+                    "band-start bp per target seed-table shard in "
+                    "--streaming mode");
+    args.add_option("spill-dir", "",
+                    "--streaming overflow spill directory ('' = system "
+                    "temp dir)");
     args.add_option("preset", "darwin",
                     "parameter preset: darwin | lastz");
     args.add_flag("both-strands", "also align the reverse complement");
@@ -300,6 +313,10 @@ main(int argc, char** argv)
             static_cast<std::uint64_t>(args.get_int("pair-max-heap-mb")) *
             (1ull << 20);
         options.degraded_retry = !args.get_flag("no-retry");
+        options.streaming = args.get_flag("streaming");
+        options.streaming_params.shard_bp = static_cast<std::uint64_t>(
+            args.get_int("stream-shard-bp"));
+        options.streaming_params.spill_dir = args.get("spill-dir");
 
         std::vector<batch::BatchJob> jobs;
         std::unordered_map<std::string, const ManifestEntry*> by_name;

@@ -21,6 +21,7 @@
 #include "signal_support.h"
 #include "wga/chain_io.h"
 #include "seq/fasta.h"
+#include "seq/packed_io.h"
 #include "seq/shuffle.h"
 #include "synth/species.h"
 #include "util/args.h"
@@ -52,6 +53,25 @@ cmd_align(int argc, char** argv)
     args.add_option("band", "0", "override filter band B (0 = preset)");
     args.add_option("threads", "0", "worker threads (0 = all cores)");
     args.add_flag("no-transitions", "disable 1-transition seeds");
+    args.add_flag("packed",
+                  "ingest FASTA straight into 2-bit storage (cached in "
+                  "a .2bit sidecar next to the input) and align over "
+                  "packed words; output is bit-identical. Gapped "
+                  "(darwin) preset only");
+    args.add_flag("streaming",
+                  "bounded-memory run for large genomes: 2-bit "
+                  "storage, the seed table built one band shard at a "
+                  "time, hits and candidates through spill-or-"
+                  "backpressure channels. Implies --packed ingestion; "
+                  "output is bit-identical. Gapped (darwin) preset "
+                  "only");
+    args.add_option("stream-shard-bp", "8388608",
+                    "band-start bp per target shard in --streaming "
+                    "mode (smaller = less resident memory, more query "
+                    "re-scans)");
+    args.add_option("spill-dir", "",
+                    "--streaming overflow spill directory ('' = "
+                    "system temp dir)");
     tools::add_obs_options(args);
     if (!args.parse(argc, argv))
         return 1;
@@ -74,8 +94,14 @@ cmd_align(int argc, char** argv)
     if (args.get_flag("no-transitions"))
         params.dsoft.transitions = false;
 
-    const auto target = seq::read_genome(args.get("target"));
-    const auto query = seq::read_genome(args.get("query"));
+    const bool streaming = args.get_flag("streaming");
+    const bool packed = args.get_flag("packed") || streaming;
+    const auto target = packed
+                            ? seq::read_genome_packed(args.get("target"))
+                            : seq::read_genome(args.get("target"));
+    const auto query = packed
+                           ? seq::read_genome_packed(args.get("query"))
+                           : seq::read_genome(args.get("query"));
     inform(strprintf("target: %zu chromosomes, %zu bp",
                      target.num_chromosomes(), target.total_length()));
     inform(strprintf("query:  %zu chromosomes, %zu bp",
@@ -95,8 +121,20 @@ cmd_align(int argc, char** argv)
 
     ThreadPool pool(static_cast<std::size_t>(args.get_int("threads")));
     const wga::WgaPipeline pipeline(params);
-    const auto result = pipeline.run(target, query, &pool,
+    wga::WgaResult result;
+    if (streaming) {
+        wga::StreamingParams sp;
+        sp.shard_bp =
+            static_cast<std::uint64_t>(args.get_int("stream-shard-bp"));
+        sp.spill_dir = args.get("spill-dir");
+        result = pipeline.run_streaming(target, query, sp, &pool,
+                                        &metrics_registry);
+    } else if (packed) {
+        result = pipeline.run_packed(target, query, &pool,
                                      &metrics_registry);
+    } else {
+        result = pipeline.run(target, query, &pool, &metrics_registry);
+    }
     obs_setup.finish();
     if (signals.interrupted())
         return 130;

@@ -251,6 +251,11 @@ main(int argc, char** argv)
     args.add_option("slow-request-ms", "0",
                     "log a structured slow-request record for align "
                     "requests slower than this (0 = off)");
+    args.add_flag("packed",
+                  "hold resident genomes 2-bit packed (.2bit sidecar "
+                  "cache, 4x less memory per genome) and align over "
+                  "packed storage; output is bit-identical. Gapped "
+                  "(darwin) presets only");
     tools::add_obs_options(args);
     if (!args.parse(argc, argv))
         return 1;
@@ -276,6 +281,7 @@ main(int argc, char** argv)
         static_cast<std::uint64_t>(args.get_int("heap-budget"));
     options.slow_request_seconds =
         args.get_double("slow-request-ms") / 1000.0;
+    options.packed_genomes = args.get_flag("packed");
 
     try {
         const Timer uptime;
