@@ -2,10 +2,10 @@
  * @file
  * Perf trajectory suite: one command that captures the repo's headline
  * performance numbers at fixed sizes and seeds and writes them as a
- * single machine-readable report (`BENCH_9.json` at the repo root by
+ * single machine-readable report (`BENCH_10.json` at the repo root by
  * convention), so successive PRs leave a comparable speedup trail.
  *
- * Six sections:
+ * Seven sections:
  *   micro_kernels       the google-benchmark kernel microbenches, run as
  *                       a subprocess with --benchmark_format=json
  *   batch_throughput    serial-vs-batch-engine wall clock, run as a
@@ -34,23 +34,34 @@
  *                       fixed residency gated at 16 MiB, streaming
  *                       extension throughput gated against the in-RAM
  *                       arm
+ *   overload            in-process: a one-worker server with a shallow
+ *                       admission queue floods with ~4x the aligns it
+ *                       can hold — serves some, sheds the rest with
+ *                       retry_after_ms hints, and keeps accepted p99
+ *                       bounded — then budget-doomed requests trip the
+ *                       circuit breaker and the next align is served
+ *                       degraded
  *
- * Four sections assert acceptance bars and make the suite exit nonzero
+ * Five sections assert acceptance bars and make the suite exit nonzero
  * when missed, so CI can gate on them: index_reuse must cut per-pair
  * seeding latency by at least 5x, telemetry_overhead must stay under 2%
  * (and leave the served MAF byte-identical), backend_batch must reach
- * at least 1.3x serial tile throughput, and bounded_memory must finish
+ * at least 1.3x serial tile throughput, bounded_memory must finish
  * under its armed heap budget with byte-identical MAF, at most 16 MiB
  * of fixed dataflow residency, and no worse than 0.3x the in-RAM
- * pipeline's tiles/sec.
+ * pipeline's tiles/sec, and overload must answer every flooded request
+ * (some shed with a positive retry hint) and serve degraded after a
+ * breaker trip.
  *
- *   perf_suite --out BENCH_9.json
+ *   perf_suite --out BENCH_10.json
  */
 #include "bench_common.h"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -97,6 +108,10 @@ run_capture(const std::string& command)
     const int status = ::pclose(pipe);
     if (status != 0)
         fatal(strprintf("command failed (status %d): %s", status,
+                        command.c_str()));
+    if (output.empty())
+        fatal(strprintf("empty-output: %s exited 0 but wrote nothing "
+                        "(crashed before its report?)",
                         command.c_str()));
     // Trim to the JSON object so the capture embeds cleanly.
     const std::size_t brace = output.find('{');
@@ -661,6 +676,165 @@ run_bounded_memory(std::size_t pair_bp, std::uint64_t budget_mb,
     return report;
 }
 
+struct OverloadReport {
+    std::size_t pair_bp = 0;
+    std::size_t burst = 0;        ///< aligns submitted at once
+    std::size_t accepted = 0;     ///< admitted and served
+    std::size_t shed = 0;         ///< answered "overloaded"
+    std::int64_t retry_after_ms = 0;  ///< hint on the first shed
+    double p99_accepted_seconds = 0.0;
+    std::uint64_t breaker_trips = 0;
+    bool degraded_served = false;
+
+    bool every_request_answered() const
+    {
+        return accepted + shed == burst;
+    }
+};
+
+/**
+ * Overload behavior under a flood: a one-worker server with a shallow
+ * admission queue takes `burst` concurrent aligns — roughly 4x what it
+ * can queue — and the section records how many were served vs shed,
+ * the retry_after_ms hint sheds carried, and the p99 latency of the
+ * *accepted* requests (the point of shedding is that admitted work
+ * stays fast). A second, tiny phase trips the circuit breaker with
+ * budget-doomed requests and confirms the next align is served
+ * degraded. Gates: every request answered, at least one shed with a
+ * positive hint, and the breaker trip leads to a degraded serve.
+ */
+OverloadReport
+run_overload(std::size_t pair_bp, std::size_t burst, std::uint64_t seed)
+{
+    synth::AncestorConfig shape;
+    shape.num_chromosomes = 1;
+    shape.chromosome_length = pair_bp;
+    shape.exons_per_chromosome = pair_bp / 2'500;
+    const auto pair = synth::make_species_pair(
+        synth::paper_species_pairs().front(), shape, seed);
+
+    const std::string dir =
+        std::filesystem::temp_directory_path().string();
+    const std::string target_fa = dir + "/perf_suite_overload_t.fa";
+    const std::string query_fa = dir + "/perf_suite_overload_q.fa";
+    const std::string dwi = dir + "/perf_suite_overload.dwi";
+    seq::write_genome_file(target_fa, pair.target.genome);
+    seq::write_genome_file(query_fa, pair.query.genome);
+    {
+        const auto params = wga::WgaParams::darwin_defaults();
+        const seq::Sequence& target = pair.target.genome.flattened();
+        const seed::SeedIndex index(
+            target, seed::SeedPattern(params.seed_pattern));
+        index::save_index(dwi, index, index::sequence_digest(target),
+                          target.size());
+    }
+
+    OverloadReport report;
+    report.pair_bp = pair_bp;
+    report.burst = burst;
+
+    const auto align_line = [&](const std::string& id,
+                                const std::string& out,
+                                const std::string& extra) {
+        return strprintf(
+            "{\"op\": \"align\", \"id\": %s, \"target\": %s, "
+            "\"query\": %s, \"out\": %s, \"index\": %s%s}",
+            json_quote(id).c_str(), json_quote(target_fa).c_str(),
+            json_quote(query_fa).c_str(), json_quote(out).c_str(),
+            json_quote(dwi).c_str(), extra.c_str());
+    };
+
+    // Phase 1: the flood. One worker, room for three queued aligns.
+    {
+        serve::ServerOptions options;
+        options.num_workers = 1;
+        options.max_queue = 3;
+        serve::Server server(options);
+        // Warm the genome and index caches so flood latencies measure
+        // alignment, not first-touch file I/O.
+        (void)server.handle_line(
+            align_line("warm", dir + "/perf_suite_overload_warm.maf", ""));
+
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::size_t answered = 0;
+        std::vector<double> accepted_seconds;
+        Timer flood_timer;
+        for (std::size_t r = 0; r < burst; ++r) {
+            const std::string out = strprintf(
+                "%s/perf_suite_overload_%zu.maf", dir.c_str(), r);
+            server.submit(
+                align_line(strprintf("f%zu", r), out, ""),
+                [&, submitted = flood_timer.seconds()](
+                    const std::string& response) {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    ++answered;
+                    if (response.find("\"reason\": \"overloaded\"") !=
+                        std::string::npos) {
+                        ++report.shed;
+                        const auto key =
+                            response.find("\"retry_after_ms\": ");
+                        if (report.retry_after_ms == 0 &&
+                            key != std::string::npos)
+                            report.retry_after_ms = std::atoll(
+                                response.c_str() + key + 18);
+                    } else if (response.find("\"status\": \"ok\"") !=
+                               std::string::npos) {
+                        ++report.accepted;
+                        accepted_seconds.push_back(
+                            flood_timer.seconds() - submitted);
+                    }
+                    cv.notify_all();
+                });
+        }
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return answered == burst; });
+        if (!accepted_seconds.empty()) {
+            std::sort(accepted_seconds.begin(), accepted_seconds.end());
+            const std::size_t at = std::min(
+                accepted_seconds.size() - 1,
+                static_cast<std::size_t>(
+                    0.99 * static_cast<double>(accepted_seconds.size())));
+            report.p99_accepted_seconds = accepted_seconds[at];
+        }
+        lock.unlock();
+        server.stop();
+    }
+
+    // Phase 2: trip the breaker, then confirm degraded service.
+    {
+        serve::ServerOptions options;
+        options.breaker.window = 4;
+        options.breaker.min_samples = 2;
+        options.breaker.trip_ratio = 0.5;
+        options.breaker.cooldown_seconds = 3600.0;
+        serve::Server server(options);
+        for (int i = 0; i < 2; ++i)
+            (void)server.handle_line(align_line(
+                strprintf("doom%d", i),
+                dir + "/perf_suite_overload_doom.maf",
+                ", \"budget\": {\"max_cells\": 1}"));
+        if (const auto* trips =
+                server.metrics().find_counter("serve.breaker.trips"))
+            report.breaker_trips = trips->value();
+        const std::string response = server.handle_line(align_line(
+            "degraded", dir + "/perf_suite_overload_degraded.maf", ""));
+        report.degraded_served =
+            response.find("\"status\": \"ok\"") != std::string::npos &&
+            response.find("\"degraded\": true") != std::string::npos;
+        server.stop();
+    }
+
+    std::filesystem::remove(target_fa);
+    std::filesystem::remove(query_fa);
+    std::filesystem::remove(dwi);
+    for (const auto& entry : std::filesystem::directory_iterator(dir))
+        if (entry.path().filename().string().rfind(
+                "perf_suite_overload_", 0) == 0)
+            std::filesystem::remove(entry.path());
+    return report;
+}
+
 int
 run_suite(const ArgParser& args, const char* argv0)
 {
@@ -742,6 +916,20 @@ run_suite(const ArgParser& args, const char* argv0)
                  static_cast<double>(bounded.spilled_bytes) / (1 << 20),
                  static_cast<unsigned long long>(bounded.spill_episodes),
                  static_cast<unsigned long long>(bounded.num_shards));
+
+    const OverloadReport overload = run_overload(
+        static_cast<std::size_t>(args.get_int("overload-bp")),
+        static_cast<std::size_t>(args.get_int("overload-burst")),
+        static_cast<std::uint64_t>(args.get_int("seed")));
+    std::fprintf(stderr,
+                 "overload: burst %zu -> %zu served, %zu shed "
+                 "(retry hint %lld ms), p99 accepted %.3fs; breaker "
+                 "trips %llu, degraded served %s\n",
+                 overload.burst, overload.accepted, overload.shed,
+                 static_cast<long long>(overload.retry_after_ms),
+                 overload.p99_accepted_seconds,
+                 static_cast<unsigned long long>(overload.breaker_trips),
+                 overload.degraded_served ? "yes" : "no");
 
     std::ostringstream json;
     json << "{\n"
@@ -830,6 +1018,22 @@ run_suite(const ArgParser& args, const char* argv0)
          << (bounded.relative_throughput() >= 0.3 ? "true" : "false")
          << "\n"
          << "  },\n"
+         << "  \"overload\": {\n"
+         << "    \"pair_bp\": " << overload.pair_bp << ",\n"
+         << "    \"burst\": " << overload.burst << ",\n"
+         << "    \"accepted\": " << overload.accepted << ",\n"
+         << "    \"shed\": " << overload.shed << ",\n"
+         << "    \"retry_after_ms\": " << overload.retry_after_ms
+         << ",\n"
+         << "    \"p99_accepted_seconds\": "
+         << strprintf("%.3f", overload.p99_accepted_seconds) << ",\n"
+         << "    \"breaker_trips\": " << overload.breaker_trips << ",\n"
+         << "    \"degraded_served\": "
+         << (overload.degraded_served ? "true" : "false") << ",\n"
+         << "    \"every_request_answered\": "
+         << (overload.every_request_answered() ? "true" : "false")
+         << "\n"
+         << "  },\n"
          << "  \"batch_throughput\": " << batch_json << ",\n"
          << "  \"micro_kernels\": " << micro_json << "\n"
          << "}\n";
@@ -911,6 +1115,31 @@ run_suite(const ArgParser& args, const char* argv0)
                      bounded.relative_throughput());
         return 1;
     }
+    if (!overload.every_request_answered()) {
+        std::fprintf(stderr,
+                     "ERROR: overload flood leaked requests (%zu served "
+                     "+ %zu shed of %zu submitted)\n",
+                     overload.accepted, overload.shed, overload.burst);
+        return 1;
+    }
+    if (overload.shed == 0 || overload.retry_after_ms < 1) {
+        std::fprintf(stderr,
+                     "ERROR: overload flood shed nothing (or sheds "
+                     "carried no retry_after_ms hint): %zu shed, hint "
+                     "%lld\n",
+                     overload.shed,
+                     static_cast<long long>(overload.retry_after_ms));
+        return 1;
+    }
+    if (overload.breaker_trips == 0 || !overload.degraded_served) {
+        std::fprintf(stderr,
+                     "ERROR: breaker phase failed (trips %llu, degraded "
+                     "served %s)\n",
+                     static_cast<unsigned long long>(
+                         overload.breaker_trips),
+                     overload.degraded_served ? "yes" : "no");
+        return 1;
+    }
     return 0;
 }
 
@@ -921,8 +1150,8 @@ main(int argc, char** argv)
 {
     ArgParser args("perf_suite: run the fixed-workload benchmark set and "
                    "write one machine-readable JSON report "
-                   "(BENCH_9.json).");
-    args.add_option("out", "BENCH_9.json", "report path");
+                   "(BENCH_10.json).");
+    args.add_option("out", "BENCH_10.json", "report path");
     args.add_option("threads", "4", "batch_throughput worker threads");
     args.add_option("batch-bp", "40000",
                     "batch_throughput chromosome length");
@@ -949,6 +1178,11 @@ main(int argc, char** argv)
     args.add_option("bounded-shard-bp", "16384",
                     "bounded_memory target bp per seeding shard (small "
                     "enough that several shard tables cycle through)");
+    args.add_option("overload-bp", "20000",
+                    "overload chromosome length");
+    args.add_option("overload-burst", "12",
+                    "overload aligns submitted at once (vs a 3-deep "
+                    "admission queue and one worker)");
     args.add_option("seed", "42", "workload generator seed");
     args.add_flag("skip-micro",
                   "skip the micro_kernels subprocess (fast iteration)");

@@ -41,10 +41,10 @@
 #include <string>
 #include <vector>
 
-#include "batch/degrade.h"
 #include "batch/metrics.h"
 #include "chain/chainer.h"
 #include "fault/cancel.h"
+#include "fault/degrade.h"
 #include "fault/quarantine.h"
 #include "seq/genome.h"
 #include "wga/pipeline.h"
@@ -54,6 +54,12 @@ class IndexCache;
 }
 
 namespace darwin::batch {
+
+/** The degrade policy is shared with the serve daemon's circuit
+ *  breaker (fault/degrade.h); these aliases keep the historical
+ *  batch:: spelling working. */
+using DegradePolicy = fault::DegradePolicy;
+using fault::apply_degrade;
 
 /** One (target, query) alignment job of a batch manifest. */
 struct BatchJob {

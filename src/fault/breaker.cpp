@@ -1,0 +1,113 @@
+#include "fault/breaker.h"
+
+namespace darwin::fault {
+
+const char*
+breaker_state_name(BreakerState state)
+{
+    switch (state) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::HalfOpen: return "half_open";
+    case BreakerState::Open: return "open";
+    }
+    return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options)
+    : options_(options)
+{
+    if (options_.window == 0)
+        options_.window = 1;
+    if (options_.min_samples == 0)
+        options_.min_samples = 1;
+}
+
+void
+CircuitBreaker::open_locked(Clock::time_point now)
+{
+    state_ = BreakerState::Open;
+    open_until_ = now + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                options_.cooldown_seconds));
+    probe_inflight_ = false;
+    outcomes_.clear();
+    failures_ = 0;
+    ++trips_;
+}
+
+bool
+CircuitBreaker::should_degrade(Clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (state_) {
+    case BreakerState::Closed:
+        return false;
+    case BreakerState::Open:
+        if (now < open_until_)
+            return true;
+        // Cooldown elapsed: this caller becomes the half-open probe.
+        state_ = BreakerState::HalfOpen;
+        probe_inflight_ = true;
+        return false;
+    case BreakerState::HalfOpen:
+        // One probe at a time; everyone else stays degraded until the
+        // trial resolves.
+        if (probe_inflight_)
+            return true;
+        probe_inflight_ = true;
+        return false;
+    }
+    return false;
+}
+
+void
+CircuitBreaker::record(bool failure, Clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (state_) {
+    case BreakerState::Open:
+        // Straggler from before the trip; the window restarted.
+        return;
+    case BreakerState::HalfOpen:
+        if (failure) {
+            open_locked(now);
+        } else {
+            state_ = BreakerState::Closed;
+            probe_inflight_ = false;
+            outcomes_.clear();
+            failures_ = 0;
+        }
+        return;
+    case BreakerState::Closed:
+        outcomes_.push_back(failure);
+        if (failure)
+            ++failures_;
+        while (outcomes_.size() > options_.window) {
+            if (outcomes_.front())
+                --failures_;
+            outcomes_.pop_front();
+        }
+        if (outcomes_.size() >= options_.min_samples &&
+            static_cast<double>(failures_) >=
+                options_.trip_ratio *
+                    static_cast<double>(outcomes_.size()))
+            open_locked(now);
+        return;
+    }
+}
+
+BreakerState
+CircuitBreaker::state() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+}
+
+std::uint64_t
+CircuitBreaker::trips() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return trips_;
+}
+
+}  // namespace darwin::fault

@@ -1,8 +1,8 @@
-#include "batch/degrade.h"
+#include "fault/degrade.h"
 
 #include <algorithm>
 
-namespace darwin::batch {
+namespace darwin::fault {
 
 wga::WgaParams
 apply_degrade(const wga::WgaParams& params, const DegradePolicy& policy)
@@ -29,7 +29,9 @@ apply_degrade(const wga::WgaParams& params, const DegradePolicy& policy)
                 : std::min(params.dsoft.max_hits_per_chunk,
                            policy.max_hits_per_chunk);
     }
+    if (policy.force_probe)
+        out.force_probe_score_only = true;
     return out;
 }
 
-}  // namespace darwin::batch
+}  // namespace darwin::fault

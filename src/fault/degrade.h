@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Degraded-mode parameter policy, shared by the batch engine and the
+ * serve daemon.
+ *
+ * When a pair blows a budget the batch engine gives it one retry with
+ * cheaper parameters before quarantining it; when the serve daemon's
+ * circuit breaker is open it serves requests with the same transform
+ * (see fault/breaker.h). The policy lives here — not in the scheduler
+ * or the server — so a serial run with apply_degrade'd params is
+ * bit-identical to either consumer's degraded attempt: the degraded
+ * contract is testable outside both.
+ *
+ * The transform: a narrower filter band, a tighter GACT-X / ungapped
+ * X-drop, a per-chunk seed-hit cap, and (opt-in; the serve breaker
+ * sets it) the score-only probe pass on batch extension so dead tiles
+ * never pay the traceback lattice.
+ */
+#ifndef DARWIN_FAULT_DEGRADE_H
+#define DARWIN_FAULT_DEGRADE_H
+
+#include <cstddef>
+
+#include "wga/params.h"
+
+namespace darwin::fault {
+
+/** Knobs of the degraded mode; defaults roughly quarter the DP work. */
+struct DegradePolicy {
+    /** Filter band half-width divisor (floored at min_band). */
+    std::size_t band_divisor = 2;
+    std::size_t min_band = 8;
+
+    /** X-drop divisor for gactx.ydrop and ungapped_xdrop (floored at
+     *  min_ydrop). */
+    std::size_t ydrop_divisor = 2;
+    align::Score min_ydrop = 100;
+
+    /** DsoftParams::max_hits_per_chunk for the retry (0 keeps the
+     *  original). */
+    std::size_t max_hits_per_chunk = 256;
+
+    /** Force the score-only probe pass on batched extension flushes
+     *  (WgaParams::force_probe_score_only) instead of waiting for the
+     *  dead-tile heuristic to warm up. Output is unchanged — probing
+     *  only skips traceback work for tiles whose score is dead — but
+     *  live tiles pay the probe cells *plus* the full pass, so this is
+     *  off for the batch retry (whose budget counts cells) and on for
+     *  the serve breaker (whose enemy is wall time on dead-heavy
+     *  overload work). */
+    bool force_probe = false;
+};
+
+/** The degraded parameter set for one retry of `params`. */
+wga::WgaParams apply_degrade(const wga::WgaParams& params,
+                             const DegradePolicy& policy);
+
+}  // namespace darwin::fault
+
+#endif  // DARWIN_FAULT_DEGRADE_H

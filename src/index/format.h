@@ -129,6 +129,44 @@ align_section(std::uint64_t offset)
     return (offset + kIndexSectionAlign - 1) & ~(kIndexSectionAlign - 1);
 }
 
+/** Magic of the checksum trailer ("DWCSUM" + 2 NULs). */
+inline constexpr char kIndexChecksumMagic[8] = {'D', 'W', 'C', 'S',
+                                                'U', 'M', '\0', '\0'};
+
+inline constexpr std::uint32_t kIndexChecksumVersion = 1;
+
+/**
+ * Crash-safety checksums, appended after the last section (so legacy
+ * files — whose total_bytes equals the end of their sections — stay
+ * loadable unchanged):
+ *
+ *     [sections ...]
+ *     [digest array]     num_digests x u64 (fnv1a64), 64-byte aligned
+ *     [ChecksumTrailer]  last 64 bytes of the file
+ *
+ * The digest array covers each section's *content* bytes in layout
+ * order — monolithic: bucket offsets, positions, over-words; sharded:
+ * over-words, shard directory, then (offsets, positions) per shard —
+ * and header_digest covers the 192 header bytes as written. Readers
+ * find the trailer at total_bytes - 64; a file whose total_bytes is
+ * exactly its sections' end simply has no checksums (legacy), which
+ * keeps versions 1 and 2 readable by older builds that ignore the
+ * tail.
+ */
+struct ChecksumTrailer {
+    char magic[8];                 ///< kIndexChecksumMagic
+    std::uint32_t version;         ///< kIndexChecksumVersion
+    std::uint32_t num_digests;     ///< entries in the digest array
+    std::uint64_t digests_offset;  ///< absolute offset of the array
+    std::uint64_t header_digest;   ///< fnv1a64 over the header bytes
+    char reserved[32];             ///< zero; future use
+};
+
+static_assert(sizeof(ChecksumTrailer) == 64,
+              "ChecksumTrailer layout is part of the on-disk format");
+static_assert(std::is_trivially_copyable_v<ChecksumTrailer>,
+              "ChecksumTrailer must be memcpy-safe");
+
 }  // namespace darwin::index
 
 #endif  // DARWIN_INDEX_FORMAT_H

@@ -1,5 +1,6 @@
 #include "index/index_cache.h"
 
+#include "fault/cancel.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -61,6 +62,7 @@ IndexCache::acquire(const IndexKey& key, const Builder& builder,
 
     std::shared_ptr<const seed::SeedIndex> index;
     try {
+        fault::poll("index.cache_load");
         index = builder();
         if (index == nullptr)
             panic("IndexCache: builder returned null");

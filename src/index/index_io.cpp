@@ -11,6 +11,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "fault/cancel.h"
 #include "index/format.h"
 #include "util/digest.h"
 #include "util/logging.h"
@@ -108,14 +109,20 @@ validate_header(const std::string& path, const std::uint8_t* bytes,
         if (header.num_shards != 0 || header.shard_bp != 0 ||
             header.shard_dir_offset != 0)
             bad_index(path, "version-1 file carries shard fields");
-        // Section geometry: in order, aligned, inside the file.
+        // Section geometry: in order, aligned, inside the file. The
+        // file may end exactly at the last section (legacy) or carry a
+        // checksum area after it (validated by the full loaders; this
+        // function sees the header bytes only).
+        const std::uint64_t sections_end =
+            align_section(header.over_words_offset + over_bytes);
         if (header.offsets_offset != sizeof(IndexHeader) ||
             header.positions_offset !=
                 align_section(header.offsets_offset + offsets_bytes) ||
             header.over_words_offset !=
                 align_section(header.positions_offset + positions_bytes) ||
-            header.total_bytes !=
-                align_section(header.over_words_offset + over_bytes))
+            (header.total_bytes != sections_end &&
+             header.total_bytes <
+                 sections_end + sizeof(ChecksumTrailer)))
             bad_index(path, "section offsets disagree with section sizes");
     } else {
         // Sharded layout: global bitset, then the shard directory, then
@@ -138,6 +145,105 @@ validate_header(const std::string& path, const std::uint8_t* bytes,
                             "section sizes");
     }
     return header;
+}
+
+/** One checksummed region: content bytes of a section. */
+struct SectionSpan {
+    const std::uint8_t* data;
+    std::uint64_t bytes;
+};
+
+/**
+ * Locate and validate the checksum trailer of a fully-mapped file.
+ * Returns false when the file ends exactly at its sections (legacy —
+ * no checksums to verify); fatal when a trailer area exists but is
+ * malformed.
+ */
+bool
+read_checksum_trailer(const std::string& path, const std::uint8_t* base,
+                      std::uint64_t file_size, std::uint64_t sections_end,
+                      ChecksumTrailer* trailer)
+{
+    if (file_size == sections_end)
+        return false;
+    if (file_size < sections_end + sizeof(ChecksumTrailer))
+        bad_index(path, "checksum area is smaller than its trailer");
+    std::memcpy(trailer, base + file_size - sizeof(ChecksumTrailer),
+                sizeof(*trailer));
+    if (std::memcmp(trailer->magic, kIndexChecksumMagic,
+                    sizeof(kIndexChecksumMagic)) != 0)
+        bad_index(path, "file tail is not a checksum trailer (corrupt "
+                        "or truncated checksum area)");
+    if (trailer->version != kIndexChecksumVersion)
+        bad_index(path, strprintf("unsupported checksum version %u",
+                                  trailer->version));
+    if (trailer->digests_offset < sections_end ||
+        trailer->digests_offset % kIndexSectionAlign != 0 ||
+        trailer->digests_offset +
+                static_cast<std::uint64_t>(trailer->num_digests) * 8 >
+            file_size - sizeof(ChecksumTrailer))
+        bad_index(path, "checksum digest array falls outside the file");
+    return true;
+}
+
+/** Verify header + per-section digests against the trailer; fatal on
+ *  any mismatch (tagged "checksum mismatch"). */
+void
+verify_checksums(const std::string& path, const std::uint8_t* base,
+                 const std::vector<SectionSpan>& sections,
+                 const ChecksumTrailer& trailer)
+{
+    if (trailer.header_digest !=
+        fnv1a64_bytes({base, sizeof(IndexHeader)}))
+        bad_index(path, "header checksum mismatch (corrupt index?)");
+    if (trailer.num_digests != sections.size())
+        bad_index(path,
+                  strprintf("checksum mismatch: trailer carries %u "
+                            "section digests, layout has %zu sections",
+                            trailer.num_digests, sections.size()));
+    const auto* digests = reinterpret_cast<const std::uint64_t*>(
+        base + trailer.digests_offset);
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+        if (digests[i] !=
+            fnv1a64_bytes({sections[i].data, sections[i].bytes}))
+            bad_index(path,
+                      strprintf("section %zu checksum mismatch "
+                                "(corrupt index?)",
+                                i));
+    }
+}
+
+/** Append the digest array + trailer; returns the new end offset. */
+std::uint64_t
+write_checksum_area(std::ofstream& out, std::uint64_t sections_end,
+                    const std::vector<std::uint64_t>& digests,
+                    std::uint64_t header_digest)
+{
+    ChecksumTrailer trailer = {};
+    std::memcpy(trailer.magic, kIndexChecksumMagic,
+                sizeof(kIndexChecksumMagic));
+    trailer.version = kIndexChecksumVersion;
+    trailer.num_digests = static_cast<std::uint32_t>(digests.size());
+    trailer.digests_offset = sections_end;
+    trailer.header_digest = header_digest;
+    out.write(reinterpret_cast<const char*>(digests.data()),
+              static_cast<std::streamsize>(digests.size() * 8));
+    const std::uint64_t array_end = sections_end + digests.size() * 8;
+    const std::uint64_t trailer_offset = align_section(array_end);
+    static const char zeros[kIndexSectionAlign] = {};
+    out.write(zeros,
+              static_cast<std::streamsize>(trailer_offset - array_end));
+    out.write(reinterpret_cast<const char*>(&trailer), sizeof(trailer));
+    return trailer_offset + sizeof(trailer);
+}
+
+/** The checksum-inclusive total size for a file whose sections end at
+ *  `sections_end` and carry `num_digests` section digests. */
+constexpr std::uint64_t
+checksummed_total(std::uint64_t sections_end, std::size_t num_digests)
+{
+    return align_section(sections_end + num_digests * 8) +
+           sizeof(ChecksumTrailer);
 }
 
 void
@@ -210,9 +316,27 @@ save_index(const std::string& path, const seed::SeedIndex& index,
         header.offsets_offset + index.bucket_offsets().size_bytes());
     header.over_words_offset = align_section(
         header.positions_offset + index.positions().size_bytes());
-    header.total_bytes = align_section(
+    const std::uint64_t sections_end = align_section(
         header.over_words_offset + index.over_represented_words()
                                        .size_bytes());
+
+    // Per-section digests, in layout order, plus the header digest —
+    // appended after the sections so legacy readers (which stop at
+    // sections_end) would still understand the geometry.
+    const std::vector<std::uint64_t> digests = {
+        fnv1a64_bytes({reinterpret_cast<const std::uint8_t*>(
+                           index.bucket_offsets().data()),
+                       index.bucket_offsets().size_bytes()}),
+        fnv1a64_bytes({reinterpret_cast<const std::uint8_t*>(
+                           index.positions().data()),
+                       index.positions().size_bytes()}),
+        fnv1a64_bytes({reinterpret_cast<const std::uint8_t*>(
+                           index.over_represented_words().data()),
+                       index.over_represented_words().size_bytes()}),
+    };
+    header.total_bytes = checksummed_total(sections_end, digests.size());
+    const std::uint64_t header_digest = fnv1a64_bytes(
+        {reinterpret_cast<const std::uint8_t*>(&header), sizeof(header)});
 
     const std::string tmp = path + ".tmp";
     {
@@ -242,7 +366,11 @@ save_index(const std::string& path, const seed::SeedIndex& index,
         write_padding(out,
                       header.over_words_offset +
                           index.over_represented_words().size_bytes(),
-                      header.total_bytes);
+                      sections_end);
+        const std::uint64_t written =
+            write_checksum_area(out, sections_end, digests, header_digest);
+        require(written == header.total_bytes,
+                "index checksum area size mismatch");
         out.flush();
         if (!out)
             fatal(strprintf("error writing %s", tmp.c_str()));
@@ -261,6 +389,7 @@ namespace {
 std::shared_ptr<Mapping>
 map_index_file(const std::string& path)
 {
+    fault::poll("index.mmap");
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0)
         fatal(strprintf("cannot open index %s: %s", path.c_str(),
@@ -329,6 +458,26 @@ load_index(const std::string& path, IndexInfo* info)
         bad_index(path, "bucket count disagrees with the seed shape");
 
     const std::uint8_t* base = mapping->bytes();
+
+    // Verify the checksum area (absent only in legacy files) before a
+    // single section byte is trusted: a torn write or bit flip fails
+    // loudly here instead of corrupting alignments downstream.
+    const std::uint64_t offsets_bytes = (header.num_buckets + 1) * 4;
+    const std::uint64_t positions_bytes = header.num_positions * 4;
+    const std::uint64_t over_bytes = ((header.num_buckets + 63) / 64) * 8;
+    const std::uint64_t sections_end =
+        align_section(header.over_words_offset + over_bytes);
+    ChecksumTrailer trailer;
+    if (read_checksum_trailer(path, base, file_size, sections_end,
+                              &trailer)) {
+        verify_checksums(path, base,
+                         {{base + header.offsets_offset, offsets_bytes},
+                          {base + header.positions_offset,
+                           positions_bytes},
+                          {base + header.over_words_offset, over_bytes}},
+                         trailer);
+    }
+
     const std::span<const std::uint32_t> offsets{
         reinterpret_cast<const std::uint32_t*>(base +
                                                header.offsets_offset),
@@ -436,6 +585,11 @@ save_sharded_index(const std::string& path,
         // same bound the sharded layout exists to provide.
         std::uint64_t cursor = header.shard_dir_offset + dir_bytes;
         std::uint64_t total_positions = 0;
+        std::vector<std::uint64_t> digests;
+        digests.push_back(fnv1a64_bytes(
+            {reinterpret_cast<const std::uint8_t*>(over.data()),
+             over_bytes}));
+        digests.push_back(0);  // directory digest, patched after the loop
         for (std::size_t s = 0; s < builder.num_shards(); ++s) {
             const seed::ShardPlan& plan = builder.plan()[s];
             const auto shard = builder.build_shard(s);
@@ -450,6 +604,10 @@ save_sharded_index(const std::string& path,
             write_padding(out, cursor, dir[s].offsets_offset);
             write_bytes(shard->bucket_offsets().data(),
                         shard->bucket_offsets().size_bytes());
+            digests.push_back(fnv1a64_bytes(
+                {reinterpret_cast<const std::uint8_t*>(
+                     shard->bucket_offsets().data()),
+                 shard->bucket_offsets().size_bytes()}));
             cursor = dir[s].offsets_offset +
                      shard->bucket_offsets().size_bytes();
 
@@ -457,12 +615,30 @@ save_sharded_index(const std::string& path,
             write_padding(out, cursor, dir[s].positions_offset);
             write_bytes(shard->positions().data(),
                         shard->positions().size_bytes());
+            digests.push_back(fnv1a64_bytes(
+                {reinterpret_cast<const std::uint8_t*>(
+                     shard->positions().data()),
+                 shard->positions().size_bytes()}));
             cursor = dir[s].positions_offset +
                      shard->positions().size_bytes();
         }
         header.num_positions = total_positions;
-        header.total_bytes = align_section(cursor);
-        write_padding(out, cursor, header.total_bytes);
+        const std::uint64_t sections_end = align_section(cursor);
+        write_padding(out, cursor, sections_end);
+        // The directory digest covers the final (patched) entries; the
+        // header digest covers the final header including total_bytes.
+        digests[1] = fnv1a64_bytes(
+            {reinterpret_cast<const std::uint8_t*>(dir.data()),
+             dir_bytes});
+        header.total_bytes = checksummed_total(sections_end,
+                                               digests.size());
+        const std::uint64_t header_digest = fnv1a64_bytes(
+            {reinterpret_cast<const std::uint8_t*>(&header),
+             sizeof(header)});
+        const std::uint64_t written = write_checksum_area(
+            out, sections_end, digests, header_digest);
+        require(written == header.total_bytes,
+                "index checksum area size mismatch");
 
         out.seekp(0);
         write_bytes(&header, sizeof(header));
@@ -530,6 +706,30 @@ ShardedIndexReader::ShardedIndexReader(const std::string& path)
     }
     if (total_positions != header.num_positions)
         bad_index(path, "shard position counts disagree with the header");
+
+    // Verify the checksum area before any shard is handed out. The
+    // digest order mirrors save_sharded_index: over-words, directory,
+    // then (offsets, positions) per shard.
+    const std::uint64_t dir_bytes =
+        static_cast<std::uint64_t>(header.num_shards) *
+        sizeof(ShardDirEntry);
+    std::uint64_t sections_end = header.shard_dir_offset + dir_bytes;
+    std::vector<SectionSpan> sections;
+    sections.push_back({base_ + header.over_words_offset,
+                        ((header.num_buckets + 63) / 64) * 8});
+    sections.push_back({base_ + header.shard_dir_offset, dir_bytes});
+    for (std::uint32_t s = 0; s < header.num_shards; ++s) {
+        sections.push_back({base_ + shard_offsets_[s], offsets_bytes});
+        sections.push_back(
+            {base_ + shard_positions_[s], shard_counts_[s] * 4});
+        sections_end = std::max(
+            sections_end, shard_positions_[s] + shard_counts_[s] * 4);
+    }
+    sections_end = align_section(sections_end);
+    ChecksumTrailer trailer;
+    if (read_checksum_trailer(path, base_, file_size, sections_end,
+                              &trailer))
+        verify_checksums(path, base_, sections, trailer);
 }
 
 std::shared_ptr<const seed::SeedIndex>

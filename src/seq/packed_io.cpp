@@ -277,6 +277,36 @@ save_packed_genome(const std::string& path, const Genome& genome,
         if (!out)
             fatal(strprintf("error writing %s", tmp.c_str()));
     }
+    // Checksum post-pass: hash the payload we just wrote, patch the two
+    // digests into the header's reserved bytes, and only then publish.
+    {
+        const auto mapping = map_file(tmp, "packed genome");
+        if (mapping->size() != header.total_bytes)
+            fatal(strprintf("%s: short write (%zu of %llu bytes)",
+                            tmp.c_str(), mapping->size(),
+                            static_cast<unsigned long long>(
+                                header.total_bytes)));
+        const std::uint64_t payload_digest = fnv1a64_bytes(
+            {mapping->bytes() + sizeof(PackedHeader),
+             header.total_bytes - sizeof(PackedHeader)});
+        std::memcpy(header.reserved, &payload_digest,
+                    sizeof(payload_digest));
+        const std::uint64_t header_digest = fnv1a64_bytes(
+            {reinterpret_cast<const std::uint8_t*>(&header),
+             sizeof(header)});
+        std::memcpy(header.reserved + 8, &header_digest,
+                    sizeof(header_digest));
+        std::fstream patch(tmp, std::ios::in | std::ios::out |
+                                    std::ios::binary);
+        if (!patch)
+            fatal(strprintf("cannot reopen %s", tmp.c_str()));
+        patch.write(reinterpret_cast<const char*>(&header),
+                    sizeof(header));
+        patch.flush();
+        if (!patch)
+            fatal(strprintf("error patching checksums into %s",
+                            tmp.c_str()));
+    }
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
@@ -316,6 +346,28 @@ load_packed_genome(const std::string& path, std::uint64_t expected_digest)
                              static_cast<unsigned long long>(
                                  header.total_bytes),
                              static_cast<unsigned long long>(file_size)));
+    // Integrity first: verify both digests (when present) before any
+    // directory or section byte is trusted.
+    std::uint64_t payload_digest = 0;
+    std::uint64_t header_digest = 0;
+    std::memcpy(&payload_digest, header.reserved, sizeof(payload_digest));
+    std::memcpy(&header_digest, header.reserved + 8,
+                sizeof(header_digest));
+    if (payload_digest != 0 || header_digest != 0) {
+        PackedHeader canonical = header;
+        std::memset(canonical.reserved + 8, 0, sizeof(header_digest));
+        if (header_digest !=
+            fnv1a64_bytes({reinterpret_cast<const std::uint8_t*>(
+                               &canonical),
+                           sizeof(canonical)}))
+            bad_packed(path, "header checksum mismatch (corrupt packed "
+                             "genome?)");
+        if (payload_digest !=
+            fnv1a64_bytes({bytes + sizeof(PackedHeader),
+                           file_size - sizeof(PackedHeader)}))
+            bad_packed(path, "payload checksum mismatch (corrupt packed "
+                             "genome?)");
+    }
     if (expected_digest != 0 && header.fasta_digest != expected_digest)
         bad_packed(path,
                    strprintf("stale sidecar: FASTA digest %s does not "

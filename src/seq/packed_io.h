@@ -24,6 +24,15 @@
  * All integers little-endian (endian tag checked, never swapped);
  * validation failures are FatalError tagged with path + field, exactly
  * like the `.dwi` reader.
+ *
+ * Crash-safety checksums: the first 16 reserved header bytes hold two
+ * fnv1a64 digests — payload_digest over every byte after the header
+ * ([128, total_bytes)) and header_digest over the 128 header bytes
+ * with the header_digest field itself zeroed. Both zero means a legacy
+ * file (written before checksums existed), which loads unverified;
+ * any nonzero pair is verified before a single section byte is
+ * trusted, so a torn write or bit flip in the sidecar fails loudly at
+ * load instead of corrupting alignments downstream.
  */
 #ifndef DARWIN_SEQ_PACKED_IO_H
 #define DARWIN_SEQ_PACKED_IO_H
@@ -63,7 +72,10 @@ struct PackedHeader {
     std::uint64_t genome_name_offset;  ///< into the name blob
     std::uint64_t genome_name_length;
     std::uint64_t total_bytes;     ///< exact file size
-    char reserved[40];             ///< zero; future use
+    /** Bytes [0,8): fnv1a64 payload digest over [128, total_bytes).
+     *  Bytes [8,16): fnv1a64 header digest (this field zeroed).
+     *  Both zero = legacy file, no verification. Rest: future use. */
+    char reserved[40];
 };
 
 static_assert(sizeof(PackedHeader) == 128,

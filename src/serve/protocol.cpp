@@ -374,6 +374,9 @@ parse_request(const std::string& line)
                     "budget wall_seconds must be non-negative");
             request.has_budget = true;
         }
+        request.deadline_ms = get_number(root, "deadline_ms", 0.0);
+        if (request.deadline_ms < 0.0)
+            throw ProtocolError("deadline_ms must be non-negative");
     }
     return request;
 }

@@ -33,7 +33,13 @@
  * one line. Failures answer {"id": ..., "status": "error", "error":
  * "...", "reason": "..."} where `reason` is the budget axis for
  * overruns ("walltime" | "cells" | "heapbytes") or "bad_request" /
- * "failed".
+ * "failed". Two admission-control reasons carry extra fields:
+ * "overloaded" (the admission queue or in-flight-bp cap is full; the
+ * response carries a "retry_after_ms" hint from the observed service
+ * time) and "deadline" (the optional "deadline_ms" request field
+ * expired while the request waited in queue). Aligns served while the
+ * daemon's circuit breaker is open carry "degraded": true and used the
+ * narrowed fault/degrade.h parameters.
  *
  * The parser here is deliberately minimal — flat JSON objects with
  * string/number/bool/null values plus one nested object for `budget`.
@@ -84,6 +90,14 @@ struct Request {
     /** Per-request budget; unlimited axes default to the server's. */
     fault::Budget budget;
     bool has_budget = false;
+    /**
+     * Client deadline in milliseconds from admission (0 = none). The
+     * server sheds the request outright ("deadline") if it expires
+     * while queued, and otherwise clamps the wall budget to the time
+     * remaining so work for an expired client stops instead of
+     * completing uselessly.
+     */
+    double deadline_ms = 0.0;
 };
 
 /**

@@ -1,8 +1,11 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
+#include <filesystem>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -11,6 +14,7 @@
 #include <unistd.h>
 
 #include "batch/checkpoint.h"
+#include "fault/fault_plan.h"
 #include "index/index_io.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
@@ -65,7 +69,8 @@ Server::Server(ServerOptions options, obs::MetricsRegistry* metrics)
       index_cache_(std::max<std::size_t>(options.index_cache_capacity, 1),
                    metrics_, "serve.index"),
       queue_(options.queue_capacity),
-      workers_(std::max<std::size_t>(options.num_workers, 1))
+      workers_(std::max<std::size_t>(options.num_workers, 1)),
+      breaker_(options.breaker)
 {
     metrics_->gauge("serve.workers")
         .set(static_cast<std::int64_t>(workers_.size()));
@@ -84,7 +89,42 @@ void
 Server::worker_loop()
 {
     while (auto item = queue_.pop()) {
-        const std::string response = handle_line(item->line);
+        const double waited =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - item->enqueued)
+                .count();
+        metrics_->histogram("serve.queue.wait_seconds").observe(waited);
+        std::string response;
+        if (item->parsed && item->request.op == Op::Align &&
+            item->request.deadline_ms > 0.0 &&
+            waited * 1000.0 >= item->request.deadline_ms) {
+            // The client's deadline expired while the request sat in
+            // queue; running it now would complete uselessly.
+            metrics_->counter("serve.admission.shed").add(1);
+            metrics_->counter("serve.deadline.expired").add(1);
+            response = serialize_response(shed_response(
+                item->request, "deadline",
+                strprintf("deadline_ms %.0f expired after %.0f ms in "
+                          "queue",
+                          item->request.deadline_ms, waited * 1000.0)));
+        } else {
+            response = run_request(item->parsed ? &item->request : nullptr,
+                                   item->line, waited);
+        }
+        if (item->cost_bp > 0)
+            inflight_bp_.fetch_sub(item->cost_bp,
+                                   std::memory_order_acq_rel);
+        // The respond probe models a failing response path: an
+        // injected throw corrupts this response into a tagged error
+        // line (still delivered, so transports drain); a stall delays
+        // it.
+        try {
+            fault::poll("serve.respond");
+        } catch (const std::exception& error) {
+            metrics_->counter("serve.respond.errors").add(1);
+            response = serialize_response(error_response(
+                item->request.id, "injected", error.what()));
+        }
         if (item->sink) {
             try {
                 item->sink(response);
@@ -95,13 +135,137 @@ Server::worker_loop()
     }
 }
 
+std::uint64_t
+Server::estimate_cost_bp(const Request& request) const
+{
+    // Query bp (by file size — a fine proxy for FASTA) times the
+    // number of strand passes the request will run. Unreadable paths
+    // cost 0 here; the worker will answer with the real error.
+    std::error_code ec;
+    const auto size =
+        std::filesystem::file_size(request.query, ec);
+    if (ec)
+        return 0;
+    return static_cast<std::uint64_t>(size) *
+           (request.both_strands ? 2u : 1u);
+}
+
+std::int64_t
+Server::retry_after_ms_hint()
+{
+    double ewma;
+    {
+        std::lock_guard lock(ewma_mutex_);
+        ewma = ewma_service_seconds_;
+    }
+    if (ewma <= 0.0)
+        ewma = 0.1;  // no observation yet: suggest a modest backoff
+    const double hint =
+        ewma * static_cast<double>(queue_.size() + 1) * 1000.0;
+    const auto clamped = static_cast<std::int64_t>(
+        std::min(60000.0, std::max(1.0, std::ceil(hint))));
+    metrics_->gauge("serve.admission.retry_after_ms").set(clamped);
+    return clamped;
+}
+
+void
+Server::note_service_seconds(double seconds)
+{
+    std::lock_guard lock(ewma_mutex_);
+    ewma_service_seconds_ =
+        ewma_service_seconds_ <= 0.0
+            ? seconds
+            : 0.8 * ewma_service_seconds_ + 0.2 * seconds;
+}
+
+Response
+Server::shed_response(const Request& request, const char* reason,
+                      const std::string& message)
+{
+    Response response = error_response(request.id, reason, message);
+    response.add_int("retry_after_ms", retry_after_ms_hint());
+    return response;
+}
+
 bool
 Server::submit(std::string line, ResponseSink sink)
 {
     if (stopping())
         return false;
-    QueueItem item{std::move(line), std::move(sink)};
-    return queue_.push(std::move(item));
+
+    QueueItem item;
+    item.sink = std::move(sink);
+    item.enqueued = std::chrono::steady_clock::now();
+    const auto answer = [&item](const Response& response) {
+        if (item.sink) {
+            try {
+                item.sink(serialize_response(response));
+            } catch (...) {
+            }
+        }
+    };
+    try {
+        item.request = parse_request(line);
+        item.parsed = true;
+        fault::poll("serve.admit");
+    } catch (const ProtocolError&) {
+        // Let the worker re-parse and answer bad_request in completion
+        // order, exactly as before admission control existed.
+        item.parsed = false;
+    } catch (const std::exception& error) {
+        answer(error_response(item.request.id, "injected", error.what()));
+        return true;
+    }
+    item.line = std::move(line);
+
+    if (item.parsed && item.request.op == Op::Align) {
+        // Admission control: align work is shed, never queued blind.
+        // Control-plane ops below skip this and use a blocking push so
+        // status/shutdown always get through.
+        const std::size_t bound =
+            options_.max_queue > 0
+                ? std::min(options_.max_queue, queue_.capacity())
+                : queue_.capacity();
+        if (queue_.size() >= bound) {
+            metrics_->counter("serve.admission.shed").add(1);
+            answer(shed_response(
+                item.request, "overloaded",
+                strprintf("admission queue is full (%zu queued, "
+                          "max %zu)",
+                          queue_.size(), bound)));
+            return true;
+        }
+        item.cost_bp = estimate_cost_bp(item.request);
+        if (options_.max_inflight_bp > 0) {
+            const std::uint64_t inflight =
+                inflight_bp_.load(std::memory_order_acquire);
+            // A lone oversized request still runs; rejecting it
+            // forever would turn a sizing mistake into an outage.
+            if (inflight > 0 &&
+                inflight + item.cost_bp > options_.max_inflight_bp) {
+                metrics_->counter("serve.admission.shed").add(1);
+                answer(shed_response(
+                    item.request, "overloaded",
+                    strprintf("in-flight work is at %llu bp of the "
+                              "%llu bp cap",
+                              static_cast<unsigned long long>(inflight),
+                              static_cast<unsigned long long>(
+                                  options_.max_inflight_bp))));
+                return true;
+            }
+            inflight_bp_.fetch_add(item.cost_bp,
+                                   std::memory_order_acq_rel);
+        } else {
+            item.cost_bp = 0;  // nothing to release
+        }
+        metrics_->counter("serve.admission.accepted").add(1);
+    }
+    const std::uint64_t charged = item.cost_bp;
+    if (queue_.push(std::move(item)))
+        return true;
+    if (charged > 0)
+        inflight_bp_.fetch_sub(charged, std::memory_order_acq_rel);
+    return false;
 }
 
 void
@@ -120,6 +284,13 @@ Server::stop()
 std::string
 Server::handle_line(const std::string& line)
 {
+    return run_request(nullptr, line, 0.0);
+}
+
+std::string
+Server::run_request(const Request* parsed, const std::string& line,
+                    double queue_wait_seconds)
+{
     Timer timer;
     metrics_->counter("serve.requests").add(1);
     metrics_->gauge("serve.active")
@@ -136,13 +307,22 @@ Server::handle_line(const std::string& line)
         request_seq_.fetch_add(1, std::memory_order_relaxed);
     obs::RequestTag tag(static_cast<std::int64_t>(seq_no));
 
+    bool ran_align = false;
     Response response;
     try {
-        const Request request = parse_request(line);
+        Request local;
+        if (parsed == nullptr)
+            local = parse_request(line);
+        const Request& request = parsed != nullptr ? *parsed : local;
+        fault::poll("serve.dispatch");
+        ran_align = request.op == Op::Align;
         obs::ScopedSpan span(op_name(request.op), "serve");
-        response = handle_request(request);
+        response = handle_request(request, queue_wait_seconds);
     } catch (const ProtocolError& error) {
         response = error_response("", "bad_request", error.what());
+    } catch (const fault::InjectedFault& error) {
+        response = error_response(
+            parsed != nullptr ? parsed->id : "", "injected", error.what());
     } catch (const fault::CancelledError& error) {
         response = error_response(
             "", fault::cancel_reason_name(error.reason()), error.what());
@@ -152,6 +332,8 @@ Server::handle_line(const std::string& line)
 
     metrics_->counter(response.ok ? "serve.ok" : "serve.errors").add(1);
     metrics_->histogram("serve.request.seconds").observe(timer.seconds());
+    if (ran_align)
+        note_service_seconds(timer.seconds());
     metrics_->gauge("serve.active")
         .set(static_cast<std::int64_t>(
             active_requests_.fetch_sub(1, std::memory_order_acq_rel) - 1));
@@ -159,7 +341,7 @@ Server::handle_line(const std::string& line)
 }
 
 Response
-Server::handle_request(const Request& request)
+Server::handle_request(const Request& request, double queue_wait_seconds)
 {
     try {
         switch (request.op) {
@@ -176,7 +358,7 @@ Server::handle_request(const Request& request)
         case Op::DumpTrace:
             return do_dump_trace(request);
         case Op::Align:
-            return do_align(request);
+            return do_align(request, queue_wait_seconds);
         case Op::Shutdown: {
             inform("serve: shutdown requested by client");
             stopping_.store(true, std::memory_order_release);
@@ -225,6 +407,9 @@ Server::do_status(const Request& request)
         std::lock_guard lock(genome_mutex_);
         return static_cast<std::int64_t>(genomes_.size());
     }());
+    response.add_string("breaker",
+                        fault::breaker_state_name(breaker_.state()));
+    response.add_int("shed", counter("serve.admission.shed"));
     return response;
 }
 
@@ -347,8 +532,21 @@ Server::acquire_index(const Request& request, const seq::Genome& target,
     return index;
 }
 
+void
+Server::publish_breaker()
+{
+    metrics_->gauge("serve.breaker.state")
+        .set(static_cast<std::int64_t>(breaker_.state()));
+    const std::uint64_t trips = breaker_.trips();
+    const std::uint64_t published =
+        breaker_trips_published_.exchange(trips,
+                                          std::memory_order_acq_rel);
+    if (trips > published)
+        metrics_->counter("serve.breaker.trips").add(trips - published);
+}
+
 Response
-Server::do_align(const Request& request)
+Server::do_align(const Request& request, double queue_wait_seconds)
 {
     Timer timer;
     wga::WgaParams params = request.preset == "lastz"
@@ -357,6 +555,19 @@ Server::do_align(const Request& request)
     params.align_both_strands = request.both_strands;
     if (request.no_transitions)
         params.dsoft.transitions = false;
+
+    // While the breaker is open every request runs in degraded mode —
+    // the shared policy the batch engine's degraded retry uses, plus a
+    // forced score-only probe pass — so the daemon keeps answering
+    // under sustained budget pressure instead of quarantining its way
+    // through the backlog.
+    const bool degraded =
+        options_.breaker_enabled && breaker_.should_degrade();
+    if (degraded) {
+        params = fault::apply_degrade(params, options_.degrade);
+        metrics_->counter("serve.breaker.degraded_served").add(1);
+    }
+    publish_breaker();
 
     if (options_.packed_genomes &&
         params.filter_mode != wga::FilterMode::Gapped)
@@ -372,10 +583,21 @@ Server::do_align(const Request& request)
         acquire_index(request, *target, params.seed_pattern, &cache_hit);
 
     // The request's own budget context: armed after the index acquire so
-    // one request's overrun can never poison a shared index build.
+    // one request's overrun can never poison a shared index build. A
+    // client deadline clamps the wall axis to the time it has left
+    // after queueing — the cooperative poll in every stage then stops
+    // work for an expired client instead of completing uselessly.
+    fault::Budget budget = request.has_budget ? request.budget
+                                              : options_.default_budget;
+    if (request.deadline_ms > 0.0) {
+        const double remaining =
+            request.deadline_ms / 1000.0 - queue_wait_seconds;
+        budget.wall_seconds = budget.wall_seconds > 0.0
+                                  ? std::min(budget.wall_seconds, remaining)
+                                  : remaining;
+    }
     auto token = std::make_shared<fault::CancelToken>();
-    token->arm(request.has_budget ? request.budget
-                                  : options_.default_budget);
+    token->arm(budget);
     {
         std::lock_guard lock(token_mutex_);
         if (stopping())
@@ -390,6 +612,16 @@ Server::do_align(const Request& request)
         static_cast<std::size_t>(std::max<std::int64_t>(
             obs::RequestTag::current(), 0));
 
+    // Full-fidelity outcomes feed the breaker's rolling window (and
+    // resolve a half-open probe); degraded outcomes say nothing about
+    // whether full fidelity is healthy, so they are not recorded.
+    const auto record_outcome = [&](bool failure) {
+        if (options_.breaker_enabled && !degraded) {
+            breaker_.record(failure);
+            publish_breaker();
+        }
+    };
+
     wga::WgaResult result;
     try {
         fault::ContextScope scope(token.get(), seq_no);
@@ -402,11 +634,26 @@ Server::do_align(const Request& request)
             result = pipeline.run_with_index(*index, target->flattened(),
                                              query->flattened(), nullptr,
                                              metrics_);
+    } catch (const fault::CancelledError& error) {
+        if (error.reason() != fault::CancelReason::External)
+            record_outcome(true);
+        std::lock_guard lock(token_mutex_);
+        active_.erase(token);
+        throw;
+    } catch (const fault::InjectedFault&) {
+        record_outcome(true);
+        std::lock_guard lock(token_mutex_);
+        active_.erase(token);
+        throw;
     } catch (...) {
+        // Not a fidelity signal (bad file, OOM, ...): resolve a
+        // half-open probe as success rather than wedging it.
+        record_outcome(false);
         std::lock_guard lock(token_mutex_);
         active_.erase(token);
         throw;
     }
+    record_outcome(false);
     {
         std::lock_guard lock(token_mutex_);
         active_.erase(token);
@@ -420,9 +667,6 @@ Server::do_align(const Request& request)
     const double total_seconds = timer.seconds();
     if (options_.slow_request_seconds > 0.0 &&
         total_seconds >= options_.slow_request_seconds) {
-        const fault::Budget& budget = request.has_budget
-                                          ? request.budget
-                                          : options_.default_budget;
         warn("serve: slow request",
              {{"req", strprintf("%zu", seq_no)},
               {"id", request.id},
@@ -460,6 +704,7 @@ Server::do_align(const Request& request)
                      static_cast<std::int64_t>(
                          result.stats.extend.matched_bases));
     response.add_raw("index_cache_hit", cache_hit ? "true" : "false");
+    response.add_raw("degraded", degraded ? "true" : "false");
     response.add_double("seconds", timer.seconds());
     response.add_string("out", request.out);
     return response;

@@ -17,6 +17,18 @@
  * serving. stop() cancels every in-flight token, which is how SIGTERM
  * turns into a bounded drain instead of a hung exit.
  *
+ * Overload safety (DESIGN.md §14): submit() is the admission point —
+ * align requests past max_queue (or the in-flight bp cap) are shed
+ * with an "overloaded" error carrying a retry_after_ms hint from the
+ * EWMA of observed service time, so the transport never blocks and
+ * the queue never grows without bound. A request's optional
+ * deadline_ms maps onto its CancelToken wall budget (clamped by the
+ * time it already waited in queue; expired requests are shed
+ * "deadline" at dispatch without running). A CircuitBreaker
+ * (fault/breaker.h) watches the budget-trip rate of full-fidelity
+ * aligns and, while open, serves requests with the shared degrade
+ * policy (fault/degrade.h) and a "degraded": true response field.
+ *
  * Caching: target/query FASTAs are cached by path for the server's
  * lifetime, and seed indexes live in an LRU IndexCache keyed by
  * (sequence digest, seed shape, repeat cap) — a request naming a
@@ -40,6 +52,7 @@
 #define DARWIN_SERVE_SERVER_H
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <iosfwd>
 #include <memory>
@@ -48,7 +61,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "fault/breaker.h"
 #include "fault/cancel.h"
+#include "fault/degrade.h"
 #include "index/index_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -90,6 +105,39 @@ struct ServerOptions {
      * error.
      */
     bool packed_genomes = false;
+
+    /**
+     * Admission bound for align requests (--max-queue): an align
+     * arriving while this many requests sit queued is shed with a
+     * machine-readable "overloaded" error instead of blocking the
+     * transport. 0 means the full queue_capacity. Control-plane ops
+     * (ping/status/stats/shutdown) are never shed.
+     */
+    std::size_t max_queue = 0;
+
+    /**
+     * Cap on the summed cost estimate (query bp × strand passes) of
+     * admitted-but-unfinished align requests (--max-inflight-bp);
+     * 0 = unlimited. An align that would push the sum over the cap is
+     * shed "overloaded" — unless nothing is in flight, so a single
+     * oversized request is still served rather than rejected forever.
+     */
+    std::uint64_t max_inflight_bp = 0;
+
+    /** Serve degraded instead of full-fidelity while the breaker is
+     *  open (see fault/breaker.h). */
+    bool breaker_enabled = true;
+    fault::BreakerOptions breaker;
+
+    /** Parameter transform for degraded serving; shared with the
+     *  batch engine's degraded retry, plus the score-only probe pass
+     *  (cheap wall time on the dead-heavy work overload brings). */
+    fault::DegradePolicy degrade = {.band_divisor = 2,
+                                    .min_band = 8,
+                                    .ydrop_divisor = 2,
+                                    .min_ydrop = 100,
+                                    .max_hits_per_chunk = 256,
+                                    .force_probe = true};
 };
 
 /** The request-processing core; transports plug in around it. */
@@ -116,6 +164,14 @@ class Server {
      * Enqueue a request line for the worker pool; `sink` is invoked
      * with the response from a worker thread. Returns false when the
      * server is stopping (the caller should drop the connection).
+     *
+     * Admission control happens here, on the transport thread: an
+     * align request that finds the admission queue at max_queue (or
+     * the in-flight bp cap exceeded) is answered immediately through
+     * `sink` with status "error", reason "overloaded", and a
+     * retry_after_ms hint derived from the EWMA of observed service
+     * time — submit still returns true (the line was consumed).
+     * Malformed lines are likewise answered synchronously.
      */
     bool submit(std::string line, ResponseSink sink);
 
@@ -165,14 +221,24 @@ class Server {
         trace_session_ = session;
     }
 
+    /** Current breaker state (for /statusz and samplers). */
+    fault::BreakerState breaker_state() const { return breaker_.state(); }
+
   private:
     struct QueueItem {
         std::string line;
+        Request request;   ///< parsed at admission when `parsed`
+        bool parsed = false;  ///< false: worker re-parses (legacy path)
         ResponseSink sink;
+        std::chrono::steady_clock::time_point enqueued;
+        std::uint64_t cost_bp = 0;
     };
 
-    Response handle_request(const Request& request);
-    Response do_align(const Request& request);
+    std::string run_request(const Request* parsed, const std::string& line,
+                            double queue_wait_seconds);
+    Response handle_request(const Request& request,
+                            double queue_wait_seconds);
+    Response do_align(const Request& request, double queue_wait_seconds);
     Response do_status(const Request& request);
     Response do_stats(const Request& request);
     Response do_dump_trace(const Request& request);
@@ -182,6 +248,12 @@ class Server {
         const Request& request, const seq::Genome& target,
         const std::string& seed_pattern, bool* cache_hit);
     void worker_loop();
+    std::uint64_t estimate_cost_bp(const Request& request) const;
+    std::int64_t retry_after_ms_hint();
+    void note_service_seconds(double seconds);
+    Response shed_response(const Request& request, const char* reason,
+                           const std::string& message);
+    void publish_breaker();
 
     const ServerOptions options_;
     obs::MetricsRegistry fallback_metrics_;
@@ -201,6 +273,12 @@ class Server {
     std::atomic<std::size_t> request_seq_{0};
     std::atomic<std::size_t> active_requests_{0};
     std::atomic<bool> stopping_{false};
+
+    fault::CircuitBreaker breaker_;
+    std::atomic<std::uint64_t> inflight_bp_{0};
+    std::atomic<std::uint64_t> breaker_trips_published_{0};
+    mutable std::mutex ewma_mutex_;
+    double ewma_service_seconds_ = 0.0;  // guarded by ewma_mutex_
 };
 
 }  // namespace darwin::serve

@@ -1,0 +1,92 @@
+#include "serve/socket_claim.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/strings.h"
+
+namespace darwin::serve {
+
+namespace {
+
+void
+fill_address(const std::string& path, sockaddr_un* addr)
+{
+    std::memset(addr, 0, sizeof(*addr));
+    addr->sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr->sun_path))
+        fatal(strprintf("socket path too long (%zu bytes, max %zu): %s",
+                        path.size(), sizeof(addr->sun_path) - 1,
+                        path.c_str()));
+    std::memcpy(addr->sun_path, path.c_str(), path.size());
+}
+
+/** Is something answering at `path` right now? */
+bool
+socket_is_live(const std::string& path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal(strprintf("socket(): %s", std::strerror(errno)));
+    sockaddr_un addr;
+    fill_address(path, &addr);
+    const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr));
+    const int saved = errno;
+    ::close(fd);
+    if (rc == 0)
+        return true;
+    // ECONNREFUSED / ENOENT: nobody is listening — the file is stale.
+    // Anything else (EACCES, ...) is treated as live: when in doubt,
+    // refuse to unlink.
+    return saved != ECONNREFUSED && saved != ENOENT;
+}
+
+}  // namespace
+
+int
+claim_unix_socket(const std::string& path, int backlog)
+{
+    struct stat st;
+    if (::lstat(path.c_str(), &st) == 0) {
+        if (!S_ISSOCK(st.st_mode))
+            fatal(strprintf("%s exists and is not a socket",
+                            path.c_str()));
+        if (socket_is_live(path))
+            throw SocketInUseError(strprintf(
+                "%s is owned by a live daemon; refusing to take it "
+                "over (stop that daemon or pick another --socket path)",
+                path.c_str()));
+        inform(strprintf("serve: taking over stale socket %s",
+                         path.c_str()));
+        ::unlink(path.c_str());
+    }
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal(strprintf("socket(): %s", std::strerror(errno)));
+    sockaddr_un addr;
+    fill_address(path, &addr);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+        const int saved = errno;
+        ::close(fd);
+        fatal(strprintf("bind(%s): %s", path.c_str(),
+                        std::strerror(saved)));
+    }
+    if (::listen(fd, backlog) < 0) {
+        const int saved = errno;
+        ::close(fd);
+        ::unlink(path.c_str());
+        fatal(strprintf("listen(%s): %s", path.c_str(),
+                        std::strerror(saved)));
+    }
+    return fd;
+}
+
+}  // namespace darwin::serve

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Safe claiming of the daemon's AF_UNIX listen socket.
+ *
+ * `darwin-wga-serve --socket PATH` must not unlink a *running*
+ * daemon's socket out from under it. claim_unix_socket() probes an
+ * existing path with connect(): a live listener answers and the claim
+ * fails with SocketInUseError (the tool maps it to exit 2); a stale
+ * path — left by a crashed or SIGKILLed daemon — refuses the
+ * connection and is unlinked, and the new daemon takes the address
+ * over.
+ */
+#ifndef DARWIN_SERVE_SOCKET_CLAIM_H
+#define DARWIN_SERVE_SOCKET_CLAIM_H
+
+#include <string>
+
+#include "util/logging.h"
+
+namespace darwin::serve {
+
+/** The socket path is owned by a live daemon; starting another one
+ *  here would hijack its clients. */
+class SocketInUseError : public FatalError {
+  public:
+    explicit SocketInUseError(const std::string& msg) : FatalError(msg) {}
+};
+
+/**
+ * Bind and listen on an AF_UNIX socket at `path`, taking over a stale
+ * socket file but refusing (SocketInUseError) a live one. Returns the
+ * listening descriptor; throws FatalError on other failures.
+ */
+int claim_unix_socket(const std::string& path, int backlog = 16);
+
+}  // namespace darwin::serve
+
+#endif  // DARWIN_SERVE_SOCKET_CLAIM_H

@@ -133,7 +133,8 @@ ExtendStage::extend_wave_batched(
         align::BatchOptions options;
         options.pool = pool;
         options.probe_score_only =
-            probe_seen_ > 0 && probe_dead_ * 2 > probe_seen_;
+            params_.force_probe_score_only ||
+            (probe_seen_ > 0 && probe_dead_ * 2 > probe_seen_);
         results.assign(batch.size(), align::TileResult{});
         local.batch.flushes += 1;
         local.batch.tiles += batch.size();

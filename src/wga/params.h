@@ -81,6 +81,16 @@ struct WgaParams {
      */
     bool align_both_strands = false;
 
+    /**
+     * Always run the score-only probe pass on batched extension
+     * flushes instead of waiting for the dead-tile heuristic to warm
+     * up (align/batch.h BatchOptions::probe_score_only). Results are
+     * unchanged — probing only skips traceback for dead tiles. Set by
+     * fault::apply_degrade so degraded serving sheds traceback work
+     * from the first flush.
+     */
+    bool force_probe_score_only = false;
+
     /** Darwin-WGA defaults (gapped filtering). */
     static WgaParams darwin_defaults();
 

@@ -6,6 +6,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "fault/cancel.h"
 #include "util/strings.h"
 
 namespace darwin::wga {
@@ -37,6 +38,7 @@ SpillFile::~SpillFile()
 void
 SpillFile::append(const void* data, std::size_t bytes)
 {
+    fault::poll("stream.spill_write");
     const char* cursor = static_cast<const char*>(data);
     std::size_t remaining = bytes;
     while (remaining > 0) {
@@ -57,6 +59,7 @@ SpillFile::append(const void* data, std::size_t bytes)
 void
 SpillFile::read_at(std::uint64_t offset, void* out, std::size_t bytes) const
 {
+    fault::poll("stream.spill_read");
     char* cursor = static_cast<char*>(out);
     std::size_t remaining = bytes;
     std::uint64_t position = offset;

@@ -16,7 +16,7 @@
 #include <thread>
 #include <tuple>
 
-#include "batch/degrade.h"
+#include "fault/degrade.h"
 #include "batch/metrics.h"
 #include "batch/scheduler.h"
 #include "fault/cancel.h"

@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "batch/checkpoint.h"
-#include "batch/degrade.h"
+#include "fault/degrade.h"
 #include "batch/manifest.h"
 #include "fault/cancel.h"
 #include "fault/fault_plan.h"
@@ -324,8 +324,8 @@ TEST(Degrade, NarrowsBandXdropAndSeedCap)
     params.filter_band = 32;
     params.gactx.ydrop = 9430;
     params.ungapped_xdrop = 910;
-    const batch::DegradePolicy policy;
-    const wga::WgaParams degraded = batch::apply_degrade(params, policy);
+    const fault::DegradePolicy policy;
+    const wga::WgaParams degraded = fault::apply_degrade(params, policy);
     EXPECT_EQ(degraded.filter_band, 16u);
     EXPECT_EQ(degraded.gactx.ydrop, 4715);
     EXPECT_EQ(degraded.ungapped_xdrop, 455);
@@ -343,7 +343,7 @@ TEST(Degrade, FloorsApplyAndExistingCapWins)
     params.ungapped_xdrop = 120;
     params.dsoft.max_hits_per_chunk = 64;  // already tighter than policy
     const wga::WgaParams degraded =
-        batch::apply_degrade(params, batch::DegradePolicy{});
+        fault::apply_degrade(params, fault::DegradePolicy{});
     EXPECT_EQ(degraded.filter_band, 8u);     // floored, not 5
     EXPECT_EQ(degraded.gactx.ydrop, 100);    // floored, not 75
     EXPECT_EQ(degraded.ungapped_xdrop, 100);

@@ -5,10 +5,12 @@
  * Subcommands:
  *   build   FASTA target -> .dwi seed-position table (src/index/ format)
  *   info    print a .dwi header (version, digest, seed shape, sizes)
+ *   fsck    validate artifacts (.dwi / .2bit / batch journals)
  *
  *   darwin-wga-index build --target t.fa --out t.dwi
  *   darwin-wga-index build --target t.fa --out t.dwi --preset lastz
  *   darwin-wga-index info --index t.dwi
+ *   darwin-wga-index fsck t.dwi t.fa.2bit run/checkpoint.jsonl
  *
  * The index is exactly the table the aligner would build in memory for
  * `--target t.fa`, so `darwin-wga-serve` (or anything loading it via
@@ -16,6 +18,7 @@
  */
 #include <cstdio>
 
+#include "index/fsck.h"
 #include "index/index_io.h"
 #include "seed/seed_index.h"
 #include "seed/sharded_index.h"
@@ -184,6 +187,54 @@ cmd_info(int argc, char** argv)
     return 0;
 }
 
+int
+cmd_fsck(int argc, char** argv)
+{
+    ArgParser args("darwin-wga-index fsck: validate darwin-wga disk "
+                   "artifacts (.dwi indexes, .2bit sidecars, batch "
+                   "checkpoint journals). Exit 0 when every file is "
+                   "clean, 1 when any finding is reported.");
+    args.add_flag("json", "print findings as JSONL");
+    if (!args.parse(argc, argv))
+        return 1;
+    if (args.positional().empty()) {
+        std::fprintf(stderr, "fsck: at least one FILE is required\n");
+        return 1;
+    }
+
+    std::size_t total_findings = 0;
+    for (const std::string& path : args.positional()) {
+        std::string kind;
+        const auto findings = index::fsck_file(path, &kind);
+        if (findings.empty()) {
+            if (!args.get_flag("json"))
+                std::printf("%s: clean (%s)\n", path.c_str(),
+                            kind.c_str());
+            continue;
+        }
+        total_findings += findings.size();
+        for (const auto& finding : findings) {
+            if (args.get_flag("json")) {
+                std::printf("{\"path\": %s, \"code\": %s, "
+                            "\"detail\": %s}\n",
+                            json_quote(finding.path).c_str(),
+                            json_quote(finding.code).c_str(),
+                            json_quote(finding.detail).c_str());
+            } else {
+                std::fprintf(stderr, "%s: [%s] %s\n",
+                             finding.path.c_str(), finding.code.c_str(),
+                             finding.detail.c_str());
+            }
+        }
+    }
+    if (total_findings > 0) {
+        std::fprintf(stderr, "fsck: %zu finding(s) across %zu file(s)\n",
+                     total_findings, args.positional().size());
+        return 1;
+    }
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -191,7 +242,8 @@ main(int argc, char** argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: darwin-wga-index <build|info> [options]\n"
+                     "usage: darwin-wga-index <build|info|fsck> "
+                     "[options]\n"
                      "  run a subcommand with --help for its options\n");
         return 1;
     }
@@ -202,6 +254,8 @@ main(int argc, char** argv)
             return cmd_build(argc - 1, argv + 1);
         if (command == "info")
             return cmd_info(argc - 1, argv + 1);
+        if (command == "fsck")
+            return cmd_fsck(argc - 1, argv + 1);
     } catch (const FatalError& error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;

@@ -49,12 +49,14 @@
 #include <unistd.h>
 
 #include "batch/checkpoint.h"
+#include "fault/fault_plan.h"
 #include "obs/exposition.h"
 #include "obs/flight_recorder.h"
 #include "obs/self_stats.h"
 #include "obs_support.h"
 #include "serve/http.h"
 #include "serve/server.h"
+#include "serve/socket_claim.h"
 #include "signal_support.h"
 #include "util/args.h"
 #include "util/logging.h"
@@ -150,31 +152,10 @@ class FlightDumpPoller {
 int
 serve_socket(serve::Server& server, const std::string& path)
 {
-    const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listener < 0)
-        fatal(strprintf("socket: %s", std::strerror(errno)));
-    struct sockaddr_un addr = {};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path)) {
-        ::close(listener);
-        fatal("socket path too long");
-    }
-    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-    ::unlink(path.c_str());
-    if (::bind(listener, reinterpret_cast<struct sockaddr*>(&addr),
-               sizeof(addr)) != 0) {
-        const int err = errno;
-        ::close(listener);
-        fatal(strprintf("bind %s: %s", path.c_str(),
-                        std::strerror(err)));
-    }
-    if (::listen(listener, 16) != 0) {
-        const int err = errno;
-        ::close(listener);
-        ::unlink(path.c_str());
-        fatal(strprintf("listen %s: %s", path.c_str(),
-                        std::strerror(err)));
-    }
+    // claim_unix_socket refuses (SocketInUseError -> exit 2 in main) a
+    // path a live daemon still answers on, and takes over only a stale
+    // socket file left by a crashed or SIGKILLed predecessor.
+    const int listener = serve::claim_unix_socket(path);
     inform(strprintf("serve: listening on %s", path.c_str()));
 
     std::vector<std::thread> connections;
@@ -228,6 +209,28 @@ main(int argc, char** argv)
                     "stdin/stdout");
     args.add_option("workers", "2", "concurrent align requests");
     args.add_option("queue", "64", "queued-request bound (backpressure)");
+    args.add_option("max-queue", "0",
+                    "admission bound: align requests beyond this many "
+                    "queued are shed with an 'overloaded' error instead "
+                    "of blocking the transport (0 = use --queue; control "
+                    "ops are never shed)");
+    args.add_option("max-inflight-bp", "0",
+                    "admission bound on the summed query bp (x2 for "
+                    "--both-strands) of queued + running align requests "
+                    "(0 = unlimited; a lone oversized request still "
+                    "runs)");
+    args.add_option("breaker-window", "32",
+                    "circuit breaker: rolling full-fidelity outcomes "
+                    "watched for quarantine/budget trips");
+    args.add_option("breaker-trip-ratio", "0.5",
+                    "circuit breaker: failure fraction of the window "
+                    "that opens the breaker");
+    args.add_option("breaker-cooldown", "5",
+                    "circuit breaker: seconds served degraded before a "
+                    "half-open full-fidelity probe");
+    args.add_flag("no-breaker",
+                  "disable circuit-breaker degradation (overload trips "
+                  "then fail requests instead of degrading them)");
     args.add_option("index-cache", "8",
                     "resident seed indexes (LRU beyond this)");
     args.add_option("wall-budget", "0",
@@ -267,6 +270,17 @@ main(int argc, char** argv)
     // dropped by the serve loop's sink instead.
     std::signal(SIGPIPE, SIG_IGN);
 
+    // $DARWIN_FAULT arms the daemon's probes (serve.admit,
+    // serve.dispatch, serve.respond, index.mmap, ...) for chaos drills
+    // like tools/overload_smoke.py; unset means an empty plan.
+    static const fault::FaultPlan fault_plan = fault::FaultPlan::from_env();
+    if (!fault_plan.empty()) {
+        warn(strprintf("fault injection active: %zu entr%s",
+                       fault_plan.num_entries(),
+                       fault_plan.num_entries() == 1 ? "y" : "ies"));
+        fault::install_fault_plan(&fault_plan);
+    }
+
     serve::ServerOptions options;
     options.num_workers =
         static_cast<std::size_t>(args.get_int("workers"));
@@ -282,6 +296,14 @@ main(int argc, char** argv)
     options.slow_request_seconds =
         args.get_double("slow-request-ms") / 1000.0;
     options.packed_genomes = args.get_flag("packed");
+    options.max_queue = static_cast<std::size_t>(args.get_int("max-queue"));
+    options.max_inflight_bp =
+        static_cast<std::uint64_t>(args.get_int("max-inflight-bp"));
+    options.breaker_enabled = !args.get_flag("no-breaker");
+    options.breaker.window =
+        static_cast<std::size_t>(args.get_int("breaker-window"));
+    options.breaker.trip_ratio = args.get_double("breaker-trip-ratio");
+    options.breaker.cooldown_seconds = args.get_double("breaker-cooldown");
 
     try {
         const Timer uptime;
@@ -390,6 +412,9 @@ main(int argc, char** argv)
         obs_setup.finish();
         inform("serve: drained; exiting");
         return 0;
+    } catch (const serve::SocketInUseError& error) {
+        std::fprintf(stderr, "error: socket-in-use: %s\n", error.what());
+        return 2;
     } catch (const FatalError& error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;

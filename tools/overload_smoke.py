@@ -1,0 +1,308 @@
+#!/usr/bin/env python3
+"""Overload and crash chaos drill for darwin-wga-serve, used by CI.
+
+Three phases, each with its own daemon launch:
+
+  1. flood     a one-worker daemon with a shallow admission queue runs
+               under $DARWIN_FAULT dispatch stalls while a burst of
+               aligns arrives: some are served, the rest come back as
+               machine-readable "overloaded" sheds with retry_after_ms
+               hints, /healthz keeps answering mid-flood, and an align
+               carrying deadline_ms resolves within ~1.2x its deadline
+               (served, shed, or cancelled — never wedged). SIGTERM
+               then drains to exit 0.
+  2. sigkill   a socket daemon is SIGKILLed mid-request, leaving a
+               stale socket file; a second launch on the same path
+               must take the path over (connect-probe finds no
+               listener) and answer a ping, while a third launch
+               against the *live* daemon must refuse with exit 2.
+  3. fsck      `darwin-wga-index fsck` over the artifacts the drill
+               touched (the persisted .dwi, any .2bit sidecar) exits 0:
+               nothing the SIGKILL interrupted corrupted them.
+
+  python3 overload_smoke.py ./tools/darwin-wga-serve \
+      --index-tool ./tools/darwin-wga-index \
+      --target t.fa --query q.fa --index t.dwi
+"""
+import argparse
+import json
+import os
+import queue
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+
+def fail(message):
+    print(f"overload_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+class StderrWatcher:
+    """Echoes daemon stderr; captures the metrics port and the socket
+    listening announce."""
+
+    PORT_RE = re.compile(r"metrics listening on http://127\.0\.0\.1:(\d+)/")
+    LISTEN_RE = re.compile(r"serve: listening on (\S+)")
+
+    def __init__(self, stream):
+        self.port = None
+        self._port_found = threading.Event()
+        self.listening = threading.Event()
+        self._thread = threading.Thread(
+            target=self._pump, args=(stream,), daemon=True)
+        self._thread.start()
+
+    def _pump(self, stream):
+        for line in stream:
+            sys.stderr.write(line)
+            match = self.PORT_RE.search(line)
+            if match:
+                self.port = int(match.group(1))
+                self._port_found.set()
+            if self.LISTEN_RE.search(line):
+                self.listening.set()
+        self._port_found.set()
+        self.listening.set()  # EOF unblocks waiters either way
+
+    def wait_for_port(self, timeout):
+        self._port_found.wait(timeout)
+        return self.port
+
+
+class ResponseReader:
+    """Pumps daemon stdout into a queue on a thread. select() on a
+    buffered text stream misses lines already drained into the buffer,
+    so a blocking reader thread is the only robust shape."""
+
+    def __init__(self, stream):
+        self._queue = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._pump, args=(stream,), daemon=True)
+        self._thread.start()
+
+    def _pump(self, stream):
+        for line in stream:
+            self._queue.put(line)
+        self._queue.put(None)  # EOF marker
+
+    def read_line(self, proc, what, timeout=300.0):
+        try:
+            line = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            fail(f"timed out after {timeout}s waiting for {what}")
+        if line is None:
+            fail(f"daemon exited (code {proc.poll()}) before "
+                 f"answering {what}")
+        return line
+
+
+def align_request(args, rid, extra=None):
+    request = {"op": "align", "id": rid, "target": args.target,
+               "query": args.query, "out": f"{args.scratch}/{rid}.maf",
+               "index": args.index}
+    if extra:
+        request.update(extra)
+    return request
+
+
+def flood_phase(args):
+    """Admission control under injected dispatch stalls."""
+    env = dict(os.environ)
+    # Every dispatch pauses 200 ms, so one worker drains the queue far
+    # slower than the flood fills it — deterministic overload without
+    # needing giant inputs.
+    env["DARWIN_FAULT"] = "serve.dispatch:stall:ms=200:count=0"
+    proc = subprocess.Popen(
+        [args.daemon, "--workers", "1", "--max-queue", "2",
+         "--metrics-port", "0"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True, env=env)
+    watcher = StderrWatcher(proc.stderr)
+    reader = ResponseReader(proc.stdout)
+    try:
+        burst = 8
+        for n in range(burst):
+            proc.stdin.write(
+                json.dumps(align_request(args, f"flood{n}")) + "\n")
+        proc.stdin.flush()
+
+        # The daemon must stay observable while overloaded.
+        port = watcher.wait_for_port(timeout=30.0)
+        if not port:
+            fail("daemon never announced its metrics port")
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=10) as r:
+            if r.status != 200 or r.read().decode().strip() != "ok":
+                fail("/healthz did not answer ok mid-flood")
+        print("overload_smoke: /healthz ok mid-flood")
+
+        served, shed = 0, 0
+        for n in range(burst):
+            response = json.loads(reader.read_line(
+                proc, f"flood response {n + 1}/{burst}", args.timeout))
+            if response.get("status") == "ok":
+                served += 1
+            elif response.get("reason") == "overloaded":
+                hint = response.get("retry_after_ms")
+                if not isinstance(hint, int) or hint < 1:
+                    fail(f"shed without usable retry_after_ms: "
+                         f"{response}")
+                shed += 1
+            else:
+                fail(f"flood answer neither ok nor overloaded: "
+                     f"{response}")
+        if served < 1 or shed < 1:
+            fail(f"flood must both serve and shed "
+                 f"(served {served}, shed {shed})")
+        print(f"overload_smoke: flood: {served} served, {shed} shed")
+
+        # A deadline-carrying request resolves promptly: served in
+        # time, shed at dispatch, or cancelled by the wall clamp — the
+        # one forbidden outcome is waiting unboundedly.
+        deadline_ms = 1500
+        started = time.monotonic()
+        proc.stdin.write(json.dumps(align_request(
+            args, "deadline", {"deadline_ms": deadline_ms})) + "\n")
+        proc.stdin.flush()
+        response = json.loads(reader.read_line(
+            proc, "deadline response", args.timeout))
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        if response.get("status") == "error" and \
+                response.get("reason") not in (
+                    "deadline", "walltime", "overloaded"):
+            fail(f"deadline request failed oddly: {response}")
+        # 1.2x covers the clamp's slack; the grace term covers one
+        # injected stall plus scheduling noise on a loaded CI box.
+        if elapsed_ms > deadline_ms * 1.2 + 2000:
+            fail(f"deadline_ms={deadline_ms} request took "
+                 f"{elapsed_ms:.0f} ms")
+        print(f"overload_smoke: deadline request resolved in "
+              f"{elapsed_ms:.0f} ms "
+              f"({response.get('status')}/{response.get('reason')})")
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=args.timeout)
+        if code != 0:
+            fail(f"flood daemon exited {code} after SIGTERM")
+        print("overload_smoke: flood daemon drained, exit 0")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+def socket_client(path, timeout):
+    client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    client.settimeout(timeout)
+    client.connect(path)
+    return client
+
+
+def sigkill_phase(args):
+    """Crash mid-request, stale-socket takeover, live-socket refusal."""
+    sock = f"{args.scratch}/overload_smoke.sock"
+    if os.path.exists(sock):
+        os.unlink(sock)
+
+    victim = subprocess.Popen(
+        [args.daemon, "--socket", sock], stdin=subprocess.DEVNULL,
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True)
+    watcher = StderrWatcher(victim.stderr)
+    try:
+        if not watcher.listening.wait(30.0) or victim.poll() is not None:
+            fail("victim daemon never started listening")
+        client = socket_client(sock, args.timeout)
+        client.sendall(
+            (json.dumps(align_request(args, "doomed")) + "\n").encode())
+        time.sleep(0.2)  # let the request reach a worker
+        victim.kill()    # SIGKILL: no cleanup, socket file survives
+        victim.wait(timeout=30)
+        client.close()
+        if not os.path.exists(sock):
+            fail("SIGKILL should have left a stale socket file behind")
+        print("overload_smoke: victim SIGKILLed mid-request, "
+              "stale socket left")
+    finally:
+        if victim.poll() is None:
+            victim.kill()
+
+    successor = subprocess.Popen(
+        [args.daemon, "--socket", sock], stdin=subprocess.DEVNULL,
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True)
+    watcher = StderrWatcher(successor.stderr)
+    try:
+        if not watcher.listening.wait(30.0) or \
+                successor.poll() is not None:
+            fail(f"successor refused the stale socket "
+                 f"(exit {successor.poll()})")
+        client = socket_client(sock, args.timeout)
+        client.sendall(b'{"op": "ping", "id": "takeover"}\n')
+        answer = client.makefile().readline()
+        response = json.loads(answer)
+        if response.get("status") != "ok":
+            fail(f"ping after takeover failed: {response}")
+        print("overload_smoke: successor took over the stale socket, "
+              "ping ok")
+
+        # While the successor lives, a third daemon must refuse the
+        # path with exit 2 — never steal a working listener.
+        thief = subprocess.run(
+            [args.daemon, "--socket", sock], stdin=subprocess.DEVNULL,
+            capture_output=True, text=True, timeout=60)
+        if thief.returncode != 2:
+            fail(f"daemon against a live socket exited "
+                 f"{thief.returncode}, expected 2: {thief.stderr}")
+        print("overload_smoke: live socket refused with exit 2")
+
+        client.close()
+        successor.send_signal(signal.SIGTERM)
+        code = successor.wait(timeout=args.timeout)
+        if code != 0:
+            fail(f"successor exited {code} after SIGTERM")
+    finally:
+        if successor.poll() is None:
+            successor.kill()
+
+
+def fsck_phase(args):
+    """Crash drills must not have corrupted any persisted artifact."""
+    paths = [args.index]
+    for sidecar in (args.target + ".2bit", args.query + ".2bit"):
+        if os.path.exists(sidecar):
+            paths.append(sidecar)
+    result = subprocess.run(
+        [args.index_tool, "fsck"] + paths,
+        capture_output=True, text=True, timeout=120)
+    sys.stderr.write(result.stderr)
+    if result.returncode != 0:
+        fail(f"fsck found problems after the crash drill:\n"
+             f"{result.stdout}{result.stderr}")
+    print(f"overload_smoke: fsck clean over {len(paths)} artifact(s)")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("daemon", help="path to darwin-wga-serve")
+    parser.add_argument("--index-tool", required=True,
+                        help="path to darwin-wga-index (for fsck)")
+    parser.add_argument("--target", required=True)
+    parser.add_argument("--query", required=True)
+    parser.add_argument("--index", required=True)
+    parser.add_argument("--scratch", default=".",
+                        help="directory for outputs and the test socket")
+    parser.add_argument("--timeout", type=float, default=300.0)
+    args = parser.parse_args()
+
+    flood_phase(args)
+    sigkill_phase(args)
+    fsck_phase(args)
+    print("overload_smoke: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,11 +20,18 @@ a flight recorder, slow-request logging) and drives one session:
 
 then sends SIGTERM and asserts the daemon drains and exits 0.
 
+A second daemon launch floods an admission-capped server (--workers 1
+--max-inflight-bp 1) with a burst of aligns and asserts the overload
+contract: at least one request is served, at least one is shed with a
+machine-readable "overloaded" error carrying a retry_after_ms hint >= 1,
+and every request gets exactly one answer.
+
   python3 serve_smoke.py ./tools/darwin-wga-serve \
       --target t.fa --query q.fa --index t.dwi --reference cli.maf
 """
 import argparse
 import json
+import queue
 import re
 import signal
 import subprocess
@@ -37,6 +44,35 @@ import urllib.request
 def fail(message):
     print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
     sys.exit(1)
+
+
+class ResponseReader:
+    """Drains daemon stdout on a thread so waits can time out and
+    distinguish "daemon died" from "daemon is slow". (A plain blocking
+    readline would hang forever on a wedged daemon, and select() on a
+    buffered stream misses lines already sitting in the buffer.)"""
+
+    def __init__(self, stream):
+        self._queue = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._pump, args=(stream,), daemon=True)
+        self._thread.start()
+
+    def _pump(self, stream):
+        for line in stream:
+            self._queue.put(line)
+        self._queue.put(None)  # EOF marker
+
+    def read_line(self, proc, what, timeout=300.0):
+        """One response line, failing tagged on daemon exit or timeout."""
+        try:
+            line = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            fail(f"timed out after {timeout}s waiting for {what}")
+        if line is None:
+            code = proc.poll()
+            fail(f"daemon exited (code {code}) before answering {what}")
+        return line
 
 
 class StderrWatcher:
@@ -137,16 +173,17 @@ def main():
         stdin=subprocess.PIPE, stdout=subprocess.PIPE,
         stderr=subprocess.PIPE, text=True)
     watcher = StderrWatcher(proc.stderr)
+    reader = ResponseReader(proc.stdout)
     try:
         for request in requests:
             proc.stdin.write(json.dumps(request) + "\n")
         proc.stdin.flush()
 
         responses = {}
-        for _ in requests:
-            line = proc.stdout.readline()
-            if not line:
-                fail("daemon closed stdout before answering everything")
+        for n in range(len(requests)):
+            line = reader.read_line(
+                proc, f"request {n + 1}/{len(requests)}",
+                timeout=args.timeout)
             print(f"serve_smoke: <- {line.strip()}")
             response = json.loads(line)
             responses[response.get("id")] = response
@@ -239,7 +276,67 @@ def main():
         if code != 0:
             fail(f"daemon exited {code} after SIGTERM, expected 0")
         print("serve_smoke: SIGTERM -> clean exit 0")
-        print("serve_smoke: PASS")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    overload_phase(args)
+    print("serve_smoke: PASS")
+
+
+def overload_phase(args):
+    """Flood an admission-capped daemon and check the overload shape."""
+    burst = 6
+    proc = subprocess.Popen(
+        [args.daemon, "--workers", "1", "--max-inflight-bp", "1"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL, text=True)
+    reader = ResponseReader(proc.stdout)
+    try:
+        for n in range(burst):
+            request = {"op": "align", "id": f"flood{n}",
+                       "target": args.target, "query": args.query,
+                       "out": f"{args.out}.flood{n}",
+                       "index": args.index}
+            proc.stdin.write(json.dumps(request) + "\n")
+        proc.stdin.flush()
+
+        served, shed = 0, 0
+        for n in range(burst):
+            line = reader.read_line(
+                proc, f"flood response {n + 1}/{burst}",
+                timeout=args.timeout)
+            response = json.loads(line)
+            if response.get("status") == "ok":
+                served += 1
+            elif response.get("reason") == "overloaded":
+                # The machine-readable shed shape: status error, reason
+                # overloaded, and an actionable retry hint.
+                hint = response.get("retry_after_ms")
+                if not isinstance(hint, int) or hint < 1:
+                    fail(f"shed response lacks a usable retry_after_ms "
+                         f"hint: {response}")
+                shed += 1
+            else:
+                fail(f"flood answer is neither ok nor overloaded: "
+                     f"{response}")
+        if served < 1:
+            fail("overload flood served nothing — the lone-oversized "
+                 "admission rule is broken")
+        if shed < 1:
+            fail(f"overload flood shed nothing across {burst} requests "
+                 f"against --max-inflight-bp 1")
+        print(f"serve_smoke: overload flood: {served} served, "
+              f"{shed} shed with retry hints")
+
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=args.timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("overloaded daemon did not exit after SIGTERM")
+        if code != 0:
+            fail(f"overloaded daemon exited {code} after SIGTERM")
     finally:
         if proc.poll() is None:
             proc.kill()
